@@ -1,0 +1,64 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+func TestPublicFacadeCustomStream(t *testing.T) {
+	cfg := repro.DefaultConfig()
+	cfg.Nodes = 1
+	m, err := repro.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins []repro.Instr
+	pc := uint64(0x1000)
+	for i := 0; i < 500; i++ {
+		ins = append(ins,
+			repro.Instr{Op: trace.OpLoad, PC: pc, Addr: 0x100000 + uint64(i)*8, Dest: 1},
+			repro.Instr{Op: trace.OpIntALU, PC: pc + 4, Src1: 1, Dest: 2},
+		)
+		pc += 8
+	}
+	m.AddProcess(0, trace.NewSliceStream(ins))
+	rep, err := m.Run(repro.RunOptions{Label: "custom", MaxCycles: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instructions != 1000 {
+		t.Errorf("retired %d, want 1000", rep.Instructions)
+	}
+	if rep.ExecTime() == 0 || rep.IPC(1) <= 0 {
+		t.Error("empty report")
+	}
+}
+
+func TestPublicWorkloadConstructors(t *testing.T) {
+	ocfg := repro.DefaultOLTPConfig(1)
+	ocfg.Processes = 1
+	ocfg.TransactionsPerProcess = 1
+	o := repro.NewOLTP(ocfg)
+	var in repro.Instr
+	if s := o.Stream(0); !s.Next(&in) {
+		t.Error("OLTP stream empty")
+	}
+	dcfg := repro.DefaultDSSConfig(1)
+	dcfg.Processes = 1
+	dcfg.RowsPerProcess = 100
+	d := repro.NewDSS(dcfg)
+	if s := d.Stream(0); !s.Next(&in) {
+		t.Error("DSS stream empty")
+	}
+	if d.ExpectedRevenue(0) < 0 {
+		t.Error("negative revenue")
+	}
+}
+
+func TestScalesExported(t *testing.T) {
+	if repro.QuickScale.OLTPTransactions <= 0 || repro.DefaultScale.OLTPTransactions < repro.QuickScale.OLTPTransactions {
+		t.Error("scales misconfigured")
+	}
+}

@@ -1,0 +1,192 @@
+// Command dbsim runs one simulation of a database workload on the modelled
+// CC-NUMA multiprocessor and prints the execution-time breakdown and
+// memory-system characterization.
+//
+// Examples:
+//
+//	dbsim -workload oltp
+//	dbsim -workload dss -nodes 1 -issue 8
+//	dbsim -workload oltp -consistency SC -impl spec
+//	dbsim -workload oltp -streambuf 4 -hints flush+prefetch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload/oltp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dbsim: ")
+
+	var (
+		workload    = flag.String("workload", "oltp", "workload: oltp or dss")
+		nodes       = flag.Int("nodes", 4, "number of processors/nodes")
+		issue       = flag.Int("issue", 4, "issue width")
+		window      = flag.Int("window", 64, "instruction window size")
+		inorder     = flag.Bool("inorder", false, "in-order issue")
+		mshrs       = flag.Int("mshrs", 8, "outstanding misses (L1D and L2 MSHRs)")
+		consistency = flag.String("consistency", "RC", "memory model: SC, PC or RC")
+		impl        = flag.String("impl", "plain", "consistency implementation: plain, prefetch or spec")
+		streambuf   = flag.Int("streambuf", 0, "instruction stream buffer entries (0 = none)")
+		hints       = flag.String("hints", "none", "software hints: none, flush or flush+prefetch")
+		tx          = flag.Int("tx", 3, "OLTP transactions per process")
+		rows        = flag.Int("rows", 24000, "DSS rows per process")
+		warmupTx    = flag.Int("warmup", 1, "OLTP warm-up transactions per process")
+		perfectI    = flag.Bool("perfect-icache", false, "perfect instruction cache")
+		perfectB    = flag.Bool("perfect-bpred", false, "perfect branch prediction")
+		maxCycles   = flag.Uint64("max-cycles", 2_000_000_000, "simulation cycle bound")
+		tracePrefix = flag.String("trace", "", "replay trace files <prefix>.pN.trace instead of generating a workload")
+		traceProcs  = flag.Int("trace-procs", 1, "number of trace files to replay")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	cfg.Nodes = *nodes
+	cfg.IssueWidth = *issue
+	cfg.WindowSize = *window
+	cfg.InOrder = *inorder
+	cfg.L1D.MSHRs = *mshrs
+	cfg.L2.MSHRs = *mshrs
+	cfg.StreamBufEntries = *streambuf
+	cfg.PerfectICache = *perfectI
+	cfg.PerfectBPred = *perfectB
+	switch *consistency {
+	case "SC":
+		cfg.Consistency = config.SC
+	case "PC":
+		cfg.Consistency = config.PC
+	case "RC":
+		cfg.Consistency = config.RC
+	default:
+		log.Fatalf("unknown consistency model %q", *consistency)
+	}
+	switch *impl {
+	case "plain":
+		cfg.ConsistencyOpts = config.ImplPlain
+	case "prefetch":
+		cfg.ConsistencyOpts = config.ImplPrefetch
+	case "spec":
+		cfg.ConsistencyOpts = config.ImplSpeculative
+	default:
+		log.Fatalf("unknown consistency implementation %q", *impl)
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	var hl oltp.HintLevel
+	switch *hints {
+	case "none":
+		hl = oltp.HintNone
+	case "flush":
+		hl = oltp.HintFlush
+	case "flush+prefetch":
+		hl = oltp.HintFlushPrefetch
+	default:
+		log.Fatalf("unknown hint level %q", *hints)
+	}
+
+	sc := experiments.Scale{
+		OLTPTransactions: *tx,
+		OLTPWarmupTx:     *warmupTx,
+		DSSRows:          *rows,
+		MaxCycles:        *maxCycles,
+	}
+
+	var rep *stats.Report
+	var err error
+	switch {
+	case *tracePrefix != "":
+		rep, err = replayTraces(cfg, *tracePrefix, *traceProcs, *maxCycles)
+	case *workload == "oltp":
+		rep, err = experiments.RunOLTP(cfg, sc, "oltp", hl)
+	case *workload == "dss":
+		rep, err = experiments.RunDSS(cfg, sc, "dss")
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(os.Stdout, cfg, rep)
+}
+
+// replayTraces drives the machine from trace files written by cmd/tracegen
+// (one per server process, round-robin across the nodes).
+func replayTraces(cfg config.Config, prefix string, procs int, maxCycles uint64) (*stats.Report, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for p := 0; p < procs; p++ {
+		path := fmt.Sprintf("%s.p%d.trace", prefix, p)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		sys.AddProcess(p%cfg.Nodes, r)
+	}
+	return sys.Run(core.RunOptions{Label: "trace-replay", MaxCycles: maxCycles})
+}
+
+func printReport(w *os.File, cfg config.Config, r *stats.Report) {
+	fmt.Fprintf(w, "workload            %s on %d nodes (%s %d-way, window %d, %v/%v)\n",
+		r.Label, cfg.Nodes, kind(cfg.InOrder), cfg.IssueWidth, cfg.WindowSize,
+		cfg.Consistency, cfg.ConsistencyOpts)
+	fmt.Fprintf(w, "instructions        %d\n", r.Instructions)
+	fmt.Fprintf(w, "cycles              %d\n", r.Cycles)
+	fmt.Fprintf(w, "IPC                 %.3f\n", r.IPC(cfg.Nodes))
+	fmt.Fprintf(w, "idle cycles         %.0f (factored out of breakdown)\n\n", r.IdleCycles)
+
+	n := r.Normalized(r)
+	fmt.Fprintf(w, "execution time breakdown (fraction of non-idle time):\n")
+	fmt.Fprintf(w, "  CPU (busy+FU)     %.3f\n", n.CPU())
+	fmt.Fprintf(w, "  instruction       %.3f\n", n[stats.Instr])
+	fmt.Fprintf(w, "  read              %.3f  (L1 %.3f, L2 %.3f, local %.3f, remote %.3f, dirty %.3f, dTLB %.3f)\n",
+		n.Read(), n[stats.ReadL1], n[stats.ReadL2], n[stats.ReadLocal],
+		n[stats.ReadRemote], n[stats.ReadDirty], n[stats.ReadDTLB])
+	fmt.Fprintf(w, "  write             %.3f\n", n[stats.Write])
+	fmt.Fprintf(w, "  synchronization   %.3f\n\n", n[stats.Sync])
+
+	fmt.Fprintf(w, "miss rates          L1I %.2f%%  L1D %.2f%%  L2 %.2f%%\n",
+		r.L1IMissRate*100, r.L1DMissRate*100, r.L2MissRate*100)
+	fmt.Fprintf(w, "branch mispredict   %.2f%%\n", r.BranchMispred*100)
+	fmt.Fprintf(w, "TLB miss rates      iTLB %.3f%%  dTLB %.3f%%\n", r.ITLBMissRate*100, r.DTLBMissRate*100)
+	fmt.Fprintf(w, "dirty fraction      %.1f%% of coherence reads serviced cache-to-cache\n", r.DirtyFraction*100)
+	if r.StreamBufHitRate > 0 {
+		fmt.Fprintf(w, "stream buffer       %.1f%% of L1I misses satisfied\n", r.StreamBufHitRate*100)
+	}
+	if r.MigratoryLines > 0 {
+		fmt.Fprintf(w, "migratory           %.0f%% shared writes, %.0f%% dirty reads; %d lines, %d PCs\n",
+			r.SharedWriteMigratory*100, r.ReadDirtyMigratory*100, r.MigratoryLines, r.MigratoryPCs)
+	}
+	fmt.Fprintf(w, "network             %.0f cycles average message latency\n", r.AvgNetLatency)
+}
+
+func kind(inorder bool) string {
+	if inorder {
+		return "in-order"
+	}
+	return "out-of-order"
+}

@@ -1,0 +1,79 @@
+// Command sweep regenerates the paper's tables and figures. Each figure is
+// a set of simulations whose rows are printed in the same series the paper
+// plots (normalized execution-time breakdowns, read-stall magnifications,
+// MSHR occupancy distributions, characterization tables).
+//
+// Examples:
+//
+//	sweep -list
+//	sweep -fig fig2a
+//	sweep -fig fig6 -scale quick
+//	sweep -all | tee experiments_output.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		fig   = flag.String("fig", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		scale = flag.String("scale", "default", "workload scale: default or quick")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("id         description")
+		for _, e := range experiments.All {
+			fmt.Printf("%-10s %s\n", e.ID, e.Notes)
+		}
+		return
+	}
+
+	sc := experiments.DefaultScale
+	if *scale == "quick" {
+		sc = experiments.QuickScale
+	}
+
+	run := func(id string, f func(experiments.Scale) (*experiments.Result, error), notes string) {
+		start := time.Now()
+		res, err := f(sc)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("   [%s, %.1fs]\n\n", notes, time.Since(start).Seconds())
+	}
+
+	switch {
+	case *all:
+		fmt.Print(experiments.Fig1Params().Render())
+		fmt.Println()
+		for _, e := range experiments.All {
+			run(e.ID, e.Run, e.Notes)
+		}
+	case *fig == "fig1":
+		fmt.Print(experiments.Fig1Params().Render())
+	case *fig != "":
+		for _, e := range experiments.All {
+			if e.ID == *fig {
+				run(e.ID, e.Run, e.Notes)
+				return
+			}
+		}
+		log.Fatalf("unknown experiment %q (try -list)", *fig)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

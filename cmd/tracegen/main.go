@@ -1,0 +1,116 @@
+// Command tracegen materializes workload instruction traces to files in the
+// repository's trace format (one file per server process, as in the paper's
+// methodology), and can summarize existing trace files.
+//
+// Examples:
+//
+//	tracegen -workload oltp -procs 4 -tx 2 -o /tmp/oltp
+//	tracegen -workload dss -procs 2 -rows 10000 -o /tmp/dss
+//	tracegen -summarize /tmp/oltp.p0.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload/dss"
+	"repro/internal/workload/oltp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		workload  = flag.String("workload", "oltp", "workload: oltp or dss")
+		procs     = flag.Int("procs", 4, "number of server processes")
+		tx        = flag.Int("tx", 2, "OLTP transactions per process")
+		rows      = flag.Int("rows", 10_000, "DSS rows per process")
+		out       = flag.String("o", "trace", "output path prefix")
+		summarize = flag.String("summarize", "", "summarize an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *summarize != "" {
+		if err := summary(*summarize); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	streams := make([]trace.Stream, *procs)
+	switch *workload {
+	case "oltp":
+		cfg := oltp.DefaultConfig(1)
+		cfg.Processes = *procs
+		cfg.TransactionsPerProcess = *tx
+		w := oltp.New(cfg)
+		for p := range streams {
+			streams[p] = w.Stream(p)
+		}
+	case "dss":
+		cfg := dss.DefaultConfig(1)
+		cfg.Processes = *procs
+		cfg.RowsPerProcess = *rows
+		w := dss.New(cfg)
+		for p := range streams {
+			streams[p] = w.Stream(p)
+		}
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+
+	for p, s := range streams {
+		path := fmt.Sprintf("%s.p%d.trace", *out, p)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := trace.WriteAll(w, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := os.Stat(path)
+		fmt.Printf("%s: %d instructions, %d bytes (%.2f B/instr)\n",
+			path, n, st.Size(), float64(st.Size())/float64(n))
+	}
+}
+
+func summary(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var counts [16]uint64
+	var n uint64
+	var in trace.Instr
+	for r.Next(&in) {
+		n++
+		counts[in.Op]++
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions\n", path, n)
+	for op := trace.Op(0); int(op) < len(counts); op++ {
+		if counts[op] == 0 {
+			continue
+		}
+		fmt.Printf("  %-10v %10d (%5.2f%%)\n", op, counts[op], float64(counts[op])/float64(n)*100)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Migratory-data study (Section 4.2 / Figure 7b): OLTP's communication
+// misses are dominated by migratory data — lock-protected metadata that
+// moves processor to processor with the locks. This example first
+// characterizes the sharing pattern, then applies the paper's software
+// remedies: flush/write-through hints at the ends of the critical sections
+// (so later readers are serviced by memory instead of a slower
+// cache-to-cache transfer) and exclusive prefetches at their beginnings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Characterization on the base machine (with a 4-entry stream buffer,
+	// as in the paper's Figure 7b baseline).
+	cfg := repro.DefaultConfig()
+	cfg.StreamBufEntries = 4
+	base, err := repro.RunOLTP(cfg, repro.QuickScale, "base", repro.HintNone)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Migratory sharing characterization (paper values in parentheses):")
+	fmt.Printf("  shared writes to migratory data        %4.0f%%  (88%%)\n", base.SharedWriteMigratory*100)
+	fmt.Printf("  dirty reads to migratory data          %4.0f%%  (79%%)\n", base.ReadDirtyMigratory*100)
+	fmt.Printf("  migratory lines / generating PCs     %5d / %d (~520 / ~100)\n",
+		base.MigratoryLines, base.MigratoryPCs)
+	fmt.Printf("  writes inside critical sections        %4.0f%%  (74%%)\n", base.WriteCSFraction*100)
+	fmt.Printf("  reads inside critical sections         %4.0f%%  (54%%)\n\n", base.ReadCSFraction*100)
+
+	variants := []struct {
+		name  string
+		hints repro.HintLevel
+	}{
+		{"base (4-entry SB)", repro.HintNone},
+		{"+flush hints", repro.HintFlush},
+		{"+flush+prefetch hints", repro.HintFlushPrefetch},
+	}
+	fmt.Println("Software hints (normalized execution time, dirty-read stall):")
+	b := base.ExecTime()
+	for _, v := range variants {
+		rep := base
+		if v.hints != repro.HintNone {
+			rep, err = repro.RunOLTP(cfg, repro.QuickScale, v.name, v.hints)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("  %-24s %6.3f   dirty %.3f\n",
+			v.name, rep.ExecTime()/b, rep.Breakdown[repro.CatReadDirty]/b)
+	}
+	fmt.Println("\npaper: flush hints alone cut execution time 7.5%; adding prefetches")
+	fmt.Println("reaches 12% (the memory-service bound on migratory reads is ~9%).")
+}

@@ -1,0 +1,39 @@
+// Quickstart: simulate both database workloads on the paper's base machine
+// and print the headline characterization (Section 3.1): OLTP is memory-
+// and instruction-stall bound at low IPC; DSS is compute-bound at high IPC.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+
+	fmt.Printf("Simulating %d-node CC-NUMA machine, %d-way out-of-order cores, %d-entry windows\n\n",
+		cfg.Nodes, cfg.IssueWidth, cfg.WindowSize)
+
+	oltp, err := repro.RunOLTP(cfg, repro.QuickScale, "OLTP", repro.HintNone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dss, err := repro.RunDSS(cfg, repro.QuickScale, "DSS")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %6s %8s %8s %8s | %5s %6s %6s %6s\n",
+		"", "IPC", "L1I%", "L1D%", "L2%", "CPU", "instr", "read", "sync")
+	for _, r := range []*repro.Report{oltp, dss} {
+		n := r.Normalized(r)
+		fmt.Printf("%-6s %6.2f %7.1f%% %7.1f%% %7.1f%% | %5.2f %6.2f %6.2f %6.2f\n",
+			r.Label, r.IPC(cfg.Nodes),
+			r.L1IMissRate*100, r.L1DMissRate*100, r.L2MissRate*100,
+			n.CPU(), n[repro.CatInstr], n.Read(), n[repro.CatSync])
+	}
+	fmt.Println("\n(paper: OLTP IPC 0.5 with L1I 7.6% / L1D 14.1% / L2 7.4%;")
+	fmt.Println("        DSS  IPC 2.2 with L1I ~0%  / L1D 0.9%  / L2 23.1%)")
+}

@@ -1,0 +1,45 @@
+// Instruction stream-buffer study (Section 4.1 / Figure 7a): OLTP's
+// instruction footprint (~560KB) streams through the 128KB L1 I-cache, so a
+// small sequential prefetch buffer between the L1I and L2 recovers most of
+// the instruction stall time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	variants := []struct {
+		name string
+		mod  func(*repro.Config)
+	}{
+		{"no stream buffer", func(c *repro.Config) {}},
+		{"2-entry stream buffer", func(c *repro.Config) { c.StreamBufEntries = 2 }},
+		{"4-entry stream buffer", func(c *repro.Config) { c.StreamBufEntries = 4 }},
+		{"8-entry stream buffer", func(c *repro.Config) { c.StreamBufEntries = 8 }},
+		{"perfect I-cache", func(c *repro.Config) { c.PerfectICache = true }},
+	}
+
+	fmt.Println("OLTP with instruction stream buffers (normalized execution time)")
+	fmt.Printf("%-24s %8s %10s %12s\n", "configuration", "time", "instr-stall", "SB hit rate")
+	var base float64
+	for _, v := range variants {
+		cfg := repro.DefaultConfig()
+		v.mod(&cfg)
+		rep, err := repro.RunOLTP(cfg, repro.QuickScale, v.name, repro.HintNone)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = rep.ExecTime()
+		}
+		n := rep.Breakdown
+		fmt.Printf("%-24s %8.3f %10.3f %11.0f%%\n",
+			v.name, rep.ExecTime()/base, n[repro.CatInstr]/base, rep.StreamBufHitRate*100)
+	}
+	fmt.Println("\npaper: a 2-element buffer removes ~64% of remaining I-misses and a 2- or")
+	fmt.Println("4-element buffer cuts execution time ~16-17%, within 15% of a perfect I-cache.")
+}

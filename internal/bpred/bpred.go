@@ -1,0 +1,253 @@
+// Package bpred implements the paper's branch prediction scheme (Figure 1):
+// a hybrid PA(4K,12,1)/g(12,12) two-level predictor for conditional branches
+// (Yeh & Patt style per-address component plus a global-history component,
+// combined by a chooser table), a 512-entry 4-way branch target buffer for
+// jump-target branches, and a 32-element return-address stack for
+// call/return branches.
+//
+// The simulator is trace-driven, so the predictor's job is to decide whether
+// a fetched branch would have been predicted correctly; mispredicted
+// branches stall fetch until the branch resolves (the paper does not fetch
+// wrong-path instructions either).
+package bpred
+
+import "repro/internal/trace"
+
+// Config selects predictor geometry. Zero values are replaced by the
+// paper's defaults in New.
+type Config struct {
+	PAEntries   int // per-address branch history table entries (4096)
+	HistoryBits int // history register width for both components (12)
+	BTBEntries  int // branch target buffer entries (512)
+	BTBAssoc    int // BTB associativity (4)
+	RASEntries  int // return address stack depth (32)
+	Perfect     bool
+}
+
+// Predictor is a hybrid two-level branch predictor with BTB and RAS. Not
+// safe for concurrent use; each simulated processor owns one.
+type Predictor struct {
+	cfg Config
+
+	histMask uint32
+	// Per-address component: BHT of history registers, PHT of 2-bit counters.
+	paBHT []uint32
+	paPHT []uint8
+	// Global component.
+	gHist uint32
+	gPHT  []uint8
+	// Chooser: 2-bit counters, 0/1 prefer per-address, 2/3 prefer global.
+	chooser []uint8
+
+	// BTB: set-associative, tag+target+LRU stamp.
+	btbSets  int
+	btbTags  []uint64
+	btbTgt   []uint64
+	btbStamp []uint64
+	stamp    uint64
+
+	// Return-address stack.
+	ras    []uint64
+	rasTop int
+
+	// Statistics.
+	CondBranches   uint64
+	CondMispred    uint64
+	TargetBranches uint64
+	TargetMispred  uint64
+}
+
+// New returns a predictor with the given geometry (zeros = paper defaults).
+func New(cfg Config) *Predictor {
+	if cfg.PAEntries == 0 {
+		cfg.PAEntries = 4096
+	}
+	if cfg.HistoryBits == 0 {
+		cfg.HistoryBits = 12
+	}
+	if cfg.BTBEntries == 0 {
+		cfg.BTBEntries = 512
+	}
+	if cfg.BTBAssoc == 0 {
+		cfg.BTBAssoc = 4
+	}
+	if cfg.RASEntries == 0 {
+		cfg.RASEntries = 32
+	}
+	p := &Predictor{cfg: cfg}
+	p.histMask = (1 << cfg.HistoryBits) - 1
+	phtSize := 1 << cfg.HistoryBits
+	p.paBHT = make([]uint32, cfg.PAEntries)
+	p.paPHT = make([]uint8, phtSize)
+	p.gPHT = make([]uint8, phtSize)
+	p.chooser = make([]uint8, cfg.PAEntries)
+	for i := range p.paPHT {
+		p.paPHT[i] = 1 // weakly not-taken
+		p.gPHT[i] = 1
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1
+	}
+	p.btbSets = cfg.BTBEntries / cfg.BTBAssoc
+	if p.btbSets == 0 {
+		p.btbSets = 1
+	}
+	n := p.btbSets * cfg.BTBAssoc
+	p.btbTags = make([]uint64, n)
+	p.btbTgt = make([]uint64, n)
+	p.btbStamp = make([]uint64, n)
+	p.ras = make([]uint64, cfg.RASEntries)
+	return p
+}
+
+func taken2bit(c uint8) bool { return c >= 2 }
+
+func inc2bit(c uint8) uint8 {
+	if c < 3 {
+		return c + 1
+	}
+	return c
+}
+
+func dec2bit(c uint8) uint8 {
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// pcIndex hashes an instruction address to a table index (instructions are
+// 4-byte aligned).
+func pcIndex(pc uint64, n int) int { return int((pc >> 2) % uint64(n)) }
+
+// PredictAndUpdate consults and trains the predictor for the fetched branch
+// in, returning true when the prediction (direction and target, as
+// applicable) was correct. Non-branch instructions return true.
+func (p *Predictor) PredictAndUpdate(in *trace.Instr) bool {
+	switch in.Op {
+	case trace.OpBranch:
+		return p.condBranch(in)
+	case trace.OpJump:
+		return p.targetBranch(in)
+	case trace.OpCall:
+		// Calls push the return address; the target is predicted by the BTB.
+		ok := p.targetBranch(in)
+		p.rasPush(in.PC + 4)
+		return ok
+	case trace.OpReturn:
+		p.TargetBranches++
+		predicted := p.rasPop()
+		if p.cfg.Perfect {
+			return true
+		}
+		if predicted != in.Target {
+			p.TargetMispred++
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+func (p *Predictor) condBranch(in *trace.Instr) bool {
+	p.CondBranches++
+	bi := pcIndex(in.PC, len(p.paBHT))
+	hist := p.paBHT[bi] & p.histMask
+	paPred := taken2bit(p.paPHT[hist])
+	gPred := taken2bit(p.gPHT[p.gHist&p.histMask])
+	useGlobal := p.chooser[bi] >= 2
+	pred := paPred
+	if useGlobal {
+		pred = gPred
+	}
+
+	// Train: chooser moves toward whichever component was right when they
+	// disagree; both PHTs train on the outcome; histories shift in the
+	// outcome.
+	if paPred != gPred {
+		if gPred == in.Taken {
+			p.chooser[bi] = inc2bit(p.chooser[bi])
+		} else {
+			p.chooser[bi] = dec2bit(p.chooser[bi])
+		}
+	}
+	if in.Taken {
+		p.paPHT[hist] = inc2bit(p.paPHT[hist])
+		p.gPHT[p.gHist&p.histMask] = inc2bit(p.gPHT[p.gHist&p.histMask])
+	} else {
+		p.paPHT[hist] = dec2bit(p.paPHT[hist])
+		p.gPHT[p.gHist&p.histMask] = dec2bit(p.gPHT[p.gHist&p.histMask])
+	}
+	bit := uint32(0)
+	if in.Taken {
+		bit = 1
+	}
+	p.paBHT[bi] = ((p.paBHT[bi] << 1) | bit) & p.histMask
+	p.gHist = ((p.gHist << 1) | bit) & p.histMask
+
+	if p.cfg.Perfect {
+		return true
+	}
+	if pred != in.Taken {
+		p.CondMispred++
+		return false
+	}
+	return true
+}
+
+func (p *Predictor) targetBranch(in *trace.Instr) bool {
+	p.TargetBranches++
+	set := pcIndex(in.PC, p.btbSets)
+	base := set * p.cfg.BTBAssoc
+	p.stamp++
+	hitWay := -1
+	for w := 0; w < p.cfg.BTBAssoc; w++ {
+		if p.btbTags[base+w] == in.PC {
+			hitWay = w
+			break
+		}
+	}
+	correct := false
+	if hitWay >= 0 {
+		correct = p.btbTgt[base+hitWay] == in.Target
+		p.btbTgt[base+hitWay] = in.Target
+		p.btbStamp[base+hitWay] = p.stamp
+	} else {
+		// Install, evicting the LRU way.
+		lru := 0
+		for w := 1; w < p.cfg.BTBAssoc; w++ {
+			if p.btbStamp[base+w] < p.btbStamp[base+lru] {
+				lru = w
+			}
+		}
+		p.btbTags[base+lru] = in.PC
+		p.btbTgt[base+lru] = in.Target
+		p.btbStamp[base+lru] = p.stamp
+	}
+	if p.cfg.Perfect {
+		return true
+	}
+	if !correct {
+		p.TargetMispred++
+	}
+	return correct
+}
+
+func (p *Predictor) rasPush(addr uint64) {
+	p.ras[p.rasTop] = addr
+	p.rasTop = (p.rasTop + 1) % len(p.ras)
+}
+
+func (p *Predictor) rasPop() uint64 {
+	p.rasTop = (p.rasTop - 1 + len(p.ras)) % len(p.ras)
+	return p.ras[p.rasTop]
+}
+
+// MispredictRate returns the cumulative conditional-branch misprediction
+// rate (the paper reports 11% for OLTP).
+func (p *Predictor) MispredictRate() float64 {
+	if p.CondBranches == 0 {
+		return 0
+	}
+	return float64(p.CondMispred) / float64(p.CondBranches)
+}

@@ -1,0 +1,147 @@
+package bpred
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	p := New(Config{})
+	in := trace.Instr{Op: trace.OpBranch, PC: 0x1000, Taken: true, Target: 0x900}
+	// Always-taken branch: once the 12-bit history registers saturate
+	// (12+ visits), predictions must be correct.
+	for i := 0; i < 20; i++ {
+		p.PredictAndUpdate(&in)
+	}
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if !p.PredictAndUpdate(&in) {
+			miss++
+		}
+	}
+	if miss != 0 {
+		t.Errorf("%d mispredictions on an always-taken branch after warm-up", miss)
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	p := New(Config{})
+	// A single-site alternating pattern is captured by the per-address
+	// history component.
+	for i := 0; i < 60; i++ {
+		in := trace.Instr{Op: trace.OpBranch, PC: 0x2000, Taken: i%2 == 0, Target: 0x1f00}
+		p.PredictAndUpdate(&in)
+	}
+	miss := 0
+	for i := 0; i < 100; i++ {
+		in := trace.Instr{Op: trace.OpBranch, PC: 0x2000, Taken: i%2 == 0, Target: 0x1f00}
+		if !p.PredictAndUpdate(&in) {
+			miss++
+		}
+	}
+	if miss > 2 {
+		t.Errorf("%d mispredictions on a learned alternating pattern", miss)
+	}
+}
+
+func TestBTBTargetPrediction(t *testing.T) {
+	p := New(Config{})
+	jmp := trace.Instr{Op: trace.OpJump, PC: 0x3000, Target: 0x8000}
+	if p.PredictAndUpdate(&jmp) {
+		t.Error("first jump must miss the BTB")
+	}
+	if !p.PredictAndUpdate(&jmp) {
+		t.Error("second identical jump must hit the BTB")
+	}
+	// Changing the target mispredicts once, then relearns.
+	jmp.Target = 0x9000
+	if p.PredictAndUpdate(&jmp) {
+		t.Error("changed target must mispredict")
+	}
+	if !p.PredictAndUpdate(&jmp) {
+		t.Error("new target must be learned")
+	}
+}
+
+func TestRASNestedCalls(t *testing.T) {
+	p := New(Config{})
+	// call A -> call B -> return B -> return A: returns must predict.
+	callA := trace.Instr{Op: trace.OpCall, PC: 0x100, Target: 0x1000}
+	callB := trace.Instr{Op: trace.OpCall, PC: 0x1004, Target: 0x2000}
+	retB := trace.Instr{Op: trace.OpReturn, PC: 0x2010, Target: 0x1008}
+	retA := trace.Instr{Op: trace.OpReturn, PC: 0x1010, Target: 0x104}
+	p.PredictAndUpdate(&callA)
+	p.PredictAndUpdate(&callB)
+	if !p.PredictAndUpdate(&retB) {
+		t.Error("return B mispredicted despite matching RAS")
+	}
+	if !p.PredictAndUpdate(&retA) {
+		t.Error("return A mispredicted despite matching RAS")
+	}
+	if p.TargetMispred != 2 { // the two cold calls missed the BTB
+		t.Errorf("target mispredicts = %d, want 2 (cold calls)", p.TargetMispred)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	p := New(Config{RASEntries: 4})
+	// Deep call chain overflows the 4-entry stack; inner returns still
+	// predict, outermost do not (standard RAS behaviour).
+	var calls []trace.Instr
+	pc := uint64(0x100)
+	for i := 0; i < 6; i++ {
+		calls = append(calls, trace.Instr{Op: trace.OpCall, PC: pc, Target: pc + 0x1000})
+		pc += 0x1000
+	}
+	for i := range calls {
+		p.PredictAndUpdate(&calls[i])
+	}
+	// Innermost 4 returns predict correctly.
+	for i := 5; i >= 2; i-- {
+		ret := trace.Instr{Op: trace.OpReturn, PC: calls[i].Target + 4, Target: calls[i].PC + 4}
+		if !p.PredictAndUpdate(&ret) {
+			t.Errorf("return %d mispredicted within RAS depth", i)
+		}
+	}
+}
+
+func TestPerfectMode(t *testing.T) {
+	p := New(Config{Perfect: true})
+	for i := 0; i < 50; i++ {
+		in := trace.Instr{Op: trace.OpBranch, PC: uint64(0x100 + 4*i), Taken: i%3 == 0, Target: 0x50}
+		if !p.PredictAndUpdate(&in) {
+			t.Fatal("perfect predictor mispredicted")
+		}
+		j := trace.Instr{Op: trace.OpJump, PC: uint64(0x9000 + 4*i), Target: uint64(i) * 64}
+		if !p.PredictAndUpdate(&j) {
+			t.Fatal("perfect predictor missed a jump target")
+		}
+	}
+	if p.MispredictRate() != 0 {
+		t.Error("perfect predictor has nonzero mispredict rate")
+	}
+}
+
+func TestNonBranchIsAlwaysCorrect(t *testing.T) {
+	p := New(Config{})
+	in := trace.Instr{Op: trace.OpIntALU}
+	if !p.PredictAndUpdate(&in) {
+		t.Error("non-branches must not mispredict")
+	}
+	if p.CondBranches != 0 || p.TargetBranches != 0 {
+		t.Error("non-branches must not be counted")
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	p := New(Config{})
+	if p.MispredictRate() != 0 {
+		t.Error("empty predictor should report 0")
+	}
+	in := trace.Instr{Op: trace.OpBranch, PC: 0x4000, Taken: true}
+	p.PredictAndUpdate(&in) // cold: weakly not-taken -> mispredict
+	if p.MispredictRate() != 1 {
+		t.Errorf("rate = %f after one cold mispredict", p.MispredictRate())
+	}
+}

@@ -1,0 +1,241 @@
+// Package cache implements the cache structures of the simulated memory
+// hierarchy: set-associative write-allocate write-back caches with MESI line
+// states (L1 instruction, dual-ported L1 data, and a pipelined unified L2),
+// miss status holding registers (MSHRs) that coalesce requests to the same
+// line and bound the number of outstanding misses, and the instruction
+// stream buffer evaluated in Section 4.1 of the paper.
+package cache
+
+import "fmt"
+
+// State is a MESI line state.
+type State uint8
+
+const (
+	// Invalid means the line is not present.
+	Invalid State = iota
+	// Shared means a read-only copy, possibly also cached elsewhere.
+	Shared
+	// Exclusive means the only cached copy, clean.
+	Exclusive
+	// Modified means the only cached copy, dirty.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+type line struct {
+	tag   uint64 // full line address (paddr >> lineShift)
+	stamp uint64
+	state State
+}
+
+// Cache is one level of a cache hierarchy. It stores tags and MESI states
+// only (the simulator is timing-only; data values live in the workload
+// model). Not safe for concurrent use.
+type Cache struct {
+	name      string
+	sets      int
+	assoc     int
+	lineShift uint
+	lines     []line
+	stamp     uint64
+
+	// Statistics.
+	Reads       uint64
+	ReadMisses  uint64
+	Writes      uint64
+	WriteMisses uint64
+}
+
+// New builds a cache. sizeBytes/assoc/lineBytes must describe a power-of-two
+// set count; name is used in error messages and dumps.
+func New(name string, sizeBytes, assoc, lineBytes int) *Cache {
+	sets := sizeBytes / (assoc * lineBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+	}
+	shift := uint(0)
+	for 1<<shift != lineBytes {
+		shift++
+		if shift > 30 {
+			panic(fmt.Sprintf("cache %s: line size %d not a power of two", name, lineBytes))
+		}
+	}
+	return &Cache{
+		name:      name,
+		sets:      sets,
+		assoc:     assoc,
+		lineShift: shift,
+		lines:     make([]line, sets*assoc),
+	}
+}
+
+// LineAddr returns the line address (tag) for a physical address.
+func (c *Cache) LineAddr(paddr uint64) uint64 { return paddr >> c.lineShift }
+
+// LineShift returns log2(line size).
+func (c *Cache) LineShift() uint { return c.lineShift }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+func (c *Cache) setOf(lineAddr uint64) int { return int(lineAddr % uint64(c.sets)) }
+
+// Lookup probes for the line containing paddr, updating LRU on a hit, and
+// returns the line state (Invalid on miss).
+func (c *Cache) Lookup(paddr uint64) State {
+	la := c.LineAddr(paddr)
+	base := c.setOf(la) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		l := &c.lines[base+w]
+		if l.state != Invalid && l.tag == la {
+			c.stamp++
+			l.stamp = c.stamp
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+// Probe is like Lookup but does not disturb LRU state.
+func (c *Cache) Probe(paddr uint64) State {
+	la := c.LineAddr(paddr)
+	base := c.setOf(la) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		l := &c.lines[base+w]
+		if l.state != Invalid && l.tag == la {
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+// Eviction describes a line displaced by Insert.
+type Eviction struct {
+	LineAddr uint64
+	State    State
+	Valid    bool
+}
+
+// Insert places the line containing paddr in state st, returning any
+// displaced victim (choosing an invalid way first, else true LRU). Inserting
+// a line that is already present just updates its state and LRU position.
+func (c *Cache) Insert(paddr uint64, st State) Eviction {
+	la := c.LineAddr(paddr)
+	base := c.setOf(la) * c.assoc
+	c.stamp++
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		l := &c.lines[base+w]
+		if l.state != Invalid && l.tag == la {
+			l.state = st
+			l.stamp = c.stamp
+			return Eviction{}
+		}
+		if l.state == Invalid {
+			victim = base + w
+		} else if c.lines[victim].state != Invalid && l.stamp < c.lines[victim].stamp {
+			victim = base + w
+		}
+	}
+	ev := Eviction{}
+	v := &c.lines[victim]
+	if v.state != Invalid {
+		ev = Eviction{LineAddr: v.tag, State: v.state, Valid: true}
+	}
+	*v = line{tag: la, stamp: c.stamp, state: st}
+	return ev
+}
+
+// SetState changes the state of a resident line (no-op if absent). Used for
+// downgrades (M->S on sharing write-back) and upgrades (S->M).
+func (c *Cache) SetState(paddr uint64, st State) {
+	la := c.LineAddr(paddr)
+	base := c.setOf(la) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		l := &c.lines[base+w]
+		if l.state != Invalid && l.tag == la {
+			if st == Invalid {
+				l.state = Invalid
+			} else {
+				l.state = st
+			}
+			return
+		}
+	}
+}
+
+// Invalidate removes the line containing paddr, returning its prior state.
+func (c *Cache) Invalidate(paddr uint64) State {
+	la := c.LineAddr(paddr)
+	base := c.setOf(la) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		l := &c.lines[base+w]
+		if l.state != Invalid && l.tag == la {
+			st := l.state
+			l.state = Invalid
+			return st
+		}
+	}
+	return Invalid
+}
+
+// ResidentLines returns the number of valid lines (for tests/invariants).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// VisitResident calls f for each valid line address and state.
+func (c *Cache) VisitResident(f func(lineAddr uint64, st State)) {
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			f(c.lines[i].tag, c.lines[i].state)
+		}
+	}
+}
+
+// MissRate returns (read+write misses) / (read+write accesses).
+func (c *Cache) MissRate() float64 {
+	acc := c.Reads + c.Writes
+	if acc == 0 {
+		return 0
+	}
+	return float64(c.ReadMisses+c.WriteMisses) / float64(acc)
+}
+
+// RecordAccess updates hit/miss statistics for an access of the given kind.
+func (c *Cache) RecordAccess(write, miss bool) {
+	if write {
+		c.Writes++
+		if miss {
+			c.WriteMisses++
+		}
+	} else {
+		c.Reads++
+		if miss {
+			c.ReadMisses++
+		}
+	}
+}

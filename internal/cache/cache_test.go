@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupAfterInsert(t *testing.T) {
+	c := New("t", 8192, 2, 64) // 64 sets
+	if c.Lookup(0x1000) != Invalid {
+		t.Error("cold lookup must miss")
+	}
+	c.Insert(0x1000, Shared)
+	if c.Lookup(0x1000) != Shared {
+		t.Error("inserted line not found")
+	}
+	// Any address on the same line hits.
+	if c.Lookup(0x103F) != Shared {
+		t.Error("same-line address missed")
+	}
+	if c.Lookup(0x1040) != Invalid {
+		t.Error("next line should miss")
+	}
+}
+
+func TestInsertUpdatesState(t *testing.T) {
+	c := New("t", 8192, 2, 64)
+	c.Insert(0x2000, Shared)
+	ev := c.Insert(0x2000, Modified) // re-insert upgrades in place
+	if ev.Valid {
+		t.Error("re-insert must not evict")
+	}
+	if c.Probe(0x2000) != Modified {
+		t.Error("state not upgraded")
+	}
+	if c.ResidentLines() != 1 {
+		t.Errorf("resident = %d, want 1", c.ResidentLines())
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	c := New("t", 8192, 2, 64) // 64 sets: addresses 64*64 apart collide
+	setStride := uint64(64 * 64)
+	a, b, d := uint64(0x0), setStride, 2*setStride
+	c.Insert(a, Shared)
+	c.Insert(b, Modified)
+	c.Lookup(a) // refresh a: LRU is b
+	ev := c.Insert(d, Shared)
+	if !ev.Valid || ev.LineAddr != c.LineAddr(b) || ev.State != Modified {
+		t.Fatalf("evicted %+v, want line %x Modified", ev, c.LineAddr(b))
+	}
+	if c.Probe(a) == Invalid || c.Probe(d) == Invalid {
+		t.Error("survivors missing")
+	}
+}
+
+func TestSetStateAndInvalidate(t *testing.T) {
+	c := New("t", 8192, 2, 64)
+	c.Insert(0x5000, Modified)
+	c.SetState(0x5000, Shared)
+	if c.Probe(0x5000) != Shared {
+		t.Error("downgrade failed")
+	}
+	if st := c.Invalidate(0x5000); st != Shared {
+		t.Errorf("Invalidate returned %v, want Shared", st)
+	}
+	if c.Probe(0x5000) != Invalid {
+		t.Error("line survived invalidation")
+	}
+	if st := c.Invalidate(0x5000); st != Invalid {
+		t.Error("double invalidate should report Invalid")
+	}
+	c.SetState(0x7777, Modified) // absent line: no-op, no panic
+}
+
+func TestVisitResident(t *testing.T) {
+	c := New("t", 8192, 2, 64)
+	c.Insert(0x0, Shared)
+	c.Insert(0x40, Modified)
+	seen := map[uint64]State{}
+	c.VisitResident(func(la uint64, st State) { seen[la] = st })
+	if len(seen) != 2 || seen[0] != Shared || seen[1] != Modified {
+		t.Errorf("VisitResident saw %v", seen)
+	}
+}
+
+func TestMissRateAccounting(t *testing.T) {
+	c := New("t", 8192, 2, 64)
+	c.RecordAccess(false, true)
+	c.RecordAccess(false, false)
+	c.RecordAccess(true, true)
+	c.RecordAccess(true, false)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %f, want 0.5", got)
+	}
+	c.ResetStats()
+	if c.MissRate() != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+// Property: resident lines never exceed capacity, and a just-inserted line
+// is always found, under random operation sequences.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		c := New("t", 4096, 2, 64) // 64 lines capacity
+		for i := 0; i < 500; i++ {
+			addr := uint64(rng.IntN(256)) * 64
+			switch rng.IntN(4) {
+			case 0, 1:
+				c.Insert(addr, State(rng.IntN(3)+1))
+				if c.Probe(addr) == Invalid {
+					return false
+				}
+			case 2:
+				c.Lookup(addr)
+			case 3:
+				c.Invalidate(addr)
+			}
+			if c.ResidentLines() > 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" ||
+		Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Error("state names wrong")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two sets")
+		}
+	}()
+	New("bad", 3*64, 1, 64)
+}

@@ -1,0 +1,197 @@
+package cache
+
+// Miss status holding registers (MSHRs, Kroft 1981). Each cache has a fixed
+// number of MSHRs; a miss to a new line needs a free register, and further
+// requests to the same line coalesce onto the existing entry. The file also
+// accumulates the occupancy-time histograms plotted in Figures 2(d)-(g) and
+// 3(d)-(g) of the paper: the fraction of "at least one miss outstanding"
+// time during which at least n MSHRs are in use, for all misses and for read
+// misses only.
+
+// MSHR is one outstanding miss.
+type MSHR struct {
+	LineAddr uint64
+	Done     uint64 // cycle at which the fill completes
+	Class    uint8  // service class recorded by the memory system
+	Read     bool   // read miss (loads/ifetch) vs write/upgrade miss
+	Write    bool   // an exclusive (GETX/upgrade) request is outstanding
+}
+
+// MSHRFile tracks outstanding misses for one cache. Not safe for concurrent
+// use.
+type MSHRFile struct {
+	max     int
+	entries []MSHR
+
+	lastEvent uint64 // time up to which occupancy histograms are settled
+
+	// occTime[n] = cycles spent with exactly n entries in use (n >= 1).
+	// readOccTime counts only read entries (base: >= 1 read outstanding).
+	occTime     []uint64
+	readOccTime []uint64
+
+	Allocations uint64
+	Coalesced   uint64
+	FullStalls  uint64 // requests that found the file full
+}
+
+// NewMSHRFile returns a file with max registers.
+func NewMSHRFile(max int) *MSHRFile {
+	if max <= 0 {
+		panic("cache: MSHR file needs at least one register")
+	}
+	return &MSHRFile{
+		max:         max,
+		entries:     make([]MSHR, 0, max),
+		occTime:     make([]uint64, max+1),
+		readOccTime: make([]uint64, max+1),
+	}
+}
+
+// Max returns the register count.
+func (f *MSHRFile) Max() int { return f.max }
+
+// settle accrues occupancy time from lastEvent to t at the current counts.
+func (f *MSHRFile) settle(t uint64) {
+	if t <= f.lastEvent {
+		return
+	}
+	dt := t - f.lastEvent
+	n := len(f.entries)
+	if n > 0 {
+		f.occTime[n] += dt
+	}
+	r := 0
+	for i := range f.entries {
+		if f.entries[i].Read {
+			r++
+		}
+	}
+	if r > 0 {
+		f.readOccTime[r] += dt
+	}
+	f.lastEvent = t
+}
+
+// Advance retires entries whose fills completed at or before now,
+// accounting occupancy histograms in event order.
+func (f *MSHRFile) Advance(now uint64) {
+	for {
+		min := -1
+		for i := range f.entries {
+			if f.entries[i].Done <= now && (min < 0 || f.entries[i].Done < f.entries[min].Done) {
+				min = i
+			}
+		}
+		if min < 0 {
+			break
+		}
+		f.settle(f.entries[min].Done)
+		f.entries[min] = f.entries[len(f.entries)-1]
+		f.entries = f.entries[:len(f.entries)-1]
+	}
+	if len(f.entries) > 0 {
+		f.settle(now)
+	} else {
+		f.lastEvent = now
+	}
+}
+
+// Lookup returns the outstanding miss on lineAddr, if any.
+func (f *MSHRFile) Lookup(lineAddr uint64) (m MSHR, ok bool) {
+	for i := range f.entries {
+		if f.entries[i].LineAddr == lineAddr {
+			return f.entries[i], true
+		}
+	}
+	return MSHR{}, false
+}
+
+// Coalesce records that a request merged with the outstanding miss on
+// lineAddr.
+func (f *MSHRFile) Coalesce(lineAddr uint64) { f.Coalesced++ }
+
+// ClearWrite downgrades an outstanding entry on lineAddr: a coherence
+// downgrade took the line's exclusivity away, so later writes must issue
+// their own ownership request rather than coalesce.
+func (f *MSHRFile) ClearWrite(lineAddr uint64) {
+	for i := range f.entries {
+		if f.entries[i].LineAddr == lineAddr {
+			f.entries[i].Write = false
+		}
+	}
+}
+
+// Remove drops an outstanding entry whose line was invalidated by
+// coherence: subsequent requests must re-fetch. (The occupancy histogram
+// loses at most the interval since the last event — invalidation of an
+// in-flight fill is rare.)
+func (f *MSHRFile) Remove(lineAddr uint64) {
+	for i := range f.entries {
+		if f.entries[i].LineAddr == lineAddr {
+			f.entries[i] = f.entries[len(f.entries)-1]
+			f.entries = f.entries[:len(f.entries)-1]
+			return
+		}
+	}
+}
+
+// Full reports whether no register is free at now (after retiring done
+// entries).
+func (f *MSHRFile) Full(now uint64) bool {
+	f.Advance(now)
+	if len(f.entries) < f.max {
+		return false
+	}
+	f.FullStalls++
+	return true
+}
+
+// NextFree returns the earliest cycle at which a register frees up. Only
+// meaningful when the file is full.
+func (f *MSHRFile) NextFree() uint64 {
+	var min uint64
+	for i := range f.entries {
+		if i == 0 || f.entries[i].Done < min {
+			min = f.entries[i].Done
+		}
+	}
+	return min
+}
+
+// Allocate reserves a register for a miss on lineAddr completing at done.
+// The caller must ensure the file is not full.
+func (f *MSHRFile) Allocate(m MSHR, now uint64) {
+	f.settle(now)
+	if len(f.entries) >= f.max {
+		panic("cache: MSHR allocate on full file")
+	}
+	f.entries = append(f.entries, m)
+	f.Allocations++
+}
+
+// InUse returns the current number of allocated registers.
+func (f *MSHRFile) InUse() int { return len(f.entries) }
+
+// OccupancyDist returns, for n in [1..max], the fraction of miss-outstanding
+// time with at least n MSHRs in use. reads selects the read-only histogram.
+func (f *MSHRFile) OccupancyDist(reads bool) []float64 {
+	src := f.occTime
+	if reads {
+		src = f.readOccTime
+	}
+	var total uint64
+	for n := 1; n <= f.max; n++ {
+		total += src[n]
+	}
+	out := make([]float64, f.max+1)
+	if total == 0 {
+		return out
+	}
+	var cum uint64
+	for n := f.max; n >= 1; n-- {
+		cum += src[n]
+		out[n] = float64(cum) / float64(total)
+	}
+	return out
+}

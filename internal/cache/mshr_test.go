@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"testing"
+)
+
+func TestMSHRAllocateAndRetire(t *testing.T) {
+	f := NewMSHRFile(4)
+	f.Allocate(MSHR{LineAddr: 1, Done: 100, Read: true}, 10)
+	f.Allocate(MSHR{LineAddr: 2, Done: 50, Read: true}, 20)
+	if f.InUse() != 2 {
+		t.Fatalf("in use = %d", f.InUse())
+	}
+	if _, ok := f.Lookup(1); !ok {
+		t.Error("outstanding miss not found")
+	}
+	f.Advance(60) // retires line 2
+	if f.InUse() != 1 {
+		t.Errorf("in use after advance = %d", f.InUse())
+	}
+	if _, ok := f.Lookup(2); ok {
+		t.Error("retired entry still present")
+	}
+	f.Advance(200)
+	if f.InUse() != 0 {
+		t.Error("all entries should have retired")
+	}
+}
+
+func TestMSHRFullAndNextFree(t *testing.T) {
+	f := NewMSHRFile(2)
+	f.Allocate(MSHR{LineAddr: 1, Done: 100, Read: true}, 10)
+	f.Allocate(MSHR{LineAddr: 2, Done: 130, Read: true}, 10)
+	if !f.Full(20) {
+		t.Fatal("file should be full")
+	}
+	if f.FullStalls != 1 {
+		t.Errorf("full stalls = %d", f.FullStalls)
+	}
+	if got := f.NextFree(); got != 100 {
+		t.Errorf("NextFree = %d, want 100", got)
+	}
+	if f.Full(100) {
+		t.Error("file should have a free register at cycle 100")
+	}
+}
+
+func TestMSHROccupancyHistogramExact(t *testing.T) {
+	// Known timeline: entry A [10,110), entry B [30,60).
+	// Occupancy: [10,30)=1, [30,60)=2, [60,110)=1.
+	// Time at >=1: 100 cycles; at >=2: 30 cycles -> P(>=2) = 0.3.
+	f := NewMSHRFile(4)
+	f.Allocate(MSHR{LineAddr: 1, Done: 110, Read: true}, 10)
+	f.Allocate(MSHR{LineAddr: 2, Done: 60, Read: false}, 30)
+	f.Advance(200)
+	dist := f.OccupancyDist(false)
+	if dist[1] != 1.0 {
+		t.Errorf("P(>=1) = %f, want 1", dist[1])
+	}
+	if dist[2] != 0.3 {
+		t.Errorf("P(>=2) = %f, want 0.3", dist[2])
+	}
+	// Read-only histogram: only A is a read; read occupancy is 1 for the
+	// whole 100 cycles.
+	rdist := f.OccupancyDist(true)
+	if rdist[1] != 1.0 || rdist[2] != 0 {
+		t.Errorf("read dist = %v", rdist)
+	}
+}
+
+func TestMSHRCoalesceCounting(t *testing.T) {
+	f := NewMSHRFile(2)
+	f.Allocate(MSHR{LineAddr: 7, Done: 100, Read: true}, 0)
+	f.Coalesce(7)
+	f.Coalesce(7)
+	if f.Coalesced != 2 {
+		t.Errorf("coalesced = %d", f.Coalesced)
+	}
+}
+
+func TestMSHRResetKeepsEntries(t *testing.T) {
+	f := NewMSHRFile(2)
+	f.Allocate(MSHR{LineAddr: 1, Done: 1000, Read: true}, 0)
+	f.ResetStats(500)
+	if f.Allocations != 0 {
+		t.Error("allocations not reset")
+	}
+	if f.InUse() != 1 {
+		t.Error("outstanding entry dropped by reset")
+	}
+	// Post-reset occupancy only counts [500, ...).
+	f.Advance(1000)
+	dist := f.OccupancyDist(false)
+	if dist[1] != 1.0 {
+		t.Errorf("post-reset dist = %v", dist)
+	}
+}
+
+func TestMSHROverflowPanics(t *testing.T) {
+	f := NewMSHRFile(1)
+	f.Allocate(MSHR{LineAddr: 1, Done: 10}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on over-allocation")
+		}
+	}()
+	f.Allocate(MSHR{LineAddr: 2, Done: 10}, 0)
+}
+
+func TestCombineOccupancy(t *testing.T) {
+	// Two nodes: node 0 spent 10 cycles at occ 1; node 1 spent 10 at occ 2.
+	a := []uint64{0, 10, 0}
+	b := []uint64{0, 0, 10}
+	dist := CombineOccupancy([][]uint64{a, b})
+	if dist[1] != 1.0 {
+		t.Errorf("P(>=1) = %f", dist[1])
+	}
+	if dist[2] != 0.5 {
+		t.Errorf("P(>=2) = %f", dist[2])
+	}
+	if empty := CombineOccupancy([][]uint64{{0, 0}}); empty[1] != 0 {
+		t.Error("empty histograms should give zero distribution")
+	}
+}

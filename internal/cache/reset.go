@@ -1,0 +1,62 @@
+package cache
+
+// ResetStats zeroes the access counters (cache contents are kept); used to
+// discard warm-up transients, as the paper does.
+func (c *Cache) ResetStats() {
+	c.Reads, c.ReadMisses, c.Writes, c.WriteMisses = 0, 0, 0, 0
+}
+
+// ResetStats settles and zeroes the occupancy histograms and counters,
+// keeping outstanding entries.
+func (f *MSHRFile) ResetStats(now uint64) {
+	f.settle(now)
+	for i := range f.occTime {
+		f.occTime[i] = 0
+		f.readOccTime[i] = 0
+	}
+	f.lastEvent = now
+	f.Allocations, f.Coalesced, f.FullStalls = 0, 0, 0
+}
+
+// RawOccupancy returns the raw cycles-at-exact-occupancy histograms (all
+// misses, read misses), for aggregation across nodes.
+func (f *MSHRFile) RawOccupancy() (all, reads []uint64) {
+	return f.occTime, f.readOccTime
+}
+
+// CombineOccupancy merges raw histograms (as from RawOccupancy across
+// nodes) into a ">= n" distribution like OccupancyDist.
+func CombineOccupancy(raws [][]uint64) []float64 {
+	max := 0
+	for _, r := range raws {
+		if len(r)-1 > max {
+			max = len(r) - 1
+		}
+	}
+	sum := make([]uint64, max+1)
+	var total uint64
+	for _, r := range raws {
+		for n := 1; n < len(r); n++ {
+			sum[n] += r[n]
+			total += r[n]
+		}
+	}
+	out := make([]float64, max+1)
+	if total == 0 {
+		return out
+	}
+	var cum uint64
+	for n := max; n >= 1; n-- {
+		cum += sum[n]
+		out[n] = float64(cum) / float64(total)
+	}
+	return out
+}
+
+// ResetStats zeroes the stream buffer counters.
+func (b *StreamBuffer) ResetStats() {
+	if b == nil {
+		return
+	}
+	b.Hits, b.Misses, b.Issued, b.Useless = 0, 0, 0, 0
+}

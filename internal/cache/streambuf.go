@@ -1,0 +1,130 @@
+package cache
+
+// StreamBuffer is the instruction stream buffer of Section 4.1: a small
+// FIFO of prefetched cache lines sitting between the L1 instruction cache
+// and the L2 (Jouppi 1990). On an L1I miss the buffer is probed; a hit pops
+// the line (delivering it when its prefetch completes) and the buffer tops
+// itself off by prefetching the next sequential line. A miss flushes the
+// whole buffer and starts a new stream at the missing line + 1. Prefetched
+// lines are not installed into the cache until used, avoiding pollution.
+
+// FetchFunc issues a line fetch to the next level at cycle now and returns
+// the completion cycle. It is provided by the memory system.
+type FetchFunc func(lineAddr uint64, now uint64) (done uint64)
+
+type sbEntry struct {
+	lineAddr uint64
+	avail    uint64 // prefetch completion cycle
+	valid    bool
+}
+
+// StreamBuffer holds up to N sequential prefetched lines. Not safe for
+// concurrent use.
+type StreamBuffer struct {
+	entries []sbEntry
+	fetch   FetchFunc
+
+	Hits     uint64
+	Misses   uint64
+	Issued   uint64 // prefetches sent to L2
+	Useless  uint64 // prefetched lines flushed unused
+	nextLine uint64
+	active   bool
+}
+
+// NewStreamBuffer returns an n-entry stream buffer fetching through fetch.
+// Returns nil when n == 0 so callers can treat "no stream buffer" uniformly.
+func NewStreamBuffer(n int, fetch FetchFunc) *StreamBuffer {
+	if n == 0 {
+		return nil
+	}
+	if n < 0 {
+		panic("cache: negative stream buffer size")
+	}
+	return &StreamBuffer{entries: make([]sbEntry, n), fetch: fetch}
+}
+
+// Size returns the entry count (0 for a nil buffer).
+func (b *StreamBuffer) Size() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.entries)
+}
+
+// Lookup services an L1I miss on lineAddr at cycle now. If the line is in
+// the buffer, it returns (avail, true) where avail is when the line can be
+// delivered, pops entries up to and including the hit, and refills the
+// stream. Otherwise it returns (0, false) after flushing and restarting the
+// stream at lineAddr+1; the caller fetches the missing line itself.
+func (b *StreamBuffer) Lookup(lineAddr uint64, now uint64) (avail uint64, ok bool) {
+	if b == nil {
+		return 0, false
+	}
+	hit := -1
+	for i := range b.entries {
+		if b.entries[i].valid && b.entries[i].lineAddr == lineAddr {
+			hit = i
+			break
+		}
+	}
+	if hit < 0 {
+		b.Misses++
+		// Flush and re-stream: prefetch lineAddr+1 .. lineAddr+N.
+		for i := range b.entries {
+			if b.entries[i].valid {
+				b.Useless++
+			}
+			b.entries[i].valid = false
+		}
+		b.nextLine = lineAddr + 1
+		b.active = true
+		b.topOff(now)
+		return 0, false
+	}
+	b.Hits++
+	avail = b.entries[hit].avail
+	// Pop the hit and everything ahead of it (sequential stream discipline).
+	for i := 0; i <= hit; i++ {
+		if i < hit && b.entries[i].valid {
+			b.Useless++
+		}
+		b.entries[i].valid = false
+	}
+	// Compact: shift remaining valid entries to the front.
+	w := 0
+	for i := hit + 1; i < len(b.entries); i++ {
+		if b.entries[i].valid {
+			b.entries[w] = b.entries[i]
+			w++
+		}
+	}
+	for i := w; i < len(b.entries); i++ {
+		b.entries[i].valid = false
+	}
+	b.topOff(now)
+	return avail, true
+}
+
+// topOff issues prefetches for free slots, continuing the current stream.
+func (b *StreamBuffer) topOff(now uint64) {
+	if !b.active {
+		return
+	}
+	for i := range b.entries {
+		if !b.entries[i].valid {
+			done := b.fetch(b.nextLine, now)
+			b.entries[i] = sbEntry{lineAddr: b.nextLine, avail: done, valid: true}
+			b.nextLine++
+			b.Issued++
+		}
+	}
+}
+
+// HitRate returns hits/(hits+misses) over L1I misses probed.
+func (b *StreamBuffer) HitRate() float64 {
+	if b == nil || b.Hits+b.Misses == 0 {
+		return 0
+	}
+	return float64(b.Hits) / float64(b.Hits+b.Misses)
+}

@@ -1,0 +1,102 @@
+package cache
+
+import "testing"
+
+// recordingFetch returns a FetchFunc that notes requested lines and
+// completes them after a fixed latency.
+func recordingFetch(latency uint64) (FetchFunc, *[]uint64) {
+	var lines []uint64
+	return func(lineAddr uint64, now uint64) uint64 {
+		lines = append(lines, lineAddr)
+		return now + latency
+	}, &lines
+}
+
+func TestNilStreamBuffer(t *testing.T) {
+	var b *StreamBuffer
+	if b.Size() != 0 {
+		t.Error("nil buffer size should be 0")
+	}
+	if _, ok := b.Lookup(5, 10); ok {
+		t.Error("nil buffer must always miss")
+	}
+	b.ResetStats() // must not panic
+	if NewStreamBuffer(0, nil) != nil {
+		t.Error("zero entries should yield a nil buffer")
+	}
+}
+
+func TestStreamBufferStreamsSequentially(t *testing.T) {
+	fetch, lines := recordingFetch(20)
+	b := NewStreamBuffer(4, fetch)
+	// First miss on line 100 starts a stream at 101..104.
+	if _, ok := b.Lookup(100, 0); ok {
+		t.Fatal("cold lookup must miss")
+	}
+	if got := *lines; len(got) != 4 || got[0] != 101 || got[3] != 104 {
+		t.Fatalf("stream prefetches = %v, want [101 102 103 104]", got)
+	}
+	// The subsequent sequential miss hits the buffer and tops it off.
+	avail, ok := b.Lookup(101, 5)
+	if !ok {
+		t.Fatal("sequential line should hit the stream buffer")
+	}
+	if avail != 20 { // prefetch issued at cycle 0 with latency 20
+		t.Errorf("avail = %d, want 20", avail)
+	}
+	if got := *lines; got[len(got)-1] != 105 {
+		t.Errorf("top-off did not extend the stream: %v", got)
+	}
+	if b.Hits != 1 || b.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", b.Hits, b.Misses)
+	}
+}
+
+func TestStreamBufferSkipAhead(t *testing.T) {
+	fetch, _ := recordingFetch(10)
+	b := NewStreamBuffer(4, fetch)
+	b.Lookup(200, 0) // stream 201..204
+	// Skipping to 203 pops 201, 202 as useless.
+	if _, ok := b.Lookup(203, 1); !ok {
+		t.Fatal("line within stream should hit")
+	}
+	if b.Useless != 2 {
+		t.Errorf("useless prefetches = %d, want 2", b.Useless)
+	}
+}
+
+func TestStreamBufferFlushOnNonStreamMiss(t *testing.T) {
+	fetch, lines := recordingFetch(10)
+	b := NewStreamBuffer(4, fetch)
+	b.Lookup(300, 0) // stream 301..304
+	*lines = nil
+	// A miss outside the stream flushes and restarts.
+	if _, ok := b.Lookup(900, 5); ok {
+		t.Fatal("non-stream line must miss")
+	}
+	if got := *lines; len(got) != 4 || got[0] != 901 {
+		t.Fatalf("restart prefetches = %v, want [901..904]", got)
+	}
+	if b.Useless != 4 {
+		t.Errorf("flushed entries not counted useless: %d", b.Useless)
+	}
+	// The old stream is gone.
+	if _, ok := b.Lookup(301, 6); ok {
+		t.Error("old stream entry survived the flush")
+	}
+}
+
+func TestStreamBufferHitRate(t *testing.T) {
+	fetch, _ := recordingFetch(1)
+	b := NewStreamBuffer(2, fetch)
+	b.Lookup(10, 0)
+	b.Lookup(11, 1)
+	b.Lookup(12, 2)
+	if got := b.HitRate(); got < 0.6 || got > 0.7 {
+		t.Errorf("hit rate = %f, want 2/3", got)
+	}
+	b.ResetStats()
+	if b.HitRate() != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}

@@ -1,0 +1,81 @@
+package coherence
+
+import "testing"
+
+func TestClassifierConcentration(t *testing.T) {
+	c := NewClassifier()
+	// One very hot line (90 misses) and 9 cold lines (1 each): the top 10%
+	// of lines (1 line) covers 90/99 of the misses.
+	for i := 0; i < 90; i++ {
+		c.RecordWrite(1, 0x100, true)
+	}
+	for l := uint64(2); l <= 10; l++ {
+		c.RecordWrite(l, 0x200+l, false)
+	}
+	if got := c.MigratoryLineCount(); got != 10 {
+		t.Fatalf("line count = %d", got)
+	}
+	conc := c.WriteMissConcentration(0.10)
+	if conc < 0.9 || conc > 0.92 {
+		t.Errorf("top-10%% concentration = %f, want ~0.91", conc)
+	}
+	// CS fraction: 90 of 99 writes were inside critical sections.
+	if got := c.WriteCSFraction(); got < 0.90 || got > 0.92 {
+		t.Errorf("write CS fraction = %f", got)
+	}
+}
+
+func TestClassifierPCConcentration(t *testing.T) {
+	c := NewClassifier()
+	for i := 0; i < 80; i++ {
+		c.RecordRead(5, 0xAAA, true)
+	}
+	for pc := uint64(0); pc < 19; pc++ {
+		c.RecordRead(6, 0x1000+pc*4, false)
+	}
+	// 20 PCs total; top 10% (2 PCs) covers 81/99.
+	conc := c.PCConcentration(0.10)
+	if conc < 0.8 || conc > 0.85 {
+		t.Errorf("PC concentration = %f", conc)
+	}
+	if got := c.ReadCSFraction(); got < 0.8 || got > 0.82 {
+		t.Errorf("read CS fraction = %f", got)
+	}
+}
+
+func TestHotLines(t *testing.T) {
+	c := NewClassifier()
+	c.RecordWrite(3, 1, false)
+	c.RecordWrite(3, 1, false)
+	c.RecordWrite(7, 1, false)
+	hot := c.HotLines(5)
+	if len(hot) != 2 || hot[0] != 3 || hot[1] != 7 {
+		t.Errorf("HotLines = %v, want [3 7]", hot)
+	}
+	if got := c.HotLines(1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("HotLines(1) = %v", got)
+	}
+}
+
+func TestClassifierReset(t *testing.T) {
+	c := NewClassifier()
+	c.RecordWrite(1, 2, true)
+	c.RecordRead(1, 2, true)
+	c.Reset()
+	if c.MigratoryLineCount() != 0 || c.MigWriteTotal != 0 || c.MigReadTotal != 0 {
+		t.Error("Reset incomplete")
+	}
+	if c.WriteCSFraction() != 0 || c.ReadCSFraction() != 0 {
+		t.Error("fractions nonzero after reset")
+	}
+}
+
+func TestEmptyClassifier(t *testing.T) {
+	c := NewClassifier()
+	if c.WriteMissConcentration(0.1) != 0 || c.PCConcentration(0.1) != 0 {
+		t.Error("empty classifier should report zero concentration")
+	}
+	if len(c.HotLines(3)) != 0 {
+		t.Error("empty classifier should have no hot lines")
+	}
+}

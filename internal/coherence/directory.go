@@ -1,0 +1,302 @@
+// Package coherence implements the invalidation-based four-state MESI
+// full-map directory protocol of the simulated CC-NUMA machine (Section 2.4
+// of the paper), including cache-to-cache transfers for dirty lines, the
+// "flush"/sharing-write-back primitive of Section 4.2 (which pushes a dirty
+// line back to memory while keeping a clean cached copy), and the migratory
+// line detection heuristic from the paper's footnote: a line is marked
+// migratory when the directory receives a request for exclusive ownership,
+// the number of cached copies is 2, and the last writer is not the
+// requester (Cox & Fowler / Stenstrom et al.).
+//
+// The directory is pure protocol state: it decides who supplies data and who
+// must be invalidated; the memory system (internal/memsys) performs the
+// cache updates and timing.
+package coherence
+
+import "math/bits"
+
+// Source says who supplies the data for a transaction.
+type Source uint8
+
+const (
+	// SrcMemory means the home node's memory supplies the line.
+	SrcMemory Source = iota
+	// SrcOwnerCache means a dirty copy is forwarded cache-to-cache.
+	SrcOwnerCache
+	// SrcNone means no data transfer is needed (e.g. S->M upgrade).
+	SrcNone
+)
+
+const noNode = -1
+
+type dirEntry struct {
+	sharers    uint64 // bitmask of nodes with a cached copy
+	owner      int8   // node holding the line Modified, or noNode
+	lastWriter int8   // most recent exclusive owner ever, or noNode
+	migratory  bool
+	everShared bool // cached by >=2 nodes, or written by >=2 distinct nodes
+}
+
+// ReadResult describes how a read (GETS) is serviced.
+type ReadResult struct {
+	Source    Source
+	Owner     int  // supplying node when Source == SrcOwnerCache
+	Exclusive bool // granted Exclusive (no other sharers)
+	Migratory bool // line was classified migratory
+	// MigratoryTransfer: the adaptive migratory protocol handed the reader
+	// an exclusive (ownership) copy and invalidated the previous owner, so
+	// the reader's upcoming write needs no further coherence action.
+	MigratoryTransfer bool
+}
+
+// WriteResult describes how a write (GETX/upgrade) is serviced.
+type WriteResult struct {
+	Source      Source
+	Owner       int   // supplying node when Source == SrcOwnerCache
+	Invalidates []int // other nodes whose copies must be invalidated
+	Migratory   bool  // line classified migratory (after this request)
+	WasShared   bool  // the write required coherence action on others
+}
+
+// Directory is the machine-wide directory (conceptually distributed across
+// home nodes; homing affects timing in memsys, not protocol state). Not
+// safe for concurrent use.
+type Directory struct {
+	entries map[uint64]dirEntry
+	invBuf  []int
+
+	// MigratoryOpt enables the adaptive migratory protocol of Cox & Fowler
+	// / Stenstrom et al.: reads of lines classified migratory receive an
+	// exclusive (ownership) copy, and the previous owner is invalidated,
+	// eliminating the reader's subsequent upgrade request. The paper's
+	// footnote 2 observes that under a relaxed consistency model this
+	// cannot help, because the write latency it saves is already hidden —
+	// the ext-migproto experiment reproduces that claim.
+	MigratoryOpt bool
+
+	MigratoryTransfers uint64
+
+	// Protocol statistics.
+	Reads            uint64
+	ReadsDirty       uint64 // serviced cache-to-cache
+	Writes           uint64
+	WritesShared     uint64 // writes that found other cached copies / prior writers
+	Upgrades         uint64
+	Writebacks       uint64
+	Flushes          uint64
+	MigratoryLines   uint64 // lines ever classified migratory
+	MigratoryReadsCC uint64 // dirty reads to migratory lines
+	MigratoryWrites  uint64 // shared writes to migratory lines
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[uint64]dirEntry)}
+}
+
+// Lines returns the number of lines with directory state.
+func (d *Directory) Lines() int { return len(d.entries) }
+
+// Sharers returns the number of nodes caching the line (tests/invariants).
+func (d *Directory) Sharers(lineAddr uint64) int {
+	return bits.OnesCount64(d.entries[lineAddr].sharers)
+}
+
+// OwnerOf returns the modified owner of the line, or -1.
+func (d *Directory) OwnerOf(lineAddr uint64) int {
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		return noNode
+	}
+	return int(e.owner)
+}
+
+// IsMigratory reports whether the line has been classified migratory.
+func (d *Directory) IsMigratory(lineAddr uint64) bool {
+	return d.entries[lineAddr].migratory
+}
+
+func newEntry() dirEntry { return dirEntry{owner: noNode, lastWriter: noNode} }
+
+// Read services a GETS from node for lineAddr.
+func (d *Directory) Read(node int, lineAddr uint64) ReadResult {
+	d.Reads++
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		e = newEntry()
+	}
+	res := ReadResult{Source: SrcMemory, Owner: noNode, Migratory: e.migratory}
+	switch {
+	case e.owner == int8(node):
+		// Requesting node already owns it dirty (can happen when an L1 read
+		// misses but the node's L2 holds it Modified) — treated by memsys
+		// as a local hierarchy fill; directory state is unchanged.
+		res.Source = SrcNone
+		return res
+	case e.owner != noNode:
+		// Dirty elsewhere: cache-to-cache transfer.
+		d.ReadsDirty++
+		if e.migratory {
+			d.MigratoryReadsCC++
+		}
+		res.Source = SrcOwnerCache
+		res.Owner = int(e.owner)
+		if d.MigratoryOpt && e.migratory {
+			// Adaptive migratory protocol: pass ownership with the data;
+			// the previous owner's copy is invalidated.
+			d.MigratoryTransfers++
+			res.MigratoryTransfer = true
+			res.Exclusive = true
+			e.sharers = 0
+			e.owner = int8(node)
+			e.lastWriter = int8(node)
+			d.entries[lineAddr] = e
+			return res
+		}
+		// Plain MESI: owner downgrades to Shared, memory picks up the data.
+		e.sharers |= 1 << uint(e.owner)
+		e.owner = noNode
+	default:
+		res.Source = SrcMemory
+	}
+	e.sharers |= 1 << uint(node)
+	if bits.OnesCount64(e.sharers) == 1 && res.Source == SrcMemory {
+		res.Exclusive = true
+	}
+	if bits.OnesCount64(e.sharers) >= 2 {
+		e.everShared = true
+	}
+	d.entries[lineAddr] = e
+	return res
+}
+
+// Write services a GETX (or upgrade) from node for lineAddr.
+func (d *Directory) Write(node int, lineAddr uint64) WriteResult {
+	d.Writes++
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		e = newEntry()
+	}
+	d.invBuf = d.invBuf[:0]
+	res := WriteResult{Source: SrcMemory, Owner: noNode}
+
+	nodeBit := uint64(1) << uint(node)
+	copies := bits.OnesCount64(e.sharers)
+	if e.owner != noNode {
+		copies = 1
+	}
+
+	// Migratory detection heuristic (paper footnote 2).
+	if copies == 2 && e.lastWriter != noNode && e.lastWriter != int8(node) {
+		if !e.migratory {
+			d.MigratoryLines++
+		}
+		e.migratory = true
+	}
+
+	switch {
+	case e.owner == int8(node):
+		// Already modified here (L1 write miss, node L2 owns): local.
+		res.Source = SrcNone
+	case e.owner != noNode:
+		// Dirty elsewhere: transfer ownership cache-to-cache.
+		res.Source = SrcOwnerCache
+		res.Owner = int(e.owner)
+		d.invBuf = append(d.invBuf, int(e.owner))
+		res.WasShared = true
+	default:
+		// Clean: invalidate all other sharers; upgrade if we already share.
+		for s := e.sharers &^ nodeBit; s != 0; {
+			n := bits.TrailingZeros64(s)
+			d.invBuf = append(d.invBuf, n)
+			s &^= 1 << uint(n)
+			res.WasShared = true
+		}
+		if e.sharers&nodeBit != 0 {
+			res.Source = SrcNone // upgrade: data already present
+			d.Upgrades++
+		}
+	}
+	if e.lastWriter != noNode && e.lastWriter != int8(node) {
+		res.WasShared = true
+		e.everShared = true
+	}
+	if res.WasShared {
+		d.WritesShared++
+		if e.migratory {
+			d.MigratoryWrites++
+		}
+	}
+	e.sharers = 0
+	e.owner = int8(node)
+	e.lastWriter = int8(node)
+	d.entries[lineAddr] = e
+	res.Invalidates = d.invBuf
+	res.Migratory = e.migratory
+	return res
+}
+
+// Writeback records a dirty eviction from node: memory becomes the owner.
+func (d *Directory) Writeback(node int, lineAddr uint64) {
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		return
+	}
+	d.Writebacks++
+	if e.owner == int8(node) {
+		e.owner = noNode
+		e.sharers &^= 1 << uint(node)
+	}
+	d.entries[lineAddr] = e
+}
+
+// EvictClean records a clean (S/E) eviction from node.
+func (d *Directory) EvictClean(node int, lineAddr uint64) {
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		return
+	}
+	if e.owner == int8(node) {
+		e.owner = noNode
+	}
+	e.sharers &^= 1 << uint(node)
+	d.entries[lineAddr] = e
+}
+
+// Flush services the software flush / sharing-write-back hint: if node owns
+// the line dirty, the data is pushed to memory. When keepClean is true the
+// node retains a Shared copy (the paper found keeping the copy essential);
+// otherwise the copy is dropped. Returns true if a write-back happened.
+func (d *Directory) Flush(node int, lineAddr uint64, keepClean bool) bool {
+	e, ok := d.entries[lineAddr]
+	if !ok || e.owner != int8(node) {
+		return false
+	}
+	d.Flushes++
+	e.owner = noNode
+	if keepClean {
+		e.sharers |= 1 << uint(node)
+	} else {
+		e.sharers &^= 1 << uint(node)
+	}
+	d.entries[lineAddr] = e
+	return true
+}
+
+// DirtyReadFraction returns the fraction of directory reads serviced
+// cache-to-cache (the paper: ~50% of OLTP L2 misses are dirty misses).
+func (d *Directory) DirtyReadFraction() float64 {
+	if d.Reads == 0 {
+		return 0
+	}
+	return float64(d.ReadsDirty) / float64(d.Reads)
+}
+
+// ResetStats zeroes the protocol counters (directory state is kept); the
+// migratory classification of lines is retained, since it describes the
+// data, not the measurement interval.
+func (d *Directory) ResetStats() {
+	d.Reads, d.ReadsDirty, d.Writes, d.WritesShared = 0, 0, 0, 0
+	d.Upgrades, d.Writebacks, d.Flushes = 0, 0, 0
+	d.MigratoryLines, d.MigratoryReadsCC, d.MigratoryWrites = 0, 0, 0
+}

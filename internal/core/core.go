@@ -1,0 +1,278 @@
+// Package core assembles the whole simulated machine — processors
+// (internal/cpu), memory system (internal/memsys), and OS scheduler
+// (internal/sched) — and runs the global cycle loop. This is the paper's
+// simulated AlphaServer-class CC-NUMA multiprocessor; every experiment in
+// internal/experiments is a set of Runs of this system under different
+// configurations and workloads.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/memsys"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// LockTable holds the values of the simulated lock memory locations, shared
+// machine-wide. The paper maintains lock values in the simulated
+// environment so that inter-process synchronization (and therefore lock
+// passing and migratory transfers) happens in simulated time.
+type LockTable struct {
+	owner  map[uint64]int
+	freeAt map[uint64]uint64
+}
+
+// NewLockTable returns an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{owner: make(map[uint64]int), freeAt: make(map[uint64]uint64)}
+}
+
+// TryAcquire implements cpu.LockManager. Acquires are idempotent for the
+// holder (a squashed-and-replayed acquire must not deadlock against
+// itself).
+func (t *LockTable) TryAcquire(addr uint64, proc int, now uint64) bool {
+	if o, held := t.owner[addr]; held {
+		return o == proc
+	}
+	if now < t.freeAt[addr] {
+		return false
+	}
+	t.owner[addr] = proc
+	return true
+}
+
+// Release implements cpu.LockManager: the lock becomes acquirable once the
+// releasing store has performed.
+func (t *LockTable) Release(addr uint64, proc int, availableAt uint64) {
+	if o, held := t.owner[addr]; held && o == proc {
+		delete(t.owner, addr)
+		t.freeAt[addr] = availableAt
+	}
+}
+
+// Held reports whether the lock is currently owned (tests).
+func (t *LockTable) Held(addr uint64) bool {
+	_, ok := t.owner[addr]
+	return ok
+}
+
+// System is the whole simulated machine.
+type System struct {
+	cfg   config.Config
+	mem   *memsys.System
+	cores []*cpu.Core
+	sch   *sched.Scheduler
+	locks *LockTable
+	procs []*cpu.Context
+
+	cycle      uint64
+	statsStart uint64
+	nextProc   int
+}
+
+// NewSystem builds a machine for cfg.
+func NewSystem(cfg config.Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:   cfg,
+		mem:   memsys.New(cfg),
+		sch:   sched.New(cfg.Nodes, cfg.CtxSwitchCycles),
+		locks: NewLockTable(),
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		s.cores = append(s.cores, cpu.New(cfg, n, s.mem.Node(n), s.locks))
+	}
+	return s, nil
+}
+
+// Mem returns the memory system.
+func (s *System) Mem() *memsys.System { return s.mem }
+
+// Core returns processor n.
+func (s *System) Core(n int) *cpu.Core { return s.cores[n] }
+
+// Scheduler returns the OS scheduler model.
+func (s *System) Scheduler() *sched.Scheduler { return s.sch }
+
+// Locks returns the machine-wide lock table.
+func (s *System) Locks() *LockTable { return s.locks }
+
+// Config returns the machine configuration.
+func (s *System) Config() config.Config { return s.cfg }
+
+// Cycle returns the current simulated cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// AddProcess pins a server process running stream to cpuID's run queue and
+// returns its context.
+func (s *System) AddProcess(cpuID int, stream trace.Stream) *cpu.Context {
+	if cpuID < 0 || cpuID >= s.cfg.Nodes {
+		panic(fmt.Sprintf("core: cpu %d out of range", cpuID))
+	}
+	ctx := &cpu.Context{ID: s.nextProc, Stream: stream}
+	s.nextProc++
+	s.procs = append(s.procs, ctx)
+	s.sch.Add(cpuID, ctx)
+	return ctx
+}
+
+// RunOptions controls a simulation run.
+type RunOptions struct {
+	Label string
+	// WarmupInstructions: statistics are reset once this many instructions
+	// have retired machine-wide (warm-up transients ignored, Section 2.2).
+	WarmupInstructions uint64
+	// MaxCycles bounds the run (0 = no bound). Exceeding it is an error so
+	// that livelocks are caught rather than silently truncated.
+	MaxCycles uint64
+}
+
+// ErrMaxCycles reports that the run hit its cycle bound before all
+// processes finished.
+var ErrMaxCycles = errors.New("core: simulation exceeded MaxCycles")
+
+// Run simulates until every process finishes its trace, returning the
+// statistics report.
+func (s *System) Run(opt RunOptions) (*stats.Report, error) {
+	warmed := opt.WarmupInstructions == 0
+	for {
+		s.cycle++
+		allDone := true
+		for i, c := range s.cores {
+			s.sch.Tick(i, c, s.cycle)
+			c.Tick(s.cycle)
+			if c.Context() != nil || s.sch.Pending(i) {
+				allDone = false
+			}
+		}
+		if !warmed && s.totalRetired() >= opt.WarmupInstructions {
+			s.ResetStats()
+			warmed = true
+		}
+		if allDone {
+			break
+		}
+		if opt.MaxCycles > 0 && s.cycle-s.statsStart >= opt.MaxCycles {
+			return s.buildReport(opt.Label), ErrMaxCycles
+		}
+	}
+	s.mem.Finalize(s.cycle)
+	return s.buildReport(opt.Label), nil
+}
+
+func (s *System) totalRetired() uint64 {
+	var n uint64
+	for _, c := range s.cores {
+		n += c.Retired
+	}
+	return n
+}
+
+// ResetStats discards statistics accumulated so far (used for warm-up).
+func (s *System) ResetStats() {
+	for _, c := range s.cores {
+		c.ResetStats()
+	}
+	s.mem.ResetStats(s.cycle)
+	s.sch.ResetStats()
+	s.statsStart = s.cycle
+}
+
+// buildReport aggregates machine-wide statistics.
+func (s *System) buildReport(label string) *stats.Report {
+	r := &stats.Report{Label: label, Cycles: s.cycle - s.statsStart}
+
+	var condBr, condMis uint64
+	var lockTries, lockWaits uint64
+	for i, c := range s.cores {
+		r.Breakdown.Add(&c.Bk)
+		r.Instructions += c.Retired
+		r.IdleCycles += float64(s.sch.IdleCycles[i] + s.sch.SwitchCycles[i])
+		condBr += c.Predictor().CondBranches
+		condMis += c.Predictor().CondMispred
+		lockTries += c.LockTries
+		lockWaits += c.LockWaits
+	}
+	if condBr > 0 {
+		r.BranchMispred = float64(condMis) / float64(condBr)
+	}
+	if lockTries > 0 {
+		r.SyncContention = float64(lockWaits) / float64(lockTries)
+	}
+
+	var l1iA, l1iM, l1dA, l1dM, l2A, l2M uint64
+	var itlbA, itlbM, dtlbA, dtlbM uint64
+	var sbHit, sbMiss uint64
+	var l1AllRaw, l2AllRaw, l1ReadRaw, l2ReadRaw [][]uint64
+	for n := 0; n < s.cfg.Nodes; n++ {
+		h := s.mem.Node(n)
+		l1iA += h.L1I().Reads + h.L1I().Writes
+		l1iM += h.L1I().ReadMisses + h.L1I().WriteMisses - h.IFetchSBHits
+		l1dA += h.L1D().Reads + h.L1D().Writes
+		l1dM += h.L1D().ReadMisses + h.L1D().WriteMisses
+		l2A += h.L2().Reads + h.L2().Writes
+		l2M += h.L2().ReadMisses + h.L2().WriteMisses
+		itlbA += h.ITLB().Accesses
+		itlbM += h.ITLB().Misses
+		dtlbA += h.DTLB().Accesses
+		dtlbM += h.DTLB().Misses
+		if sb := h.StreamBuffer(); sb != nil {
+			sbHit += sb.Hits
+			sbMiss += sb.Misses
+		}
+		a, rd := h.L1DMSHRs().RawOccupancy()
+		l1AllRaw = append(l1AllRaw, a)
+		l1ReadRaw = append(l1ReadRaw, rd)
+		a, rd = h.L2MSHRs().RawOccupancy()
+		l2AllRaw = append(l2AllRaw, a)
+		l2ReadRaw = append(l2ReadRaw, rd)
+	}
+	div := func(m, a uint64) float64 {
+		if a == 0 {
+			return 0
+		}
+		return float64(m) / float64(a)
+	}
+	// The L1I rate is per instruction fetched (the fetch engine accesses
+	// the cache once per sequential run within a line, so per-line-fetch
+	// rates are not comparable to the paper's).
+	_ = l1iA
+	r.L1IMissRate, r.L1IMisses = div(l1iM, r.Instructions), l1iM
+	r.L1DMissRate, r.L1DMisses = div(l1dM, l1dA), l1dM
+	r.L2MissRate, r.L2Misses = div(l2M, l2A), l2M
+	r.ITLBMissRate = div(itlbM, itlbA)
+	r.DTLBMissRate = div(dtlbM, dtlbA)
+	if sbHit+sbMiss > 0 {
+		r.StreamBufHitRate = float64(sbHit) / float64(sbHit+sbMiss)
+	}
+	r.L1MSHRAll = cache.CombineOccupancy(l1AllRaw)
+	r.L1MSHRRead = cache.CombineOccupancy(l1ReadRaw)
+	r.L2MSHRAll = cache.CombineOccupancy(l2AllRaw)
+	r.L2MSHRRead = cache.CombineOccupancy(l2ReadRaw)
+
+	dir := s.mem.Directory()
+	r.DirtyFraction = dir.DirtyReadFraction()
+	if dir.WritesShared > 0 {
+		r.SharedWriteMigratory = float64(dir.MigratoryWrites) / float64(dir.WritesShared)
+	}
+	if dir.ReadsDirty > 0 {
+		r.ReadDirtyMigratory = float64(dir.MigratoryReadsCC) / float64(dir.ReadsDirty)
+	}
+	cl := s.mem.Classifier()
+	r.MigratoryLines = cl.MigratoryLineCount()
+	r.MigratoryPCs = cl.MigratoryPCCount()
+	r.LineConcentration = cl.WriteMissConcentration(0.03)
+	r.PCConcentration = cl.PCConcentration(0.10)
+	r.WriteCSFraction = cl.WriteCSFraction()
+	r.ReadCSFraction = cl.ReadCSFraction()
+	r.AvgNetLatency = s.mem.Net().AvgLatency()
+	return r
+}

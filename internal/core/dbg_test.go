@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func TestDebugBreakdown(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	sys, _ := NewSystem(cfg)
+	sys.AddProcess(0, synthStream(2000, 1<<20))
+	rep, err := sys.Run(RunOptions{Label: "dbg", MaxCycles: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		t.Logf("%-12s %10.0f", c, rep.Breakdown[c])
+	}
+	t.Logf("cycles=%d instr=%d mispred=%.3f l1i=%.3f l1d=%.3f l2=%.3f",
+		rep.Cycles, rep.Instructions, rep.BranchMispred, rep.L1IMissRate, rep.L1DMissRate, rep.L2MissRate)
+	t.Logf("l1 mshr dist=%v", rep.L1MSHRAll)
+	t.Logf("l1 mshr read dist=%v", rep.L1MSHRRead)
+	h := sys.Mem().Node(0)
+	t.Logf("l1d mshr allocs=%d coalesced=%d fullstalls=%d", h.L1DMSHRs().Allocations, h.L1DMSHRs().Coalesced, h.L1DMSHRs().FullStalls)
+	t.Logf("l2 mshr allocs=%d fullstalls=%d", h.L2MSHRs().Allocations, h.L2MSHRs().FullStalls)
+}

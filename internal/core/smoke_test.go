@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// synthStream builds a loop (fixed code block, so the I-cache and branch
+// predictor behave as for real code) of dependent ALU ops, loads walking an
+// array, stores, and a backwards conditional branch per iteration.
+func synthStream(iters int, base uint64) *trace.SliceStream {
+	var ins []trace.Instr
+	const loopPC = uint64(0x10000)
+	addr := base
+	for i := 0; i < iters; i++ {
+		pc := loopPC
+		emit := func(in trace.Instr) {
+			in.PC = pc
+			pc += 4
+			ins = append(ins, in)
+		}
+		emit(trace.Instr{Op: trace.OpLoad, Addr: addr, Dest: 1})
+		emit(trace.Instr{Op: trace.OpIntALU, Src1: 1, Dest: 2})
+		emit(trace.Instr{Op: trace.OpIntALU, Src1: 2, Dest: 3})
+		emit(trace.Instr{Op: trace.OpStore, Addr: addr + 8, Src1: 3})
+		emit(trace.Instr{Op: trace.OpBranch, Src1: 3, Taken: i < iters-1, Target: loopPC})
+		addr += 64
+	}
+	return trace.NewSliceStream(ins)
+}
+
+func TestSmokeSingleProcessor(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 2000
+	sys.AddProcess(0, synthStream(iters, 1<<20))
+	rep, err := sys.Run(RunOptions{Label: "smoke", MaxCycles: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(iters * 5)
+	if rep.Instructions != want {
+		t.Fatalf("retired %d instructions, want %d", rep.Instructions, want)
+	}
+	if rep.Cycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+	ipc := rep.IPC(1)
+	if ipc <= 0 || ipc > float64(cfg.IssueWidth) {
+		t.Fatalf("implausible IPC %.3f", ipc)
+	}
+	if rep.Breakdown.Total() == 0 {
+		t.Fatal("empty execution-time breakdown")
+	}
+	t.Logf("cycles=%d ipc=%.2f breakdown total=%.0f busy=%.0f",
+		rep.Cycles, ipc, rep.Breakdown.Total(), rep.Breakdown[0])
+}
+
+func TestSmokeMultiprocessorSharing(t *testing.T) {
+	cfg := config.Default()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four processors hammer the same array: coherence traffic must
+	// appear (directory reads and some dirty transfers).
+	for n := 0; n < cfg.Nodes; n++ {
+		sys.AddProcess(n, synthStream(1500, 1<<20))
+	}
+	rep, err := sys.Run(RunOptions{Label: "smoke-mp", MaxCycles: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instructions != 4*1500*5 {
+		t.Fatalf("retired %d", rep.Instructions)
+	}
+	dir := sys.Mem().Directory()
+	if dir.Writes == 0 {
+		t.Fatal("no directory write transactions despite shared stores")
+	}
+	if dir.WritesShared == 0 {
+		t.Error("expected shared-write coherence actions on the common array")
+	}
+	t.Logf("dirtyFraction=%.2f sharedWrites=%d netAvg=%.0f",
+		rep.DirtyFraction, dir.WritesShared, rep.AvgNetLatency)
+}
+
+func TestLockPassing(t *testing.T) {
+	cfg := config.Default()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lockAddr = 0x900000
+	const iters = 300
+	mk := func() *trace.SliceStream {
+		var ins []trace.Instr
+		pc := uint64(0x20000)
+		emit := func(in trace.Instr) {
+			in.PC = pc
+			pc += 4
+			ins = append(ins, in)
+		}
+		for i := 0; i < iters; i++ {
+			emit(trace.Instr{Op: trace.OpLockAcquire, Addr: lockAddr})
+			emit(trace.Instr{Op: trace.OpLoad, Addr: lockAddr + 64, Dest: 1})
+			emit(trace.Instr{Op: trace.OpIntALU, Src1: 1, Dest: 2})
+			emit(trace.Instr{Op: trace.OpStore, Addr: lockAddr + 64, Src1: 2})
+			emit(trace.Instr{Op: trace.OpWriteBar})
+			emit(trace.Instr{Op: trace.OpLockRelease, Addr: lockAddr})
+		}
+		return trace.NewSliceStream(ins)
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		sys.AddProcess(n, mk())
+	}
+	rep, err := sys.Run(RunOptions{Label: "locks", MaxCycles: 80_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instructions != uint64(cfg.Nodes*iters*6) {
+		t.Fatalf("retired %d", rep.Instructions)
+	}
+	if sys.Locks().Held(lockAddr) {
+		t.Error("lock still held at end of run")
+	}
+	if rep.SyncContention == 0 {
+		t.Error("expected lock contention across four processors")
+	}
+	// The counter line protected by the lock must migrate: shared writes
+	// and dirty reads classified migratory.
+	if rep.SharedWriteMigratory == 0 {
+		t.Error("no migratory shared writes detected")
+	}
+	if rep.Breakdown[8]+rep.Breakdown[7] == 0 { // ReadDirty or ReadRemote
+		t.Log("note: no dirty read stall time (may be hidden)")
+	}
+	t.Logf("contention=%.2f migW=%.2f migR=%.2f sync=%.0f",
+		rep.SyncContention, rep.SharedWriteMigratory, rep.ReadDirtyMigratory,
+		rep.Breakdown[10])
+}

@@ -1,0 +1,275 @@
+// Package cpu implements the processor model of the simulated machine: an
+// aggressive out-of-order core with multiple issue, a reorder-buffer
+// instruction window, non-blocking loads, speculative execution behind a
+// hybrid branch predictor, a load/store queue and write buffer, and
+// implementations of three memory consistency models (SC, PC, RC) in
+// straightforward, hardware-prefetching, and speculative-load variants
+// (Sections 2.4 and 3.4 of the paper). An in-order mode issues instructions
+// strictly in program order, stalling at the first unavailable dependence.
+//
+// The core is trace-driven: mispredicted branches stall fetch until the
+// branch resolves (wrong-path instructions are not simulated), exactly as
+// in the paper's methodology. Stall time is attributed with the paper's
+// retire-based convention: each cycle, retired/max-retire counts as busy
+// and the remainder is charged to the first instruction that could not
+// retire.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/config"
+	"repro/internal/memsys"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// LockManager mediates the simulated lock values shared by all processors
+// (the paper maintains lock memory locations in the simulated environment
+// to model inter-process synchronization faithfully).
+type LockManager interface {
+	// TryAcquire attempts to take the lock at addr for process proc at
+	// cycle now, returning false if it is held elsewhere.
+	TryAcquire(addr uint64, proc int, now uint64) bool
+	// Release frees the lock; it becomes acquirable at availableAt.
+	Release(addr uint64, proc int, availableAt uint64)
+}
+
+// Context is one simulated server process. Pipeline state lives in the
+// core; the pipeline drains before a context switch.
+type Context struct {
+	ID     int
+	Stream trace.Stream
+
+	Retired      uint64
+	BlockedUntil uint64 // cycle the blocking system call completes
+	Finished     bool   // trace exhausted and pipeline drained
+	csDepth      int    // lock-acquire nesting (critical-section tracking)
+}
+
+// InCriticalSection reports whether the process currently holds a lock.
+func (c *Context) InCriticalSection() bool { return c.csDepth > 0 }
+
+const (
+	stWaiting uint8 = iota // in window, not yet executing
+	stExec                 // executing or memory outstanding; complete valid
+)
+
+// noProd marks "no producer" in the rename table (sequence numbers start
+// at 1).
+const noProd uint64 = 0
+
+const farFuture = ^uint64(0) >> 2
+
+type robEntry struct {
+	in        trace.Instr
+	seq       uint64
+	fetchDone uint64
+	prod1     uint64 // producer sequence numbers (noProd = ready)
+	prod2     uint64
+	state     uint8
+	issuedMem bool
+	performed bool
+	specLoad  bool
+	violated  bool
+	prefetch  bool // consistency prefetch already issued
+	mispred   bool
+	waited    bool   // lock acquire already counted as contended
+	addrDone  uint64 // address-generation completion (0 = not yet)
+	complete  uint64
+	class     memsys.Class
+	tlbMiss   bool
+	lineAddr  uint64
+}
+
+type fqEntry struct {
+	in        trace.Instr
+	fetchDone uint64
+	mispred   bool
+}
+
+type wbufEntry struct {
+	addr    uint64
+	pc      uint64
+	done    uint64
+	isWMB   bool
+	isFlush bool // software flush hint: executes once prior stores perform
+	issued  bool
+	inCS    bool
+	release bool // lock-release store: frees the lock when performed
+}
+
+// Core is one simulated processor.
+type Core struct {
+	cfg   config.Config
+	id    int
+	mem   *memsys.Hierarchy
+	pred  *bpred.Predictor
+	locks LockManager
+
+	ctx *Context
+
+	rob        []robEntry
+	headSeq    uint64 // oldest in-flight sequence number
+	tailSeq    uint64 // next sequence number to allocate
+	rename     [trace.MaxReg + 1]uint64
+	memInROB   int
+	fenceCount int    // unretired MB/lock-acquire entries in the window
+	scanFrom   uint64 // issue-scan fast-path start (RC, no fences)
+
+	fetchQ       []fqEntry
+	fqHead       int
+	curLine      uint64
+	lineValid    bool
+	fetchReady   uint64 // icache stall: no fetch before this cycle
+	blockBranch  uint64 // seq of unresolved mispredicted branch (0 = none)
+	resumeAt     uint64 // fetch resumes at this cycle after a redirect
+	unresolved   int    // speculated (in-flight, predicted) branches
+	pendingSys   bool
+	pendingSysNs uint32
+	streamEnded  bool
+	stallInstr   bool // last fetch stall was the icache/iTLB
+
+	wbuf []wbufEntry
+
+	// Statistics.
+	Bk         stats.Breakdown
+	Retired    uint64
+	Rollbacks  uint64
+	LockSpins  uint64 // cycles spent spinning
+	LockTries  uint64
+	LockWaits  uint64 // acquires that found the lock held
+	SpecLoads  uint64
+	Violations uint64
+}
+
+// New builds a core for node id using hierarchy mem and lock manager locks.
+func New(cfg config.Config, id int, mem *memsys.Hierarchy, locks LockManager) *Core {
+	if cfg.InOrder {
+		// An in-order pipeline has no reorder buffer: the "window" is a
+		// short issue queue, and fetch is only lightly decoupled from
+		// execute. (The out-of-order core's ability to keep fetching and
+		// overlapping instruction misses during stalls is one of the
+		// paper's observed advantages.)
+		if cfg.WindowSize > 2*cfg.IssueWidth+8 {
+			cfg.WindowSize = 2*cfg.IssueWidth + 8
+		}
+		if cfg.FetchBufferEntries > 2*cfg.IssueWidth {
+			cfg.FetchBufferEntries = 2 * cfg.IssueWidth
+		}
+	}
+	c := &Core{
+		cfg: cfg,
+		id:  id,
+		mem: mem,
+		pred: bpred.New(bpred.Config{
+			PAEntries:   cfg.BPredPAEntries,
+			HistoryBits: cfg.BPredHistoryBits,
+			BTBEntries:  cfg.BTBEntries,
+			BTBAssoc:    cfg.BTBAssoc,
+			RASEntries:  cfg.RASEntries,
+			Perfect:     cfg.PerfectBPred,
+		}),
+		locks: locks,
+		rob:   make([]robEntry, cfg.WindowSize),
+	}
+	c.headSeq, c.tailSeq = 1, 1
+	mem.SetInvalidationHook(c.onInvalidation)
+	return c
+}
+
+// Predictor exposes the branch predictor for reporting.
+func (c *Core) Predictor() *bpred.Predictor { return c.pred }
+
+// Context returns the running process (nil when idle).
+func (c *Core) Context() *Context { return c.ctx }
+
+func (c *Core) entry(seq uint64) *robEntry {
+	return &c.rob[seq%uint64(len(c.rob))]
+}
+
+func (c *Core) robLen() int { return int(c.tailSeq - c.headSeq) }
+
+// Empty reports whether the pipeline has fully drained.
+func (c *Core) Empty() bool {
+	return c.robLen() == 0 && c.fqHead >= len(c.fetchQ) && len(c.wbuf) == 0
+}
+
+// NeedsSwitch reports that the running process hit a blocking system call
+// (or finished its trace) and the pipeline has drained; the scheduler
+// should switch.
+func (c *Core) NeedsSwitch() bool {
+	return c.ctx != nil && c.Empty() && (c.pendingSys || c.streamEnded)
+}
+
+// TakeContext removes the running process for a context switch, applying
+// the pending blocking-call latency. The pipeline must be empty.
+func (c *Core) TakeContext(now uint64) *Context {
+	if !c.Empty() {
+		panic("cpu: context switch with non-empty pipeline")
+	}
+	ctx := c.ctx
+	c.ctx = nil
+	if ctx != nil {
+		if c.pendingSys {
+			ctx.BlockedUntil = now + uint64(c.pendingSysNs)
+		}
+		if c.streamEnded {
+			ctx.Finished = true
+		}
+	}
+	c.pendingSys = false
+	c.pendingSysNs = 0
+	c.streamEnded = false
+	return ctx
+}
+
+// SwitchTo installs a process on the core. TLBs are flushed (separate
+// address-space identifiers are not modelled, as in the traced system's
+// process-per-server design).
+func (c *Core) SwitchTo(ctx *Context) {
+	if c.ctx != nil {
+		panic("cpu: SwitchTo with a process still installed")
+	}
+	c.ctx = ctx
+	c.lineValid = false
+	c.fetchQ = c.fetchQ[:0]
+	c.fqHead = 0
+	c.fetchReady = 0
+	c.resumeAt = 0
+	c.blockBranch = 0
+	c.unresolved = 0
+	c.rename = [trace.MaxReg + 1]uint64{}
+	c.mem.FlushTLBs()
+}
+
+// onInvalidation is the coherence callback used to detect speculative-load
+// ordering violations: any outstanding speculative load whose line is
+// invalidated or replaced must be squashed and re-executed (Section 3.4).
+func (c *Core) onInvalidation(lineAddr uint64) {
+	for seq := c.headSeq; seq < c.tailSeq; seq++ {
+		e := c.entry(seq)
+		if e.specLoad && e.state == stExec && e.lineAddr == lineAddr && !e.violated {
+			e.violated = true
+		}
+	}
+}
+
+// Tick advances the core by one cycle.
+func (c *Core) Tick(now uint64) {
+	if c.ctx == nil {
+		return
+	}
+	c.drainWbuf(now)
+	c.retireStage(now)
+	c.issueStage(now)
+	c.dispatchStage(now)
+	c.fetchStage(now)
+}
+
+// String summarizes the core state (debugging aid).
+func (c *Core) String() string {
+	return fmt.Sprintf("core%d rob=%d fq=%d wbuf=%d retired=%d",
+		c.id, c.robLen(), len(c.fetchQ)-c.fqHead, len(c.wbuf), c.Retired)
+}

@@ -1,0 +1,18 @@
+package cpu
+
+import "repro/internal/stats"
+
+// ResetStats zeroes execution-time accounting and event counters, keeping
+// all microarchitectural state (used to exclude warm-up transients).
+func (c *Core) ResetStats() {
+	c.Bk = stats.Breakdown{}
+	c.Retired = 0
+	c.Rollbacks = 0
+	c.LockSpins = 0
+	c.LockTries = 0
+	c.LockWaits = 0
+	c.SpecLoads = 0
+	c.Violations = 0
+	c.pred.CondBranches, c.pred.CondMispred = 0, 0
+	c.pred.TargetBranches, c.pred.TargetMispred = 0, 0
+}

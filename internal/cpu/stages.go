@@ -1,0 +1,716 @@
+package cpu
+
+import (
+	"repro/internal/config"
+	"repro/internal/memsys"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// live reports whether seq names an entry currently in the window.
+func (c *Core) live(seq uint64) bool { return seq >= c.headSeq && seq < c.tailSeq }
+
+// prodReady reports whether the producer identified by seq has its result
+// available at cycle now. Retired producers are always ready.
+func (c *Core) prodReady(seq, now uint64) bool {
+	if seq == noProd || !c.live(seq) {
+		return true
+	}
+	e := c.entry(seq)
+	return e.state == stExec && e.complete <= now
+}
+
+func (c *Core) srcsReady(e *robEntry, now uint64) bool {
+	return c.prodReady(e.prod1, now) && c.prodReady(e.prod2, now)
+}
+
+// ---------------------------------------------------------------- fetch --
+
+func (c *Core) fetchStage(now uint64) {
+	if c.pendingSys || c.streamEnded {
+		return
+	}
+	if c.blockBranch != 0 {
+		// Fetch is halted behind a mispredicted branch; resolution is
+		// detected here or at the branch's retirement.
+		if c.live(c.blockBranch) {
+			e := c.entry(c.blockBranch)
+			if e.state == stExec && e.complete <= now {
+				c.resumeAt = e.complete + uint64(c.cfg.BranchRestart)
+				c.blockBranch = 0
+			} else {
+				c.stallInstr = false
+				return
+			}
+		} else {
+			c.blockBranch = 0
+		}
+	}
+	if now < c.resumeAt {
+		c.stallInstr = false
+		return
+	}
+	if now < c.fetchReady {
+		c.stallInstr = true
+		return
+	}
+	lineShift := c.mem.L1I().LineShift()
+	for n := 0; n < c.cfg.IssueWidth; n++ {
+		if len(c.fetchQ)-c.fqHead >= c.cfg.FetchBufferEntries {
+			return
+		}
+		if c.unresolved >= c.cfg.MaxSpeculatedBr {
+			c.stallInstr = false
+			return
+		}
+		var in trace.Instr
+		if !c.ctx.Stream.Next(&in) {
+			c.streamEnded = true
+			return
+		}
+		if in.Op == trace.OpSyscall {
+			c.pendingSys = true
+			c.pendingSysNs = in.Latency
+			return
+		}
+		avail := now + 1
+		stop := false
+		if line := in.PC >> lineShift; !c.lineValid || line != c.curLine {
+			res := c.mem.IFetch(in.PC, now)
+			c.curLine, c.lineValid = line, true
+			if res.Done > avail {
+				avail = res.Done
+				c.fetchReady = res.Done
+				c.stallInstr = true
+				stop = true // the rest of this line arrives later
+			}
+		}
+		mis := false
+		if in.Op.IsBranch() {
+			mis = !c.pred.PredictAndUpdate(&in)
+			c.unresolved++
+			if c.cfg.BTBPrefetch && !mis && in.Taken && in.Target>>lineShift != c.curLine {
+				// BTB-directed prefetch of the predicted target's line
+				// (correct predictions only: wrong-path fetch is not
+				// simulated, matching the trace-driven methodology).
+				c.mem.PrefetchInstr(in.Target, now)
+			}
+		}
+		c.fetchQ = append(c.fetchQ, fqEntry{in: in, fetchDone: avail, mispred: mis})
+		if mis {
+			// Trace-driven: no wrong-path fetch; stall until resolution.
+			c.stallInstr = false
+			return
+		}
+		if stop {
+			return
+		}
+	}
+}
+
+// -------------------------------------------------------------- dispatch --
+
+func (c *Core) dispatchStage(now uint64) {
+	for n := 0; n < c.cfg.IssueWidth; n++ {
+		if c.fqHead >= len(c.fetchQ) {
+			break
+		}
+		fe := &c.fetchQ[c.fqHead]
+		if fe.fetchDone > now {
+			break
+		}
+		if c.robLen() >= c.cfg.WindowSize {
+			break
+		}
+		isMem := fe.in.Op.IsMem()
+		if isMem && c.memInROB >= c.cfg.MemQueueSize {
+			break
+		}
+		seq := c.tailSeq
+		e := c.entry(seq)
+		*e = robEntry{in: fe.in, seq: seq, fetchDone: fe.fetchDone, mispred: fe.mispred}
+		if s := fe.in.Src1; s != trace.NoReg {
+			e.prod1 = c.rename[s]
+		}
+		if s := fe.in.Src2; s != trace.NoReg {
+			e.prod2 = c.rename[s]
+		}
+		if d := fe.in.Dest; d != trace.NoReg {
+			c.rename[d] = seq
+		}
+		if isMem {
+			c.memInROB++
+		}
+		switch fe.in.Op {
+		case trace.OpMemBar, trace.OpWriteBar, trace.OpLockAcquire, trace.OpLockRelease,
+			trace.OpPrefetch, trace.OpPrefetchX, trace.OpFlush:
+			// These execute at retirement (fences, locks, hints); mark them
+			// executed so they do not block the in-order issue scan.
+			e.state = stExec
+			e.complete = fe.fetchDone
+		}
+		switch fe.in.Op {
+		case trace.OpMemBar, trace.OpLockAcquire:
+			c.fenceCount++
+		}
+		if fe.mispred {
+			c.blockBranch = seq
+		}
+		c.tailSeq++
+		c.fqHead++
+	}
+	if c.fqHead >= len(c.fetchQ) {
+		c.fetchQ = c.fetchQ[:0]
+		c.fqHead = 0
+	}
+}
+
+// ----------------------------------------------------------------- issue --
+
+// issueStage walks the window in program order, starting execution of
+// ready instructions subject to functional units, issue width, and the
+// memory consistency model. The walk maintains the ordering flags each
+// model needs, so consistency checks are O(1) per instruction.
+func (c *Core) issueStage(now uint64) {
+	intFree, fpFree, agFree := c.cfg.IntALUs, c.cfg.FPUs, c.cfg.AddrGenUnits
+	if c.cfg.InfiniteFUs {
+		intFree, fpFree, agFree = 1<<30, 1<<30, 1<<30
+	}
+	budget := c.cfg.IssueWidth
+
+	olderLoadUnperformed := false
+	olderMemUnperformed := false
+	olderFence := false // unretired MB or lock acquire ahead of this point
+
+	// Fast path: under RC with no fence in flight, ordering flags are
+	// irrelevant, so the scan can skip the already-executing prefix.
+	start := c.headSeq
+	if c.cfg.Consistency == config.RC && c.fenceCount == 0 {
+		if c.scanFrom > start {
+			start = c.scanFrom
+		}
+	}
+
+	for seq := start; seq < c.tailSeq && budget > 0; seq++ {
+		e := c.entry(seq)
+
+		// Ordering flags are updated after the entry is considered, below.
+		issuedSomething := false
+		switch e.in.Op {
+		case trace.OpIntALU, trace.OpFPALU:
+			if e.state == stExec {
+				break
+			}
+			if e.fetchDone > now || !c.srcsReady(e, now) {
+				if c.cfg.InOrder {
+					return
+				}
+				break
+			}
+			lat, free := c.cfg.IntLatency, &intFree
+			if e.in.Op == trace.OpFPALU {
+				lat, free = c.cfg.FPLatency, &fpFree
+			}
+			if *free == 0 {
+				if c.cfg.InOrder {
+					return
+				}
+				break
+			}
+			*free--
+			budget--
+			e.state = stExec
+			e.complete = now + uint64(lat)
+			issuedSomething = true
+
+		case trace.OpBranch, trace.OpJump, trace.OpCall, trace.OpReturn:
+			if e.state == stExec {
+				break
+			}
+			if e.fetchDone > now || !c.srcsReady(e, now) || intFree == 0 {
+				if c.cfg.InOrder {
+					return
+				}
+				break
+			}
+			intFree--
+			budget--
+			e.state = stExec
+			e.complete = now + uint64(c.cfg.IntLatency)
+			issuedSomething = true
+
+		case trace.OpLoad:
+			done := c.issueLoad(e, now, &agFree, &budget,
+				olderLoadUnperformed, olderMemUnperformed, olderFence)
+			if !done && c.cfg.InOrder {
+				return
+			}
+			issuedSomething = done
+
+		case trace.OpStore:
+			// Stores execute (address + data ready) here; the memory
+			// access happens at retirement per the consistency model.
+			if e.state == stExec {
+				break
+			}
+			if e.fetchDone > now || !c.srcsReady(e, now) {
+				if c.cfg.InOrder {
+					return
+				}
+				break
+			}
+			if e.addrDone == 0 {
+				if agFree == 0 {
+					if c.cfg.InOrder {
+						return
+					}
+					break
+				}
+				agFree--
+				budget--
+				e.addrDone = now + 1
+				break
+			}
+			if e.addrDone <= now {
+				e.state = stExec
+				e.complete = e.addrDone
+				issuedSomething = true
+				if c.cfg.ConsistencyOpts != config.ImplPlain && !e.prefetch {
+					// Hardware prefetch from the window: request ownership
+					// early for stores blocked by consistency/retirement.
+					c.mem.Prefetch(e.in.Addr, e.in.PC, now, true, c.inCS())
+					e.prefetch = true
+				}
+			}
+
+		default:
+			// Fences, locks and hints were marked executed at dispatch.
+		}
+		_ = issuedSomething
+
+		// Update ordering flags for younger instructions.
+		switch e.in.Op {
+		case trace.OpLoad:
+			if !(e.issuedMem && e.complete <= now) {
+				olderLoadUnperformed = true
+				olderMemUnperformed = true
+			}
+		case trace.OpStore:
+			// An in-window store is not yet globally performed (it issues
+			// at retirement at the earliest).
+			olderMemUnperformed = true
+		case trace.OpMemBar, trace.OpLockAcquire:
+			olderFence = true
+		}
+	}
+
+	// Advance the fast-path scan start past the fully executing prefix.
+	if c.scanFrom < c.headSeq {
+		c.scanFrom = c.headSeq
+	}
+	for c.scanFrom < c.tailSeq && c.entry(c.scanFrom).state == stExec {
+		c.scanFrom++
+	}
+}
+
+// issueLoad handles the two-phase (address generation, then cache access)
+// execution of a load under the configured consistency model. It returns
+// true when the load made progress this cycle.
+func (c *Core) issueLoad(e *robEntry, now uint64, agFree, budget *int,
+	olderLoadUnperformed, olderMemUnperformed, olderFence bool) bool {
+
+	if e.issuedMem || e.fetchDone > now {
+		return e.issuedMem
+	}
+	if e.addrDone == 0 {
+		if !c.srcsReady(e, now) || *agFree == 0 {
+			return false
+		}
+		*agFree--
+		*budget--
+		e.addrDone = now + 1
+		return true
+	}
+	if e.addrDone > now {
+		return false
+	}
+
+	allowed := false
+	switch c.cfg.Consistency {
+	case config.RC:
+		allowed = !olderFence
+	case config.PC:
+		allowed = !olderLoadUnperformed && !olderFence
+	case config.SC:
+		allowed = !olderMemUnperformed && !olderFence
+	}
+	spec := false
+	if !allowed {
+		switch c.cfg.ConsistencyOpts {
+		case config.ImplPlain:
+			return false
+		case config.ImplPrefetch:
+			if !e.prefetch {
+				c.mem.Prefetch(e.in.Addr, e.in.PC, now, false, c.inCS())
+				e.prefetch = true
+			}
+			return false
+		case config.ImplSpeculative:
+			spec = true
+		}
+	}
+	res := c.mem.DataRead(e.in.Addr, e.in.PC, now, c.inCS())
+	e.issuedMem = true
+	e.state = stExec
+	e.complete = res.Done
+	e.class = res.Class
+	e.tlbMiss = res.TLBMiss
+	e.lineAddr = res.LineAddr // physical, as delivered by invalidation hooks
+	e.specLoad = spec
+	if spec {
+		c.SpecLoads++
+	}
+	return true
+}
+
+func (c *Core) inCS() bool { return c.ctx != nil && c.ctx.csDepth > 0 }
+
+// ---------------------------------------------------------------- retire --
+
+func (c *Core) retireStage(now uint64) {
+	width := c.cfg.IssueWidth
+	retired := 0
+	var stallCat stats.Category
+	stalled := false
+	for retired < width && c.robLen() > 0 {
+		e := c.entry(c.headSeq)
+		ok, cat := c.tryRetire(e, now)
+		if !ok {
+			stallCat, stalled = cat, true
+			break
+		}
+		if e.in.Op.IsMem() {
+			c.memInROB--
+		}
+		switch e.in.Op {
+		case trace.OpMemBar, trace.OpLockAcquire:
+			c.fenceCount--
+		}
+		if e.in.Op.IsBranch() {
+			c.unresolved--
+			if e.seq == c.blockBranch {
+				c.resumeAt = e.complete + uint64(c.cfg.BranchRestart)
+				c.blockBranch = 0
+			}
+		}
+		c.ctx.Retired++
+		c.Retired++
+		c.headSeq++
+		retired++
+	}
+	c.Bk[stats.Busy] += float64(retired) / float64(width)
+	if retired == width {
+		return
+	}
+	frac := float64(width-retired) / float64(width)
+	if !stalled {
+		// Window empty: charge the fetch-side reason.
+		if c.pendingSys || c.streamEnded {
+			return // transition cycles; the scheduler accounts switches
+		}
+		if c.stallInstr {
+			stallCat = stats.Instr
+		} else {
+			stallCat = stats.CPUStall
+		}
+	}
+	c.Bk[stallCat] += frac
+}
+
+// readCategory maps a load's service point to its stall category.
+func readCategory(class memsys.Class, tlbMiss bool) stats.Category {
+	if tlbMiss && class == memsys.ClassL1 {
+		return stats.ReadDTLB
+	}
+	switch class {
+	case memsys.ClassL1:
+		return stats.ReadL1
+	case memsys.ClassL2:
+		return stats.ReadL2
+	case memsys.ClassLocal:
+		return stats.ReadLocal
+	case memsys.ClassRemote:
+		return stats.ReadRemote
+	case memsys.ClassRemoteDirty:
+		return stats.ReadDirty
+	}
+	return stats.ReadL1
+}
+
+// tryRetire attempts to retire the head entry, returning the stall
+// category on failure.
+func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
+	switch e.in.Op {
+	case trace.OpLoad:
+		if e.state != stExec {
+			if e.fetchDone > now {
+				return false, stats.Instr
+			}
+			return false, stats.ReadL1 // address generation / dependence
+		}
+		if e.violated {
+			// Speculative-load ordering violation: squash and re-execute
+			// from this load (recovery as for branch mispredictions).
+			c.rollback(e.seq, now)
+			c.Violations++
+			return false, stats.ReadL1
+		}
+		if e.complete > now {
+			return false, readCategory(e.class, e.tlbMiss)
+		}
+		return true, 0
+
+	case trace.OpStore:
+		if e.state != stExec {
+			if e.fetchDone > now {
+				return false, stats.Instr
+			}
+			return false, stats.ReadL1 // address generation / dependence
+		}
+		if c.cfg.Consistency == config.SC {
+			// SC: the store performs at the head of the window and blocks
+			// retirement until globally performed.
+			if !e.issuedMem {
+				res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, c.inCS())
+				e.issuedMem = true
+				e.complete = res.Done
+				e.class = res.Class
+			}
+			if e.complete > now {
+				return false, stats.Write
+			}
+			return true, 0
+		}
+		// PC/RC: retire into the write buffer.
+		if len(c.wbuf) >= c.cfg.WriteBufEntries {
+			return false, stats.Write
+		}
+		c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, pc: e.in.PC, inCS: c.inCS()})
+		return true, 0
+
+	case trace.OpLockAcquire:
+		if e.fetchDone > now {
+			return false, stats.Instr
+		}
+		if !e.issuedMem {
+			c.LockTries++
+			if !c.locks.TryAcquire(e.in.Addr, c.ctx.ID, now) {
+				if !e.waited {
+					c.LockWaits++
+					e.waited = true
+				}
+				c.LockSpins++
+				return false, stats.Sync
+			}
+			// The winning read-modify-write brings the lock line in
+			// exclusive; this is the lock-passing (migratory) transfer.
+			res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
+			e.issuedMem = true
+			e.complete = res.Done
+		}
+		if e.complete > now {
+			return false, stats.Sync
+		}
+		c.ctx.csDepth++
+		return true, 0
+
+	case trace.OpLockRelease:
+		if e.fetchDone > now {
+			return false, stats.Instr
+		}
+		if c.cfg.Consistency == config.SC {
+			if !e.issuedMem {
+				res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
+				e.issuedMem = true
+				e.complete = res.Done
+			}
+			if e.complete > now {
+				return false, stats.Sync
+			}
+			c.locks.Release(e.in.Addr, c.ctx.ID, e.complete)
+			c.ctx.csDepth--
+			return true, 0
+		}
+		if len(c.wbuf) >= c.cfg.WriteBufEntries {
+			return false, stats.Write
+		}
+		c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, pc: e.in.PC, inCS: true, release: true})
+		c.ctx.csDepth--
+		return true, 0
+
+	case trace.OpMemBar:
+		// Full barrier: all prior memory operations performed and the
+		// write buffer drained (older window entries retired by induction).
+		if len(c.wbuf) != 0 {
+			return false, stats.Sync
+		}
+		return true, 0
+
+	case trace.OpWriteBar:
+		if len(c.wbuf) >= c.cfg.WriteBufEntries {
+			return false, stats.Sync
+		}
+		c.wbuf = append(c.wbuf, wbufEntry{isWMB: true})
+		return true, 0
+
+	case trace.OpPrefetch, trace.OpPrefetchX:
+		if e.fetchDone > now {
+			return false, stats.Instr
+		}
+		if !e.issuedMem {
+			c.mem.Prefetch(e.in.Addr, e.in.PC, now, e.in.Op == trace.OpPrefetchX, c.inCS())
+			e.issuedMem = true
+		}
+		return true, 0
+
+	case trace.OpFlush:
+		if e.fetchDone > now {
+			return false, stats.Instr
+		}
+		if c.cfg.Consistency == config.SC {
+			// Under SC all prior stores have performed by the time the
+			// flush reaches the head; execute directly.
+			c.mem.Flush(e.in.Addr, now)
+			return true, 0
+		}
+		// PC/RC: queue behind the buffered stores so the flush executes
+		// once they perform, without stalling retirement (the hint is off
+		// the critical path, as in the paper).
+		if len(c.wbuf) >= c.cfg.WriteBufEntries {
+			return false, stats.Write
+		}
+		c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, isFlush: true})
+		return true, 0
+
+	default: // ALU and branches
+		if e.state != stExec {
+			if e.fetchDone > now {
+				return false, stats.Instr
+			}
+			return false, stats.CPUStall
+		}
+		if e.complete > now {
+			return false, stats.CPUStall
+		}
+		return true, 0
+	}
+}
+
+// rollback squashes the window from fromSeq on, resetting the squashed
+// instructions for re-execution after a pipeline-restart penalty (the
+// recovery mechanism is the one used for branch mispredictions).
+func (c *Core) rollback(fromSeq, now uint64) {
+	c.Rollbacks++
+	if c.scanFrom > fromSeq {
+		c.scanFrom = fromSeq
+	}
+	width := uint64(c.cfg.IssueWidth)
+	for seq := fromSeq; seq < c.tailSeq; seq++ {
+		e := c.entry(seq)
+		refetch := now + uint64(c.cfg.BranchRestart) + (seq-fromSeq)/width
+		*e = robEntry{
+			in:        e.in,
+			seq:       e.seq,
+			fetchDone: maxU(e.fetchDone, refetch),
+			prod1:     e.prod1,
+			prod2:     e.prod2,
+			mispred:   e.mispred,
+		}
+		switch e.in.Op {
+		case trace.OpMemBar, trace.OpWriteBar, trace.OpLockAcquire, trace.OpLockRelease,
+			trace.OpPrefetch, trace.OpPrefetchX, trace.OpFlush:
+			e.state = stExec
+			e.complete = e.fetchDone
+		}
+	}
+}
+
+// ---------------------------------------------------------- write buffer --
+
+// drainWbuf issues and retires buffered stores per the consistency model:
+// RC overlaps stores freely between WMB markers; PC issues one store at a
+// time in FIFO order.
+func (c *Core) drainWbuf(now uint64) {
+	if len(c.wbuf) == 0 {
+		return
+	}
+	switch c.cfg.Consistency {
+	case config.RC:
+		allPriorDone := true
+		for i := range c.wbuf {
+			w := &c.wbuf[i]
+			if w.isWMB {
+				if !allPriorDone {
+					break
+				}
+				continue
+			}
+			if w.isFlush {
+				continue
+			}
+			if !w.issued {
+				res := c.mem.DataWrite(w.addr, w.pc, now, w.inCS)
+				w.issued = true
+				w.done = res.Done
+			}
+			if w.done > now {
+				allPriorDone = false
+			}
+		}
+	case config.PC:
+		for i := range c.wbuf {
+			w := &c.wbuf[i]
+			if w.isWMB || w.isFlush {
+				continue
+			}
+			if !w.issued {
+				res := c.mem.DataWrite(w.addr, w.pc, now, w.inCS)
+				w.issued = true
+				w.done = res.Done
+			}
+			// Strict FIFO: the next store may not issue until this one
+			// has performed.
+			if w.done > now {
+				break
+			}
+		}
+	}
+	// Retire performed entries from the front. A flush at the front has
+	// seen all prior stores perform; it executes now, off the critical
+	// path.
+	for len(c.wbuf) > 0 {
+		w := c.wbuf[0]
+		switch {
+		case w.isWMB:
+		case w.isFlush:
+			c.mem.Flush(w.addr, now)
+		case w.issued && w.done <= now:
+			if w.release {
+				c.locks.Release(w.addr, c.ctx.ID, w.done)
+			}
+		default:
+			return
+		}
+		c.wbuf = c.wbuf[1:]
+	}
+	if len(c.wbuf) == 0 {
+		c.wbuf = nil
+	}
+}

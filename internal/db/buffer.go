@@ -1,0 +1,63 @@
+package db
+
+// BufferCache models the SGA block-buffer directory: a hash table of
+// buckets, each protected by a "cache buffer chains" latch, whose chains
+// link buffer headers describing cached blocks. Looking up a block walks
+// the bucket's chain — a genuinely dependent (pointer-chasing) load
+// sequence — and pinning a buffer writes its header, which makes the
+// headers of hot blocks (branch rows, history insertion point) migrate
+// between processors.
+type BufferCache struct {
+	buckets    int
+	blocks     int
+	latchBase  uint64
+	headerBase uint64
+}
+
+// NewBufferCache sizes a directory for blocks cache blocks hashed into
+// buckets buckets (buckets should be a power of two).
+func NewBufferCache(blocks, buckets int) *BufferCache {
+	return &BufferCache{
+		buckets: buckets,
+		blocks:  blocks,
+		// Metadata-area carve-outs: one cache line per bucket latch, two
+		// lines (128B) per buffer header.
+		latchBase:  MetaBase + 0x0010_0000,
+		headerBase: MetaBase + 0x0100_0000,
+	}
+}
+
+// Blocks returns the number of cacheable blocks.
+func (bc *BufferCache) Blocks() int { return bc.blocks }
+
+// bucketOf hashes a block number to its bucket.
+func (bc *BufferCache) bucketOf(blk int) int {
+	x := uint64(blk) * 0x9E3779B97F4A7C15
+	return int(x % uint64(bc.buckets))
+}
+
+// BucketLatchAddr returns the latch protecting blk's bucket chain.
+func (bc *BufferCache) BucketLatchAddr(blk int) uint64 {
+	return bc.latchBase + uint64(bc.bucketOf(blk))*LineBytes
+}
+
+// HeaderAddr returns the buffer header address for blk.
+func (bc *BufferCache) HeaderAddr(blk int) uint64 {
+	return bc.headerBase + uint64(blk)*2*LineBytes
+}
+
+// ChainWalk returns the dependent load addresses of a lookup of blk: the
+// bucket head pointer, then the headers of the blocks ahead of blk on the
+// chain, ending at blk's own header. Chain positions are a deterministic
+// function of the block number, so the walk is stable across traces.
+func (bc *BufferCache) ChainWalk(blk int) []uint64 {
+	depth := int(uint64(blk)*0x2545F4914F6CDD1D>>61) % 3 // 0..2 blocks ahead
+	walk := make([]uint64, 0, depth+2)
+	walk = append(walk, bc.latchBase+uint64(bc.bucketOf(blk))*LineBytes+8)
+	for i := 1; i <= depth; i++ {
+		other := (blk + i*bc.buckets) % bc.blocks
+		walk = append(walk, bc.HeaderAddr(other))
+	}
+	walk = append(walk, bc.HeaderAddr(blk))
+	return walk
+}

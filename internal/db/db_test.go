@@ -1,0 +1,254 @@
+package db
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTPCBLayoutDistinct(t *testing.T) {
+	tp := NewTPCB(TPCBConfig{Branches: 40})
+	if tp.Branches != 40 || tp.Tellers != 400 || tp.Accounts != 4_000_000 {
+		t.Fatalf("scale wrong: %d/%d/%d", tp.Branches, tp.Tellers, tp.Accounts)
+	}
+	// Branch rows live in distinct blocks (one per branch).
+	seen := map[int]bool{}
+	for b := 0; b < tp.Branches; b++ {
+		blk := tp.BranchBlock(b)
+		if seen[blk] {
+			t.Fatalf("branches share block %d", blk)
+		}
+		seen[blk] = true
+	}
+	// Account blocks pack 80 rows.
+	if tp.AccountBlock(0) != tp.AccountBlock(79) {
+		t.Error("first 80 accounts should share a block")
+	}
+	if tp.AccountBlock(79) == tp.AccountBlock(80) {
+		t.Error("account 80 should start a new block")
+	}
+	// Region ordering: branches < tellers < accounts < history.
+	if !(tp.BranchBlock(0) < tp.TellerBlock(0) &&
+		tp.TellerBlock(tp.Tellers-1) < tp.AccountBlock(0) &&
+		tp.AccountBlock(tp.Accounts-1) < tp.TotalBlocks()) {
+		t.Error("block regions out of order")
+	}
+}
+
+func TestTPCBRowAddressesWithinBlocks(t *testing.T) {
+	tp := NewTPCB(TPCBConfig{})
+	f := func(aid uint32) bool {
+		a := int(aid) % tp.Accounts
+		addr := tp.AccountRowAddr(a)
+		blk := tp.AccountBlock(a)
+		return addr >= BlockAddr(blk) && addr < BlockAddr(blk+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPCBApplyAndConsistency(t *testing.T) {
+	tp := NewTPCB(TPCBConfig{Branches: 2})
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 500; i++ {
+		tid := rng.IntN(tp.Tellers)
+		bid := tid / 10
+		aid := bid*100_000 + rng.IntN(100_000)
+		if err := tp.Apply(aid, tid, bid, int64(rng.IntN(2001)-1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tp.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one teller balance: the invariant must trip.
+	tp.tellerBalance[0] += 7
+	if err := tp.CheckConsistency(); err == nil {
+		t.Error("corruption not detected")
+	}
+}
+
+func TestTPCBApplyBounds(t *testing.T) {
+	tp := NewTPCB(TPCBConfig{Branches: 1})
+	if err := tp.Apply(-1, 0, 0, 1); err == nil {
+		t.Error("negative account accepted")
+	}
+	if err := tp.Apply(0, tp.Tellers, 0, 1); err == nil {
+		t.Error("out-of-range teller accepted")
+	}
+	if err := tp.Apply(0, 0, 99, 1); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+}
+
+func TestHistoryAppendAdvances(t *testing.T) {
+	tp := NewTPCB(TPCBConfig{})
+	b1, a1 := tp.HistoryAppend()
+	b2, a2 := tp.HistoryAppend()
+	if a1 == a2 {
+		t.Error("history rows collide")
+	}
+	if b1 != b2 {
+		t.Error("consecutive rows should share the insertion block")
+	}
+	if tp.HistoryCount() != 2 {
+		t.Errorf("history count = %d", tp.HistoryCount())
+	}
+	// The insertion point eventually moves to the next block.
+	for i := 0; i < 200; i++ {
+		tp.HistoryAppend()
+	}
+	b3, _ := tp.HistoryAppend()
+	if b3 == b1 {
+		t.Error("insertion block never advanced")
+	}
+}
+
+func TestSegments(t *testing.T) {
+	tp := NewTPCB(TPCBConfig{Segments: 8})
+	if tp.SegmentOf(3) != 3 || tp.SegmentOf(11) != 3 {
+		t.Error("segment hashing wrong")
+	}
+	if tp.SegmentLatchAddr(3) != tp.SegmentLatchAddr(11) {
+		t.Error("same segment must share its latch")
+	}
+	if tp.SegmentLatchAddr(0) == tp.SegmentLatchAddr(1) {
+		t.Error("different segments must have distinct latches")
+	}
+	if tp.SlotAddr(0) == tp.SlotAddr(8) {
+		t.Error("slots of different procs in one segment must differ")
+	}
+}
+
+func TestBufferCacheChainWalk(t *testing.T) {
+	bc := NewBufferCache(10_000, 4096)
+	for blk := 0; blk < 200; blk++ {
+		walk := bc.ChainWalk(blk)
+		if len(walk) < 2 || len(walk) > 4 {
+			t.Fatalf("blk %d: walk length %d", blk, len(walk))
+		}
+		if walk[len(walk)-1] != bc.HeaderAddr(blk) {
+			t.Fatalf("blk %d: walk does not end at own header", blk)
+		}
+		// Determinism.
+		again := bc.ChainWalk(blk)
+		for i := range walk {
+			if walk[i] != again[i] {
+				t.Fatal("chain walk not deterministic")
+			}
+		}
+	}
+}
+
+func TestBufferCacheLatchSharing(t *testing.T) {
+	bc := NewBufferCache(10_000, 4096)
+	// Blocks hashing to the same bucket share a latch; different buckets
+	// do not.
+	sameBucket := -1
+	for b := 1; b < 10_000; b++ {
+		if bc.bucketOf(b) == bc.bucketOf(0) {
+			sameBucket = b
+			break
+		}
+	}
+	if sameBucket < 0 {
+		t.Skip("no colliding block found")
+	}
+	if bc.BucketLatchAddr(0) != bc.BucketLatchAddr(sameBucket) {
+		t.Error("same-bucket blocks must share the latch")
+	}
+}
+
+func TestRedoLogAlloc(t *testing.T) {
+	r := NewRedoLog(1 << 20)
+	a := r.Alloc(120)
+	if len(a) < 2 || len(a) > 3 {
+		t.Fatalf("120-byte record spans %d lines", len(a))
+	}
+	b := r.Alloc(120)
+	if a[0] == b[0] && a[len(a)-1] == b[len(b)-1] {
+		t.Error("consecutive allocations fully collide")
+	}
+	if r.Records != 2 || r.Bytes != 240 {
+		t.Errorf("counters: %d records, %d bytes", r.Records, r.Bytes)
+	}
+	// Adjacent allocations may share a boundary line: that is the
+	// log-tail sharing the paper observes. All addresses are in-buffer.
+	for _, addr := range append(a, b...) {
+		if addr < MetaBase || addr > MetaBase+2<<20 {
+			t.Errorf("log address %x outside the metadata area", addr)
+		}
+	}
+}
+
+func TestRedoLogWraps(t *testing.T) {
+	r := NewRedoLog(4096)
+	first := r.Alloc(64)[0]
+	for i := 0; i < 63; i++ {
+		r.Alloc(64)
+	}
+	wrapped := r.Alloc(64)[0]
+	if wrapped != first {
+		t.Errorf("ring did not wrap: %x vs %x", wrapped, first)
+	}
+}
+
+func TestLineItemDeterminismAndRevenue(t *testing.T) {
+	li := NewLineItem(10_000, 16)
+	if li.Quantity(0, 5) != li.Quantity(0, 5) {
+		t.Error("column values not deterministic")
+	}
+	if li.Quantity(0, 5) == li.Quantity(1, 5) && li.DiscountBP(0, 5) == li.DiscountBP(1, 5) {
+		t.Error("partitions should differ")
+	}
+	var manual int64
+	for i := 0; i < 10_000; i++ {
+		if li.Qualifies(0, i) {
+			manual += li.PriceCents(0, i) * int64(li.DiscountBP(0, i))
+		} else if li.Revenue(0, i) != 0 {
+			t.Fatal("non-qualifying row has revenue")
+		}
+	}
+	if got := li.PartitionRevenue(0, 10_000); got != manual {
+		t.Errorf("PartitionRevenue = %d, manual = %d", got, manual)
+	}
+	if manual == 0 {
+		t.Error("no qualifying rows in 10k")
+	}
+}
+
+func TestLineItemLayout(t *testing.T) {
+	li := NewLineItem(1000, 16)
+	if li.RowAddr(0, 1)-li.RowAddr(0, 0) != 16 {
+		t.Error("row stride wrong")
+	}
+	// Partitions do not overlap.
+	if li.RowAddr(1, 0) <= li.RowAddr(0, 999) {
+		t.Error("partitions overlap")
+	}
+	// Block alignment.
+	if li.BlockOf(0, 0)%BlockBytes != 0 {
+		t.Error("block address not aligned")
+	}
+	// Value ranges.
+	for i := 0; i < 1000; i++ {
+		if q := li.Quantity(0, i); q < 1 || q > 50 {
+			t.Fatalf("quantity %d out of range", q)
+		}
+		if d := li.DiscountBP(0, i); d < 0 || d > 1000 {
+			t.Fatalf("discount %d out of range", d)
+		}
+		if p := li.PriceCents(0, i); p < 10_000 || p >= 100_000 {
+			t.Fatalf("price %d out of range", p)
+		}
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	for p := 0; p < 32; p++ {
+		if PrivateBase(p+1)-PrivateBase(p) != PrivStride {
+			t.Fatal("private regions not uniformly spaced")
+		}
+	}
+}

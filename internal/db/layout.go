@@ -1,0 +1,50 @@
+// Package db is the miniature database-engine substrate standing in for the
+// Oracle 7.3.2 engine the paper traced. It reproduces the engine structures
+// whose memory behaviour drives the paper's results: the System Global Area
+// (SGA) with its block-buffer and metadata areas, the hash-based buffer
+// directory with per-bucket latches, the redo log with its allocation latch
+// (the canonical hot migratory latch), rollback-segment transaction slots,
+// the TPC-B tables (account, branch, teller, history), and the TPC-D
+// lineitem table scanned by Query 6.
+//
+// The engine is used at trace-generation time: it hands out the *addresses*
+// and structural walks (hash-chain depths, row positions, log tail
+// allocations) that the workload generators (internal/workload) expand into
+// instruction streams, and it maintains logical table state so tests can
+// verify transactional bookkeeping (balance conservation, history counts).
+package db
+
+// BlockBytes is the database block size (Oracle-style 8KB blocks, equal to
+// the machine page size in Figure 1).
+const BlockBytes = 8192
+
+// LineBytes is the coherence granularity assumed when spreading structures
+// to avoid or create line sharing deliberately.
+const LineBytes = 64
+
+// Address-space layout of the simulated process image. All server
+// processes share the SGA mapping (code, metadata, block buffer); each has
+// a private region (stack, PGA).
+const (
+	// CodeBase is where the engine text segment is laid out.
+	CodeBase uint64 = 0x1000_0000
+	// MetaBase is the SGA metadata area: latches, buffer headers,
+	// transaction slots, the redo log buffer (the paper's metadata area).
+	MetaBase uint64 = 0x2000_0000
+	// BufBase is the SGA block buffer area (cache of database blocks).
+	BufBase uint64 = 0x4000_0000
+	// SharedPlanBase is the shared SQL/plan cache (read-mostly shared).
+	SharedPlanBase uint64 = 0x3000_0000
+	// PrivBase is the first per-process private region.
+	PrivBase uint64 = 0x8000_0000
+	// PrivStride separates consecutive processes' private regions.
+	PrivStride uint64 = 0x0100_0000 // 16MB each
+)
+
+// PrivateBase returns the base of process proc's private region.
+func PrivateBase(proc int) uint64 {
+	return PrivBase + uint64(proc)*PrivStride
+}
+
+// BlockAddr returns the address of buffer-cache block blk.
+func BlockAddr(blk int) uint64 { return BufBase + uint64(blk)*BlockBytes }

@@ -1,0 +1,97 @@
+package db
+
+// LineItem models the TPC-D lineitem table scanned by Query 6 (Section
+// 2.1.2 of the paper). The table is partitioned across the parallel query
+// server processes; each partition is scanned sequentially. Column values
+// are a deterministic function of the row number, so the generator and the
+// verification code agree on which rows qualify and on the aggregate.
+//
+// Query 6: SELECT SUM(l_extendedprice * l_discount) FROM lineitem WHERE
+// l_shipdate in year AND l_discount in [d-0.01, d+0.01] AND l_quantity < 24.
+type LineItem struct {
+	RowsPerPartition int
+	RowStride        int // bytes between consecutive projected row pieces
+	base             uint64
+	partitionBytes   uint64
+}
+
+// NewLineItem lays out a table with parts partitions. With the default
+// 32-byte projected row pieces, a 500MB in-memory table corresponds to tens
+// of millions of rows; runs scan a prefix of each partition.
+func NewLineItem(rowsPerPartition, rowStride int) *LineItem {
+	if rowStride == 0 {
+		rowStride = 32
+	}
+	l := &LineItem{
+		RowsPerPartition: rowsPerPartition,
+		RowStride:        rowStride,
+		base:             BufBase + 0x1000_0000, // beyond the TPC-B blocks
+	}
+	l.partitionBytes = (uint64(rowsPerPartition)*uint64(rowStride) + BlockBytes - 1) &^ (BlockBytes - 1)
+	return l
+}
+
+// RowAddr returns the address of row i of partition part.
+func (l *LineItem) RowAddr(part, i int) uint64 {
+	return l.base + uint64(part)*l.partitionBytes + uint64(i)*uint64(l.RowStride)
+}
+
+// BlockOf returns the block-aligned address containing row i of part (block
+// header reads happen once per block during the scan).
+func (l *LineItem) BlockOf(part, i int) uint64 {
+	return l.RowAddr(part, i) &^ (BlockBytes - 1)
+}
+
+// rowHash mixes a global row id.
+func rowHash(part, i int) uint64 {
+	x := uint64(part)<<32 | uint64(uint32(i))
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+// Quantity returns l_quantity of the row (1..50).
+func (l *LineItem) Quantity(part, i int) int {
+	return int(rowHash(part, i)%50) + 1
+}
+
+// DiscountBP returns l_discount in basis points (0..1000 = 0..10%).
+func (l *LineItem) DiscountBP(part, i int) int {
+	return int(rowHash(part, i) >> 16 % 1001)
+}
+
+// ShipYearOK reports whether l_shipdate falls in the queried year (1/7 of
+// rows).
+func (l *LineItem) ShipYearOK(part, i int) bool {
+	return rowHash(part, i)>>32%7 == 0
+}
+
+// PriceCents returns l_extendedprice in cents.
+func (l *LineItem) PriceCents(part, i int) int64 {
+	return int64(rowHash(part, i)>>8%90_000) + 10_000
+}
+
+// Qualifies evaluates the full Query 6 predicate for a row.
+func (l *LineItem) Qualifies(part, i int) bool {
+	d := l.DiscountBP(part, i)
+	return l.ShipYearOK(part, i) && d >= 500 && d <= 700 && l.Quantity(part, i) < 24
+}
+
+// Revenue returns the row's contribution to the Query 6 aggregate (0 when
+// it does not qualify), in cents-basis-points.
+func (l *LineItem) Revenue(part, i int) int64 {
+	if !l.Qualifies(part, i) {
+		return 0
+	}
+	return l.PriceCents(part, i) * int64(l.DiscountBP(part, i))
+}
+
+// PartitionRevenue computes the expected aggregate for a partition prefix.
+func (l *LineItem) PartitionRevenue(part, rows int) int64 {
+	var sum int64
+	for i := 0; i < rows; i++ {
+		sum += l.Revenue(part, i)
+	}
+	return sum
+}

@@ -1,0 +1,51 @@
+package db
+
+// RedoLog models the redo (transaction) log buffer and its allocation
+// latch. Every updating process serializes briefly on the redo allocation
+// latch to reserve space, then copies its redo record into the shared log
+// buffer. The latch line and the log-buffer tail lines are therefore the
+// hottest migratory data in the engine (Section 4.2 of the paper), and the
+// log writer daemon consumes the buffer to disk at commit.
+type RedoLog struct {
+	bufBase  uint64
+	bufBytes uint64
+	tail     uint64 // allocation cursor (generation-time state)
+
+	Records uint64
+	Bytes   uint64
+}
+
+// NewRedoLog returns a log with a bufBytes-byte ring buffer in the SGA
+// metadata area.
+func NewRedoLog(bufBytes int) *RedoLog {
+	return &RedoLog{
+		bufBase:  MetaBase + 0x0000_1000,
+		bufBytes: uint64(bufBytes),
+	}
+}
+
+// AllocLatchAddr is the redo allocation latch (one line).
+func (r *RedoLog) AllocLatchAddr() uint64 { return MetaBase }
+
+// WriterStateAddr is the log-writer daemon's progress record, read at
+// commit to decide whether a log write must be awaited.
+func (r *RedoLog) WriterStateAddr() uint64 { return MetaBase + 0x80 }
+
+// Alloc reserves n bytes of log space and returns the line-granular
+// addresses the copy will store to. The allocation order at generation
+// time differs from the simulated lock-acquisition order, which is fine:
+// as in the paper's methodology, the work done by each process is
+// independent of the order of lock acquisition.
+func (r *RedoLog) Alloc(n int) []uint64 {
+	start := r.tail
+	r.tail += uint64(n)
+	r.Records++
+	r.Bytes += uint64(n)
+	first := start &^ (LineBytes - 1)
+	last := (start + uint64(n) - 1) &^ (LineBytes - 1)
+	var addrs []uint64
+	for a := first; a <= last; a += LineBytes {
+		addrs = append(addrs, r.bufBase+a%r.bufBytes)
+	}
+	return addrs
+}

@@ -1,0 +1,183 @@
+package db
+
+import "fmt"
+
+// TPCB models the TPC-B banking database (Section 2.1.1 of the paper): one
+// account, teller and branch table plus an append-only history table, all
+// living in buffer-cache blocks. Row addresses are computed from the
+// deterministic load order; logical balances are maintained so tests can
+// verify transactional bookkeeping.
+//
+// Layout choices mirror tuned TPC-B setups: each branch row lives in its
+// own block (otherwise false sharing of branch rows destroys scaling), ten
+// teller rows share a block, and account rows pack ~80 to a block.
+type TPCB struct {
+	Branches int
+	Tellers  int // 10 per branch
+	Accounts int // 100,000 per branch (addresses only)
+
+	accountRowsPerBlock int
+	tellerRowsPerBlock  int
+
+	branchBlock0  int
+	tellerBlock0  int
+	accountBlock0 int
+	historyBlock0 int
+	historyBlocks int
+
+	// Logical state (generation-time bookkeeping).
+	branchBalance []int64
+	tellerBalance []int64
+	acctDelta     map[int]int64
+	histCount     uint64
+
+	// Rollback-segment transaction slots: procs hash onto segments whose
+	// header lines migrate between the CPUs running those procs.
+	Segments int
+}
+
+// TPCBConfig scales the database.
+type TPCBConfig struct {
+	Branches      int // default 40, as in the paper's scaled database
+	HistoryBlocks int // ring of history blocks
+	Segments      int // rollback segments (default 8)
+}
+
+// NewTPCB lays out the database in the block buffer area.
+func NewTPCB(cfg TPCBConfig) *TPCB {
+	if cfg.Branches == 0 {
+		cfg.Branches = 40
+	}
+	if cfg.HistoryBlocks == 0 {
+		cfg.HistoryBlocks = 256
+	}
+	if cfg.Segments == 0 {
+		cfg.Segments = 8
+	}
+	t := &TPCB{
+		Branches:            cfg.Branches,
+		Tellers:             cfg.Branches * 10,
+		Accounts:            cfg.Branches * 100_000,
+		accountRowsPerBlock: 80,
+		tellerRowsPerBlock:  10,
+		Segments:            cfg.Segments,
+		historyBlocks:       cfg.HistoryBlocks,
+		branchBalance:       make([]int64, cfg.Branches),
+		acctDelta:           make(map[int]int64),
+	}
+	t.tellerBalance = make([]int64, t.Tellers)
+	// Block map: branches first, then tellers, accounts, history ring.
+	t.branchBlock0 = 0
+	t.tellerBlock0 = t.branchBlock0 + t.Branches
+	t.accountBlock0 = t.tellerBlock0 + (t.Tellers+t.tellerRowsPerBlock-1)/t.tellerRowsPerBlock
+	t.historyBlock0 = t.accountBlock0 + (t.Accounts+t.accountRowsPerBlock-1)/t.accountRowsPerBlock
+	return t
+}
+
+// TotalBlocks returns the number of buffer blocks the database occupies.
+func (t *TPCB) TotalBlocks() int { return t.historyBlock0 + t.historyBlocks }
+
+// BranchBlock returns the block holding branch bid's row.
+func (t *TPCB) BranchBlock(bid int) int { return t.branchBlock0 + bid }
+
+// BranchRowAddr returns branch bid's row address.
+func (t *TPCB) BranchRowAddr(bid int) uint64 {
+	return BlockAddr(t.BranchBlock(bid)) + 128 // after the block header
+}
+
+// TellerBlock returns the block holding teller tid's row.
+func (t *TPCB) TellerBlock(tid int) int {
+	return t.tellerBlock0 + tid/t.tellerRowsPerBlock
+}
+
+// TellerRowAddr returns teller tid's row address.
+func (t *TPCB) TellerRowAddr(tid int) uint64 {
+	return BlockAddr(t.TellerBlock(tid)) + 128 + uint64(tid%t.tellerRowsPerBlock)*100
+}
+
+// AccountBlock returns the block holding account aid's row.
+func (t *TPCB) AccountBlock(aid int) int {
+	return t.accountBlock0 + aid/t.accountRowsPerBlock
+}
+
+// AccountRowAddr returns account aid's row address.
+func (t *TPCB) AccountRowAddr(aid int) uint64 {
+	return BlockAddr(t.AccountBlock(aid)) + 128 + uint64(aid%t.accountRowsPerBlock)*100
+}
+
+// HistoryAppend reserves a history row, returning its block and address.
+// The insertion point is globally shared, so the current history block
+// migrates between processors, as in real TPC-B runs.
+func (t *TPCB) HistoryAppend() (block int, addr uint64) {
+	const rowsPerBlock = 160
+	i := t.histCount
+	t.histCount++
+	block = t.historyBlock0 + int(i/rowsPerBlock)%t.historyBlocks
+	addr = BlockAddr(block) + 128 + (i%rowsPerBlock)*50
+	return block, addr
+}
+
+// HistoryCount returns the number of history rows appended.
+func (t *TPCB) HistoryCount() uint64 { return t.histCount }
+
+// SegmentOf maps a process to its rollback segment.
+func (t *TPCB) SegmentOf(proc int) int { return proc % t.Segments }
+
+// SegmentLatchAddr returns the transaction-table latch of proc's segment.
+func (t *TPCB) SegmentLatchAddr(proc int) uint64 {
+	return MetaBase + 0x0008_0000 + uint64(t.SegmentOf(proc))*LineBytes
+}
+
+// SlotAddr returns proc's transaction-slot line within its segment.
+func (t *TPCB) SlotAddr(proc int) uint64 {
+	slot := uint64(proc / t.Segments % 16)
+	return MetaBase + 0x0009_0000 + uint64(t.SegmentOf(proc))*1024 +
+		slot*LineBytes
+}
+
+// Apply records the logical effect of one TPC-B transaction: account,
+// teller and branch balances change by delta and a history row is implied.
+func (t *TPCB) Apply(aid, tid, bid int, delta int64) error {
+	if aid < 0 || aid >= t.Accounts {
+		return fmt.Errorf("db: account %d out of range", aid)
+	}
+	if tid < 0 || tid >= t.Tellers {
+		return fmt.Errorf("db: teller %d out of range", tid)
+	}
+	if bid < 0 || bid >= t.Branches {
+		return fmt.Errorf("db: branch %d out of range", bid)
+	}
+	t.acctDelta[aid] += delta
+	t.tellerBalance[tid] += delta
+	t.branchBalance[bid] += delta
+	return nil
+}
+
+// BranchBalance returns branch bid's balance.
+func (t *TPCB) BranchBalance(bid int) int64 { return t.branchBalance[bid] }
+
+// TellerBalance returns teller tid's balance.
+func (t *TPCB) TellerBalance(tid int) int64 { return t.tellerBalance[tid] }
+
+// AccountDelta returns the net balance change of account aid.
+func (t *TPCB) AccountDelta(aid int) int64 { return t.acctDelta[aid] }
+
+// CheckConsistency verifies TPC-B bookkeeping invariants: the sums of
+// account, teller, and branch balance changes must all be equal.
+func (t *TPCB) CheckConsistency() error {
+	var accounts, tellers, branches int64
+	for _, d := range t.acctDelta {
+		accounts += d
+	}
+	for _, b := range t.tellerBalance {
+		tellers += b
+	}
+	for _, b := range t.branchBalance {
+		branches += b
+	}
+	if accounts != tellers || tellers != branches {
+		return fmt.Errorf("db: balance mismatch: accounts=%d tellers=%d branches=%d",
+			accounts, tellers, branches)
+	}
+	return nil
+}

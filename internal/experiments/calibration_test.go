@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/workload/oltp"
+)
+
+// TestCalibrationOLTP checks the base-system OLTP characterization against
+// the paper's Section 3.1/3.2 numbers (loose bands; the substrate is
+// synthetic). Paper: L1I 7.6%, L1D 14.1%, L2 7.4%, IPC 0.5, branch
+// mispredict ~11%, dirty misses ~50% of L2 misses.
+func TestCalibrationOLTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	sc := Scale{OLTPTransactions: 2, OLTPWarmupTx: 1, MaxCycles: 400_000_000}
+	rep, err := RunOLTP(config.Default(), sc, "oltp-base", oltp.HintNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("instr=%d cycles=%d IPC=%.2f idle=%.0f", rep.Instructions, rep.Cycles, rep.IPC(4), rep.IdleCycles)
+	t.Logf("missrates: L1I=%.3f L1D=%.3f L2=%.3f dirtyFrac=%.2f", rep.L1IMissRate, rep.L1DMissRate, rep.L2MissRate, rep.DirtyFraction)
+	t.Logf("bpred=%.3f iTLB=%.4f dTLB=%.4f syncContention=%.3f", rep.BranchMispred, rep.ITLBMissRate, rep.DTLBMissRate, rep.SyncContention)
+	n := rep.Normalized(rep)
+	t.Logf("breakdown: CPU=%.2f instr=%.2f read=%.2f write=%.2f sync=%.2f",
+		n.CPU(), n[stats.Instr], n.Read(), n[stats.Write], n[stats.Sync])
+	t.Logf("read split: L1=%.3f L2=%.3f local=%.3f remote=%.3f dirty=%.3f dTLB=%.3f",
+		n[stats.ReadL1], n[stats.ReadL2], n[stats.ReadLocal], n[stats.ReadRemote], n[stats.ReadDirty], n[stats.ReadDTLB])
+	t.Logf("migratory: sharedW=%.2f readDirty=%.2f lines=%d pcs=%d lineConc=%.2f pcConc=%.2f wCS=%.2f rCS=%.2f",
+		rep.SharedWriteMigratory, rep.ReadDirtyMigratory, rep.MigratoryLines, rep.MigratoryPCs,
+		rep.LineConcentration, rep.PCConcentration, rep.WriteCSFraction, rep.ReadCSFraction)
+
+	if ipc := rep.IPC(4); ipc < 0.25 || ipc > 1.2 {
+		t.Errorf("OLTP IPC %.2f far from paper's 0.5", ipc)
+	}
+	if rep.L1IMissRate < 0.02 || rep.L1IMissRate > 0.15 {
+		t.Errorf("L1I miss rate %.3f far from paper's 0.076", rep.L1IMissRate)
+	}
+	if rep.L1DMissRate < 0.05 || rep.L1DMissRate > 0.25 {
+		t.Errorf("L1D miss rate %.3f far from paper's 0.141", rep.L1DMissRate)
+	}
+	if rep.L2MissRate < 0.02 || rep.L2MissRate > 0.20 {
+		t.Errorf("L2 miss rate %.3f far from paper's 0.074", rep.L2MissRate)
+	}
+	if rep.SharedWriteMigratory < 0.5 {
+		t.Errorf("migratory shared-write fraction %.2f, paper reports 0.88", rep.SharedWriteMigratory)
+	}
+	if rep.ReadDirtyMigratory < 0.4 {
+		t.Errorf("migratory dirty-read fraction %.2f, paper reports 0.79", rep.ReadDirtyMigratory)
+	}
+}
+
+// TestCalibrationDSS checks the DSS characterization. Paper: L1I ~0.0%,
+// L1D 0.9%, L2 23.1%, IPC 2.2, negligible locking.
+func TestCalibrationDSS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	sc := Scale{DSSRows: 20_000, MaxCycles: 400_000_000}
+	rep, err := RunDSS(config.Default(), sc, "dss-base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("instr=%d cycles=%d IPC=%.2f idle=%.0f", rep.Instructions, rep.Cycles, rep.IPC(4), rep.IdleCycles)
+	t.Logf("missrates: L1I=%.4f L1D=%.4f L2=%.3f", rep.L1IMissRate, rep.L1DMissRate, rep.L2MissRate)
+	n := rep.Normalized(rep)
+	t.Logf("breakdown: CPU=%.2f instr=%.2f read=%.2f write=%.2f sync=%.2f",
+		n.CPU(), n[stats.Instr], n.Read(), n[stats.Write], n[stats.Sync])
+	t.Logf("bpred=%.3f", rep.BranchMispred)
+
+	if ipc := rep.IPC(4); ipc < 1.2 || ipc > 3.5 {
+		t.Errorf("DSS IPC %.2f far from paper's 2.2", ipc)
+	}
+	if rep.L1IMissRate > 0.01 {
+		t.Errorf("DSS L1I miss rate %.4f should be ~0", rep.L1IMissRate)
+	}
+	// The paper reports 0.9%; our scan keeps Oracle's miss *structure* but
+	// at ~80 instructions/row instead of ~350 (see EXPERIMENTS.md), which
+	// scales the per-instruction miss rate up by ~4x.
+	if rep.L1DMissRate > 0.08 {
+		t.Errorf("DSS L1D miss rate %.4f too far from paper's 0.009", rep.L1DMissRate)
+	}
+	if rep.L2MissRate < 0.08 || rep.L2MissRate > 0.6 {
+		t.Errorf("DSS L2 miss rate %.3f far from paper's 0.231", rep.L2MissRate)
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/workload/oltp"
+)
+
+// MigratoryProtocol reproduces the paper's footnote 2: an adaptive
+// migratory coherence protocol (Cox & Fowler / Stenstrom et al.) that hands
+// ownership to readers of migratory lines "will not provide any gains since
+// the write latency is already hidden" under the relaxed base model. Under
+// straightforward SC, where stores block at the head of the window, the
+// same protocol does help — which is exactly why the paper's remedy is the
+// flush hint, not the protocol change.
+func MigratoryProtocol(sc Scale) (*Result, error) {
+	type variant struct {
+		label string
+		model config.ConsistencyModel
+		mig   bool
+	}
+	variants := []variant{
+		{"RC-base", config.RC, false},
+		{"RC+migratory-protocol", config.RC, true},
+		{"SC-base", config.SC, false},
+		{"SC+migratory-protocol", config.SC, true},
+	}
+	var reports []*stats.Report
+	for _, v := range variants {
+		cfg := config.Default()
+		cfg.Consistency = v.model
+		cfg.MigratoryProtocol = v.mig
+		rep, err := RunOLTP(cfg, sc, v.label, oltp.HintNone)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	var sb strings.Builder
+	rcBase, rcMig := reports[0].ExecTime(), reports[1].ExecTime()
+	scBase, scMig := reports[2].ExecTime(), reports[3].ExecTime()
+	fmt.Fprintf(&sb, "RC: migratory protocol changes execution time by %+.1f%% (paper: no gain expected)\n",
+		(rcMig-rcBase)/rcBase*100)
+	fmt.Fprintf(&sb, "SC: migratory protocol changes execution time by %+.1f%%\n",
+		(scMig-scBase)/scBase*100)
+	return &Result{
+		ID: "ext-migproto", Title: "Adaptive migratory protocol under RC vs SC (footnote 2)",
+		Reports: reports,
+		Tables:  []string{stats.FormatBreakdownTable(reports), sb.String()},
+	}, nil
+}
+
+// UniStreamBuffer reproduces the paper's uniprocessor stream-buffer numbers
+// (Section 4.1): "stream buffers of size 2 and 4 achieve reductions in
+// execution time of 22% and 27% respectively" — larger than the
+// multiprocessor gains because instruction stall is a bigger share of
+// uniprocessor time (Figure 5).
+func UniStreamBuffer(sc Scale) (*Result, error) {
+	var reports []*stats.Report
+	for _, n := range []int{0, 2, 4, 8} {
+		cfg := config.Default()
+		cfg.Nodes = 1
+		cfg.StreamBufEntries = n
+		label := "uni-base"
+		if n > 0 {
+			label = fmt.Sprintf("uni-streambuf-%d", n)
+		}
+		rep, err := RunOLTP(cfg, sc, label, oltp.HintNone)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return &Result{
+		ID: "ext-unisb", Title: "Uniprocessor stream buffers (Sec 4.1: -22%/-27%)",
+		Reports: reports,
+		Tables:  []string{stats.FormatBreakdownTable(reports)},
+	}, nil
+}
+
+// Validation reproduces the Section 2.3 sanity checks: OLTP throughput
+// scaling from 1 to 4 processors and the locking characteristics ("most of
+// the lock accesses in OLTP were contentionless").
+func Validation(sc Scale) (*Result, error) {
+	var reports []*stats.Report
+	var sb strings.Builder
+	var times []float64
+	for _, nodes := range []int{1, 2, 4} {
+		cfg := config.Default()
+		cfg.Nodes = nodes
+		rep, err := RunOLTP(cfg, sc, fmt.Sprintf("%dP", nodes), oltp.HintNone)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+		// Throughput scaling: the same per-process work runs on more CPUs;
+		// compare transactions per cycle via instructions per cycle.
+		times = append(times, float64(rep.Instructions)/float64(rep.Cycles))
+		fmt.Fprintf(&sb, "%dP: machine throughput %.2f instr/cycle, lock contention %.1f%%, idle %.0f%%\n",
+			nodes, times[len(times)-1], rep.SyncContention*100,
+			rep.IdleCycles/float64(rep.Cycles*uint64(nodes))*100)
+	}
+	speedup := times[2] / times[0]
+	fmt.Fprintf(&sb, "1P -> 4P throughput scaling: %.2fx\n", speedup)
+	fmt.Fprintf(&sb, "(Section 2.3: speedup and locking behaviour verified against the real platform;\n")
+	fmt.Fprintf(&sb, " most OLTP lock accesses are contentionless.)\n")
+	return &Result{
+		ID: "ext-validate", Title: "Validation: multiprocessor scaling and locking (Sec 2.3)",
+		Reports: reports,
+		Tables:  []string{sb.String()},
+	}, nil
+}
+
+func init() {
+	All = append(All,
+		Experiment{"ext-migproto", MigratoryProtocol, "extension: adaptive migratory protocol (footnote 2)"},
+		Experiment{"ext-unisb", UniStreamBuffer, "extension: uniprocessor stream buffers (Sec 4.1)"},
+		Experiment{"ext-validate", Validation, "validation: scaling + locking characteristics (Sec 2.3)"},
+		Experiment{"ext-btbpf", BTBPrefetch, "extension: BTB-directed instruction prefetch (Sec 4.1)"},
+	)
+}
+
+// BTBPrefetch reproduces the other Section 4.1 preliminary study: a
+// predictor that interfaces with the branch target buffer to prefetch the
+// instruction lines of predicted branch targets. The paper concluded its
+// benefits "are likely to be limited ... and may not justify the associated
+// hardware costs, especially when a stream buffer is already used".
+func BTBPrefetch(sc Scale) (*Result, error) {
+	type variant struct {
+		label string
+		mod   func(*config.Config)
+	}
+	variants := []variant{
+		{"base", func(c *config.Config) {}},
+		{"btb-prefetch", func(c *config.Config) { c.BTBPrefetch = true }},
+		{"streambuf-4", func(c *config.Config) { c.StreamBufEntries = 4 }},
+		{"streambuf-4+btb", func(c *config.Config) {
+			c.StreamBufEntries = 4
+			c.BTBPrefetch = true
+		}},
+	}
+	var reports []*stats.Report
+	for _, v := range variants {
+		cfg := config.Default()
+		v.mod(&cfg)
+		rep, err := RunOLTP(cfg, sc, v.label, oltp.HintNone)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return &Result{
+		ID: "ext-btbpf", Title: "BTB-directed instruction prefetch vs stream buffer (Sec 4.1)",
+		Reports: reports,
+		Tables:  []string{stats.FormatBreakdownTable(reports)},
+	}, nil
+}

@@ -1,0 +1,423 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/workload/oltp"
+)
+
+// Fig1Params renders the Figure 1 parameter table from the default config.
+func Fig1Params() *Result {
+	cfg := config.Default()
+	var sb strings.Builder
+	row := func(k string, v interface{}) { fmt.Fprintf(&sb, "%-36s %v\n", k, v) }
+	row("Processors", cfg.Nodes)
+	row("Issue width", cfg.IssueWidth)
+	row("Instruction window size", cfg.WindowSize)
+	row("Integer ALUs / FPUs / addr-gen", fmt.Sprintf("%d / %d / %d", cfg.IntALUs, cfg.FPUs, cfg.AddrGenUnits))
+	row("Branch predictor", fmt.Sprintf("PA(%d,%d)/g(%d,%d) hybrid", cfg.BPredPAEntries, cfg.BPredHistoryBits, cfg.BPredHistoryBits, cfg.BPredHistoryBits))
+	row("BTB", fmt.Sprintf("%d-entry %d-way", cfg.BTBEntries, cfg.BTBAssoc))
+	row("Return address stack", cfg.RASEntries)
+	row("Simultaneous speculated branches", cfg.MaxSpeculatedBr)
+	row("Memory queue size", cfg.MemQueueSize)
+	row("Cache line size", cfg.LineBytes())
+	row("L1 I-cache", fmt.Sprintf("%dKB %d-way, %d cycle", cfg.L1I.SizeBytes>>10, cfg.L1I.Assoc, cfg.L1I.HitCycles))
+	row("L1 D-cache", fmt.Sprintf("%dKB %d-way, %d cycle, %d ports", cfg.L1D.SizeBytes>>10, cfg.L1D.Assoc, cfg.L1D.HitCycles, cfg.L1D.Ports))
+	row("L2 cache", fmt.Sprintf("%dMB %d-way, %d cycle pipelined", cfg.L2.SizeBytes>>20, cfg.L2.Assoc, cfg.L2.HitCycles))
+	row("MSHRs (L1/L2)", fmt.Sprintf("%d / %d", cfg.L1D.MSHRs, cfg.L2.MSHRs))
+	row("TLBs", fmt.Sprintf("%d-entry fully associative, %dKB pages, bin-hopping", cfg.DTLBEntries, cfg.PageBytes>>10))
+	row("Local read latency (contentionless)", "~100 cycles")
+	row("Remote read latency", "~160-180 cycles")
+	row("Cache-to-cache read latency", "~280-310 cycles")
+	return &Result{ID: "fig1", Title: "Default system parameters", Tables: []string{sb.String()}}
+}
+
+// Fig2a reproduces Figure 2(a): OLTP under in-order and out-of-order
+// processors with issue widths 1, 2, 4, 8.
+func Fig2a(sc Scale) (*Result, error) {
+	return issueWidthSweep(sc, "fig2a", true)
+}
+
+// Fig3a reproduces Figure 3(a): the DSS issue-width sweep.
+func Fig3a(sc Scale) (*Result, error) {
+	return issueWidthSweep(sc, "fig3a", false)
+}
+
+func issueWidthSweep(sc Scale, id string, isOLTP bool) (*Result, error) {
+	var reports []*stats.Report
+	for _, inorder := range []bool{true, false} {
+		for _, w := range []int{1, 2, 4, 8} {
+			cfg := config.Default()
+			cfg.InOrder = inorder
+			cfg.IssueWidth = w
+			kind := "ooo"
+			if inorder {
+				kind = "inorder"
+			}
+			label := fmt.Sprintf("%s-%dway", kind, w)
+			rep, err := runWorkload(cfg, sc, label, isOLTP)
+			if err != nil {
+				return nil, err
+			}
+			reports = append(reports, rep)
+		}
+	}
+	title := "Impact of multiple issue and out-of-order execution"
+	return &Result{
+		ID: id, Title: title, Reports: reports,
+		Tables: []string{stats.FormatBreakdownTable(reports)},
+	}, nil
+}
+
+func runWorkload(cfg config.Config, sc Scale, label string, isOLTP bool) (*stats.Report, error) {
+	if isOLTP {
+		return RunOLTP(cfg, sc, label, oltp.HintNone)
+	}
+	return RunDSS(cfg, sc, label)
+}
+
+// Fig2b reproduces Figure 2(b): OLTP instruction-window sweep with the
+// read-stall magnification.
+func Fig2b(sc Scale) (*Result, error) { return windowSweep(sc, "fig2b", true) }
+
+// Fig3b reproduces Figure 3(b): the DSS window sweep.
+func Fig3b(sc Scale) (*Result, error) { return windowSweep(sc, "fig3b", false) }
+
+func windowSweep(sc Scale, id string, isOLTP bool) (*Result, error) {
+	var reports []*stats.Report
+	for _, ws := range []int{16, 32, 64, 128} {
+		cfg := config.Default()
+		cfg.WindowSize = ws
+		rep, err := runWorkload(cfg, sc, fmt.Sprintf("window-%d", ws), isOLTP)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return &Result{
+		ID: id, Title: "Impact of instruction window size", Reports: reports,
+		Tables: []string{
+			stats.FormatBreakdownTable(reports),
+			stats.FormatReadStallTable(reports),
+		},
+	}, nil
+}
+
+// Fig2c reproduces Figure 2(c): OLTP outstanding-miss (MSHR) sweep.
+func Fig2c(sc Scale) (*Result, error) { return mshrSweep(sc, "fig2c", true) }
+
+// Fig3c reproduces Figure 3(c): the DSS MSHR sweep.
+func Fig3c(sc Scale) (*Result, error) { return mshrSweep(sc, "fig3c", false) }
+
+func mshrSweep(sc Scale, id string, isOLTP bool) (*Result, error) {
+	var reports []*stats.Report
+	for _, n := range []int{1, 2, 4, 8} {
+		cfg := config.Default()
+		cfg.L1D.MSHRs = n
+		cfg.L2.MSHRs = n
+		rep, err := runWorkload(cfg, sc, fmt.Sprintf("mshr-%d", n), isOLTP)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return &Result{
+		ID: id, Title: "Impact of multiple outstanding misses", Reports: reports,
+		Tables: []string{
+			stats.FormatBreakdownTable(reports),
+			stats.FormatReadStallTable(reports),
+		},
+	}, nil
+}
+
+// Fig2dg reproduces Figures 2(d)-(g): OLTP MSHR occupancy distributions at
+// the L1 data cache and L2 (all misses and read misses only).
+func Fig2dg(sc Scale) (*Result, error) { return occupancy(sc, "fig2d-g", true) }
+
+// Fig3dg reproduces Figures 3(d)-(g) for DSS.
+func Fig3dg(sc Scale) (*Result, error) { return occupancy(sc, "fig3d-g", false) }
+
+func occupancy(sc Scale, id string, isOLTP bool) (*Result, error) {
+	cfg := config.Default()
+	rep, err := runWorkload(cfg, sc, "base", isOLTP)
+	if err != nil {
+		return nil, err
+	}
+	labels := []string{"L1 all misses (d)", "L2 all misses (e)", "L1 read misses (f)", "L2 read misses (g)"}
+	dists := [][]float64{rep.L1MSHRAll, rep.L2MSHRAll, rep.L1MSHRRead, rep.L2MSHRRead}
+	return &Result{
+		ID: id, Title: "MSHR occupancy distributions", Reports: []*stats.Report{rep},
+		Tables: []string{stats.FormatOccupancyTable(labels, dists)},
+	}, nil
+}
+
+// Fig4 reproduces Figure 4: factors limiting OLTP performance.
+func Fig4(sc Scale) (*Result, error) {
+	type variant struct {
+		label string
+		mod   func(*config.Config)
+	}
+	variants := []variant{
+		{"base", func(c *config.Config) {}},
+		{"infinite-FUs", func(c *config.Config) { c.InfiniteFUs = true }},
+		{"perfect-bpred", func(c *config.Config) { c.PerfectBPred = true }},
+		{"perfect-icache", func(c *config.Config) { c.PerfectICache = true }},
+		{"all+2x-window", func(c *config.Config) {
+			c.InfiniteFUs = true
+			c.PerfectBPred = true
+			c.PerfectICache = true
+			c.PerfectITLB = true
+			c.PerfectDTLB = true
+			c.WindowSize = 128
+		}},
+	}
+	var reports []*stats.Report
+	for _, v := range variants {
+		cfg := config.Default()
+		v.mod(&cfg)
+		rep, err := RunOLTP(cfg, sc, v.label, oltp.HintNone)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return &Result{
+		ID: "fig4", Title: "Factors limiting OLTP performance", Reports: reports,
+		Tables: []string{
+			stats.FormatBreakdownTable(reports),
+			stats.FormatReadStallTable(reports),
+		},
+	}, nil
+}
+
+// Fig5 reproduces Figure 5: the relative importance of execution-time
+// components in uniprocessor vs multiprocessor systems, for both workloads.
+func Fig5(sc Scale) (*Result, error) {
+	var reports []*stats.Report
+	var tables []string
+	for _, wl := range []struct {
+		name   string
+		isOLTP bool
+	}{{"OLTP", true}, {"DSS", false}} {
+		var pair []*stats.Report
+		for _, nodes := range []int{1, 4} {
+			cfg := config.Default()
+			cfg.Nodes = nodes
+			label := fmt.Sprintf("%s-%dP", wl.name, nodes)
+			rep, err := runWorkload(cfg, sc, label, wl.isOLTP)
+			if err != nil {
+				return nil, err
+			}
+			pair = append(pair, rep)
+			reports = append(reports, rep)
+		}
+		// The paper compares the composition of execution time, so each
+		// bar is normalized to its own total.
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%-12s | %6s %6s %6s %6s %6s  (fraction of own time)\n",
+			"system", "CPU", "instr", "read", "write", "sync")
+		for _, r := range pair {
+			n := r.Normalized(r)
+			fmt.Fprintf(&sb, "%-12s | %6.3f %6.3f %6.3f %6.3f %6.3f\n",
+				r.Label, n.CPU(), n[stats.Instr], n.Read(), n[stats.Write], n[stats.Sync])
+		}
+		tables = append(tables, sb.String())
+	}
+	return &Result{
+		ID: "fig5", Title: "Uniprocessor vs multiprocessor components",
+		Reports: reports, Tables: tables,
+	}, nil
+}
+
+// Fig6 reproduces Figure 6: consistency-model implementations. For each
+// workload, nine configurations: {SC, PC, RC} x {straightforward,
+// +prefetch, +prefetch+speculative-load}, normalized to straightforward SC.
+func Fig6(sc Scale) (*Result, error) {
+	impls := []config.ConsistencyImpl{config.ImplPlain, config.ImplPrefetch, config.ImplSpeculative}
+	models := []config.ConsistencyModel{config.SC, config.PC, config.RC}
+	var reports []*stats.Report
+	var tables []string
+	for _, wl := range []struct {
+		name   string
+		isOLTP bool
+	}{{"OLTP", true}, {"DSS", false}} {
+		var group []*stats.Report
+		for _, impl := range impls {
+			for _, m := range models {
+				cfg := config.Default()
+				cfg.Consistency = m
+				cfg.ConsistencyOpts = impl
+				label := fmt.Sprintf("%s-%v-%v", wl.name, m, impl)
+				rep, err := runWorkload(cfg, sc, label, wl.isOLTP)
+				if err != nil {
+					return nil, err
+				}
+				group = append(group, rep)
+			}
+		}
+		tables = append(tables, stats.FormatBreakdownTable(group))
+		reports = append(reports, group...)
+	}
+	return &Result{
+		ID: "fig6", Title: "ILP-enabled consistency optimizations",
+		Reports: reports, Tables: tables,
+	}, nil
+}
+
+// Fig7a reproduces Figure 7(a): the instruction stream buffer study on
+// OLTP: base, 2/4/8-entry stream buffers, perfect I-cache, and perfect
+// I-cache + perfect I-TLB.
+func Fig7a(sc Scale) (*Result, error) {
+	type variant struct {
+		label string
+		mod   func(*config.Config)
+	}
+	variants := []variant{
+		{"base", func(c *config.Config) {}},
+		{"streambuf-2", func(c *config.Config) { c.StreamBufEntries = 2 }},
+		{"streambuf-4", func(c *config.Config) { c.StreamBufEntries = 4 }},
+		{"streambuf-8", func(c *config.Config) { c.StreamBufEntries = 8 }},
+		{"perfect-icache", func(c *config.Config) { c.PerfectICache = true }},
+		{"perfect-icache+itlb", func(c *config.Config) {
+			c.PerfectICache = true
+			c.PerfectITLB = true
+		}},
+	}
+	var reports []*stats.Report
+	var sb strings.Builder
+	for _, v := range variants {
+		cfg := config.Default()
+		v.mod(&cfg)
+		rep, err := RunOLTP(cfg, sc, v.label, oltp.HintNone)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+		if cfg.StreamBufEntries > 0 {
+			fmt.Fprintf(&sb, "%-22s stream-buffer hit rate %.2f (I-miss reduction)\n",
+				v.label, rep.StreamBufHitRate)
+		}
+	}
+	return &Result{
+		ID: "fig7a", Title: "Addressing the instruction bottleneck (stream buffers)",
+		Reports: reports,
+		Tables:  []string{stats.FormatBreakdownTable(reports), sb.String()},
+	}, nil
+}
+
+// Fig7b reproduces Figure 7(b): software flush and prefetch hints for
+// migratory data. All configurations include a 4-entry stream buffer; the
+// final row is the paper's approximate bound (migratory reads serviced 40%
+// faster, reflecting service by memory).
+func Fig7b(sc Scale) (*Result, error) {
+	type variant struct {
+		label string
+		hints oltp.HintLevel
+		bound bool
+	}
+	variants := []variant{
+		{"base+sb4", oltp.HintNone, false},
+		{"+flush", oltp.HintFlush, false},
+		{"+flush+prefetch", oltp.HintFlushPrefetch, false},
+		{"bound(-40%-migratory)", oltp.HintNone, true},
+	}
+	var reports []*stats.Report
+	for _, v := range variants {
+		cfg := config.Default()
+		cfg.StreamBufEntries = 4
+		cfg.MigratoryBound = v.bound
+		rep, err := RunOLTP(cfg, sc, v.label, v.hints)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return &Result{
+		ID: "fig7b", Title: "Addressing the migratory data bottleneck (flush/prefetch hints)",
+		Reports: reports,
+		Tables: []string{
+			stats.FormatBreakdownTable(reports),
+			stats.FormatReadStallTable(reports),
+		},
+	}, nil
+}
+
+// MissRates reproduces the Section 3.1/3.2 characterization table: local
+// miss rates per level and IPC for both workloads on the base system.
+func MissRates(sc Scale) (*Result, error) {
+	cfg := config.Default()
+	o, err := RunOLTP(cfg, sc, "OLTP", oltp.HintNone)
+	if err != nil {
+		return nil, err
+	}
+	d, err := RunDSS(cfg, sc, "DSS")
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s | %7s %7s %7s | %5s | %7s %7s | %9s\n",
+		"workload", "L1I", "L1D", "L2", "IPC", "bpred", "dirty%", "of L2 miss")
+	for _, r := range []*stats.Report{o, d} {
+		fmt.Fprintf(&sb, "%-8s | %6.1f%% %6.1f%% %6.1f%% | %5.2f | %6.1f%% %6.1f%% |\n",
+			r.Label, r.L1IMissRate*100, r.L1DMissRate*100, r.L2MissRate*100,
+			r.IPC(cfg.Nodes), r.BranchMispred*100, r.DirtyFraction*100)
+	}
+	fmt.Fprintf(&sb, "(paper:   OLTP 7.6%% 14.1%% 7.4%% IPC 0.5, ~11%% bpred; DSS 0.0%% 0.9%% 23.1%% IPC 2.2)\n")
+	return &Result{
+		ID: "tbl-miss", Title: "Base-system characterization",
+		Reports: []*stats.Report{o, d}, Tables: []string{sb.String()},
+	}, nil
+}
+
+// MigratoryCharacterization reproduces the Section 4.2 analysis of sharing
+// patterns in the OLTP workload.
+func MigratoryCharacterization(sc Scale) (*Result, error) {
+	cfg := config.Default()
+	rep, err := RunOLTP(cfg, sc, "OLTP", oltp.HintNone)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	line := func(k string, got, paper string) { fmt.Fprintf(&sb, "%-52s %10s   (paper: %s)\n", k, got, paper) }
+	line("shared writes to migratory data", fmt.Sprintf("%.0f%%", rep.SharedWriteMigratory*100), "88%")
+	line("dirty reads to migratory data", fmt.Sprintf("%.0f%%", rep.ReadDirtyMigratory*100), "79%")
+	line("migratory lines with write misses", fmt.Sprintf("%d", rep.MigratoryLines), "~520 hot lines")
+	line("static instructions generating migratory refs", fmt.Sprintf("%d", rep.MigratoryPCs), "~100 hot instructions")
+	line("write misses covered by top 3% of lines", fmt.Sprintf("%.0f%%", rep.LineConcentration*100), "70%")
+	line("migratory refs from top 10% of instructions", fmt.Sprintf("%.0f%%", rep.PCConcentration*100), "75%")
+	line("migratory writes inside critical sections", fmt.Sprintf("%.0f%%", rep.WriteCSFraction*100), "74%")
+	line("migratory reads inside critical sections", fmt.Sprintf("%.0f%%", rep.ReadCSFraction*100), "54%")
+	return &Result{
+		ID: "tbl-mig", Title: "Migratory sharing characterization (OLTP)",
+		Reports: []*stats.Report{rep}, Tables: []string{sb.String()},
+	}, nil
+}
+
+// Experiment binds an id to its runner.
+type Experiment struct {
+	ID    string
+	Run   func(Scale) (*Result, error)
+	Notes string
+}
+
+// All enumerates every experiment.
+var All = []Experiment{
+	{"fig2a", Fig2a, "OLTP: issue width x in-order/OOO"},
+	{"fig2b", Fig2b, "OLTP: instruction window size"},
+	{"fig2c", Fig2c, "OLTP: outstanding misses (MSHRs)"},
+	{"fig2d-g", Fig2dg, "OLTP: MSHR occupancy distributions"},
+	{"fig3a", Fig3a, "DSS: issue width x in-order/OOO"},
+	{"fig3b", Fig3b, "DSS: instruction window size"},
+	{"fig3c", Fig3c, "DSS: outstanding misses (MSHRs)"},
+	{"fig3d-g", Fig3dg, "DSS: MSHR occupancy distributions"},
+	{"fig4", Fig4, "OLTP: limit study (FUs, bpred, icache, window)"},
+	{"fig5", Fig5, "uniprocessor vs multiprocessor components"},
+	{"fig6", Fig6, "consistency models x implementations"},
+	{"fig7a", Fig7a, "OLTP: instruction stream buffers"},
+	{"fig7b", Fig7b, "OLTP: migratory flush/prefetch hints"},
+	{"tbl-miss", MissRates, "base characterization (miss rates, IPC)"},
+	{"tbl-mig", MigratoryCharacterization, "migratory sharing characterization"},
+}

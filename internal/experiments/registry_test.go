@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestRegistryUniqueAndComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All {
+		if e.ID == "" || e.Run == nil || e.Notes == "" {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// The paper's evaluation: figures 2a-2dg, 3a-3dg, 4, 5, 6, 7a, 7b and
+	// the two characterization tables must all be present.
+	for _, id := range []string{
+		"fig2a", "fig2b", "fig2c", "fig2d-g",
+		"fig3a", "fig3b", "fig3c", "fig3d-g",
+		"fig4", "fig5", "fig6", "fig7a", "fig7b",
+		"tbl-miss", "tbl-mig",
+	} {
+		if !seen[id] {
+			t.Errorf("paper experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{ID: "x", Title: "T", Tables: []string{"table-body\n"}}
+	out := r.Render()
+	if out == "" || len(out) < 10 {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,113 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each FigNN function runs the simulated machine (internal/core)
+// over the OLTP and/or DSS workloads under the figure's configurations and
+// returns the same rows/series the paper plots, normalized to the figure's
+// leftmost bar. The cmd/sweep tool and the repository benchmarks call these.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload/dss"
+	"repro/internal/workload/oltp"
+)
+
+// Scale controls how much work each run simulates. The paper simulated
+// ~200M instructions; these defaults simulate a few million, which is
+// enough for the shapes (who wins, by what factor) while staying fast.
+type Scale struct {
+	OLTPTransactions int // per server process
+	OLTPWarmupTx     int // excluded from statistics
+	DSSRows          int // per query server
+	MaxCycles        uint64
+}
+
+// DefaultScale is used by cmd/sweep and EXPERIMENTS.md.
+var DefaultScale = Scale{
+	OLTPTransactions: 3,
+	OLTPWarmupTx:     1,
+	DSSRows:          40_000,
+	MaxCycles:        600_000_000,
+}
+
+// QuickScale keeps benchmark iterations short.
+var QuickScale = Scale{
+	OLTPTransactions: 1,
+	OLTPWarmupTx:     0,
+	DSSRows:          8_000,
+	MaxCycles:        200_000_000,
+}
+
+// RunOLTP simulates the OLTP workload on machine cfg and returns the report.
+func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*stats.Report, error) {
+	wcfg := oltp.DefaultConfig(cfg.Nodes)
+	wcfg.TransactionsPerProcess = sc.OLTPTransactions + sc.OLTPWarmupTx
+	wcfg.Hints = hints
+	w := oltp.New(wcfg)
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < wcfg.Processes; p++ {
+		sys.AddProcess(p%cfg.Nodes, w.Stream(p))
+	}
+	warmup := uint64(sc.OLTPWarmupTx) * uint64(wcfg.Processes) * w.ApproxInstrPerTx()
+	rep, err := sys.Run(core.RunOptions{
+		Label:              label,
+		WarmupInstructions: warmup,
+		MaxCycles:          sc.MaxCycles,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("experiments: OLTP %q: %w", label, err)
+	}
+	if err := w.TPCB().CheckConsistency(); err != nil {
+		return rep, fmt.Errorf("experiments: OLTP %q: %w", label, err)
+	}
+	return rep, nil
+}
+
+// RunDSS simulates the DSS workload on machine cfg and returns the report.
+func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
+	wcfg := dss.DefaultConfig(cfg.Nodes)
+	wcfg.RowsPerProcess = sc.DSSRows
+	w := dss.New(wcfg)
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < wcfg.Processes; p++ {
+		sys.AddProcess(p%cfg.Nodes, w.Stream(p))
+	}
+	// Warm up over the first ~30% of the scan (one pass of the per-process
+	// work area through the L2).
+	warmup := uint64(wcfg.Processes) * w.ApproxInstrPerProcess() * 3 / 10
+	rep, err := sys.Run(core.RunOptions{
+		Label:              label,
+		WarmupInstructions: warmup,
+		MaxCycles:          sc.MaxCycles,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("experiments: DSS %q: %w", label, err)
+	}
+	return rep, nil
+}
+
+// Result is one experiment's output: its rows plus rendered tables.
+type Result struct {
+	ID      string
+	Title   string
+	Reports []*stats.Report
+	Tables  []string // rendered tables, ready to print
+}
+
+// Render returns the result as printable text.
+func (r *Result) Render() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t + "\n"
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package memsys
+
+import "repro/internal/cache"
+
+// Prefetch issues a non-binding prefetch of vaddr (exclusive requests
+// ownership, for stores). Prefetches never stall: if the line is already
+// present or being fetched, or no MSHR is free, the prefetch is dropped.
+// Both the hardware prefetch-from-the-instruction-window mechanism
+// (Section 3.4) and the software prefetch hints (Section 4.2) use this.
+func (h *Hierarchy) Prefetch(vaddr, pc uint64, now uint64, exclusive, inCS bool) {
+	paddr, home := h.sys.pt.Translate(vaddr, h.node)
+	st := h.l1d.Probe(paddr)
+	if st != cache.Invalid {
+		if !exclusive || st == cache.Modified {
+			return
+		}
+		if l2st := h.l2.Probe(paddr); l2st == cache.Modified || l2st == cache.Exclusive {
+			return // silently upgradeable locally; nothing to prefetch
+		}
+	}
+	la := h.l1d.LineAddr(paddr)
+	if _, ok := h.l1dMSHR.Lookup(la); ok {
+		return
+	}
+	if h.l1dMSHR.Full(now) {
+		h.PrefetchesDropped++
+		return
+	}
+	done, class, _ := h.l2Access(paddr, home, now, exclusive, pc, inCS)
+	h.l1dMSHR.Allocate(cache.MSHR{
+		LineAddr: la, Done: done, Class: uint8(class),
+		Read: !exclusive, Write: exclusive,
+	}, now)
+	grant := cache.Shared
+	if exclusive {
+		grant = cache.Modified
+	}
+	h.handleL1DEviction(h.l1d.Insert(paddr, grant))
+	h.PrefetchesIssued++
+}
+
+// Flush services the software flush / "WriteThrough" hint of Section 4.2:
+// if this node holds the line dirty, its data is pushed back to the home
+// memory so that subsequent read misses are serviced by memory instead of a
+// (slower) cache-to-cache transfer. Per the paper's finding, the flushing
+// cache keeps a clean copy when cfg.FlushKeepsClean is set. The operation
+// is off the critical path (fire and forget).
+func (h *Hierarchy) Flush(vaddr uint64, now uint64) {
+	s := h.sys
+	paddr, home := s.pt.Translate(vaddr, h.node)
+	la := h.l2.LineAddr(paddr)
+	if h.l1d.Probe(paddr) == cache.Modified {
+		h.l1d.SetState(paddr, cache.Shared)
+		h.l2.SetState(paddr, cache.Modified)
+	}
+	if h.l2.Probe(paddr) != cache.Modified {
+		return
+	}
+	keep := s.cfg.FlushKeepsClean
+	if !s.dir.Flush(h.node, la, keep) {
+		return
+	}
+	// Sharing write-back: data travels to the home memory.
+	t := acquireAt(&s.busReqBusy[h.node], now, busOccupancy) + uint64(s.cfg.BusCycles)
+	t = s.net.Send(h.node, home, s.cfg.DataFlits, t)
+	bank := la % uint64(s.cfg.MemBanks)
+	acquireAt(&s.bankBusy[home][bank], t, uint64(s.cfg.MemoryCycles))
+	if keep {
+		h.l2.SetState(paddr, cache.Shared)
+		if h.l1d.Probe(paddr) != cache.Invalid {
+			h.l1d.SetState(paddr, cache.Shared)
+		}
+	} else {
+		h.l2.Invalidate(paddr)
+		h.l1d.Invalidate(paddr)
+	}
+	h.FlushesIssued++
+}

@@ -1,0 +1,78 @@
+package memsys
+
+import "repro/internal/cache"
+
+// IFetch services an instruction-cache line fetch for the instruction at
+// vaddr. The fetch engine calls this once per line it crosses, not per
+// instruction.
+func (h *Hierarchy) IFetch(vaddr uint64, now uint64) Result {
+	paddr, home, tlbMiss := h.translate(vaddr, true)
+	t := now
+	if tlbMiss {
+		t += uint64(h.sys.cfg.TLBMissCost)
+	}
+	if h.sys.cfg.PerfectICache {
+		return Result{Done: t + uint64(h.sys.cfg.L1I.HitCycles), Class: ClassL1, TLBMiss: tlbMiss}
+	}
+	t = acquire(h.l1iPorts, t, 1)
+	hitT := t + uint64(h.sys.cfg.L1I.HitCycles)
+	la := h.l1i.LineAddr(paddr)
+	h.l1iMSHR.Advance(now)
+	if m, ok := h.l1iMSHR.Lookup(la); ok {
+		h.l1iMSHR.Coalesce(la)
+		h.l1i.RecordAccess(false, false)
+		return Result{Done: maxU(m.Done, hitT), LineAddr: la, Class: Class(m.Class), TLBMiss: tlbMiss}
+	}
+	if h.l1i.Lookup(paddr) != cache.Invalid {
+		h.l1i.RecordAccess(false, false)
+		return Result{Done: hitT, LineAddr: la, Class: ClassL1, TLBMiss: tlbMiss}
+	}
+	h.l1i.RecordAccess(false, true)
+	if avail, ok := h.sbuf.Lookup(la, hitT); ok {
+		// Stream buffer hit: the line transfers from the buffer into the
+		// L1I when its prefetch completes.
+		h.IFetchSBHits++
+		done := maxU(avail, hitT) + 1
+		if !h.l1iMSHR.Full(hitT) {
+			h.l1iMSHR.Allocate(cache.MSHR{LineAddr: la, Done: done, Class: uint8(ClassL2), Read: true}, hitT)
+		}
+		h.l1i.Insert(paddr, cache.Shared)
+		return Result{Done: done, Class: ClassL2, TLBMiss: tlbMiss, SBHit: true}
+	}
+	for h.l1iMSHR.Full(hitT) {
+		hitT = h.l1iMSHR.NextFree()
+	}
+	done, class, _ := h.l2Access(paddr, home, hitT, false, vaddr, false)
+	h.l1iMSHR.Allocate(cache.MSHR{LineAddr: la, Done: done, Class: uint8(class), Read: true}, hitT)
+	h.l1i.Insert(paddr, cache.Shared)
+	return Result{Done: done, Class: class, TLBMiss: tlbMiss}
+}
+
+// EffectiveIMisses returns L1I misses not satisfied by the stream buffer
+// (the paper reports the stream buffer's miss-rate reduction this way).
+func (h *Hierarchy) EffectiveIMisses() uint64 {
+	return h.l1i.ReadMisses - h.IFetchSBHits
+}
+
+// PrefetchInstr issues a non-binding instruction-line prefetch (used by the
+// BTB-directed prefetcher of Section 4.1's discussion). Dropped when the
+// line is already present, being fetched, or no MSHR is free.
+func (h *Hierarchy) PrefetchInstr(vaddr uint64, now uint64) {
+	paddr, home := h.sys.pt.Translate(vaddr, h.node)
+	if h.l1i.Probe(paddr) != cache.Invalid {
+		return
+	}
+	la := h.l1i.LineAddr(paddr)
+	h.l1iMSHR.Advance(now)
+	if _, ok := h.l1iMSHR.Lookup(la); ok {
+		return
+	}
+	if h.l1iMSHR.Full(now) {
+		h.PrefetchesDropped++
+		return
+	}
+	done, class, _ := h.l2Access(paddr, home, now, false, vaddr, false)
+	h.l1iMSHR.Allocate(cache.MSHR{LineAddr: la, Done: done, Class: uint8(class), Read: true}, now)
+	h.l1i.Insert(paddr, cache.Shared)
+	h.PrefetchesIssued++
+}

@@ -1,0 +1,79 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestContentionlessLatencies verifies the Figure 1 latency targets:
+// local read ~100, remote read ~160-180, cache-to-cache ~280-310 cycles.
+func TestContentionlessLatencies(t *testing.T) {
+	cfg := config.Default()
+	cfg.PerfectDTLB = true // measure the pure memory path
+	s := New(cfg)
+
+	// Local read: node 0 touches a fresh page (homed at node 0).
+	res := s.Node(0).DataRead(0x100000, 1, 1000, false)
+	local := res.Done - 1000
+	if res.Class != ClassLocal {
+		t.Fatalf("class = %v, want local", res.Class)
+	}
+	if local < 85 || local > 115 {
+		t.Errorf("local read latency = %d, want ~100", local)
+	}
+
+	// Remote read: node 1 reads a page homed at node 0.
+	res = s.Node(1).DataRead(0x200000, 1, 2000, false)
+	if res.Class != ClassLocal {
+		t.Fatalf("setup: expected local fill, got %v", res.Class)
+	}
+	res = s.Node(1).DataRead(0x100000, 1, 3000, false)
+	remote := res.Done - 3000
+	if res.Class != ClassRemote {
+		t.Fatalf("class = %v, want remote", res.Class)
+	}
+	if remote < 140 || remote > 200 {
+		t.Errorf("remote read latency = %d, want 160-180", remote)
+	}
+
+	// Cache-to-cache: node 2 writes a line (dirty), node 3 reads it.
+	s.Node(2).DataWrite(0x300000, 1, 4000, false)
+	res = s.Node(3).DataRead(0x300000, 1, 5000, false)
+	dirty := res.Done - 5000
+	if res.Class != ClassRemoteDirty {
+		t.Fatalf("class = %v, want dirty", res.Class)
+	}
+	if dirty < 250 || dirty > 340 {
+		t.Errorf("cache-to-cache latency = %d, want 280-310", dirty)
+	}
+	t.Logf("local=%d remote=%d dirty=%d", local, remote, dirty)
+}
+
+// TestOverlappedReads checks that independent misses to distinct lines
+// overlap up to the MSHR limit rather than serializing.
+func TestOverlappedReads(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	s := New(cfg)
+	h := s.Node(0)
+	// Warm the page table so homing is settled.
+	h.DataRead(0x500000, 1, 1, false)
+
+	start := uint64(10000)
+	var last uint64
+	n := 8
+	for i := 0; i < n; i++ {
+		res := h.DataRead(0x600000+uint64(i)*64, 1, start+uint64(i), false)
+		if res.Done > last {
+			last = res.Done
+		}
+	}
+	span := last - start
+	// 8 misses at ~100 cycles each would serialize to ~800; overlapped
+	// behind 4 banks they should finish in well under half that.
+	if span > 450 {
+		t.Errorf("8 independent misses span %d cycles; expected overlap", span)
+	}
+	t.Logf("8 overlapped misses span %d cycles", span)
+}

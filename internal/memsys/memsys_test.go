@@ -1,0 +1,297 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+)
+
+func TestCoalescingSameLine(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	cfg.PerfectDTLB = true
+	s := New(cfg)
+	h := s.Node(0)
+	r1 := h.DataRead(0x100000, 1, 1000, false)
+	r2 := h.DataRead(0x100008, 2, 1001, false) // same line: coalesces
+	if r2.Done > r1.Done {
+		t.Errorf("coalesced request (%d) finished after the miss (%d)", r2.Done, r1.Done)
+	}
+	if h.L1DMSHRs().Allocations != 1 {
+		t.Errorf("allocations = %d, want 1", h.L1DMSHRs().Allocations)
+	}
+	if h.L1DMSHRs().Coalesced != 1 {
+		t.Errorf("coalesced = %d, want 1", h.L1DMSHRs().Coalesced)
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	cfg.PerfectDTLB = true
+	s := New(cfg)
+	h := s.Node(0)
+	r := h.DataRead(0x200000, 1, 100, false)
+	r2 := h.DataRead(0x200000, 1, r.Done+10, false)
+	if r2.Class != ClassL1 {
+		t.Errorf("second access class = %v, want L1 hit", r2.Class)
+	}
+	if r2.Done-(r.Done+10) > 2 {
+		t.Errorf("L1 hit took %d cycles", r2.Done-(r.Done+10))
+	}
+}
+
+func TestTLBMissPenalty(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	s := New(cfg)
+	h := s.Node(0)
+	r1 := h.DataRead(0x300000, 1, 1000, false)
+	if !r1.TLBMiss {
+		t.Error("first touch should miss the dTLB")
+	}
+	// Same page, different line: TLB hits now.
+	r2 := h.DataRead(0x300100, 1, 5000, false)
+	if r2.TLBMiss {
+		t.Error("same-page access should hit the dTLB")
+	}
+}
+
+func TestWriteGrantsModified(t *testing.T) {
+	cfg := config.Default()
+	cfg.PerfectDTLB = true
+	s := New(cfg)
+	h := s.Node(0)
+	h.DataWrite(0x400000, 1, 100, false)
+	if pa, _ := s.PageTable().Translate(0x400000, 0); h.L1D().Probe(pa) != cache.Modified {
+		t.Errorf("L1D state = %v, want M", h.L1D().Probe(pa))
+	}
+	paddr, _ := s.PageTable().Translate(0x400000, 0)
+	if st := h.L2().Probe(paddr); st != cache.Modified {
+		t.Errorf("L2 state = %v, want M", st)
+	}
+	if s.Directory().OwnerOf(h.L2().LineAddr(paddr)) != 0 {
+		t.Error("directory does not record node 0 as owner")
+	}
+}
+
+func TestReadAfterRemoteWriteIsDirtyAndDowngrades(t *testing.T) {
+	cfg := config.Default()
+	cfg.PerfectDTLB = true
+	s := New(cfg)
+	s.Node(1).DataWrite(0x500000, 1, 100, false)
+	r := s.Node(2).DataRead(0x500000, 1, 1000, false)
+	if r.Class != ClassRemoteDirty {
+		t.Fatalf("class = %v, want dirty", r.Class)
+	}
+	if pa, _ := s.PageTable().Translate(0x500000, 0); s.Node(1).L2().Probe(pa) != cache.Shared {
+		t.Errorf("owner L2 state after forward = %v, want S", s.Node(1).L2().Probe(pa))
+	}
+	// A third reader is now serviced by memory (the line was written back).
+	r2 := s.Node(3).DataRead(0x500000, 1, 5000, false)
+	if r2.Class == ClassRemoteDirty {
+		t.Error("line should have been clean at memory after the sharing write-back")
+	}
+}
+
+func TestInvalidationHookFiresOnRemoteWrite(t *testing.T) {
+	cfg := config.Default()
+	cfg.PerfectDTLB = true
+	s := New(cfg)
+	var invalidated []uint64
+	s.Node(0).SetInvalidationHook(func(la uint64) { invalidated = append(invalidated, la) })
+	r0 := s.Node(0).DataRead(0x600000, 1, 100, false)
+	s.Node(1).DataWrite(0x600000, 1, 1000, false)
+	want := r0.LineAddr // physical line address
+	found := false
+	for _, la := range invalidated {
+		if la == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("invalidation hook did not fire for line %x (got %v)", want, invalidated)
+	}
+	if st := s.Node(0).L1D().Probe(want << s.Node(0).L1D().LineShift()); st != cache.Invalid {
+		t.Error("remote write did not invalidate the sharer's L1D")
+	}
+}
+
+func TestPrefetchWarmsCache(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	cfg.PerfectDTLB = true
+	s := New(cfg)
+	h := s.Node(0)
+	h.Prefetch(0x700000, 1, 100, false, false)
+	if h.PrefetchesIssued != 1 {
+		t.Fatalf("prefetches issued = %d", h.PrefetchesIssued)
+	}
+	paddr, _ := s.PageTable().Translate(0x700000, 0)
+	m, ok := h.L1DMSHRs().Lookup(h.L1D().LineAddr(paddr))
+	if !ok {
+		t.Fatal("prefetch did not allocate an MSHR")
+	}
+	r := h.DataRead(0x700000, 1, m.Done+5, false)
+	if r.Class != ClassL1 {
+		t.Errorf("post-prefetch read class = %v, want L1", r.Class)
+	}
+	// A prefetch to a present line is a no-op.
+	h.Prefetch(0x700000, 1, m.Done+10, false, false)
+	if h.PrefetchesIssued != 1 {
+		t.Error("redundant prefetch was issued")
+	}
+}
+
+func TestPrefetchDroppedWhenMSHRsFull(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	cfg.PerfectDTLB = true
+	cfg.L1D.MSHRs = 1
+	s := New(cfg)
+	h := s.Node(0)
+	h.DataRead(0x800000, 1, 100, false) // occupies the only MSHR
+	h.Prefetch(0x800100, 1, 101, false, false)
+	if h.PrefetchesDropped != 1 {
+		t.Errorf("dropped = %d, want 1", h.PrefetchesDropped)
+	}
+}
+
+func TestFlushConvertsDirtyToMemoryService(t *testing.T) {
+	cfg := config.Default()
+	cfg.PerfectDTLB = true
+	s := New(cfg)
+	s.Node(0).DataWrite(0x900000, 1, 100, false)
+	s.Node(0).Flush(0x900000, 500)
+	if s.Node(0).FlushesIssued != 1 {
+		t.Fatal("flush not issued")
+	}
+	// The flusher keeps a clean copy (FlushKeepsClean default).
+	if pa, _ := s.PageTable().Translate(0x900000, 0); s.Node(0).L2().Probe(pa) != cache.Shared {
+		t.Errorf("flusher L2 state = %v, want S", s.Node(0).L2().Probe(pa))
+	}
+	r := s.Node(1).DataRead(0x900000, 1, 5000, false)
+	if r.Class == ClassRemoteDirty {
+		t.Error("read after flush still serviced cache-to-cache")
+	}
+	// Flushing a clean line is a no-op.
+	s.Node(1).Flush(0x900000, 6000)
+	if s.Node(1).FlushesIssued != 0 {
+		t.Error("flush of clean line counted")
+	}
+}
+
+func TestL2InclusionOnEviction(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	cfg.PerfectDTLB = true
+	// Tiny L2 to force evictions quickly; L1 smaller to stay legal.
+	cfg.L1D = config.CacheConfig{SizeBytes: 8 << 10, Assoc: 2, LineBytes: 64, HitCycles: 1, Ports: 2, MSHRs: 8}
+	cfg.L1I = cfg.L1D
+	cfg.L2 = config.CacheConfig{SizeBytes: 16 << 10, Assoc: 1, LineBytes: 64, HitCycles: 20, Ports: 1, MSHRs: 8}
+	s := New(cfg)
+	h := s.Node(0)
+	now := uint64(100)
+	// Two addresses mapping to the same (direct-mapped) L2 set.
+	a, b := uint64(0x10000), uint64(0x10000+16<<10)
+	r := h.DataRead(a, 1, now, false)
+	now = r.Done + 10
+	r = h.DataRead(b, 1, now, false) // evicts a from L2
+	if h.L2().Probe(a) != cache.Invalid {
+		t.Skip("different physical mapping; inclusion not exercised")
+	}
+	if h.L1D().Probe(a) != cache.Invalid {
+		t.Error("L1D retains a line the L2 evicted (inclusion violated)")
+	}
+}
+
+func TestIFetchStreamBuffer(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	cfg.StreamBufEntries = 4
+	s := New(cfg)
+	h := s.Node(0)
+	now := uint64(1000)
+	// Sequential line fetches: the first misses and starts the stream;
+	// subsequent ones hit the buffer.
+	r := h.IFetch(0x10000, now)
+	if r.SBHit {
+		t.Error("cold fetch cannot hit the stream buffer")
+	}
+	r2 := h.IFetch(0x10040, r.Done+5)
+	if !r2.SBHit {
+		t.Error("sequential fetch should hit the stream buffer")
+	}
+	if h.IFetchSBHits != 1 {
+		t.Errorf("SB hits = %d", h.IFetchSBHits)
+	}
+	if h.EffectiveIMisses() != h.L1I().ReadMisses-1 {
+		t.Error("effective miss accounting wrong")
+	}
+}
+
+func TestPerfectICache(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	cfg.PerfectICache = true
+	cfg.PerfectITLB = true
+	s := New(cfg)
+	r := s.Node(0).IFetch(0x77777000, 50)
+	if r.Done != 51 || r.TLBMiss {
+		t.Errorf("perfect icache fetch: done=%d tlbMiss=%v", r.Done, r.TLBMiss)
+	}
+}
+
+func TestResetStatsKeepsState(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	s := New(cfg)
+	h := s.Node(0)
+	r := h.DataRead(0xA00000, 1, 100, false)
+	s.ResetStats(r.Done + 1)
+	if h.L1D().Reads != 0 {
+		t.Error("counters not reset")
+	}
+	r2 := h.DataRead(0xA00000, 1, r.Done+10, false)
+	if r2.Class != ClassL1 {
+		t.Error("ResetStats dropped cache contents")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassL1: "L1", ClassL2: "L2", ClassLocal: "local",
+		ClassRemote: "remote", ClassRemoteDirty: "dirty",
+	} {
+		if c.String() != want {
+			t.Errorf("Class(%d) = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestPrefetchInstrWarmsL1I(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	cfg.PerfectITLB = true
+	s := New(cfg)
+	h := s.Node(0)
+	h.PrefetchInstr(0x1_0000, 100)
+	if h.PrefetchesIssued != 1 {
+		t.Fatalf("issued = %d", h.PrefetchesIssued)
+	}
+	paddr, _ := s.PageTable().Translate(0x1_0000, 0)
+	m, ok := h.l1iMSHR.Lookup(h.L1I().LineAddr(paddr))
+	if !ok {
+		t.Fatal("no MSHR allocated for instruction prefetch")
+	}
+	r := h.IFetch(0x1_0000, m.Done+5)
+	if r.Class != ClassL1 {
+		t.Errorf("post-prefetch fetch class = %v", r.Class)
+	}
+	// Redundant prefetch is dropped.
+	h.PrefetchInstr(0x1_0000, m.Done+10)
+	if h.PrefetchesIssued != 1 {
+		t.Error("redundant instruction prefetch issued")
+	}
+}

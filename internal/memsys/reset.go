@@ -1,0 +1,24 @@
+package memsys
+
+// ResetStats discards all accumulated statistics (cache/directory state is
+// kept) so that warm-up transients can be excluded, as in the paper.
+func (s *System) ResetStats(now uint64) {
+	s.dir.ResetStats()
+	s.classifier.Reset()
+	s.net.ResetStats()
+	for _, h := range s.nodes {
+		h.l1i.ResetStats()
+		h.l1d.ResetStats()
+		h.l2.ResetStats()
+		h.l1iMSHR.ResetStats(now)
+		h.l1dMSHR.ResetStats(now)
+		h.l2MSHR.ResetStats(now)
+		h.itlb.ResetStats()
+		h.dtlb.ResetStats()
+		h.sbuf.ResetStats()
+		h.IFetchSBHits = 0
+		h.PrefetchesIssued = 0
+		h.PrefetchesDropped = 0
+		h.FlushesIssued = 0
+	}
+}

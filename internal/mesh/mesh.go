@@ -1,0 +1,163 @@
+// Package mesh models the system interconnect: a two-dimensional
+// wormhole-routed mesh network (Section 2.4 of the paper) with dimension-
+// order (XY) routing. Contention is modelled with per-directed-link
+// busy-until times: a message's head flit advances one router per HopCycles
+// while its body occupies each traversed link for Flits*FlitCycles, giving
+// the classic wormhole latency hops*HopCycles + Flits*FlitCycles when the
+// network is idle, and queueing delays when links are busy.
+package mesh
+
+import "fmt"
+
+// virtualChannels is the number of virtual channels per directed link.
+// Besides matching real wormhole routers, VCs keep a message whose path
+// reserves a link at a *future* time (transactions are resolved eagerly)
+// from blocking unrelated earlier traffic on that link.
+const virtualChannels = 4
+
+// Mesh is the interconnect. Not safe for concurrent use.
+type Mesh struct {
+	cols, rows int
+	hopCycles  uint64
+	flitCycles uint64
+
+	// busyUntil[from*n+to] for adjacent routers: one slot per VC.
+	busyUntil map[int]*[virtualChannels]uint64
+
+	Messages     uint64
+	FlitsCarried uint64
+	TotalLatency uint64 // sum of (arrival - injected)
+	QueueCycles  uint64 // portion of latency due to contention
+}
+
+// New builds a mesh for n nodes arranged in the squarest grid with
+// cols >= rows (4 nodes -> 2x2, 1 node -> 1x1, 6 -> 3x2).
+func New(n, hopCycles, flitCycles int) *Mesh {
+	if n <= 0 {
+		panic(fmt.Sprintf("mesh: invalid node count %d", n))
+	}
+	rows := 1
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			rows = r
+		}
+	}
+	cols := n / rows
+	return &Mesh{
+		cols:       cols,
+		rows:       rows,
+		hopCycles:  uint64(hopCycles),
+		flitCycles: uint64(flitCycles),
+		busyUntil:  make(map[int]*[virtualChannels]uint64),
+	}
+}
+
+func (m *Mesh) coord(node int) (x, y int) { return node % m.cols, node / m.cols }
+
+// Hops returns the XY-routing hop count between two nodes.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := m.coord(src)
+	dx, dy := m.coord(dst)
+	h := sx - dx
+	if h < 0 {
+		h = -h
+	}
+	v := sy - dy
+	if v < 0 {
+		v = -v
+	}
+	return h + v
+}
+
+// route appends the directed links of the XY route from src to dst.
+func (m *Mesh) route(src, dst int, links []int) []int {
+	sx, sy := m.coord(src)
+	dx, dy := m.coord(dst)
+	cur := src
+	for sx != dx {
+		next := cur + 1
+		if dx < sx {
+			next = cur - 1
+		}
+		links = append(links, cur*m.cols*m.rows+next)
+		cur = next
+		if dx < sx {
+			sx--
+		} else {
+			sx++
+		}
+	}
+	for sy != dy {
+		next := cur + m.cols
+		if dy < sy {
+			next = cur - m.cols
+		}
+		links = append(links, cur*m.cols*m.rows+next)
+		cur = next
+		if dy < sy {
+			sy--
+		} else {
+			sy++
+		}
+	}
+	return links
+}
+
+// Send injects a message of flits flits from src to dst at cycle now and
+// returns the cycle at which the full message has arrived at dst. Sending
+// to the local node returns now (no network traversal).
+func (m *Mesh) Send(src, dst int, flits int, now uint64) uint64 {
+	if src == dst {
+		return now
+	}
+	var buf [8]int
+	links := m.route(src, dst, buf[:0])
+	occupancy := uint64(flits) * m.flitCycles
+	head := now
+	var queued uint64
+	for _, l := range links {
+		vcs := m.busyUntil[l]
+		if vcs == nil {
+			vcs = new([virtualChannels]uint64)
+			m.busyUntil[l] = vcs
+		}
+		best := 0
+		for v := 1; v < virtualChannels; v++ {
+			if vcs[v] < vcs[best] {
+				best = v
+			}
+		}
+		depart := head
+		if b := vcs[best]; b > depart {
+			queued += b - depart
+			depart = b
+		}
+		vcs[best] = depart + occupancy
+		head = depart + m.hopCycles
+	}
+	arrival := head + occupancy
+	m.Messages++
+	m.FlitsCarried += uint64(flits)
+	m.TotalLatency += arrival - now
+	m.QueueCycles += queued
+	return arrival
+}
+
+// Nodes returns the number of routers in the mesh.
+func (m *Mesh) Nodes() int { return m.cols * m.rows }
+
+// Dims returns the grid dimensions (cols, rows).
+func (m *Mesh) Dims() (int, int) { return m.cols, m.rows }
+
+// AvgLatency returns the mean end-to-end message latency in cycles.
+func (m *Mesh) AvgLatency() float64 {
+	if m.Messages == 0 {
+		return 0
+	}
+	return float64(m.TotalLatency) / float64(m.Messages)
+}
+
+// ResetStats zeroes the traffic counters (link state is kept).
+func (m *Mesh) ResetStats() {
+	m.Messages, m.FlitsCarried, m.TotalLatency, m.QueueCycles = 0, 0, 0, 0
+}

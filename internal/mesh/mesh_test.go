@@ -1,0 +1,116 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDims(t *testing.T) {
+	cases := []struct{ n, cols, rows int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {6, 3, 2}, {8, 4, 2}, {9, 3, 3}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		m := New(c.n, 10, 2)
+		cols, rows := m.Dims()
+		if cols != c.cols || rows != c.rows {
+			t.Errorf("New(%d): dims %dx%d, want %dx%d", c.n, cols, rows, c.cols, c.rows)
+		}
+		if m.Nodes() != c.n {
+			t.Errorf("New(%d): Nodes() = %d", c.n, m.Nodes())
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := New(4, 10, 2) // 2x2: 0 1 / 2 3
+	cases := []struct{ s, d, hops int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 2, 1}, {0, 3, 2}, {1, 2, 2}, {3, 0, 2},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.s, c.d); got != c.hops {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.s, c.d, got, c.hops)
+		}
+	}
+}
+
+func TestWormholeLatency(t *testing.T) {
+	m := New(4, 10, 2)
+	// 1 hop, 8 flits: hops*hop + flits*flit = 10 + 16 = 26.
+	if got := m.Send(0, 1, 8, 1000) - 1000; got != 26 {
+		t.Errorf("1-hop latency = %d, want 26", got)
+	}
+	// 2 hops on an idle path: 20 + 16 = 36.
+	if got := m.Send(1, 2, 8, 5000) - 5000; got != 36 {
+		t.Errorf("2-hop latency = %d, want 36", got)
+	}
+}
+
+func TestLocalSendIsFree(t *testing.T) {
+	m := New(4, 10, 2)
+	if got := m.Send(2, 2, 8, 777); got != 777 {
+		t.Errorf("local send arrived at %d, want 777", got)
+	}
+	if m.Messages != 0 {
+		t.Error("local send should not count as network traffic")
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	m := New(4, 10, 2)
+	// A link has 4 virtual channels: the first four same-cycle messages
+	// proceed; the fifth queues.
+	var last uint64
+	for i := 0; i < 4; i++ {
+		last = m.Send(0, 1, 8, 100)
+	}
+	if last-100 != 26 {
+		t.Errorf("messages within VC budget delayed: latency %d", last-100)
+	}
+	fifth := m.Send(0, 1, 8, 100)
+	if fifth <= last {
+		t.Errorf("fifth message (%d) not delayed behind VC-full link (%d)", fifth, last)
+	}
+	if m.QueueCycles == 0 {
+		t.Error("contention not recorded in QueueCycles")
+	}
+	// Opposite direction is a different link: no queueing.
+	m2 := New(4, 10, 2)
+	m2.Send(0, 1, 8, 100)
+	c := m2.Send(1, 0, 8, 100)
+	if c-100 != 26 {
+		t.Errorf("reverse-direction message delayed: latency %d", c-100)
+	}
+}
+
+func TestArrivalMonotoneProperty(t *testing.T) {
+	m := New(9, 10, 2)
+	f := func(s, d uint8, flits uint8, now uint32) bool {
+		src, dst := int(s%9), int(d%9)
+		fl := int(flits%16) + 1
+		arr := m.Send(src, dst, fl, uint64(now))
+		if src == dst {
+			return arr == uint64(now)
+		}
+		min := uint64(now) + uint64(m.Hops(src, dst))*10 + uint64(fl)*2
+		return arr >= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := New(4, 10, 2)
+	m.Send(0, 3, 4, 0)
+	m.Send(3, 0, 4, 0)
+	if m.Messages != 2 || m.FlitsCarried != 8 {
+		t.Errorf("traffic counters wrong: %d msgs, %d flits", m.Messages, m.FlitsCarried)
+	}
+	if m.AvgLatency() <= 0 {
+		t.Error("average latency not recorded")
+	}
+	m.ResetStats()
+	if m.Messages != 0 || m.AvgLatency() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}

@@ -1,0 +1,100 @@
+// Package sched models the operating-system scheduler of the traced
+// system. The paper's traces mark blocking system calls; the simulator uses
+// them as context-switch hints while modelling the scheduler internally
+// (Section 2.2). Server processes are pinned to their processor (the paper
+// runs a fixed number of processes per CPU: eight for OLTP, four for DSS),
+// each CPU keeps a local run queue, context switches cost a fixed overhead,
+// and cycles with no runnable process are counted idle and factored out of
+// the execution-time breakdowns.
+package sched
+
+import (
+	"repro/internal/cpu"
+)
+
+// Scheduler drives context switches for every core. Not safe for
+// concurrent use.
+type Scheduler struct {
+	switchCost uint64
+	queues     [][]*cpu.Context // per-CPU run queues
+	switchAt   []uint64         // per-CPU: earliest install time after a switch
+
+	IdleCycles   []uint64 // per-CPU cycles with nothing runnable
+	SwitchCycles []uint64 // per-CPU cycles spent context switching
+	Switches     []uint64
+}
+
+// New returns a scheduler for n CPUs with the given switch cost in cycles.
+func New(n int, switchCost int) *Scheduler {
+	return &Scheduler{
+		switchCost:   uint64(switchCost),
+		queues:       make([][]*cpu.Context, n),
+		switchAt:     make([]uint64, n),
+		IdleCycles:   make([]uint64, n),
+		SwitchCycles: make([]uint64, n),
+		Switches:     make([]uint64, n),
+	}
+}
+
+// Add pins a process to CPU cpuID.
+func (s *Scheduler) Add(cpuID int, ctx *cpu.Context) {
+	s.queues[cpuID] = append(s.queues[cpuID], ctx)
+}
+
+// Tick runs the per-cycle scheduling decision for one core: swap out a
+// blocked process, install the next runnable one, and account idle and
+// switch overhead.
+func (s *Scheduler) Tick(cpuID int, core *cpu.Core, now uint64) {
+	if core.NeedsSwitch() {
+		ctx := core.TakeContext(now)
+		if ctx != nil && !ctx.Finished {
+			s.queues[cpuID] = append(s.queues[cpuID], ctx)
+		}
+		s.switchAt[cpuID] = now + s.switchCost
+		s.Switches[cpuID]++
+	}
+	if core.Context() != nil {
+		return
+	}
+	if now < s.switchAt[cpuID] {
+		s.SwitchCycles[cpuID]++
+		return
+	}
+	if next := s.pick(cpuID, now); next != nil {
+		core.SwitchTo(next)
+		return
+	}
+	s.IdleCycles[cpuID]++
+}
+
+// pick removes and returns the first runnable process on cpuID's queue.
+func (s *Scheduler) pick(cpuID int, now uint64) *cpu.Context {
+	q := s.queues[cpuID]
+	for i, ctx := range q {
+		if ctx.Finished {
+			continue
+		}
+		if ctx.BlockedUntil <= now {
+			s.queues[cpuID] = append(q[:i:i], q[i+1:]...)
+			return ctx
+		}
+	}
+	return nil
+}
+
+// Pending reports whether any unfinished process remains on cpuID's queue.
+func (s *Scheduler) Pending(cpuID int) bool {
+	for _, ctx := range s.queues[cpuID] {
+		if !ctx.Finished {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats zeroes idle/switch accounting.
+func (s *Scheduler) ResetStats() {
+	for i := range s.IdleCycles {
+		s.IdleCycles[i], s.SwitchCycles[i], s.Switches[i] = 0, 0, 0
+	}
+}

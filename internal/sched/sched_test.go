@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/memsys"
+	"repro/internal/trace"
+)
+
+type noLocks struct{}
+
+func (noLocks) TryAcquire(addr uint64, proc int, now uint64) bool { return true }
+func (noLocks) Release(addr uint64, proc int, at uint64)          {}
+
+// proc builds a short compute stream ending in a blocking syscall.
+func proc(blocks uint32) trace.Stream {
+	var ins []trace.Instr
+	pc := uint64(0x1000)
+	for i := 0; i < 50; i++ {
+		ins = append(ins, trace.Instr{Op: trace.OpIntALU, PC: pc, Dest: 1})
+		pc += 4
+	}
+	ins = append(ins, trace.Instr{Op: trace.OpSyscall, PC: pc, Latency: blocks})
+	pc += 4
+	for i := 0; i < 50; i++ {
+		ins = append(ins, trace.Instr{Op: trace.OpIntALU, PC: pc, Dest: 1})
+		pc += 4
+	}
+	return trace.NewSliceStream(ins)
+}
+
+func TestSchedulerRoundRobinsBlockedProcesses(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	cfg.CtxSwitchCycles = 50
+	ms := memsys.New(cfg)
+	core := cpu.New(cfg, 0, ms.Node(0), noLocks{})
+	s := New(1, cfg.CtxSwitchCycles)
+	ctxs := []*cpu.Context{
+		{ID: 0, Stream: proc(3000)},
+		{ID: 1, Stream: proc(3000)},
+		{ID: 2, Stream: proc(3000)},
+	}
+	for _, c := range ctxs {
+		s.Add(0, c)
+	}
+	for cycle := uint64(1); cycle < 1_000_000; cycle++ {
+		s.Tick(0, core, cycle)
+		core.Tick(cycle)
+		done := true
+		for _, c := range ctxs {
+			if !c.Finished {
+				done = false
+			}
+		}
+		if done && core.Context() == nil {
+			break
+		}
+	}
+	for i, c := range ctxs {
+		if !c.Finished {
+			t.Errorf("process %d never finished", i)
+		}
+		// The blocking-syscall marker is consumed by the fetch engine as a
+		// context-switch hint, not retired as an instruction.
+		if c.Retired != 100 {
+			t.Errorf("process %d retired %d, want 100", i, c.Retired)
+		}
+	}
+	if s.Switches[0] < 3 {
+		t.Errorf("switches = %d, want >= 3 (one per blocking call)", s.Switches[0])
+	}
+	if s.SwitchCycles[0] == 0 {
+		t.Error("context-switch overhead not accounted")
+	}
+}
+
+func TestSchedulerIdleWhenAllBlocked(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	ms := memsys.New(cfg)
+	core := cpu.New(cfg, 0, ms.Node(0), noLocks{})
+	s := New(1, 10)
+	ctx := &cpu.Context{ID: 0, Stream: proc(50_000)}
+	s.Add(0, ctx)
+	for cycle := uint64(1); cycle < 200_000; cycle++ {
+		s.Tick(0, core, cycle)
+		core.Tick(cycle)
+		if ctx.Finished && core.Context() == nil {
+			break
+		}
+	}
+	if s.IdleCycles[0] < 40_000 {
+		t.Errorf("idle cycles = %d; the 50k-cycle block should be idle", s.IdleCycles[0])
+	}
+	s.ResetStats()
+	if s.IdleCycles[0] != 0 || s.Switches[0] != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := New(2, 10)
+	if s.Pending(0) {
+		t.Error("empty queue reported pending")
+	}
+	ctx := &cpu.Context{ID: 0, Stream: proc(10)}
+	s.Add(1, ctx)
+	if s.Pending(0) || !s.Pending(1) {
+		t.Error("Pending per-CPU accounting wrong")
+	}
+	ctx.Finished = true
+	if s.Pending(1) {
+		t.Error("finished process still pending")
+	}
+}

@@ -1,0 +1,259 @@
+// Package stats defines the execution-time accounting used throughout the
+// simulator and the report structure returned by a simulation run.
+//
+// Attribution follows the paper's convention (Section 3): at every cycle the
+// ratio of instructions retired to the maximum retire rate counts as busy
+// time; the remaining fraction is charged as stall time to the first
+// instruction that could not be retired that cycle. Read stalls are further
+// split by where the access was serviced (L1 + miscellaneous, L2, local
+// memory, remote memory, dirty/cache-to-cache, data TLB). Idle time is
+// factored out of all breakdowns (paper footnote 1).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category is an execution-time component.
+type Category int
+
+const (
+	// Busy is useful work: retire-slot utilization.
+	Busy Category = iota
+	// CPUStall covers functional-unit, dependence and branch stalls (the
+	// paper folds these into its "CPU" component together with Busy).
+	CPUStall
+	// Instr is instruction stall time (I-cache and I-TLB).
+	Instr
+	// ReadL1 is read stall on L1 hits plus miscellaneous pipeline stalls
+	// charged to loads (address generation, restart; see paper Section 3).
+	ReadL1
+	// ReadL2 is read stall serviced by the L2 cache.
+	ReadL2
+	// ReadLocal is read stall serviced by local memory.
+	ReadLocal
+	// ReadRemote is read stall serviced by remote memory.
+	ReadRemote
+	// ReadDirty is read stall serviced cache-to-cache (dirty misses).
+	ReadDirty
+	// ReadDTLB is read stall due to data TLB misses.
+	ReadDTLB
+	// Write is store-related stall (write-buffer/consistency back-pressure).
+	Write
+	// Sync is synchronization stall (lock acquire/release, fences).
+	Sync
+
+	// NumCategories is the number of accounting buckets.
+	NumCategories
+)
+
+var categoryNames = [...]string{
+	"busy", "cpu_stall", "instr", "read_L1", "read_L2", "read_local",
+	"read_remote", "read_dirty", "read_dTLB", "write", "sync",
+}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// IsRead reports whether the category is a read-stall subcategory.
+func (c Category) IsRead() bool { return c >= ReadL1 && c <= ReadDTLB }
+
+// Breakdown is execution time split into categories, in (fractional) cycles.
+type Breakdown [NumCategories]float64
+
+// Total returns the sum over all categories.
+func (b *Breakdown) Total() float64 {
+	var t float64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates other into b.
+func (b *Breakdown) Add(other *Breakdown) {
+	for i := range b {
+		b[i] += other[i]
+	}
+}
+
+// CPU returns the paper's "CPU" component (busy + FU/branch stalls).
+func (b *Breakdown) CPU() float64 { return b[Busy] + b[CPUStall] }
+
+// Read returns total read stall time.
+func (b *Breakdown) Read() float64 {
+	return b[ReadL1] + b[ReadL2] + b[ReadLocal] + b[ReadRemote] + b[ReadDirty] + b[ReadDTLB]
+}
+
+// Data returns read + write stall time.
+func (b *Breakdown) Data() float64 { return b.Read() + b[Write] }
+
+// Report is the result of one simulation run.
+type Report struct {
+	Label string
+
+	Cycles       uint64  // wall-clock cycles simulated (max over CPUs)
+	IdleCycles   float64 // cycles with no runnable process, summed over CPUs
+	Instructions uint64  // total instructions retired (all CPUs)
+	Breakdown    Breakdown
+
+	// Memory-system characterization.
+	L1IMissRate    float64
+	L1DMissRate    float64
+	L2MissRate     float64
+	L1IMisses      uint64
+	L1DMisses      uint64
+	L2Misses       uint64
+	DirtyFraction  float64 // fraction of L2 misses serviced cache-to-cache
+	BranchMispred  float64
+	ITLBMissRate   float64
+	DTLBMissRate   float64
+	SyncContention float64 // fraction of lock acquires that found the lock held
+
+	// MSHR occupancy distributions: [n] = fraction of miss-outstanding time
+	// with >= n MSHRs in use (index 0 unused), per Figures 2/3 (d)-(g).
+	L1MSHRAll  []float64
+	L2MSHRAll  []float64
+	L1MSHRRead []float64
+	L2MSHRRead []float64
+
+	// Migratory characterization (Section 4.2).
+	SharedWriteMigratory float64 // fraction of shared writes to migratory data
+	ReadDirtyMigratory   float64 // fraction of dirty reads to migratory data
+	MigratoryLines       int
+	MigratoryPCs         int
+	LineConcentration    float64 // write misses covered by top 3% of lines
+	PCConcentration      float64 // refs covered by top 10% of instructions
+	WriteCSFraction      float64
+	ReadCSFraction       float64
+
+	// Stream buffer effectiveness (Section 4.1).
+	StreamBufHitRate float64
+
+	// Network.
+	AvgNetLatency float64
+}
+
+// IPC returns retired instructions per non-idle cycle per processor.
+func (r *Report) IPC(nodes int) float64 {
+	busy := float64(r.Cycles)*float64(nodes) - r.IdleCycles
+	if busy <= 0 {
+		return 0
+	}
+	return float64(r.Instructions) / busy
+}
+
+// ExecTime returns the non-idle execution time used for normalization: the
+// breakdown total (idle already factored out).
+func (r *Report) ExecTime() float64 { return r.Breakdown.Total() }
+
+// Normalized returns the per-category breakdown scaled so that base's
+// execution time is 1.0 (the paper normalizes each figure to its leftmost
+// bar).
+func (r *Report) Normalized(base *Report) Breakdown {
+	t := base.ExecTime()
+	var out Breakdown
+	if t == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = r.Breakdown[i] / t
+	}
+	return out
+}
+
+// FormatBreakdownTable renders reports as the paper's stacked-bar data:
+// normalized execution time split into CPU / instr / read / write / sync,
+// with the leftmost report as the normalization base.
+func FormatBreakdownTable(reports []*Report) string {
+	if len(reports) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	base := reports[0]
+	fmt.Fprintf(&sb, "%-28s %7s | %6s %6s %6s %6s %6s\n",
+		"configuration", "total", "CPU", "instr", "read", "write", "sync")
+	for _, r := range reports {
+		n := r.Normalized(base)
+		fmt.Fprintf(&sb, "%-28s %7.3f | %6.3f %6.3f %6.3f %6.3f %6.3f\n",
+			r.Label, n.Total(), n.CPU(), n[Instr], n.Read(), n[Write], n[Sync])
+	}
+	return sb.String()
+}
+
+// FormatReadStallTable renders the read-stall magnification shown on the
+// right-hand side of Figures 2(b)/(c): read stall split by service point,
+// normalized to the base report's total execution time.
+func FormatReadStallTable(reports []*Report) string {
+	if len(reports) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	base := reports[0]
+	fmt.Fprintf(&sb, "%-28s | %8s %8s %8s %8s %8s %8s\n",
+		"configuration", "L1+misc", "L2", "local", "remote", "dirty", "dTLB")
+	for _, r := range reports {
+		n := r.Normalized(base)
+		fmt.Fprintf(&sb, "%-28s | %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+			r.Label, n[ReadL1], n[ReadL2], n[ReadLocal], n[ReadRemote], n[ReadDirty], n[ReadDTLB])
+	}
+	return sb.String()
+}
+
+// FormatOccupancyTable renders an MSHR occupancy distribution (Figures
+// 2/3(d)-(g)): rows are configurations, columns "fraction of time >= n
+// MSHRs in use".
+func FormatOccupancyTable(labels []string, dists [][]float64) string {
+	var sb strings.Builder
+	max := 0
+	for _, d := range dists {
+		if len(d)-1 > max {
+			max = len(d) - 1
+		}
+	}
+	fmt.Fprintf(&sb, "%-28s |", "configuration")
+	for n := 1; n <= max; n++ {
+		fmt.Fprintf(&sb, " >=%-4d", n)
+	}
+	sb.WriteByte('\n')
+	for i, d := range dists {
+		fmt.Fprintf(&sb, "%-28s |", labels[i])
+		for n := 1; n <= max; n++ {
+			v := 0.0
+			if n < len(d) {
+				v = d[n]
+			}
+			fmt.Fprintf(&sb, " %5.3f ", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SpeedupTable renders relative speedups (base exec time / each exec time).
+func SpeedupTable(reports []*Report) string {
+	if len(reports) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	base := reports[0].ExecTime()
+	keys := make([]string, 0, len(reports))
+	speed := make(map[string]float64, len(reports))
+	for _, r := range reports {
+		keys = append(keys, r.Label)
+		if r.ExecTime() > 0 {
+			speed[r.Label] = base / r.ExecTime()
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%-28s speedup %.3f\n", k, speed[k])
+	}
+	return sb.String()
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakdownArithmetic(t *testing.T) {
+	var b Breakdown
+	b[Busy] = 10
+	b[CPUStall] = 5
+	b[Instr] = 20
+	b[ReadL2] = 30
+	b[ReadDirty] = 15
+	b[Write] = 3
+	b[Sync] = 2
+	if got := b.Total(); got != 85 {
+		t.Errorf("Total = %f", got)
+	}
+	if got := b.CPU(); got != 15 {
+		t.Errorf("CPU = %f", got)
+	}
+	if got := b.Read(); got != 45 {
+		t.Errorf("Read = %f", got)
+	}
+	if got := b.Data(); got != 48 {
+		t.Errorf("Data = %f", got)
+	}
+	var c Breakdown
+	c.Add(&b)
+	c.Add(&b)
+	if c.Total() != 170 {
+		t.Errorf("Add: total = %f", c.Total())
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	if Busy.String() != "busy" || ReadDirty.String() != "read_dirty" || Sync.String() != "sync" {
+		t.Error("category names wrong")
+	}
+	if !ReadL1.IsRead() || !ReadDTLB.IsRead() || Busy.IsRead() || Write.IsRead() {
+		t.Error("IsRead misclassifies")
+	}
+	if !strings.Contains(Category(99).String(), "99") {
+		t.Error("unknown category should show value")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	base := &Report{Label: "base"}
+	base.Breakdown[Busy] = 50
+	base.Breakdown[ReadL2] = 50
+	half := &Report{Label: "half"}
+	half.Breakdown[Busy] = 25
+	half.Breakdown[ReadL2] = 25
+	n := half.Normalized(base)
+	if n.Total() != 0.5 {
+		t.Errorf("normalized total = %f, want 0.5", n.Total())
+	}
+	if n[Busy] != 0.25 {
+		t.Errorf("normalized busy = %f", n[Busy])
+	}
+	var empty Report
+	if z := half.Normalized(&empty); z.Total() != 0 {
+		t.Error("normalizing against zero base should give zeros")
+	}
+}
+
+func TestIPC(t *testing.T) {
+	r := &Report{Cycles: 1000, Instructions: 2000, IdleCycles: 0}
+	if got := r.IPC(4); got != 0.5 {
+		t.Errorf("IPC = %f, want 0.5", got)
+	}
+	r.IdleCycles = 2000 // 4000 cpu-cycles - 2000 idle = 2000 busy
+	if got := r.IPC(4); got != 1.0 {
+		t.Errorf("IPC with idle = %f, want 1.0", got)
+	}
+	r.IdleCycles = 5000
+	if got := r.IPC(4); got != 0 {
+		t.Errorf("over-idle IPC = %f, want 0", got)
+	}
+}
+
+func mkReport(label string, busy, read float64) *Report {
+	r := &Report{Label: label}
+	r.Breakdown[Busy] = busy
+	r.Breakdown[ReadDirty] = read
+	return r
+}
+
+func TestFormatBreakdownTable(t *testing.T) {
+	if FormatBreakdownTable(nil) != "" {
+		t.Error("empty input should render nothing")
+	}
+	out := FormatBreakdownTable([]*Report{mkReport("a", 60, 40), mkReport("b", 30, 20)})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("labels missing")
+	}
+	if !strings.Contains(out, "1.000") || !strings.Contains(out, "0.500") {
+		t.Errorf("normalization wrong:\n%s", out)
+	}
+}
+
+func TestFormatReadStallTable(t *testing.T) {
+	out := FormatReadStallTable([]*Report{mkReport("x", 50, 50)})
+	if !strings.Contains(out, "dirty") || !strings.Contains(out, "0.5000") {
+		t.Errorf("read stall table wrong:\n%s", out)
+	}
+	if FormatReadStallTable(nil) != "" {
+		t.Error("empty input should render nothing")
+	}
+}
+
+func TestFormatOccupancyTable(t *testing.T) {
+	out := FormatOccupancyTable([]string{"L1"}, [][]float64{{0, 1.0, 0.25}})
+	if !strings.Contains(out, "L1") || !strings.Contains(out, "0.250") {
+		t.Errorf("occupancy table wrong:\n%s", out)
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	out := SpeedupTable([]*Report{mkReport("base", 100, 0), mkReport("fast", 50, 0)})
+	if !strings.Contains(out, "2.000") {
+		t.Errorf("speedup table wrong:\n%s", out)
+	}
+	if SpeedupTable(nil) != "" {
+		t.Error("empty input should render nothing")
+	}
+}

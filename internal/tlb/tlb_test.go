@@ -1,0 +1,152 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageTableTranslateStable(t *testing.T) {
+	pt := NewPageTable(8 << 10)
+	p1, h1 := pt.Translate(0x1234_5678, 2)
+	p2, h2 := pt.Translate(0x1234_5678, 3) // second toucher does not re-home
+	if p1 != p2 || h1 != h2 {
+		t.Fatalf("translation not stable: (%x,%d) vs (%x,%d)", p1, h1, p2, h2)
+	}
+	if h1 != 2 {
+		t.Errorf("first-touch home = %d, want 2", h1)
+	}
+	if p1&0x1FFF != 0x1234_5678&0x1FFF {
+		t.Error("page offset not preserved")
+	}
+}
+
+func TestPageTableBinHopping(t *testing.T) {
+	pt := NewPageTable(8 << 10)
+	// Consecutively touched pages get consecutive physical pages.
+	var prev uint64
+	for i := 0; i < 16; i++ {
+		p, _ := pt.Translate(uint64(i)*0x10000, 0) // scattered virtual pages
+		ppn := p >> 13
+		if i > 0 && ppn != prev+1 {
+			t.Fatalf("bin-hopping broken: ppn %d after %d", ppn, prev)
+		}
+		prev = ppn
+	}
+	if pt.Pages() != 16 {
+		t.Errorf("pages = %d, want 16", pt.Pages())
+	}
+}
+
+func TestHomeOfPhys(t *testing.T) {
+	pt := NewPageTable(8 << 10)
+	p, _ := pt.Translate(0xABC000, 3)
+	home, ok := pt.HomeOfPhys(p)
+	if !ok || home != 3 {
+		t.Errorf("HomeOfPhys = %d,%v, want 3,true", home, ok)
+	}
+	if _, ok := pt.HomeOfPhys(0xFFFF_FFFF_F000); ok {
+		t.Error("unmapped physical address reported a home")
+	}
+}
+
+func TestTranslateDeterministicProperty(t *testing.T) {
+	pt := NewPageTable(8 << 10)
+	f := func(vaddr uint64, node uint8) bool {
+		n := int(node % 4)
+		p1, h1 := pt.Translate(vaddr, n)
+		p2, h2 := pt.Translate(vaddr, (n+1)%4)
+		return p1 == p2 && h1 == h2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBHitAfterInsert(t *testing.T) {
+	tlb := New(4)
+	if tlb.Lookup(100) {
+		t.Error("cold lookup must miss")
+	}
+	if !tlb.Lookup(100) {
+		t.Error("second lookup must hit")
+	}
+	if tlb.Accesses != 2 || tlb.Misses != 1 {
+		t.Errorf("counters = %d/%d", tlb.Accesses, tlb.Misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := New(4)
+	for vpn := uint64(0); vpn < 4; vpn++ {
+		tlb.Lookup(vpn)
+	}
+	tlb.Lookup(0) // refresh 0; LRU is now 1
+	tlb.Lookup(9) // evicts 1
+	if !tlb.Lookup(0) {
+		t.Error("recently used entry evicted")
+	}
+	if tlb.Lookup(1) {
+		t.Error("LRU entry not evicted")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := New(8)
+	for vpn := uint64(0); vpn < 8; vpn++ {
+		tlb.Lookup(vpn)
+	}
+	tlb.Flush()
+	for vpn := uint64(0); vpn < 8; vpn++ {
+		if tlb.Lookup(vpn) {
+			t.Fatalf("vpn %d survived flush", vpn)
+		}
+	}
+}
+
+func TestTLBMissRateAndReset(t *testing.T) {
+	tlb := New(2)
+	tlb.Lookup(1)
+	tlb.Lookup(1)
+	if got := tlb.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %f, want 0.5", got)
+	}
+	tlb.ResetStats()
+	if tlb.Accesses != 0 || tlb.MissRate() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	if !tlb.Lookup(1) {
+		t.Error("ResetStats must not drop entries")
+	}
+}
+
+func TestTLBCapacityProperty(t *testing.T) {
+	// With W distinct pages cycling through a W-entry TLB, everything
+	// hits after warm-up; with W+1 pages in LRU order, everything misses.
+	tlb := New(8)
+	for round := 0; round < 3; round++ {
+		for vpn := uint64(0); vpn < 8; vpn++ {
+			tlb.Lookup(vpn)
+		}
+	}
+	if tlb.Misses != 8 {
+		t.Errorf("resident set misses = %d, want 8 (cold only)", tlb.Misses)
+	}
+	thrash := New(4)
+	for round := 0; round < 3; round++ {
+		for vpn := uint64(0); vpn < 5; vpn++ {
+			thrash.Lookup(vpn)
+		}
+	}
+	if thrash.Misses != thrash.Accesses {
+		t.Errorf("LRU thrash pattern should always miss: %d/%d", thrash.Misses, thrash.Accesses)
+	}
+}
+
+func TestBadConstruction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two page size")
+		}
+	}()
+	NewPageTable(3000)
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format: a magic header followed by one varint-encoded record per
+// instruction. PC and Addr are delta-encoded against the previous record to
+// keep files small (instruction streams are mostly sequential).
+
+var fileMagic = []byte("DBTRACE1")
+
+// Writer encodes instructions to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	buf    [8 * binary.MaxVarintLen64]byte
+	lastPC uint64
+	lastEA uint64
+	n      uint64
+	err    error
+}
+
+// NewWriter writes the file header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(fileMagic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one instruction. Errors are sticky.
+func (w *Writer) Write(in Instr) error {
+	if w.err != nil {
+		return w.err
+	}
+	b := w.buf[:0]
+	b = append(b, byte(in.Op))
+	b = binary.AppendVarint(b, int64(in.PC)-int64(w.lastPC))
+	w.lastPC = in.PC
+	if in.Op.IsMem() {
+		b = binary.AppendVarint(b, int64(in.Addr)-int64(w.lastEA))
+		w.lastEA = in.Addr
+		b = append(b, in.Src1, in.Src2, in.Dest)
+	} else if in.Op.IsBranch() {
+		b = binary.AppendVarint(b, int64(in.Target)-int64(in.PC))
+		flag := byte(0)
+		if in.Taken {
+			flag = 1
+		}
+		b = append(b, flag, in.Src1)
+	} else if in.Op == OpSyscall {
+		b = binary.AppendUvarint(b, uint64(in.Latency))
+	} else {
+		b = append(b, in.Src1, in.Src2, in.Dest)
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = fmt.Errorf("trace: writing record %d: %w", w.n, err)
+		return w.err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of instructions written so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// WriteAll drains the stream into w.
+func WriteAll(w *Writer, s Stream) (uint64, error) {
+	var in Instr
+	var n uint64
+	for s.Next(&in) {
+		if err := w.Write(in); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, w.Flush()
+}
+
+// Reader decodes a trace file. It implements Stream.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+	lastEA uint64
+	err    error
+}
+
+// ErrBadMagic is returned when the input is not a trace file.
+var ErrBadMagic = errors.New("trace: bad file magic")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	got := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(got) != string(fileMagic) {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Err returns the first decode error encountered, if any. A clean
+// end-of-file is not an error.
+func (r *Reader) Err() error { return r.err }
+
+// Next implements Stream. It returns false at end of file or on a decode
+// error (check Err to distinguish).
+func (r *Reader) Next(in *Instr) bool {
+	if r.err != nil {
+		return false
+	}
+	opb, err := r.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			r.err = err
+		}
+		return false
+	}
+	if opb >= byte(opCount) {
+		r.err = fmt.Errorf("trace: invalid opcode %d", opb)
+		return false
+	}
+	*in = Instr{Op: Op(opb)}
+	dpc, err := binary.ReadVarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: truncated record: %w", err)
+		return false
+	}
+	r.lastPC = uint64(int64(r.lastPC) + dpc)
+	in.PC = r.lastPC
+	switch {
+	case in.Op.IsMem():
+		dea, err := binary.ReadVarint(r.r)
+		if err != nil {
+			r.err = fmt.Errorf("trace: truncated record: %w", err)
+			return false
+		}
+		r.lastEA = uint64(int64(r.lastEA) + dea)
+		in.Addr = r.lastEA
+		if r.err = r.readRegs(&in.Src1, &in.Src2, &in.Dest); r.err != nil {
+			return false
+		}
+	case in.Op.IsBranch():
+		dt, err := binary.ReadVarint(r.r)
+		if err != nil {
+			r.err = fmt.Errorf("trace: truncated record: %w", err)
+			return false
+		}
+		in.Target = uint64(int64(in.PC) + dt)
+		flag, err := r.r.ReadByte()
+		if err != nil {
+			r.err = fmt.Errorf("trace: truncated record: %w", err)
+			return false
+		}
+		in.Taken = flag != 0
+		src, err := r.r.ReadByte()
+		if err != nil {
+			r.err = fmt.Errorf("trace: truncated record: %w", err)
+			return false
+		}
+		in.Src1 = src
+	case in.Op == OpSyscall:
+		lat, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			r.err = fmt.Errorf("trace: truncated record: %w", err)
+			return false
+		}
+		in.Latency = uint32(lat)
+	default:
+		if r.err = r.readRegs(&in.Src1, &in.Src2, &in.Dest); r.err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Reader) readRegs(s1, s2, d *uint8) error {
+	var b [3]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		return fmt.Errorf("trace: truncated record: %w", err)
+	}
+	*s1, *s2, *d = b[0], b[1], b[2]
+	return nil
+}

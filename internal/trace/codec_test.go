@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// canonical clamps an instruction to the fields the codec preserves for its
+// op kind (e.g. ALU ops carry no address).
+func canonical(in Instr) Instr {
+	out := Instr{Op: in.Op, PC: in.PC}
+	switch {
+	case in.Op.IsMem():
+		out.Addr = in.Addr
+		out.Src1, out.Src2, out.Dest = in.Src1, in.Src2, in.Dest
+	case in.Op.IsBranch():
+		out.Target = in.Target
+		out.Taken = in.Taken
+		out.Src1 = in.Src1
+	case in.Op == OpSyscall:
+		out.Latency = in.Latency
+	default:
+		out.Src1, out.Src2, out.Dest = in.Src1, in.Src2, in.Dest
+	}
+	return out
+}
+
+func roundtrip(t *testing.T, ins []Instr) []Instr {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range ins {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(ins)) {
+		t.Fatalf("writer count %d, want %d", w.Count(), len(ins))
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Instr
+	var in Instr
+	for r.Next(&in) {
+		got = append(got, in)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestCodecRoundtripBasic(t *testing.T) {
+	ins := []Instr{
+		{Op: OpIntALU, PC: 0x1000, Src1: 1, Src2: 2, Dest: 3},
+		{Op: OpLoad, PC: 0x1004, Addr: 0xdeadbeef, Src1: 3, Dest: 4},
+		{Op: OpStore, PC: 0x1008, Addr: 0xdeadbef0, Src1: 4},
+		{Op: OpBranch, PC: 0x100c, Taken: true, Target: 0x1000, Src1: 4},
+		{Op: OpCall, PC: 0x1010, Target: 0x9000},
+		{Op: OpReturn, PC: 0x9004, Target: 0x1014},
+		{Op: OpLockAcquire, PC: 0x1014, Addr: 0x2000_0000, Dest: 5},
+		{Op: OpWriteBar, PC: 0x1018},
+		{Op: OpLockRelease, PC: 0x101c, Addr: 0x2000_0000, Src1: 5},
+		{Op: OpSyscall, PC: 0x1020, Latency: 123456},
+		{Op: OpPrefetch, PC: 0x1024, Addr: 0x4000_0000},
+		{Op: OpPrefetchX, PC: 0x1028, Addr: 0x4000_0040},
+		{Op: OpFlush, PC: 0x102c, Addr: 0x4000_0040},
+		{Op: OpMemBar, PC: 0x1030},
+		{Op: OpFPALU, PC: 0x1034, Src1: 6, Dest: 7},
+		{Op: OpJump, PC: 0x1038, Target: 0x4000},
+	}
+	got := roundtrip(t, ins)
+	if len(got) != len(ins) {
+		t.Fatalf("decoded %d, want %d", len(got), len(ins))
+	}
+	for i := range ins {
+		if want := canonical(ins[i]); !reflect.DeepEqual(got[i], want) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestCodecRoundtripProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	gen := func(n int) []Instr {
+		ins := make([]Instr, n)
+		pc := uint64(0x10000)
+		for i := range ins {
+			op := Op(rng.IntN(int(opCount)))
+			ins[i] = Instr{
+				Op: op, PC: pc,
+				Addr:    rng.Uint64() % (1 << 40),
+				Target:  pc + uint64(rng.IntN(4096)) - 2048,
+				Latency: rng.Uint32() % 1_000_000,
+				Src1:    uint8(rng.IntN(64)),
+				Src2:    uint8(rng.IntN(64)),
+				Dest:    uint8(rng.IntN(64)),
+				Taken:   rng.IntN(2) == 0,
+			}
+			pc += 4
+		}
+		return ins
+	}
+	f := func(seed uint16) bool {
+		n := int(seed)%500 + 1
+		ins := gen(n)
+		got := roundtrip(t, ins)
+		if len(got) != len(ins) {
+			return false
+		}
+		for i := range ins {
+			if !reflect.DeepEqual(got[i], canonical(ins[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	_, err := NewReader(strings.NewReader("NOTATRACE-------"))
+	if err != ErrBadMagic {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Write(Instr{Op: OpLoad, PC: 4, Addr: 0x1234, Dest: 1})
+	_ = w.Flush()
+	full := buf.Bytes()
+	// Cut the record in half (but keep the header).
+	cut := full[:len(fileMagic)+2]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in Instr
+	if r.Next(&in) {
+		t.Error("Next succeeded on truncated record")
+	}
+	if r.Err() == nil {
+		t.Error("truncated record should surface an error")
+	}
+}
+
+func TestReaderInvalidOpcode(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(fileMagic)
+	buf.WriteByte(0xFF)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in Instr
+	if r.Next(&in) {
+		t.Error("Next succeeded on invalid opcode")
+	}
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "opcode") {
+		t.Errorf("want opcode error, got %v", r.Err())
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	ins := make([]Instr, 100)
+	for i := range ins {
+		ins[i] = Instr{Op: OpIntALU, PC: uint64(4 * i)}
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	n, err := WriteAll(w, NewSliceStream(ins))
+	if err != nil || n != 100 {
+		t.Fatalf("WriteAll = %d, %v", n, err)
+	}
+	r, _ := NewReader(&buf)
+	if got := Collect(r, 0); len(got) != 100 {
+		t.Errorf("decoded %d records", len(got))
+	}
+}

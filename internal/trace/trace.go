@@ -1,0 +1,190 @@
+// Package trace defines the instruction-trace representation consumed by the
+// timing simulator.
+//
+// The paper drives a detailed multiprocessor simulator with per-process
+// instruction traces of the Oracle server processes captured with ATOM,
+// annotated with synchronization and blocking-system-call markers. This
+// package plays the role of that trace format: an Instr is one dynamic
+// instruction (with its PC, effective address, register dependences and
+// branch outcome), and a Stream produces them lazily, either from a workload
+// generator (internal/workload) or from a trace file (Reader/Writer).
+package trace
+
+import "fmt"
+
+// Op is the dynamic instruction kind.
+type Op uint8
+
+const (
+	// OpIntALU is an integer arithmetic/logical operation.
+	OpIntALU Op = iota
+	// OpFPALU is a floating-point operation.
+	OpFPALU
+	// OpLoad reads Addr into Dest.
+	OpLoad
+	// OpStore writes Addr.
+	OpStore
+	// OpBranch is a conditional branch with outcome Taken and target Target.
+	OpBranch
+	// OpJump is an unconditional indirect/direct jump (uses the BTB).
+	OpJump
+	// OpCall is a subroutine call (pushes the return-address stack).
+	OpCall
+	// OpReturn is a subroutine return (pops the return-address stack).
+	OpReturn
+	// OpLockAcquire acquires the simulated lock at Addr. The simulator
+	// evaluates lock values in simulated time, so contention and lock
+	// passing behave as in the traced system.
+	OpLockAcquire
+	// OpLockRelease releases the simulated lock at Addr.
+	OpLockRelease
+	// OpMemBar is the Alpha MB full memory barrier.
+	OpMemBar
+	// OpWriteBar is the Alpha WMB write memory barrier.
+	OpWriteBar
+	// OpSyscall is a blocking system call with latency Latency cycles; the
+	// simulator uses it as a context-switch hint (Section 2.2 of the paper).
+	OpSyscall
+	// OpPrefetch is a non-binding software prefetch of Addr (Section 4.2).
+	OpPrefetch
+	// OpPrefetchX is a software prefetch-exclusive of Addr (Section 4.2).
+	OpPrefetchX
+	// OpFlush is the software flush / "WriteThrough" hint: push the dirty
+	// line at Addr back to memory, keeping a clean copy (Section 4.2).
+	OpFlush
+
+	opCount
+)
+
+var opNames = [...]string{
+	"int", "fp", "load", "store", "branch", "jump", "call", "return",
+	"lockacq", "lockrel", "mb", "wmb", "syscall", "prefetch", "prefetchx", "flush",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsMem reports whether the op accesses the data memory hierarchy.
+func (o Op) IsMem() bool {
+	switch o {
+	case OpLoad, OpStore, OpLockAcquire, OpLockRelease, OpPrefetch, OpPrefetchX, OpFlush:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the op redirects control flow.
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpBranch, OpJump, OpCall, OpReturn:
+		return true
+	}
+	return false
+}
+
+// NoReg marks an unused register operand. Register numbers 1..MaxReg are
+// general registers; 0 is reserved as "always ready" (like Alpha r31).
+const NoReg = 0
+
+// MaxReg is the largest usable architectural register number.
+const MaxReg = 63
+
+// Instr is one dynamic instruction.
+type Instr struct {
+	Op      Op
+	PC      uint64 // virtual instruction address
+	Addr    uint64 // effective virtual address (memory ops)
+	Target  uint64 // actual target (branch ops)
+	Latency uint32 // blocking latency in cycles (OpSyscall)
+	Src1    uint8  // source register or NoReg
+	Src2    uint8  // source register or NoReg
+	Dest    uint8  // destination register or NoReg
+	Taken   bool   // actual outcome (OpBranch)
+}
+
+func (in Instr) String() string {
+	switch {
+	case in.Op.IsMem():
+		return fmt.Sprintf("%#x: %s %#x r%d,r%d -> r%d", in.PC, in.Op, in.Addr, in.Src1, in.Src2, in.Dest)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%#x: %s taken=%v -> %#x", in.PC, in.Op, in.Taken, in.Target)
+	case in.Op == OpSyscall:
+		return fmt.Sprintf("%#x: syscall %d cycles", in.PC, in.Latency)
+	default:
+		return fmt.Sprintf("%#x: %s r%d,r%d -> r%d", in.PC, in.Op, in.Src1, in.Src2, in.Dest)
+	}
+}
+
+// Stream produces a sequence of instructions. Next fills *in and reports
+// whether an instruction was produced; it returns false at end of trace.
+// Implementations need not be safe for concurrent use.
+type Stream interface {
+	Next(in *Instr) bool
+}
+
+// Resetter is implemented by streams that can be rewound to the beginning.
+type Resetter interface {
+	Reset()
+}
+
+// SliceStream replays a fixed slice of instructions. It implements Stream
+// and Resetter.
+type SliceStream struct {
+	Instrs []Instr
+	pos    int
+}
+
+// NewSliceStream returns a stream over instrs (not copied).
+func NewSliceStream(instrs []Instr) *SliceStream {
+	return &SliceStream{Instrs: instrs}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(in *Instr) bool {
+	if s.pos >= len(s.Instrs) {
+		return false
+	}
+	*in = s.Instrs[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset implements Resetter.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// LimitStream passes through at most N instructions from the underlying
+// stream.
+type LimitStream struct {
+	S Stream
+	N uint64
+}
+
+// Next implements Stream.
+func (l *LimitStream) Next(in *Instr) bool {
+	if l.N == 0 {
+		return false
+	}
+	if !l.S.Next(in) {
+		return false
+	}
+	l.N--
+	return true
+}
+
+// Collect drains up to max instructions from s into a slice. A max of 0
+// means "no limit" and requires s to be finite.
+func Collect(s Stream, max int) []Instr {
+	var out []Instr
+	var in Instr
+	for s.Next(&in) {
+		out = append(out, in)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}

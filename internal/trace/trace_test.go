@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpClassification(t *testing.T) {
+	mem := []Op{OpLoad, OpStore, OpLockAcquire, OpLockRelease, OpPrefetch, OpPrefetchX, OpFlush}
+	for _, op := range mem {
+		if !op.IsMem() {
+			t.Errorf("%v should be a memory op", op)
+		}
+		if op.IsBranch() {
+			t.Errorf("%v should not be a branch", op)
+		}
+	}
+	br := []Op{OpBranch, OpJump, OpCall, OpReturn}
+	for _, op := range br {
+		if !op.IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+		if op.IsMem() {
+			t.Errorf("%v should not be a memory op", op)
+		}
+	}
+	for _, op := range []Op{OpIntALU, OpFPALU, OpMemBar, OpWriteBar, OpSyscall} {
+		if op.IsMem() || op.IsBranch() {
+			t.Errorf("%v misclassified", op)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpLoad.String() != "load" || OpFlush.String() != "flush" {
+		t.Error("op names wrong")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Error("unknown op should include value")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []Instr{
+		{Op: OpLoad, PC: 0x1000, Addr: 0x2000, Dest: 3},
+		{Op: OpBranch, PC: 0x1004, Taken: true, Target: 0x1100},
+		{Op: OpSyscall, PC: 0x1008, Latency: 500},
+		{Op: OpIntALU, PC: 0x100c, Src1: 1, Dest: 2},
+	}
+	for _, in := range cases {
+		if in.String() == "" {
+			t.Errorf("empty String for %v", in.Op)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	ins := []Instr{
+		{Op: OpIntALU, PC: 4},
+		{Op: OpLoad, PC: 8, Addr: 100},
+		{Op: OpStore, PC: 12, Addr: 200},
+	}
+	s := NewSliceStream(ins)
+	var got []Instr
+	var in Instr
+	for s.Next(&in) {
+		got = append(got, in)
+	}
+	if len(got) != 3 || got[1].Addr != 100 {
+		t.Fatalf("unexpected replay: %v", got)
+	}
+	if s.Next(&in) {
+		t.Error("Next after end should return false")
+	}
+	s.Reset()
+	if !s.Next(&in) || in.PC != 4 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestLimitStream(t *testing.T) {
+	base := NewSliceStream(make([]Instr, 10))
+	l := &LimitStream{S: base, N: 4}
+	var in Instr
+	n := 0
+	for l.Next(&in) {
+		n++
+	}
+	if n != 4 {
+		t.Errorf("limit stream yielded %d, want 4", n)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	base := NewSliceStream(make([]Instr, 7))
+	if got := Collect(base, 5); len(got) != 5 {
+		t.Errorf("Collect(max=5) returned %d", len(got))
+	}
+	base.Reset()
+	if got := Collect(base, 0); len(got) != 7 {
+		t.Errorf("Collect(no max) returned %d", len(got))
+	}
+}

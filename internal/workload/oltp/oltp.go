@@ -1,0 +1,476 @@
+// Package oltp generates the OLTP workload: TPC-B style banking
+// transactions against the miniature engine in internal/db, reproducing the
+// memory behaviour the paper measured on Oracle (Section 2.1.1): a large
+// streaming instruction footprint (~560KB), dependent-load hash-chain
+// lookups in the buffer directory, latch-protected fine-grain updates of
+// shared metadata (redo allocation, transaction slots, branch/history rows)
+// that migrate between processors, a random account access pattern over a
+// large block-buffer area, and a blocking commit (log write) per
+// transaction that drives context switching among the eight server
+// processes per CPU.
+package oltp
+
+import (
+	"repro/internal/db"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// HintLevel selects the Section 4.2 software hints inserted into the code.
+type HintLevel int
+
+const (
+	// HintNone is the unmodified workload.
+	HintNone HintLevel = iota
+	// HintFlush adds flush/write-through hints at the ends of the critical
+	// sections updating migratory data.
+	HintFlush
+	// HintFlushPrefetch additionally prefetches migratory data exclusively
+	// at the beginnings of those critical sections.
+	HintFlushPrefetch
+)
+
+// Config scales the workload.
+type Config struct {
+	Processes              int // total server processes (paper: 8 per CPU)
+	TransactionsPerProcess int
+	Branches               int     // TPC-B scale (paper: 40)
+	CommitLatency          uint32  // cycles blocked at commit (log write + next request)
+	PathRoutines           int     // SQL-path routines (instruction footprint)
+	RoutineBytes           int     // bytes of text per routine
+	PathFraction           float64 // fraction of the path walked per transaction
+	RoutineRepeat          int     // consecutive executions of each path routine
+	Hints                  HintLevel
+	Seed                   uint64
+}
+
+// DefaultConfig returns the paper-matched scaling for nodes processors.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Processes:              8 * nodes,
+		TransactionsPerProcess: 3,
+		Branches:               40,
+		CommitLatency:          100_000, // ~100us log write + request wait
+		PathRoutines:           112,     // x 4KB + helpers ~= 560KB footprint
+		RoutineBytes:           4096,
+		PathFraction:           0.5,
+		// Each routine runs twice consecutively (inner control-flow
+		// revisits), matching the paper's effective I-miss intensity:
+		// the footprint streams through the L1I, but not every fetched
+		// line is a miss.
+		RoutineRepeat: 2,
+		Seed:          1,
+	}
+}
+
+// Workload is the shared engine + code layout; all processes share text and
+// SGA, as Oracle server processes do.
+type Workload struct {
+	cfg  Config
+	tpcb *db.TPCB
+	buf  *db.BufferCache
+	redo *db.RedoLog
+
+	cs      *workload.CodeSpace
+	path    []*workload.Routine
+	rBegin  *workload.Routine
+	rBufGet *workload.Routine
+	rApply  *workload.Routine
+	rRedo   *workload.Routine
+	rHist   *workload.Routine
+	rCommit *workload.Routine
+
+	Transactions uint64
+}
+
+// New builds the workload.
+func New(cfg Config) *Workload {
+	if cfg.Processes <= 0 {
+		panic("oltp: need at least one process")
+	}
+	if cfg.PathFraction <= 0 || cfg.PathFraction > 1 {
+		cfg.PathFraction = 0.5
+	}
+	w := &Workload{
+		cfg:  cfg,
+		tpcb: db.NewTPCB(db.TPCBConfig{Branches: cfg.Branches}),
+		redo: db.NewRedoLog(1 << 20),
+		cs:   workload.NewCodeSpace(db.CodeBase),
+	}
+	w.buf = db.NewBufferCache(w.tpcb.TotalBlocks()+1024, 4096)
+	for i := 0; i < cfg.PathRoutines; i++ {
+		w.path = append(w.path, w.cs.NewRoutine("sqlpath", cfg.RoutineBytes))
+	}
+	w.rBegin = w.cs.NewRoutine("txbegin", 2048)
+	w.rBufGet = w.cs.NewRoutine("bufget", 2048)
+	w.rApply = w.cs.NewRoutine("apply", 2048)
+	w.rRedo = w.cs.NewRoutine("redogen", 2048)
+	w.rHist = w.cs.NewRoutine("history", 2048)
+	w.rCommit = w.cs.NewRoutine("commit", 2048)
+	return w
+}
+
+// Footprint returns the instruction footprint in bytes (~560KB by default).
+func (w *Workload) Footprint() uint64 { return w.cs.Footprint() }
+
+// TPCB exposes the engine for verification.
+func (w *Workload) TPCB() *db.TPCB { return w.tpcb }
+
+// ApproxInstrPerTx estimates dynamic instructions per transaction (used to
+// size warm-up budgets).
+func (w *Workload) ApproxInstrPerTx() uint64 {
+	repeat := w.cfg.RoutineRepeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	pathInstr := float64(w.cfg.PathRoutines) * w.cfg.PathFraction *
+		float64(w.cfg.RoutineBytes) / 4 * float64(repeat)
+	return uint64(pathInstr*1.05) + 3000
+}
+
+// procState is the per-process generation state.
+type procState struct {
+	w        *Workload
+	proc     int
+	tx       int
+	pathPos  int // rotating window into the SQL path
+	privHot  uint64
+	privCold uint64
+	hotTop   uint64
+}
+
+// Stream returns the instruction stream of server process proc.
+func (w *Workload) Stream(proc int) trace.Stream {
+	p := &procState{
+		w:       w,
+		proc:    proc,
+		pathPos: proc % len(w.path),
+		privHot: db.PrivateBase(proc),
+	}
+	e := workload.NewEmitter(w.cfg.Seed*1_000_003 + uint64(proc))
+	// The emitter starts in a per-process copy of the dispatch loop that
+	// reads client requests and drives transactions.
+	stub := w.cs.NewRoutine("dispatch", 4096)
+	e.Call(stub)
+	return workload.NewGen(e, p.refillTx)
+}
+
+// hotAddr: ~32KB hot private working set (stack frames, cursors) -> hits.
+func (p *procState) hotAddr(e *workload.Emitter) uint64 {
+	return p.privHot + uint64(e.Rand().IntN(32*1024))&^7
+}
+
+// coldAddr: sequential walk of a ~64KB private area (PGA arrays, cursor
+// state). Eight processes' areas exceed the L1 but sit comfortably in the
+// L2, so these references are the steady L1-miss/L2-hit traffic that gives
+// OLTP its large L2 component.
+func (p *procState) coldAddr(e *workload.Emitter) uint64 {
+	p.privCold += 24
+	if p.privCold >= 64<<10 {
+		p.privCold = 0
+	}
+	return db.PrivateBase(p.proc) + 64*1024 + p.privCold
+}
+
+// planAddr: reference into the shared plan/dictionary cache. Accesses are
+// heavily skewed to a hot subset (the cached plans of the one running
+// statement), with an occasional cold probe over the full 16MB region;
+// read-shared across processes, so the hot subset settles into every L2.
+func (p *procState) planAddr(e *workload.Emitter) uint64 {
+	if e.Rand().IntN(16) != 0 {
+		return db.SharedPlanBase + uint64(e.Rand().IntN(384<<10))&^7
+	}
+	return db.SharedPlanBase + uint64(e.Rand().IntN(16<<20))&^7
+}
+
+// statsIdx picks a global statistics/session counter, skewed onto a few
+// very hot ones — the Section 4.2 concentration (most migratory write
+// misses land on a small fraction of the lines).
+func (p *procState) statsIdx(e *workload.Emitter) int {
+	if e.Rand().IntN(2) == 0 {
+		return e.Rand().IntN(3) // the hot handful
+	}
+	return e.Rand().IntN(64)
+}
+
+// statsCtrAddr returns counter idx's line. Counters sit on separate pages
+// (as SGA statistics structures do), so first-touch homing spreads them
+// across the nodes.
+func statsCtrAddr(idx int) uint64 {
+	return db.MetaBase + 0x0200_0000 + uint64(idx)*8192
+}
+
+// statsLatchAddr returns the latch protecting counter idx.
+func statsLatchAddr(idx int) uint64 {
+	return db.MetaBase + 0x000C_0000 + uint64(idx)*db.LineBytes
+}
+
+// refillTx enqueues the phases of the next transaction.
+func (p *procState) refillTx(g *workload.Gen) bool {
+	if p.tx >= p.w.cfg.TransactionsPerProcess {
+		return false
+	}
+	p.tx++
+	p.w.Transactions++
+	w := p.w
+	rng := g.E.Rand()
+
+	// Keep the dispatch loop's PC within its routine across transactions.
+	g.Enqueue(func(e *workload.Emitter) {
+		if e.Remaining() < 1024 {
+			e.LoopBack()
+		}
+	})
+
+	// TPC-B parameter generation: random teller, its branch, and an
+	// account in that branch 85% of the time.
+	tid := rng.IntN(w.tpcb.Tellers)
+	bid := tid / 10
+	var aid int
+	if rng.IntN(100) < 85 {
+		aid = bid*100_000 + rng.IntN(100_000)
+	} else {
+		aid = rng.IntN(w.tpcb.Accounts)
+	}
+	delta := int64(rng.IntN(1_999_999) - 999_999)
+	if err := w.tpcb.Apply(aid, tid, bid, delta); err != nil {
+		panic(err)
+	}
+
+	// Phase 1: SQL path (parse/bind/execute plumbing): a rotating window
+	// of the path routines — the streaming instruction footprint.
+	n := int(float64(len(w.path)) * w.cfg.PathFraction)
+	repeat := w.cfg.RoutineRepeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	for i := 0; i < n; i++ {
+		r := w.path[(p.pathPos+i)%len(w.path)]
+		for k := 0; k < repeat; k++ {
+			g.Enqueue(func(e *workload.Emitter) { p.sqlRoutine(e, r) })
+		}
+	}
+	p.pathPos = (p.pathPos + n) % len(w.path)
+
+	// Phase 2: begin transaction (rollback-segment slot).
+	g.Enqueue(func(e *workload.Emitter) { p.txBegin(e) })
+
+	// Phase 3: the three row updates.
+	for _, upd := range []struct {
+		block int
+		row   uint64
+	}{
+		{w.tpcb.AccountBlock(aid), w.tpcb.AccountRowAddr(aid)},
+		{w.tpcb.TellerBlock(tid), w.tpcb.TellerRowAddr(tid)},
+		{w.tpcb.BranchBlock(bid), w.tpcb.BranchRowAddr(bid)},
+	} {
+		upd := upd
+		g.Enqueue(func(e *workload.Emitter) { p.bufferGet(e, upd.block) })
+		g.Enqueue(func(e *workload.Emitter) { p.applyUpdate(e, upd.block, upd.row) })
+	}
+
+	// Phase 4: history insert (globally shared insertion point).
+	hblock, hrow := w.tpcb.HistoryAppend()
+	g.Enqueue(func(e *workload.Emitter) { p.bufferGet(e, hblock) })
+	g.Enqueue(func(e *workload.Emitter) { p.historyInsert(e, hblock, hrow) })
+
+	// Phase 5: commit (redo write + blocking log write).
+	g.Enqueue(func(e *workload.Emitter) { p.commit(e) })
+	return true
+}
+
+// sqlRoutine walks one SQL-path routine straight through: ALU work over
+// private hot state, colder private areas, the shared plan cache, and the
+// global statistics counters. The operation mix at each code site is
+// derived from the PC, so the routine's instruction sequence (and hence
+// its branch sites) is identical on every execution; only the data
+// addresses vary.
+func (p *procState) sqlRoutine(e *workload.Emitter, r *workload.Routine) {
+	e.Call(r)
+	for e.Remaining() > 96 {
+		e.ALU(2, false)
+		// A sparse sprinkling of global statistics/session counter
+		// updates: migratory data generated by a small set of static
+		// instructions (Section 4.2). Most counters are latched (their
+		// updates fall inside identifiable critical sections); the rest
+		// are lock-free.
+		if workload.SiteChoice(e.PC()^0x5bd1, 192) == 0 {
+			idx := p.statsIdx(e)
+			ctr := statsCtrAddr(idx)
+			// These are the "key instructions" the paper's characterization
+			// identifies (the small static set generating most migratory
+			// references); the Section 4.2 hints target exactly them.
+			if p.w.cfg.Hints >= HintFlushPrefetch {
+				e.Prefetch(ctr, true)
+			}
+			latched := workload.SiteChoice(e.PC()^0x77f3, 3) != 0
+			if latched {
+				latch := statsLatchAddr(idx)
+				e.LockAcquire(latch)
+				e.Load(ctr, false)
+				e.ALU(1, true)
+				e.Store(ctr)
+				e.LockRelease(latch)
+			} else {
+				e.Load(ctr, false)
+				e.ALU(1, true)
+				e.Store(ctr)
+			}
+			if p.w.cfg.Hints >= HintFlush {
+				e.Flush(ctr)
+			}
+		}
+		// Dictionary chain walk at a sparse set of sites: short dependent
+		// loads in the hot plan-cache subset.
+		if workload.SiteChoice(e.PC()^0x2b8f, 40) == 0 {
+			a := db.SharedPlanBase + uint64(e.Rand().IntN(256<<10))&^7
+			e.LoadChain([]uint64{a, a + 64, a + 128})
+		}
+		switch workload.SiteChoice(e.PC(), 16) {
+		case 0, 1, 2, 3, 4, 5, 6, 7, 8, 9:
+			e.Load(p.hotAddr(e), false)
+		case 10:
+			e.Load(p.coldAddr(e), false)
+		case 11:
+			e.Load(p.planAddr(e), false)
+		case 12:
+			e.Store(p.hotAddr(e))
+		case 13:
+			// Stores into the colder private area (cursor state, sort
+			// runs): write misses that overlap behind the write buffer —
+			// the write-driven MSHR occupancy of Figures 2(d)-(g).
+			e.Store(p.coldAddr(e))
+		case 14:
+			e.ALU(3, true)
+		case 15:
+			// Session/SGA state read (shared, read-mostly).
+			e.Load(db.MetaBase+0x000B_0000+uint64(e.Rand().IntN(128))*db.LineBytes, false)
+		}
+	}
+	e.Ret()
+}
+
+// txBegin updates the process's transaction slot under its rollback
+// segment's latch (migratory among the processes hashing to the segment).
+func (p *procState) txBegin(e *workload.Emitter) {
+	w := p.w
+	e.Call(w.rBegin)
+	e.ALU(6, false)
+	e.LockAcquire(w.tpcb.SegmentLatchAddr(p.proc))
+	e.Load(w.tpcb.SlotAddr(p.proc), false)
+	e.ALU(2, true)
+	e.Store(w.tpcb.SlotAddr(p.proc))
+	e.LockRelease(w.tpcb.SegmentLatchAddr(p.proc))
+	e.ALU(4, false)
+	e.Ret()
+}
+
+// bufferGet performs the buffer-cache lookup of block: hash, latch the
+// bucket, walk the header chain (dependent loads), pin (header store).
+func (p *procState) bufferGet(e *workload.Emitter, block int) {
+	w := p.w
+	e.Call(w.rBufGet)
+	e.ALU(5, true) // hash computation
+	latch := w.buf.BucketLatchAddr(block)
+	e.LockAcquire(latch)
+	e.LoadChain(w.buf.ChainWalk(block))
+	e.ALU(2, true)
+	e.Store(w.buf.HeaderAddr(block)) // pin count
+	e.LockRelease(latch)
+	e.ALU(3, false)
+	e.Ret()
+}
+
+// applyUpdate modifies a row: generate redo under the redo-allocation
+// latch, then apply the change to the block under the block lock. These
+// are the critical sections whose data the Section 4.2 hints target.
+func (p *procState) applyUpdate(e *workload.Emitter, block int, rowAddr uint64) {
+	w := p.w
+	hints := w.cfg.Hints
+
+	// Redo generation.
+	e.Call(w.rRedo)
+	e.ALU(4, false)
+	logAddrs := w.redo.Alloc(120)
+	if hints >= HintFlushPrefetch {
+		e.Prefetch(logAddrs[0], true)
+	}
+	e.LockAcquire(w.redo.AllocLatchAddr())
+	for _, a := range logAddrs {
+		e.Store(a)
+		e.ALU(1, true)
+	}
+	e.LockRelease(w.redo.AllocLatchAddr())
+	if hints >= HintFlush {
+		for _, a := range logAddrs {
+			e.Flush(a)
+		}
+	}
+	e.Ret()
+
+	// Block change under the block lock (buffer exclusive pin).
+	e.Call(w.rApply)
+	blockLock := w.buf.HeaderAddr(block) + 64
+	if hints >= HintFlushPrefetch {
+		e.Prefetch(rowAddr, true)
+	}
+	e.LockAcquire(blockLock)
+	e.Load(rowAddr, false)                // row piece
+	e.Load(rowAddr+32, true)              // column data (dependent)
+	e.ALU(4, true)                        // balance arithmetic
+	e.Store(rowAddr)                      // new balance
+	e.Store(rowAddr + 32)                 // row header update
+	e.Load(db.BlockAddr(block)+16, false) // block SCN
+	e.ALU(2, true)
+	e.Store(db.BlockAddr(block) + 16)
+	e.LockRelease(blockLock)
+	if hints >= HintFlush {
+		e.Flush(rowAddr)
+		e.Flush(db.BlockAddr(block) + 16)
+	}
+	e.ALU(4, false)
+	e.Ret()
+}
+
+// historyInsert appends the history row (insertion point shared by all).
+func (p *procState) historyInsert(e *workload.Emitter, block int, rowAddr uint64) {
+	w := p.w
+	e.Call(w.rHist)
+	e.ALU(4, false)
+	blockLock := w.buf.HeaderAddr(block) + 64
+	if w.cfg.Hints >= HintFlushPrefetch {
+		e.Prefetch(rowAddr, true)
+	}
+	e.LockAcquire(blockLock)
+	e.Store(rowAddr)
+	e.Store(rowAddr + 24)
+	e.Load(db.BlockAddr(block)+16, false)
+	e.ALU(1, true)
+	e.Store(db.BlockAddr(block) + 16)
+	e.LockRelease(blockLock)
+	if w.cfg.Hints >= HintFlush {
+		e.Flush(rowAddr)
+	}
+	e.Ret()
+}
+
+// commit writes the commit record and blocks on the log writer (the
+// context-switch point, as in the traced system).
+func (p *procState) commit(e *workload.Emitter) {
+	w := p.w
+	e.Call(w.rCommit)
+	e.ALU(6, false)
+	logAddrs := w.redo.Alloc(32)
+	e.LockAcquire(w.redo.AllocLatchAddr())
+	e.Store(logAddrs[0])
+	e.Load(w.redo.WriterStateAddr(), false)
+	e.ALU(2, true)
+	e.LockRelease(w.redo.AllocLatchAddr())
+	if w.cfg.Hints >= HintFlush {
+		e.Flush(logAddrs[0])
+	}
+	e.MemBar()
+	e.Syscall(w.cfg.CommitLatency)
+	e.ALU(4, false)
+	e.Ret()
+}

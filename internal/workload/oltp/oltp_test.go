@@ -1,0 +1,104 @@
+package oltp
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestStreamGeneratesTransactions(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Processes = 2
+	cfg.TransactionsPerProcess = 2
+	w := New(cfg)
+	if fp := w.Footprint(); fp < 400<<10 || fp > 700<<10 {
+		t.Errorf("instruction footprint = %dKB, want ~560KB", fp>>10)
+	}
+	var total uint64
+	for proc := 0; proc < cfg.Processes; proc++ {
+		s := w.Stream(proc)
+		var in trace.Instr
+		var n, loads, stores, branches, locks, syscalls uint64
+		for s.Next(&in) {
+			n++
+			switch in.Op {
+			case trace.OpLoad:
+				loads++
+			case trace.OpStore:
+				stores++
+			case trace.OpBranch:
+				branches++
+			case trace.OpLockAcquire:
+				locks++
+			case trace.OpSyscall:
+				syscalls++
+			}
+		}
+		total += n
+		if syscalls != uint64(cfg.TransactionsPerProcess) {
+			t.Errorf("proc %d: %d commit syscalls, want %d", proc, syscalls, cfg.TransactionsPerProcess)
+		}
+		// Per transaction: 1 segment latch + 4 bucket latches + 3 redo
+		// latches + 4 block locks + 1 commit redo latch = 13 engine locks,
+		// plus the latched statistics updates sprinkled along the SQL path.
+		if locks < uint64(13*cfg.TransactionsPerProcess) {
+			t.Errorf("proc %d: %d lock acquires, want >= %d", proc, locks, 13*cfg.TransactionsPerProcess)
+		}
+		if n == 0 {
+			t.Fatalf("proc %d: empty stream", proc)
+		}
+		lf := float64(loads) / float64(n)
+		if lf < 0.10 || lf > 0.40 {
+			t.Errorf("proc %d: load fraction %.2f outside DB-code range", proc, lf)
+		}
+		bf := float64(branches) / float64(n)
+		if bf < 0.08 || bf > 0.30 {
+			t.Errorf("proc %d: branch fraction %.2f outside range", proc, bf)
+		}
+	}
+	est := w.ApproxInstrPerTx() * uint64(cfg.Processes*cfg.TransactionsPerProcess)
+	if total < est/2 || total > est*2 {
+		t.Errorf("total instructions %d far from estimate %d", total, est)
+	}
+	if err := w.TPCB().CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	if w.Transactions != uint64(cfg.Processes*cfg.TransactionsPerProcess) {
+		t.Errorf("transactions = %d", w.Transactions)
+	}
+}
+
+func TestHintInsertion(t *testing.T) {
+	for _, h := range []HintLevel{HintNone, HintFlush, HintFlushPrefetch} {
+		cfg := DefaultConfig(1)
+		cfg.Processes = 1
+		cfg.TransactionsPerProcess = 1
+		cfg.Hints = h
+		w := New(cfg)
+		s := w.Stream(0)
+		var in trace.Instr
+		var flushes, prefetches uint64
+		for s.Next(&in) {
+			switch in.Op {
+			case trace.OpFlush:
+				flushes++
+			case trace.OpPrefetchX:
+				prefetches++
+			}
+		}
+		switch h {
+		case HintNone:
+			if flushes != 0 || prefetches != 0 {
+				t.Errorf("HintNone: flushes=%d prefetches=%d", flushes, prefetches)
+			}
+		case HintFlush:
+			if flushes == 0 || prefetches != 0 {
+				t.Errorf("HintFlush: flushes=%d prefetches=%d", flushes, prefetches)
+			}
+		case HintFlushPrefetch:
+			if flushes == 0 || prefetches == 0 {
+				t.Errorf("HintFlushPrefetch: flushes=%d prefetches=%d", flushes, prefetches)
+			}
+		}
+	}
+}
