@@ -30,6 +30,7 @@ package repro
 import (
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -165,6 +166,33 @@ func RunOLTP(cfg Config, sc Scale, label string, hints HintLevel) (*Report, erro
 func RunDSS(cfg Config, sc Scale, label string) (*Report, error) {
 	return experiments.RunDSS(cfg, sc, label)
 }
+
+// Robustness & diagnostics.
+type (
+	// FaultConfig configures the deterministic fault injector (timing-only
+	// mesh delays, directory NACKs with bounded retry, memory stalls).
+	FaultConfig = config.FaultConfig
+	// Snapshot is a machine-state dump (pipelines, in-flight misses,
+	// directory, locks, mesh) attached to watchdog and crash errors.
+	Snapshot = diag.Snapshot
+	// ProgressError reports a forward-progress watchdog trip.
+	ProgressError = core.ProgressError
+	// CycleLimitError reports an exceeded MaxCycles bound; it wraps
+	// ErrMaxCycles.
+	CycleLimitError = core.CycleLimitError
+	// CanceledError reports a run ended by its RunOptions.Context.
+	CanceledError = core.CanceledError
+	// PanicError is a machine-model panic recovered by Run, carrying the
+	// panic value, stack, and a best-effort snapshot.
+	PanicError = diag.PanicError
+)
+
+// ErrMaxCycles is the sentinel wrapped by CycleLimitError; test with
+// errors.Is.
+var ErrMaxCycles = core.ErrMaxCycles
+
+// DefaultWatchdogWindow is the default forward-progress window in cycles.
+const DefaultWatchdogWindow = core.DefaultWatchdogWindow
 
 // Experiment binds a paper table/figure id to its regenerating function.
 type Experiment = experiments.Experiment

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +20,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -47,6 +50,15 @@ func main() {
 		maxCycles   = flag.Uint64("max-cycles", 2_000_000_000, "simulation cycle bound")
 		tracePrefix = flag.String("trace", "", "replay trace files <prefix>.pN.trace instead of generating a workload")
 		traceProcs  = flag.Int("trace-procs", 1, "number of trace files to replay")
+
+		timeout     = flag.Duration("timeout", 0, "wall-clock bound on the run (0 = none)")
+		watchdog    = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default, negative progress impossible)")
+		noWatchdog  = flag.Bool("no-watchdog", false, "disable the forward-progress watchdog")
+		debugChecks = flag.Bool("debug-checks", false, "enable coherence invariant and consistency order checking (slow)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "fault injector seed")
+		faultMesh   = flag.Float64("fault-mesh", 0, "per-message mesh delay probability (0 disables)")
+		faultNACK   = flag.Float64("fault-nack", 0, "per-request directory NACK probability (0 disables)")
+		faultStall  = flag.Float64("fault-stall", 0, "per-access transient memory stall probability (0 disables)")
 	)
 	flag.Parse()
 
@@ -80,6 +92,20 @@ func main() {
 	default:
 		log.Fatalf("unknown consistency implementation %q", *impl)
 	}
+	cfg.DebugChecks = *debugChecks
+	if *faultMesh > 0 || *faultNACK > 0 || *faultStall > 0 {
+		cfg.Faults = config.FaultConfig{
+			Enabled:        true,
+			Seed:           *faultSeed,
+			MeshDelayProb:  *faultMesh,
+			MeshDelayMax:   20,
+			NACKProb:       *faultNACK,
+			NACKMaxRetries: 4,
+			NACKBackoff:    50,
+			MemStallProb:   *faultStall,
+			MemStallCycles: 100,
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -96,18 +122,28 @@ func main() {
 		log.Fatalf("unknown hint level %q", *hints)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	sc := experiments.Scale{
 		OLTPTransactions: *tx,
 		OLTPWarmupTx:     *warmupTx,
 		DSSRows:          *rows,
 		MaxCycles:        *maxCycles,
+		Context:          ctx,
+		WatchdogWindow:   *watchdog,
+		DisableWatchdog:  *noWatchdog,
 	}
 
 	var rep *stats.Report
 	var err error
 	switch {
 	case *tracePrefix != "":
-		rep, err = replayTraces(cfg, *tracePrefix, *traceProcs, *maxCycles)
+		rep, err = replayTraces(cfg, *tracePrefix, *traceProcs, sc)
 	case *workload == "oltp":
 		rep, err = experiments.RunOLTP(cfg, sc, "oltp", hl)
 	case *workload == "dss":
@@ -116,14 +152,35 @@ func main() {
 		log.Fatalf("unknown workload %q", *workload)
 	}
 	if err != nil {
+		if snap := snapshotOf(err); snap != nil {
+			fmt.Fprint(os.Stderr, snap.String())
+		}
 		log.Fatal(err)
 	}
 	printReport(os.Stdout, cfg, rep)
 }
 
+// snapshotOf extracts the machine-state snapshot attached to a watchdog,
+// cycle-limit, or recovered-panic error, if any.
+func snapshotOf(err error) *diag.Snapshot {
+	var pe *core.ProgressError
+	if errors.As(err, &pe) {
+		return pe.Snapshot
+	}
+	var ce *core.CycleLimitError
+	if errors.As(err, &ce) {
+		return ce.Snapshot
+	}
+	var fe *diag.PanicError
+	if errors.As(err, &fe) {
+		return fe.Snapshot
+	}
+	return nil
+}
+
 // replayTraces drives the machine from trace files written by cmd/tracegen
 // (one per server process, round-robin across the nodes).
-func replayTraces(cfg config.Config, prefix string, procs int, maxCycles uint64) (*stats.Report, error) {
+func replayTraces(cfg config.Config, prefix string, procs int, sc experiments.Scale) (*stats.Report, error) {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err
@@ -147,7 +204,13 @@ func replayTraces(cfg config.Config, prefix string, procs int, maxCycles uint64)
 		}
 		sys.AddProcess(p%cfg.Nodes, r)
 	}
-	return sys.Run(core.RunOptions{Label: "trace-replay", MaxCycles: maxCycles})
+	return sys.Run(core.RunOptions{
+		Label:           "trace-replay",
+		MaxCycles:       sc.MaxCycles,
+		Context:         sc.Context,
+		WatchdogWindow:  sc.WatchdogWindow,
+		DisableWatchdog: sc.DisableWatchdog,
+	})
 }
 
 func printReport(w *os.File, cfg config.Config, r *stats.Report) {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,10 +26,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		fig   = flag.String("fig", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
-		scale = flag.String("scale", "default", "workload scale: default or quick")
+		fig     = flag.String("fig", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids")
+		scale   = flag.String("scale", "default", "workload scale: default or quick")
+		timeout = flag.Duration("timeout", 0, "wall-clock bound on the whole sweep (0 = none)")
 	)
 	flag.Parse()
 
@@ -43,6 +45,11 @@ func main() {
 	sc := experiments.DefaultScale
 	if *scale == "quick" {
 		sc = experiments.QuickScale
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		sc.Context = ctx
 	}
 
 	run := func(id string, f func(experiments.Scale) (*experiments.Result, error), notes string) {

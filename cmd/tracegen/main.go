@@ -41,6 +41,7 @@ func main() {
 	}
 
 	streams := make([]trace.Stream, *procs)
+	wErr := func() error { return nil }
 	switch *workload {
 	case "oltp":
 		cfg := oltp.DefaultConfig(1)
@@ -50,6 +51,7 @@ func main() {
 		for p := range streams {
 			streams[p] = w.Stream(p)
 		}
+		wErr = w.Err
 	case "dss":
 		cfg := dss.DefaultConfig(1)
 		cfg.Processes = *procs
@@ -82,6 +84,11 @@ func main() {
 		st, _ := os.Stat(path)
 		fmt.Printf("%s: %d instructions, %d bytes (%.2f B/instr)\n",
 			path, n, st.Size(), float64(st.Size())/float64(n))
+	}
+	// A workload-model failure truncates its streams; the traces written
+	// above would be silently short, so fail loudly instead.
+	if err := wErr(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -62,16 +62,19 @@ type Cache struct {
 
 // New builds a cache. sizeBytes/assoc/lineBytes must describe a power-of-two
 // set count; name is used in error messages and dumps.
-func New(name string, sizeBytes, assoc, lineBytes int) *Cache {
+func New(name string, sizeBytes, assoc, lineBytes int) (*Cache, error) {
+	if assoc <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache %s: invalid geometry (assoc %d, line %d)", name, assoc, lineBytes)
+	}
 	sets := sizeBytes / (assoc * lineBytes)
 	if sets <= 0 || sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", name, sets)
 	}
 	shift := uint(0)
 	for 1<<shift != lineBytes {
 		shift++
 		if shift > 30 {
-			panic(fmt.Sprintf("cache %s: line size %d not a power of two", name, lineBytes))
+			return nil, fmt.Errorf("cache %s: line size %d not a power of two", name, lineBytes)
 		}
 	}
 	return &Cache{
@@ -80,7 +83,7 @@ func New(name string, sizeBytes, assoc, lineBytes int) *Cache {
 		assoc:     assoc,
 		lineShift: shift,
 		lines:     make([]line, sets*assoc),
-	}
+	}, nil
 }
 
 // LineAddr returns the line address (tag) for a physical address.

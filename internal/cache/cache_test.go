@@ -7,7 +7,7 @@ import (
 )
 
 func TestLookupAfterInsert(t *testing.T) {
-	c := New("t", 8192, 2, 64) // 64 sets
+	c, _ := New("t", 8192, 2, 64) // 64 sets
 	if c.Lookup(0x1000) != Invalid {
 		t.Error("cold lookup must miss")
 	}
@@ -25,7 +25,7 @@ func TestLookupAfterInsert(t *testing.T) {
 }
 
 func TestInsertUpdatesState(t *testing.T) {
-	c := New("t", 8192, 2, 64)
+	c, _ := New("t", 8192, 2, 64)
 	c.Insert(0x2000, Shared)
 	ev := c.Insert(0x2000, Modified) // re-insert upgrades in place
 	if ev.Valid {
@@ -40,7 +40,7 @@ func TestInsertUpdatesState(t *testing.T) {
 }
 
 func TestLRUEvictionWithinSet(t *testing.T) {
-	c := New("t", 8192, 2, 64) // 64 sets: addresses 64*64 apart collide
+	c, _ := New("t", 8192, 2, 64) // 64 sets: addresses 64*64 apart collide
 	setStride := uint64(64 * 64)
 	a, b, d := uint64(0x0), setStride, 2*setStride
 	c.Insert(a, Shared)
@@ -56,7 +56,7 @@ func TestLRUEvictionWithinSet(t *testing.T) {
 }
 
 func TestSetStateAndInvalidate(t *testing.T) {
-	c := New("t", 8192, 2, 64)
+	c, _ := New("t", 8192, 2, 64)
 	c.Insert(0x5000, Modified)
 	c.SetState(0x5000, Shared)
 	if c.Probe(0x5000) != Shared {
@@ -75,7 +75,7 @@ func TestSetStateAndInvalidate(t *testing.T) {
 }
 
 func TestVisitResident(t *testing.T) {
-	c := New("t", 8192, 2, 64)
+	c, _ := New("t", 8192, 2, 64)
 	c.Insert(0x0, Shared)
 	c.Insert(0x40, Modified)
 	seen := map[uint64]State{}
@@ -86,7 +86,7 @@ func TestVisitResident(t *testing.T) {
 }
 
 func TestMissRateAccounting(t *testing.T) {
-	c := New("t", 8192, 2, 64)
+	c, _ := New("t", 8192, 2, 64)
 	c.RecordAccess(false, true)
 	c.RecordAccess(false, false)
 	c.RecordAccess(true, true)
@@ -105,7 +105,7 @@ func TestMissRateAccounting(t *testing.T) {
 func TestCapacityInvariantProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 99))
-		c := New("t", 4096, 2, 64) // 64 lines capacity
+		c, _ := New("t", 4096, 2, 64) // 64 lines capacity
 		for i := 0; i < 500; i++ {
 			addr := uint64(rng.IntN(256)) * 64
 			switch rng.IntN(4) {
@@ -137,11 +137,14 @@ func TestStateString(t *testing.T) {
 	}
 }
 
-func TestBadGeometryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for non-power-of-two sets")
-		}
-	}()
-	New("bad", 3*64, 1, 64)
+func TestBadGeometryErrors(t *testing.T) {
+	if _, err := New("bad", 3*64, 1, 64); err == nil {
+		t.Error("expected error for non-power-of-two sets")
+	}
+	if _, err := New("bad", 8192, 2, 48); err == nil {
+		t.Error("expected error for non-power-of-two line size")
+	}
+	if _, err := New("bad", 8192, 0, 64); err == nil {
+		t.Error("expected error for zero associativity")
+	}
 }

@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // Miss status holding registers (MSHRs, Kroft 1981). Each cache has a fixed
 // number of MSHRs; a miss to a new line needs a free register, and further
 // requests to the same line coalesce onto the existing entry. The file also
@@ -36,16 +38,16 @@ type MSHRFile struct {
 }
 
 // NewMSHRFile returns a file with max registers.
-func NewMSHRFile(max int) *MSHRFile {
+func NewMSHRFile(max int) (*MSHRFile, error) {
 	if max <= 0 {
-		panic("cache: MSHR file needs at least one register")
+		return nil, fmt.Errorf("cache: MSHR file needs at least one register, got %d", max)
 	}
 	return &MSHRFile{
 		max:         max,
 		entries:     make([]MSHR, 0, max),
 		occTime:     make([]uint64, max+1),
 		readOccTime: make([]uint64, max+1),
-	}
+	}, nil
 }
 
 // Max returns the register count.
@@ -172,6 +174,9 @@ func (f *MSHRFile) Allocate(m MSHR, now uint64) {
 
 // InUse returns the current number of allocated registers.
 func (f *MSHRFile) InUse() int { return len(f.entries) }
+
+// Entries returns a copy of the outstanding misses (diagnostics).
+func (f *MSHRFile) Entries() []MSHR { return append([]MSHR(nil), f.entries...) }
 
 // OccupancyDist returns, for n in [1..max], the fraction of miss-outstanding
 // time with at least n MSHRs in use. reads selects the read-only histogram.

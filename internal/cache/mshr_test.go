@@ -5,7 +5,7 @@ import (
 )
 
 func TestMSHRAllocateAndRetire(t *testing.T) {
-	f := NewMSHRFile(4)
+	f, _ := NewMSHRFile(4)
 	f.Allocate(MSHR{LineAddr: 1, Done: 100, Read: true}, 10)
 	f.Allocate(MSHR{LineAddr: 2, Done: 50, Read: true}, 20)
 	if f.InUse() != 2 {
@@ -28,7 +28,7 @@ func TestMSHRAllocateAndRetire(t *testing.T) {
 }
 
 func TestMSHRFullAndNextFree(t *testing.T) {
-	f := NewMSHRFile(2)
+	f, _ := NewMSHRFile(2)
 	f.Allocate(MSHR{LineAddr: 1, Done: 100, Read: true}, 10)
 	f.Allocate(MSHR{LineAddr: 2, Done: 130, Read: true}, 10)
 	if !f.Full(20) {
@@ -49,7 +49,7 @@ func TestMSHROccupancyHistogramExact(t *testing.T) {
 	// Known timeline: entry A [10,110), entry B [30,60).
 	// Occupancy: [10,30)=1, [30,60)=2, [60,110)=1.
 	// Time at >=1: 100 cycles; at >=2: 30 cycles -> P(>=2) = 0.3.
-	f := NewMSHRFile(4)
+	f, _ := NewMSHRFile(4)
 	f.Allocate(MSHR{LineAddr: 1, Done: 110, Read: true}, 10)
 	f.Allocate(MSHR{LineAddr: 2, Done: 60, Read: false}, 30)
 	f.Advance(200)
@@ -69,7 +69,7 @@ func TestMSHROccupancyHistogramExact(t *testing.T) {
 }
 
 func TestMSHRCoalesceCounting(t *testing.T) {
-	f := NewMSHRFile(2)
+	f, _ := NewMSHRFile(2)
 	f.Allocate(MSHR{LineAddr: 7, Done: 100, Read: true}, 0)
 	f.Coalesce(7)
 	f.Coalesce(7)
@@ -79,7 +79,7 @@ func TestMSHRCoalesceCounting(t *testing.T) {
 }
 
 func TestMSHRResetKeepsEntries(t *testing.T) {
-	f := NewMSHRFile(2)
+	f, _ := NewMSHRFile(2)
 	f.Allocate(MSHR{LineAddr: 1, Done: 1000, Read: true}, 0)
 	f.ResetStats(500)
 	if f.Allocations != 0 {
@@ -97,7 +97,7 @@ func TestMSHRResetKeepsEntries(t *testing.T) {
 }
 
 func TestMSHROverflowPanics(t *testing.T) {
-	f := NewMSHRFile(1)
+	f, _ := NewMSHRFile(1)
 	f.Allocate(MSHR{LineAddr: 1, Done: 10}, 0)
 	defer func() {
 		if recover() == nil {

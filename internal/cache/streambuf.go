@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // StreamBuffer is the instruction stream buffer of Section 4.1: a small
 // FIFO of prefetched cache lines sitting between the L1 instruction cache
 // and the L2 (Jouppi 1990). On an L1I miss the buffer is probed; a hit pops
@@ -33,15 +35,16 @@ type StreamBuffer struct {
 }
 
 // NewStreamBuffer returns an n-entry stream buffer fetching through fetch.
-// Returns nil when n == 0 so callers can treat "no stream buffer" uniformly.
-func NewStreamBuffer(n int, fetch FetchFunc) *StreamBuffer {
+// Returns (nil, nil) when n == 0 so callers can treat "no stream buffer"
+// uniformly (all methods are nil-safe).
+func NewStreamBuffer(n int, fetch FetchFunc) (*StreamBuffer, error) {
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	if n < 0 {
-		panic("cache: negative stream buffer size")
+		return nil, fmt.Errorf("cache: negative stream buffer size %d", n)
 	}
-	return &StreamBuffer{entries: make([]sbEntry, n), fetch: fetch}
+	return &StreamBuffer{entries: make([]sbEntry, n), fetch: fetch}, nil
 }
 
 // Size returns the entry count (0 for a nil buffer).

@@ -21,14 +21,17 @@ func TestNilStreamBuffer(t *testing.T) {
 		t.Error("nil buffer must always miss")
 	}
 	b.ResetStats() // must not panic
-	if NewStreamBuffer(0, nil) != nil {
-		t.Error("zero entries should yield a nil buffer")
+	if sb, err := NewStreamBuffer(0, nil); sb != nil || err != nil {
+		t.Error("zero entries should yield a nil buffer and no error")
+	}
+	if _, err := NewStreamBuffer(-1, nil); err == nil {
+		t.Error("negative entries should be rejected")
 	}
 }
 
 func TestStreamBufferStreamsSequentially(t *testing.T) {
 	fetch, lines := recordingFetch(20)
-	b := NewStreamBuffer(4, fetch)
+	b, _ := NewStreamBuffer(4, fetch)
 	// First miss on line 100 starts a stream at 101..104.
 	if _, ok := b.Lookup(100, 0); ok {
 		t.Fatal("cold lookup must miss")
@@ -54,7 +57,7 @@ func TestStreamBufferStreamsSequentially(t *testing.T) {
 
 func TestStreamBufferSkipAhead(t *testing.T) {
 	fetch, _ := recordingFetch(10)
-	b := NewStreamBuffer(4, fetch)
+	b, _ := NewStreamBuffer(4, fetch)
 	b.Lookup(200, 0) // stream 201..204
 	// Skipping to 203 pops 201, 202 as useless.
 	if _, ok := b.Lookup(203, 1); !ok {
@@ -67,7 +70,7 @@ func TestStreamBufferSkipAhead(t *testing.T) {
 
 func TestStreamBufferFlushOnNonStreamMiss(t *testing.T) {
 	fetch, lines := recordingFetch(10)
-	b := NewStreamBuffer(4, fetch)
+	b, _ := NewStreamBuffer(4, fetch)
 	b.Lookup(300, 0) // stream 301..304
 	*lines = nil
 	// A miss outside the stream flushes and restarts.
@@ -88,7 +91,7 @@ func TestStreamBufferFlushOnNonStreamMiss(t *testing.T) {
 
 func TestStreamBufferHitRate(t *testing.T) {
 	fetch, _ := recordingFetch(1)
-	b := NewStreamBuffer(2, fetch)
+	b, _ := NewStreamBuffer(2, fetch)
 	b.Lookup(10, 0)
 	b.Lookup(11, 1)
 	b.Lookup(12, 2)

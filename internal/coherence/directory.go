@@ -13,7 +13,10 @@
 // cache updates and timing.
 package coherence
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Source says who supplies the data for a transaction.
 type Source uint8
@@ -32,6 +35,7 @@ const noNode = -1
 type dirEntry struct {
 	sharers    uint64 // bitmask of nodes with a cached copy
 	owner      int8   // node holding the line Modified, or noNode
+	excl       int8   // node granted a clean Exclusive copy, or noNode
 	lastWriter int8   // most recent exclusive owner ever, or noNode
 	migratory  bool
 	everShared bool // cached by >=2 nodes, or written by >=2 distinct nodes
@@ -47,6 +51,9 @@ type ReadResult struct {
 	// an exclusive (ownership) copy and invalidated the previous owner, so
 	// the reader's upcoming write needs no further coherence action.
 	MigratoryTransfer bool
+	// Downgrade names a node that held the line clean-Exclusive and must
+	// fold its copy to Shared (so it can no longer upgrade silently), or -1.
+	Downgrade int
 }
 
 // WriteResult describes how a write (GETX/upgrade) is serviced.
@@ -64,6 +71,12 @@ type WriteResult struct {
 type Directory struct {
 	entries map[uint64]dirEntry
 	invBuf  []int
+
+	// probeDirty asks the memory system whether node's L2 actually holds
+	// lineAddr Modified. A node granted a clean Exclusive copy may upgrade
+	// it to Modified without a directory transaction (legal MESI); the
+	// directory only learns on the next conflicting request, by probing.
+	probeDirty func(node int, lineAddr uint64) bool
 
 	// MigratoryOpt enables the adaptive migratory protocol of Cox & Fowler
 	// / Stenstrom et al.: reads of lines classified migratory receive an
@@ -116,7 +129,37 @@ func (d *Directory) IsMigratory(lineAddr uint64) bool {
 	return d.entries[lineAddr].migratory
 }
 
-func newEntry() dirEntry { return dirEntry{owner: noNode, lastWriter: noNode} }
+func newEntry() dirEntry { return dirEntry{owner: noNode, excl: noNode, lastWriter: noNode} }
+
+// SetProbe installs the memory system's dirty-probe callback (see the
+// probeDirty field). Without one, Exclusive grantees are assumed clean.
+func (d *Directory) SetProbe(probe func(node int, lineAddr uint64) bool) {
+	d.probeDirty = probe
+}
+
+// resolveExcl settles an outstanding clean-Exclusive grant before a
+// conflicting request from node is serviced. If the grantee has silently
+// upgraded to Modified it becomes the recorded owner (so the dirty
+// cache-to-cache path services the request); otherwise it stays a plain
+// sharer, and its id is returned so the caller can downgrade its cached
+// copy E->S. Returns noNode when there is nothing to downgrade.
+func (d *Directory) resolveExcl(e *dirEntry, lineAddr uint64, node int) int {
+	if e.excl == noNode || e.excl == int8(node) {
+		// No grant outstanding, or the grantee itself is requesting again
+		// (possible after a silent local refetch); either way it is just a
+		// sharer now and the grant is spent.
+		e.excl = noNode
+		return noNode
+	}
+	holder := int(e.excl)
+	e.excl = noNode
+	if d.probeDirty != nil && d.probeDirty(holder, lineAddr) {
+		e.owner = int8(holder)
+		e.sharers = 0
+		return noNode
+	}
+	return holder
+}
 
 // Read services a GETS from node for lineAddr.
 func (d *Directory) Read(node int, lineAddr uint64) ReadResult {
@@ -125,7 +168,8 @@ func (d *Directory) Read(node int, lineAddr uint64) ReadResult {
 	if !ok {
 		e = newEntry()
 	}
-	res := ReadResult{Source: SrcMemory, Owner: noNode, Migratory: e.migratory}
+	res := ReadResult{Source: SrcMemory, Owner: noNode, Migratory: e.migratory, Downgrade: noNode}
+	res.Downgrade = d.resolveExcl(&e, lineAddr, node)
 	switch {
 	case e.owner == int8(node):
 		// Requesting node already owns it dirty (can happen when an L1 read
@@ -161,7 +205,10 @@ func (d *Directory) Read(node int, lineAddr uint64) ReadResult {
 	}
 	e.sharers |= 1 << uint(node)
 	if bits.OnesCount64(e.sharers) == 1 && res.Source == SrcMemory {
+		// Sole cached copy from memory: grant Exclusive and remember the
+		// grantee, since it may later upgrade to Modified without telling us.
 		res.Exclusive = true
+		e.excl = int8(node)
 	}
 	if bits.OnesCount64(e.sharers) >= 2 {
 		e.everShared = true
@@ -179,6 +226,10 @@ func (d *Directory) Write(node int, lineAddr uint64) WriteResult {
 	}
 	d.invBuf = d.invBuf[:0]
 	res := WriteResult{Source: SrcMemory, Owner: noNode}
+
+	// A clean-Exclusive grantee either becomes the recorded dirty owner
+	// (cache-to-cache below) or a plain sharer (invalidated below).
+	d.resolveExcl(&e, lineAddr, node)
 
 	nodeBit := uint64(1) << uint(node)
 	copies := bits.OnesCount64(e.sharers)
@@ -243,6 +294,11 @@ func (d *Directory) Writeback(node int, lineAddr uint64) {
 		return
 	}
 	d.Writebacks++
+	if e.excl == int8(node) {
+		// Silent E->M upgrade surfacing as a dirty eviction.
+		e.excl = noNode
+		e.sharers &^= 1 << uint(node)
+	}
 	if e.owner == int8(node) {
 		e.owner = noNode
 		e.sharers &^= 1 << uint(node)
@@ -259,6 +315,9 @@ func (d *Directory) EvictClean(node int, lineAddr uint64) {
 	if e.owner == int8(node) {
 		e.owner = noNode
 	}
+	if e.excl == int8(node) {
+		e.excl = noNode
+	}
 	e.sharers &^= 1 << uint(node)
 	d.entries[lineAddr] = e
 }
@@ -269,7 +328,17 @@ func (d *Directory) EvictClean(node int, lineAddr uint64) {
 // otherwise the copy is dropped. Returns true if a write-back happened.
 func (d *Directory) Flush(node int, lineAddr uint64, keepClean bool) bool {
 	e, ok := d.entries[lineAddr]
-	if !ok || e.owner != int8(node) {
+	if !ok {
+		return false
+	}
+	if e.excl == int8(node) {
+		// The flusher holds a clean-Exclusive grant; memsys only issues a
+		// flush for a line its L2 holds Modified, so the grant has silently
+		// become ownership.
+		e.excl = noNode
+		e.owner = int8(node)
+	}
+	if e.owner != int8(node) {
 		return false
 	}
 	d.Flushes++
@@ -281,6 +350,91 @@ func (d *Directory) Flush(node int, lineAddr uint64, keepClean bool) bool {
 	}
 	d.entries[lineAddr] = e
 	return true
+}
+
+// IsSharer reports whether the directory records node as caching the line.
+func (d *Directory) IsSharer(node int, lineAddr uint64) bool {
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		return false
+	}
+	return e.owner == int8(node) || e.sharers&(1<<uint(node)) != 0
+}
+
+// ExclusiveOf returns the node holding an unresolved clean-Exclusive grant
+// for the line, or -1 (tests/invariants).
+func (d *Directory) ExclusiveOf(lineAddr uint64) int {
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		return noNode
+	}
+	return int(e.excl)
+}
+
+// CheckLine verifies the directory's own invariants for one line against a
+// machine with nodes nodes: the owner and Exclusive grantee are valid node
+// ids, the sharer mask names only real nodes, a dirty owner excludes all
+// sharers, and an Exclusive grantee is the sole sharer. Returns nil when
+// the line has no directory state.
+func (d *Directory) CheckLine(lineAddr uint64, nodes int) error {
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		return nil
+	}
+	if e.owner < noNode || int(e.owner) >= nodes {
+		return fmt.Errorf("coherence: line %#x: owner %d out of range [0,%d)", lineAddr, e.owner, nodes)
+	}
+	if e.excl < noNode || int(e.excl) >= nodes {
+		return fmt.Errorf("coherence: line %#x: exclusive grantee %d out of range [0,%d)", lineAddr, e.excl, nodes)
+	}
+	if nodes < 64 && e.sharers>>uint(nodes) != 0 {
+		return fmt.Errorf("coherence: line %#x: sharer mask %#x names nodes >= %d", lineAddr, e.sharers, nodes)
+	}
+	if e.owner != noNode {
+		if e.sharers != 0 {
+			return fmt.Errorf("coherence: line %#x: dirty owner %d coexists with sharer mask %#x (single-owner violated)",
+				lineAddr, e.owner, e.sharers)
+		}
+		if e.excl != noNode {
+			return fmt.Errorf("coherence: line %#x: dirty owner %d coexists with exclusive grantee %d",
+				lineAddr, e.owner, e.excl)
+		}
+	}
+	if e.excl != noNode && e.sharers != 1<<uint(e.excl) {
+		return fmt.Errorf("coherence: line %#x: exclusive grantee %d but sharer mask %#x is not exactly its bit",
+			lineAddr, e.excl, e.sharers)
+	}
+	return nil
+}
+
+// CheckAll runs CheckLine over every line with directory state.
+func (d *Directory) CheckAll(nodes int) error {
+	for lineAddr := range d.entries {
+		if err := d.CheckLine(lineAddr, nodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StateCounts summarizes directory state for diagnostics: total lines
+// tracked, lines dirty in some cache (including unresolved Exclusive
+// grants, which may be silently dirty), lines cached by >= 2 nodes, and
+// lines classified migratory.
+func (d *Directory) StateCounts() (lines, owned, shared, migratory int) {
+	lines = len(d.entries)
+	for _, e := range d.entries {
+		if e.owner != noNode || e.excl != noNode {
+			owned++
+		}
+		if bits.OnesCount64(e.sharers) >= 2 {
+			shared++
+		}
+		if e.migratory {
+			migratory++
+		}
+	}
+	return
 }
 
 // DirtyReadFraction returns the fraction of directory reads serviced

@@ -106,6 +106,69 @@ func (c CacheConfig) Validate(name string) error {
 	return nil
 }
 
+// FaultConfig configures the deterministic fault injector (internal/fault).
+// The zero value injects nothing. All faults are timing-only: they delay
+// messages and retry transactions but never change protocol or workload
+// state, so a run with faults enabled retires exactly the instructions of a
+// fault-free run.
+type FaultConfig struct {
+	Enabled bool
+	// Seed makes the injected fault sequence reproducible. Two runs with
+	// the same seed and configuration inject identical faults.
+	Seed uint64
+
+	// MeshDelayProb delays each mesh message with this probability by a
+	// uniform 1..MeshDelayMax extra cycles (link jitter, router faults).
+	MeshDelayProb float64
+	MeshDelayMax  int
+
+	// NACKProb makes the home directory NACK an incoming request with this
+	// probability (resource conflict, buffer full). The requester backs off
+	// NACKBackoff*(attempt+1) cycles and retries; after NACKMaxRetries
+	// consecutive NACKs the request is serviced unconditionally, bounding
+	// the retry storm.
+	NACKProb       float64
+	NACKMaxRetries int
+	NACKBackoff    int
+
+	// MemStallProb stalls each memory-bank access with this probability for
+	// MemStallCycles extra cycles (transient DRAM contention/refresh).
+	MemStallProb   float64
+	MemStallCycles int
+}
+
+// Validate reports the first fault-injection inconsistency found.
+func (f FaultConfig) Validate() error {
+	if !f.Enabled {
+		return nil
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"MeshDelayProb", f.MeshDelayProb},
+		{"NACKProb", f.NACKProb},
+		{"MemStallProb", f.MemStallProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("config: faults: %s %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if f.MeshDelayProb > 0 && f.MeshDelayMax <= 0 {
+		return fmt.Errorf("config: faults: MeshDelayMax must be positive when MeshDelayProb > 0")
+	}
+	if f.NACKProb > 0 && f.NACKMaxRetries <= 0 {
+		return fmt.Errorf("config: faults: NACKMaxRetries must be positive when NACKProb > 0")
+	}
+	if f.NACKBackoff < 0 || f.MemStallCycles < 0 {
+		return fmt.Errorf("config: faults: backoff/stall cycles must be non-negative")
+	}
+	if f.MemStallProb > 0 && f.MemStallCycles <= 0 {
+		return fmt.Errorf("config: faults: MemStallCycles must be positive when MemStallProb > 0")
+	}
+	return nil
+}
+
 // Config holds every machine parameter. The zero value is not usable; start
 // from Default() and override fields.
 type Config struct {
@@ -183,6 +246,17 @@ type Config struct {
 	// ownership with the data. The paper's footnote 2 argues this cannot
 	// help under relaxed consistency; the ext-migproto ablation checks it.
 	MigratoryProtocol bool
+
+	// --- robustness / debugging ---
+
+	// DebugChecks enables the coherence invariant checker (single dirty
+	// copy, sharer-list consistency after every directory transition) and
+	// the processor's load/store order checks under SC/PC. Violations
+	// panic; core.System.Run recovers them into diagnostic errors.
+	DebugChecks bool
+
+	// Faults configures the deterministic fault injector (internal/fault).
+	Faults FaultConfig
 }
 
 // Default returns the base system of Figure 1.
@@ -281,6 +355,21 @@ func (c Config) Validate() error {
 	}
 	if c.Consistency != RC && c.Consistency != PC && c.Consistency != SC {
 		return fmt.Errorf("config: unknown consistency model %d", c.Consistency)
+	}
+	if c.ITLBEntries <= 0 || c.DTLBEntries <= 0 {
+		return fmt.Errorf("config: TLB entry counts must be positive (iTLB %d, dTLB %d)", c.ITLBEntries, c.DTLBEntries)
+	}
+	if c.MemBanks <= 0 {
+		return fmt.Errorf("config: memory banks must be positive, got %d", c.MemBanks)
+	}
+	if c.WriteBufEntries <= 0 {
+		return fmt.Errorf("config: write buffer entries must be positive, got %d", c.WriteBufEntries)
+	}
+	if c.FetchBufferEntries <= 0 {
+		return fmt.Errorf("config: fetch buffer entries must be positive, got %d", c.FetchBufferEntries)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -7,12 +7,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/diag"
 	"repro/internal/memsys"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -62,6 +66,16 @@ func (t *LockTable) Held(addr uint64) bool {
 	return ok
 }
 
+// Owners returns a snapshot of the currently held locks (address ->
+// holding process id), for diagnostics.
+func (t *LockTable) Owners() map[uint64]int {
+	m := make(map[uint64]int, len(t.owner))
+	for a, p := range t.owner {
+		m[a] = p
+	}
+	return m
+}
+
 // System is the whole simulated machine.
 type System struct {
 	cfg   config.Config
@@ -81,9 +95,13 @@ func NewSystem(cfg config.Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	mem, err := memsys.New(cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &System{
 		cfg:   cfg,
-		mem:   memsys.New(cfg),
+		mem:   mem,
 		sch:   sched.New(cfg.Nodes, cfg.CtxSwitchCycles),
 		locks: NewLockTable(),
 	}
@@ -131,17 +149,96 @@ type RunOptions struct {
 	// have retired machine-wide (warm-up transients ignored, Section 2.2).
 	WarmupInstructions uint64
 	// MaxCycles bounds the run (0 = no bound). Exceeding it is an error so
-	// that livelocks are caught rather than silently truncated.
+	// that runaway runs are caught rather than silently truncated.
 	MaxCycles uint64
+	// WatchdogWindow is the forward-progress watchdog: if no instruction
+	// retires machine-wide for this many consecutive cycles the run fails
+	// with a *ProgressError carrying a machine snapshot. 0 means
+	// DefaultWatchdogWindow; set DisableWatchdog to turn the check off.
+	WatchdogWindow  uint64
+	DisableWatchdog bool
+	// Context, when non-nil, cancels or deadlines the run; it is polled
+	// every few thousand cycles and its error is returned wrapped in a
+	// *CanceledError.
+	Context context.Context
 }
 
+// DefaultWatchdogWindow is the default forward-progress window in cycles.
+// The longest legitimate machine-wide retirement gap is a full complement
+// of processes blocked in system calls (the OLTP workload's commit I/O is
+// 100k cycles), so 2M cycles of global silence indicates a livelock, not
+// patience.
+const DefaultWatchdogWindow = 2_000_000
+
+// ctxCheckEvery is how often (in cycles) Run polls opt.Context; a power of
+// two keeps the modulo cheap in the hot loop.
+const ctxCheckEvery = 4096
+
 // ErrMaxCycles reports that the run hit its cycle bound before all
-// processes finished.
+// processes finished. Returned errors wrap it: test with errors.Is.
 var ErrMaxCycles = errors.New("core: simulation exceeded MaxCycles")
 
+// CycleLimitError is the error returned when MaxCycles is exceeded; it
+// wraps ErrMaxCycles and carries the machine snapshot at the limit.
+type CycleLimitError struct {
+	Cycles   uint64 // cycles simulated in the measurement interval
+	Retired  uint64 // instructions retired machine-wide
+	Snapshot *diag.Snapshot
+}
+
+func (e *CycleLimitError) Error() string {
+	return fmt.Sprintf("core: simulation exceeded MaxCycles (%d cycles, %d instructions retired)", e.Cycles, e.Retired)
+}
+
+// Unwrap makes errors.Is(err, ErrMaxCycles) work.
+func (e *CycleLimitError) Unwrap() error { return ErrMaxCycles }
+
+// ProgressError reports that the forward-progress watchdog tripped: no
+// instruction retired machine-wide for a full watchdog window.
+type ProgressError struct {
+	Cycle        uint64 // cycle at which the watchdog tripped
+	LastProgress uint64 // last cycle at which any instruction retired
+	Window       uint64 // the watchdog window that was exceeded
+	Retired      uint64 // instructions retired machine-wide before the stall
+	Snapshot     *diag.Snapshot
+}
+
+func (e *ProgressError) Error() string {
+	return fmt.Sprintf("core: no forward progress: no instruction retired between cycle %d and %d (window %d, %d retired total)",
+		e.LastProgress, e.Cycle, e.Window, e.Retired)
+}
+
+// CanceledError reports that opt.Context ended the run early; it wraps the
+// context's error so errors.Is(err, context.Canceled/DeadlineExceeded)
+// works.
+type CanceledError struct {
+	Cycle uint64
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: run canceled at cycle %d: %v", e.Cycle, e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
 // Run simulates until every process finishes its trace, returning the
-// statistics report.
-func (s *System) Run(opt RunOptions) (*stats.Report, error) {
+// statistics report. Panics from the machine model (internal invariants,
+// the coherence checker, the memory-ordering checks) are recovered into a
+// *diag.PanicError carrying a machine snapshot, so a crashing run fails
+// with diagnostics instead of taking the process down.
+func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, s.recoverPanic(r)
+		}
+	}()
+	window := opt.WatchdogWindow
+	if window == 0 {
+		window = DefaultWatchdogWindow
+	}
+	lastRetired := s.totalRetired()
+	lastProgress := s.cycle
 	warmed := opt.WarmupInstructions == 0
 	for {
 		s.cycle++
@@ -161,11 +258,110 @@ func (s *System) Run(opt RunOptions) (*stats.Report, error) {
 			break
 		}
 		if opt.MaxCycles > 0 && s.cycle-s.statsStart >= opt.MaxCycles {
-			return s.buildReport(opt.Label), ErrMaxCycles
+			return s.buildReport(opt.Label), &CycleLimitError{
+				Cycles:   s.cycle - s.statsStart,
+				Retired:  s.totalRetired(),
+				Snapshot: s.Snapshot("cycle-limit"),
+			}
+		}
+		if !opt.DisableWatchdog {
+			if n := s.totalRetired(); n != lastRetired {
+				lastRetired, lastProgress = n, s.cycle
+			} else if s.cycle-lastProgress >= window {
+				return s.buildReport(opt.Label), &ProgressError{
+					Cycle:        s.cycle,
+					LastProgress: lastProgress,
+					Window:       window,
+					Retired:      lastRetired,
+					Snapshot:     s.Snapshot("watchdog"),
+				}
+			}
+		}
+		if opt.Context != nil && s.cycle%ctxCheckEvery == 0 {
+			if cerr := opt.Context.Err(); cerr != nil {
+				return s.buildReport(opt.Label), &CanceledError{Cycle: s.cycle, Cause: cerr}
+			}
 		}
 	}
 	s.mem.Finalize(s.cycle)
 	return s.buildReport(opt.Label), nil
+}
+
+// recoverPanic converts a recovered panic into a *diag.PanicError. The
+// snapshot is taken best-effort: if the machine is too corrupted to
+// inspect, the panic error still carries the value and stack.
+func (s *System) recoverPanic(r any) error {
+	pe := &diag.PanicError{Value: r, Stack: debug.Stack()}
+	func() {
+		defer func() { _ = recover() }()
+		pe.Snapshot = s.Snapshot("panic")
+	}()
+	return pe
+}
+
+// Snapshot captures the machine state for diagnostics: per-core pipeline
+// occupancy and head instruction, in-flight misses, directory summary,
+// held locks with their spinners, and mesh traffic.
+func (s *System) Snapshot(reason string) *diag.Snapshot {
+	snap := &diag.Snapshot{Cycle: s.cycle, Reason: reason}
+
+	spinners := make(map[uint64][]int) // lock addr -> core ids spinning
+	for i, c := range s.cores {
+		cs := diag.CoreState{
+			ID:        i,
+			ContextID: -1,
+			Retired:   c.Retired,
+			ROB:       c.ROBLen(),
+			FetchQ:    c.FetchQueueLen(),
+			WriteBuf:  c.WriteBufferLen(),
+		}
+		if ctx := c.Context(); ctx != nil {
+			cs.ContextID = ctx.ID
+		}
+		if op, pc, addr, ok := c.HeadInstr(); ok {
+			cs.HeadOp, cs.HeadPC, cs.HeadAddr = op, pc, addr
+		}
+		if addr, ok := c.SpinningOn(); ok {
+			cs.Spinning, cs.SpinAddr = true, addr
+			spinners[addr] = append(spinners[addr], i)
+		}
+		snap.Cores = append(snap.Cores, cs)
+	}
+
+	for n := 0; n < s.cfg.Nodes; n++ {
+		h := s.mem.Node(n)
+		ns := diag.NodeState{Node: n}
+		for _, mf := range []struct {
+			level string
+			f     *cache.MSHRFile
+		}{
+			{"L1I", h.L1IMSHRs()}, {"L1D", h.L1DMSHRs()}, {"L2", h.L2MSHRs()},
+		} {
+			ms := diag.MSHRState{Level: mf.level, InUse: mf.f.InUse(), Max: mf.f.Max()}
+			for _, e := range mf.f.Entries() {
+				ms.Lines = append(ms.Lines, diag.MSHRLine{LineAddr: e.LineAddr, Done: e.Done, Write: e.Write})
+			}
+			ns.MSHRs = append(ns.MSHRs, ms)
+		}
+		snap.Nodes = append(snap.Nodes, ns)
+	}
+
+	dir := s.mem.Directory()
+	snap.Dir.Lines, snap.Dir.Owned, snap.Dir.Shared, snap.Dir.Migratory = dir.StateCounts()
+
+	for addr, owner := range s.locks.Owners() {
+		snap.Locks = append(snap.Locks, diag.LockState{Addr: addr, Owner: owner, Waiters: spinners[addr]})
+	}
+	sort.Slice(snap.Locks, func(i, j int) bool { return snap.Locks[i].Addr < snap.Locks[j].Addr })
+
+	net := s.mem.Net()
+	snap.Mesh = diag.MeshState{
+		Messages:    net.Messages,
+		AvgLatency:  net.AvgLatency(),
+		QueueCycles: net.QueueCycles,
+		BusyLinks:   net.BusyLinks(s.cycle),
+	}
+	return snap
 }
 
 func (s *System) totalRetired() uint64 {

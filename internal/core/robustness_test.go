@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/diag"
+	"repro/internal/trace"
+)
+
+// lockStream emits an acquire of lockAddr, a little work, and (optionally)
+// the release. A holder that ends its stream without releasing models a
+// process dying inside a critical section: every other process then spins
+// on the lock forever.
+func lockStream(lockAddr uint64, release bool) *trace.SliceStream {
+	var ins []trace.Instr
+	pc := uint64(0x30000)
+	emit := func(in trace.Instr) {
+		in.PC = pc
+		pc += 4
+		ins = append(ins, in)
+	}
+	emit(trace.Instr{Op: trace.OpLockAcquire, Addr: lockAddr})
+	emit(trace.Instr{Op: trace.OpLoad, Addr: lockAddr + 64, Dest: 1})
+	emit(trace.Instr{Op: trace.OpIntALU, Src1: 1, Dest: 2})
+	emit(trace.Instr{Op: trace.OpStore, Addr: lockAddr + 64, Src1: 2})
+	if release {
+		emit(trace.Instr{Op: trace.OpWriteBar})
+		emit(trace.Instr{Op: trace.OpLockRelease, Addr: lockAddr})
+	}
+	return trace.NewSliceStream(ins)
+}
+
+// TestWatchdogTripsOnLivelock: one process acquires a lock and ends its
+// stream without releasing; a second spins on the acquire forever. The
+// watchdog must convert the livelock into a *ProgressError (with snapshot)
+// well before the cycle bound, rather than burning MaxCycles.
+func TestWatchdogTripsOnLivelock(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lockAddr = 0xA00000
+	sys.AddProcess(0, lockStream(lockAddr, false)) // holder, never releases
+	sys.AddProcess(1, lockStream(lockAddr, true))  // spins forever
+	const window = 50_000
+	_, err = sys.Run(RunOptions{
+		Label:          "livelock",
+		MaxCycles:      500_000_000, // far beyond the watchdog window
+		WatchdogWindow: window,
+	})
+	var pe *ProgressError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ProgressError", err)
+	}
+	if errors.Is(err, ErrMaxCycles) {
+		t.Error("watchdog trip must not read as a cycle-limit error")
+	}
+	if pe.Window != window {
+		t.Errorf("window = %d, want %d", pe.Window, window)
+	}
+	if pe.Cycle-pe.LastProgress < window {
+		t.Errorf("tripped after only %d silent cycles", pe.Cycle-pe.LastProgress)
+	}
+	if pe.Snapshot == nil {
+		t.Fatal("no machine snapshot attached")
+	}
+	// The snapshot must name the lock the machine is stuck on.
+	text := pe.Snapshot.String()
+	if !strings.Contains(text, "lock") {
+		t.Errorf("snapshot does not mention the held lock:\n%s", text)
+	}
+}
+
+// TestWatchdogDisabled: the same livelock with the watchdog off must run
+// all the way to the cycle bound.
+func TestWatchdogDisabled(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lockAddr = 0xA00000
+	sys.AddProcess(0, lockStream(lockAddr, false))
+	sys.AddProcess(1, lockStream(lockAddr, true))
+	_, err = sys.Run(RunOptions{
+		Label:           "livelock-nowd",
+		MaxCycles:       200_000,
+		WatchdogWindow:  50_000,
+		DisableWatchdog: true,
+	})
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	var ce *CycleLimitError
+	if !errors.As(err, &ce) || ce.Snapshot == nil {
+		t.Fatalf("cycle-limit error carries no snapshot: %v", err)
+	}
+}
+
+// panicStream panics when the simulator asks for its nth instruction,
+// standing in for an internal invariant violation inside the machine model.
+type panicStream struct {
+	n     int
+	count int
+}
+
+func (p *panicStream) Next(in *trace.Instr) bool {
+	if p.count >= p.n {
+		panic("synthetic model failure")
+	}
+	p.count++
+	*in = trace.Instr{Op: trace.OpIntALU, PC: 0x40000 + uint64(p.count)*4, Dest: 1}
+	return true
+}
+
+// TestRunRecoversPanic: a panic inside the machine model must surface as a
+// *diag.PanicError with the panic value, a stack, and a best-effort
+// snapshot — not take the process down.
+func TestRunRecoversPanic(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddProcess(0, &panicStream{n: 200})
+	rep, err := sys.Run(RunOptions{Label: "panic", MaxCycles: 1_000_000})
+	if rep != nil {
+		t.Error("a recovered panic must not also return a report")
+	}
+	var pe *diag.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *diag.PanicError", err)
+	}
+	if pe.Value != "synthetic model failure" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if pe.Snapshot == nil {
+		t.Error("no snapshot captured")
+	}
+	if !strings.Contains(pe.Error(), "synthetic model failure") {
+		t.Errorf("Error() does not include the panic value: %s", pe.Error())
+	}
+}
+
+// TestRunHonorsContext: a canceled context must stop the run promptly with
+// a *CanceledError that unwraps to the context's cause.
+func TestRunHonorsContext(t *testing.T) {
+	cfg := config.Default()
+	cfg.Nodes = 1
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddProcess(0, synthStream(100_000, 1<<20))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the first poll must notice
+	_, err = sys.Run(RunOptions{Label: "canceled", MaxCycles: 500_000_000, Context: ctx})
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("CanceledError does not unwrap to context.Canceled")
+	}
+	if ce.Cycle > 2*ctxCheckEvery {
+		t.Errorf("cancellation noticed only at cycle %d", ce.Cycle)
+	}
+}
+
+// TestSnapshotRenders: the diagnostic snapshot of a healthy running machine
+// renders its major sections.
+func TestSnapshotRenders(t *testing.T) {
+	cfg := config.Default()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		sys.AddProcess(n, synthStream(500, 1<<20))
+	}
+	if _, err := sys.Run(RunOptions{Label: "snap", MaxCycles: 50_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Snapshot("test")
+	text := snap.String()
+	for _, want := range []string{"machine snapshot", "cycle", "cpu", "directory", "mesh"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("snapshot missing %q section:\n%s", want, text)
+		}
+	}
+	if len(snap.Cores) != cfg.Nodes {
+		t.Errorf("snapshot has %d cores, want %d", len(snap.Cores), cfg.Nodes)
+	}
+	if len(snap.Nodes) != cfg.Nodes {
+		t.Errorf("snapshot has %d nodes, want %d", len(snap.Nodes), cfg.Nodes)
+	}
+}

@@ -133,6 +133,12 @@ type Core struct {
 
 	wbuf []wbufEntry
 
+	// Debug-mode (cfg.DebugChecks) memory-ordering watermarks: perform-time
+	// stamps that must be monotone under the consistency model's rules.
+	dbgLastPerform   uint64 // SC: last perform time of any memory op
+	dbgLastLoadBind  uint64 // PC: last cycle a load bound its value
+	dbgLastStoreDone uint64 // PC: perform time of the last buffered store
+
 	// Statistics.
 	Bk         stats.Breakdown
 	Retired    uint64

@@ -39,7 +39,7 @@ func (l *testLocks) Release(addr uint64, proc int, at uint64) {
 func runCore(t *testing.T, cfg config.Config, ins []trace.Instr) *Core {
 	t.Helper()
 	cfg.Nodes = 1
-	ms := memsys.New(cfg)
+	ms := memsys.MustNew(cfg)
 	c := New(cfg, 0, ms.Node(0), newTestLocks())
 	c.SwitchTo(&Context{ID: 0, Stream: trace.NewSliceStream(ins)})
 	for cycle := uint64(1); cycle < 3_000_000; cycle++ {
@@ -112,7 +112,7 @@ func TestOOOFasterThanInOrderOnIndependentMisses(t *testing.T) {
 func coreCycles(t *testing.T, cfg config.Config, ins []trace.Instr) uint64 {
 	t.Helper()
 	cfg.Nodes = 1
-	ms := memsys.New(cfg)
+	ms := memsys.MustNew(cfg)
 	c := New(cfg, 0, ms.Node(0), newTestLocks())
 	c.SwitchTo(&Context{ID: 0, Stream: trace.NewSliceStream(ins)})
 	for cycle := uint64(1); cycle < 5_000_000; cycle++ {
@@ -133,7 +133,7 @@ func TestSyscallTriggersSwitch(t *testing.T) {
 	}
 	cfg := config.Default()
 	cfg.Nodes = 1
-	ms := memsys.New(cfg)
+	ms := memsys.MustNew(cfg)
 	c := New(cfg, 0, ms.Node(0), newTestLocks())
 	ctx := &Context{ID: 0, Stream: trace.NewSliceStream(ins)}
 	c.SwitchTo(ctx)
@@ -187,7 +187,7 @@ func TestLockAcquireReleaseSequence(t *testing.T) {
 	}
 	cfg := config.Default()
 	cfg.Nodes = 1
-	ms := memsys.New(cfg)
+	ms := memsys.MustNew(cfg)
 	locks := newTestLocks()
 	c := New(cfg, 0, ms.Node(0), locks)
 	ctx := &Context{ID: 0, Stream: trace.NewSliceStream(ins)}
@@ -251,7 +251,7 @@ func TestInOrderClampsWindow(t *testing.T) {
 	cfg := config.Default()
 	cfg.InOrder = true
 	cfg.Nodes = 1
-	ms := memsys.New(cfg)
+	ms := memsys.MustNew(cfg)
 	c := New(cfg, 0, ms.Node(0), newTestLocks())
 	if len(c.rob) > 2*cfg.IssueWidth+8 {
 		t.Errorf("in-order window not clamped: %d", len(c.rob))

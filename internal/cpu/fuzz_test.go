@@ -86,7 +86,7 @@ func TestRandomStreamsComplete(t *testing.T) {
 					cfg.ConsistencyOpts = impl
 					cfg.InOrder = inorder
 					ins := randomStream(seed, 2000)
-					ms := memsys.New(cfg)
+					ms := memsys.MustNew(cfg)
 					c := New(cfg, 0, ms.Node(0), newTestLocks())
 					c.SwitchTo(&Context{ID: 0, Stream: trace.NewSliceStream(ins)})
 					finished := false
@@ -120,7 +120,7 @@ func TestRandomStreamsComplete(t *testing.T) {
 // TestMultiCoreRandomSharing fuzzes four cores sharing data and one lock.
 func TestMultiCoreRandomSharing(t *testing.T) {
 	cfg := config.Default()
-	ms := memsys.New(cfg)
+	ms := memsys.MustNew(cfg)
 	locks := newTestLocks()
 	var cores []*Core
 	var want []uint64

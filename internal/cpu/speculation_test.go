@@ -16,7 +16,7 @@ func TestSpeculativeLoadViolationRollsBack(t *testing.T) {
 	cfg := config.Default()
 	cfg.Consistency = config.SC
 	cfg.ConsistencyOpts = config.ImplSpeculative
-	ms := memsys.New(cfg)
+	ms := memsys.MustNew(cfg)
 	locks := newTestLocks()
 
 	c0 := New(cfg, 0, ms.Node(0), locks)
@@ -76,7 +76,7 @@ func TestNoViolationWithoutConflict(t *testing.T) {
 	cfg.Nodes = 1
 	cfg.Consistency = config.SC
 	cfg.ConsistencyOpts = config.ImplSpeculative
-	ms := memsys.New(cfg)
+	ms := memsys.MustNew(cfg)
 	c := New(cfg, 0, ms.Node(0), newTestLocks())
 	ins := []trace.Instr{
 		{Op: trace.OpLoad, PC: 4, Addr: 0x100000, Dest: 1},

@@ -366,6 +366,9 @@ func (c *Core) issueLoad(e *robEntry, now uint64, agFree, budget *int,
 			spec = true
 		}
 	}
+	if c.cfg.DebugChecks && !spec {
+		c.dbgCheckLoadBind(now, e.in.PC)
+	}
 	res := c.mem.DataRead(e.in.Addr, e.in.PC, now, c.inCS())
 	e.issuedMem = true
 	e.state = stExec
@@ -492,6 +495,9 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 				e.issuedMem = true
 				e.complete = res.Done
 				e.class = res.Class
+				if c.cfg.DebugChecks {
+					c.dbgCheckStorePerform(e.complete, e.in.PC)
+				}
 			}
 			if e.complete > now {
 				return false, stats.Write
@@ -684,6 +690,9 @@ func (c *Core) drainWbuf(now uint64) {
 				res := c.mem.DataWrite(w.addr, w.pc, now, w.inCS)
 				w.issued = true
 				w.done = res.Done
+				if c.cfg.DebugChecks {
+					c.dbgCheckStoreFIFO(now, w.done, w.pc)
+				}
 			}
 			// Strict FIFO: the next store may not issue until this one
 			// has performed.

@@ -1,0 +1,76 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Cycle:  123456,
+		Reason: "watchdog",
+		Cores: []CoreState{
+			{ID: 0, ContextID: 3, Retired: 42, ROB: 12, FetchQ: 4, WriteBuf: 1,
+				HeadOp: "LOCKACQ", HeadPC: 0x1000, HeadAddr: 0xA00000,
+				Spinning: true, SpinAddr: 0xA00000},
+			{ID: 1, ContextID: -1, Retired: 99},
+		},
+		Nodes: []NodeState{
+			{Node: 0, MSHRs: []MSHRState{
+				{Level: "L1D", InUse: 1, Max: 8,
+					Lines: []MSHRLine{{LineAddr: 0x40, Done: 123500, Write: true}}},
+			}},
+			{Node: 1},
+		},
+		Dir:   DirectoryState{Lines: 10, Owned: 2, Shared: 3, Migratory: 1},
+		Locks: []LockState{{Addr: 0xA00000, Owner: 7, Waiters: []int{0}}},
+		Mesh:  MeshState{Messages: 1000, AvgLatency: 85, QueueCycles: 12, BusyLinks: 2},
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	text := sample().String()
+	wants := []string{
+		"cycle 123456", "watchdog",
+		"cpu0", "ctx=3", "SPINNING on lock 0xa00000",
+		"cpu1", "ctx=-",
+		"node0 in-flight misses", "L1D 1/8", "[w line 0x40 done @123500]",
+		"directory: 10 lines (2 owned dirty, 3 shared, 1 migratory)",
+		"lock 0xa00000 held by process 7", "cpus [0] spinning",
+		"mesh: 1000 messages",
+	}
+	for _, want := range wants {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered snapshot missing %q:\n%s", want, text)
+		}
+	}
+	// An idle node (no in-flight misses) must not emit a node line.
+	if strings.Contains(text, "node1") {
+		t.Errorf("empty node rendered:\n%s", text)
+	}
+}
+
+func TestNilSnapshotIsSafe(t *testing.T) {
+	var s *Snapshot
+	if got := s.String(); !strings.Contains(got, "no snapshot") {
+		t.Errorf("nil snapshot rendered %q", got)
+	}
+}
+
+func TestPanicErrorReport(t *testing.T) {
+	e := &PanicError{Value: "boom", Stack: []byte("goroutine 1 ..."), Snapshot: sample()}
+	if !strings.Contains(e.Error(), "boom") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	rep := e.Report()
+	for _, want := range []string{"panic: boom", "machine snapshot", "goroutine 1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report() missing %q:\n%s", want, rep)
+		}
+	}
+	// A panic recovered before any snapshot could be taken still reports.
+	bare := &PanicError{Value: 42}
+	if !strings.Contains(bare.Report(), "no snapshot") {
+		t.Errorf("bare Report() = %q", bare.Report())
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -23,6 +24,17 @@ type Scale struct {
 	OLTPWarmupTx     int // excluded from statistics
 	DSSRows          int // per query server
 	MaxCycles        uint64
+
+	// Context, when non-nil, is threaded into every run so callers
+	// (cmd/sweep) can time-bound or cancel a whole sweep. A nil Context
+	// leaves cancellation disabled.
+	Context context.Context
+
+	// WatchdogWindow overrides the forward-progress watchdog window in
+	// cycles; 0 keeps core.DefaultWatchdogWindow.
+	WatchdogWindow uint64
+	// DisableWatchdog turns the forward-progress watchdog off entirely.
+	DisableWatchdog bool
 }
 
 // DefaultScale is used by cmd/sweep and EXPERIMENTS.md.
@@ -59,9 +71,15 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 		Label:              label,
 		WarmupInstructions: warmup,
 		MaxCycles:          sc.MaxCycles,
+		Context:            sc.Context,
+		WatchdogWindow:     sc.WatchdogWindow,
+		DisableWatchdog:    sc.DisableWatchdog,
 	})
 	if err != nil {
 		return rep, fmt.Errorf("experiments: OLTP %q: %w", label, err)
+	}
+	if err := w.Err(); err != nil {
+		return rep, fmt.Errorf("experiments: OLTP %q: workload failed: %w", label, err)
 	}
 	if err := w.TPCB().CheckConsistency(); err != nil {
 		return rep, fmt.Errorf("experiments: OLTP %q: %w", label, err)
@@ -88,6 +106,9 @@ func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
 		Label:              label,
 		WarmupInstructions: warmup,
 		MaxCycles:          sc.MaxCycles,
+		Context:            sc.Context,
+		WatchdogWindow:     sc.WatchdogWindow,
+		DisableWatchdog:    sc.DisableWatchdog,
 	})
 	if err != nil {
 		return rep, fmt.Errorf("experiments: DSS %q: %w", label, err)

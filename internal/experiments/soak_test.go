@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload/dss"
+	"repro/internal/workload/oltp"
+)
+
+// soakFaults is an aggressive-but-bounded fault mix for the soak runs.
+func soakFaults(seed uint64) config.FaultConfig {
+	return config.FaultConfig{
+		Enabled:        true,
+		Seed:           seed,
+		MeshDelayProb:  0.05,
+		MeshDelayMax:   25,
+		NACKProb:       0.02,
+		NACKMaxRetries: 3,
+		NACKBackoff:    40,
+		MemStallProb:   0.03,
+		MemStallCycles: 120,
+	}
+}
+
+// materialize drains every stream into a fixed slice. The soak replays the
+// same materialized traces fault-free and faulted: workload generation is
+// lazy and the server processes share database state (buffer pool, redo),
+// so the *content* generated live depends on the pull interleaving, which
+// faults legitimately perturb. Fixing the trace isolates the property under
+// test — faults are timing-only, so identical inputs must retire
+// identically.
+func materialize(t *testing.T, streams []trace.Stream) [][]trace.Instr {
+	t.Helper()
+	out := make([][]trace.Instr, len(streams))
+	var in trace.Instr
+	for p, s := range streams {
+		for s.Next(&in) {
+			out[p] = append(out[p], in)
+		}
+	}
+	return out
+}
+
+// runTraces simulates the materialized traces on machine cfg.
+func runTraces(t *testing.T, cfg config.Config, traces [][]trace.Instr) *stats.Report {
+	t.Helper()
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, instrs := range traces {
+		sys.AddProcess(p%cfg.Nodes, trace.NewSliceStream(instrs))
+	}
+	rep, err := sys.Run(core.RunOptions{Label: "soak", MaxCycles: 400_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestFaultSoak runs both workloads with the coherence and ordering
+// checkers enabled, fault-free and under fault injection, over identical
+// traces. Faults are timing-only, so the faulted run must retire exactly
+// the instructions of the fault-free run (in more cycles), with every
+// invariant still holding.
+func TestFaultSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test: skipped with -short")
+	}
+	base := config.Default()
+	base.Nodes = 2
+	base.DebugChecks = true
+
+	workloads := map[string][]trace.Stream{}
+
+	ocfg := oltp.DefaultConfig(base.Nodes)
+	ocfg.TransactionsPerProcess = 1
+	ow := oltp.New(ocfg)
+	var ostreams []trace.Stream
+	for p := 0; p < ocfg.Processes; p++ {
+		ostreams = append(ostreams, ow.Stream(p))
+	}
+	workloads["oltp"] = ostreams
+
+	dcfg := dss.DefaultConfig(base.Nodes)
+	dcfg.RowsPerProcess = 4000
+	dw := dss.New(dcfg)
+	var dstreams []trace.Stream
+	for p := 0; p < dcfg.Processes; p++ {
+		dstreams = append(dstreams, dw.Stream(p))
+	}
+	workloads["dss"] = dstreams
+
+	for wl, streams := range workloads {
+		traces := materialize(t, streams)
+		if wl == "oltp" {
+			if err := ow.Err(); err != nil {
+				t.Fatalf("oltp generation failed: %v", err)
+			}
+			if err := ow.TPCB().CheckConsistency(); err != nil {
+				t.Fatalf("oltp database inconsistent: %v", err)
+			}
+		}
+
+		clean := runTraces(t, base, traces)
+
+		faulted := base
+		faulted.Faults = soakFaults(42)
+		dirty := runTraces(t, faulted, traces)
+
+		if clean.Instructions != dirty.Instructions {
+			t.Errorf("%s: faulted run retired %d instructions, fault-free retired %d — faults must be timing-only",
+				wl, dirty.Instructions, clean.Instructions)
+		}
+		if dirty.Cycles < clean.Cycles {
+			t.Errorf("%s: faulted run was faster (%d cycles) than fault-free (%d) — injector not wired?",
+				wl, dirty.Cycles, clean.Cycles)
+		}
+		t.Logf("%s: %d instructions; cycles %d fault-free -> %d faulted (+%.1f%%)",
+			wl, clean.Instructions, clean.Cycles, dirty.Cycles,
+			float64(dirty.Cycles-clean.Cycles)/float64(clean.Cycles)*100)
+	}
+}
+
+// TestFaultDeterminism: two faulted runs with the same seed are identical.
+func TestFaultDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test: skipped with -short")
+	}
+	cfg := config.Default()
+	cfg.Faults = soakFaults(7)
+	r1, err := RunDSS(cfg, QuickScale, "det1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunDSS(cfg, QuickScale, "det2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Instructions != r2.Instructions {
+		t.Errorf("same seed, different runs: (%d, %d) vs (%d, %d) cycles/instructions",
+			r1.Cycles, r1.Instructions, r2.Cycles, r2.Instructions)
+	}
+}

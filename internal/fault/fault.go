@@ -1,0 +1,124 @@
+// Package fault provides a seeded, deterministic fault injector for the
+// simulated machine. The injector perturbs timing only — mesh message
+// delay/jitter, directory NACKs with bounded retry-and-backoff at the
+// requester, and transient memory-bank stalls — and never protocol or
+// workload state, so a faulted run retires exactly the instructions of a
+// fault-free run (the soak tests in internal/experiments assert this).
+//
+// Decisions are drawn from a splitmix64 stream seeded by the
+// configuration, and the simulator is single-threaded per machine, so a
+// given (seed, config, workload) triple always injects the identical fault
+// sequence: failures found under injection reproduce exactly.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Injector draws deterministic fault decisions for one machine. All
+// methods are nil-safe: a nil *Injector injects nothing, so callers need
+// no "faults enabled?" branches. Not safe for concurrent use.
+type Injector struct {
+	cfg   config.FaultConfig
+	state uint64
+
+	// Statistics (what was actually injected).
+	MeshDelays      uint64 // messages delayed
+	MeshDelayCycles uint64 // total extra cycles injected into the mesh
+	NACKs           uint64 // directory requests bounced
+	Retries         uint64 // retry round-trips (== NACKs; kept for clarity)
+	MemStalls       uint64 // bank accesses stalled
+	MemStallCycles  uint64 // total extra bank cycles
+}
+
+// New returns an injector for cfg, or nil when injection is disabled.
+// cfg must have passed config validation.
+func New(cfg config.FaultConfig) *Injector {
+	if !cfg.Enabled {
+		return nil
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{cfg: cfg, state: seed}
+}
+
+// next advances the splitmix64 stream.
+func (i *Injector) next() uint64 {
+	i.state += 0x9E3779B97F4A7C15
+	z := i.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// chance draws a Bernoulli decision with probability p.
+func (i *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	// 53 bits of the draw give a uniform float in [0, 1).
+	return float64(i.next()>>11)/(1<<53) < p
+}
+
+// MeshDelay returns the extra cycles to add to a mesh message's arrival
+// (0 for most messages).
+func (i *Injector) MeshDelay() uint64 {
+	if i == nil || !i.chance(i.cfg.MeshDelayProb) {
+		return 0
+	}
+	d := 1 + i.next()%uint64(i.cfg.MeshDelayMax)
+	i.MeshDelays++
+	i.MeshDelayCycles += d
+	return d
+}
+
+// NACK reports whether the home directory bounces a request on its
+// attempt-th delivery (attempt 0 is the first). Returns false once attempt
+// reaches the retry bound, so transactions always complete.
+func (i *Injector) NACK(attempt int) bool {
+	if i == nil || attempt >= i.cfg.NACKMaxRetries || !i.chance(i.cfg.NACKProb) {
+		return false
+	}
+	i.NACKs++
+	i.Retries++
+	return true
+}
+
+// Backoff returns the requester's wait before retrying after its
+// attempt-th NACK (linear backoff).
+func (i *Injector) Backoff(attempt int) uint64 {
+	if i == nil {
+		return 0
+	}
+	return uint64(i.cfg.NACKBackoff) * uint64(attempt+1)
+}
+
+// MemStall returns the extra cycles a memory-bank access is stalled
+// (0 for most accesses).
+func (i *Injector) MemStall() uint64 {
+	if i == nil || !i.chance(i.cfg.MemStallProb) {
+		return 0
+	}
+	d := uint64(i.cfg.MemStallCycles)
+	i.MemStalls++
+	i.MemStallCycles += d
+	return d
+}
+
+// Injected reports whether any fault has been injected so far.
+func (i *Injector) Injected() bool {
+	return i != nil && i.MeshDelays+i.NACKs+i.MemStalls > 0
+}
+
+// Summary renders the injection counters for reports and logs.
+func (i *Injector) Summary() string {
+	if i == nil {
+		return "faults: disabled"
+	}
+	return fmt.Sprintf("faults: %d mesh delays (+%d cycles), %d NACKs, %d bank stalls (+%d cycles)",
+		i.MeshDelays, i.MeshDelayCycles, i.NACKs, i.MemStalls, i.MemStallCycles)
+}

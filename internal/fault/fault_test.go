@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func testCfg(seed uint64) config.FaultConfig {
+	return config.FaultConfig{
+		Enabled:        true,
+		Seed:           seed,
+		MeshDelayProb:  0.1,
+		MeshDelayMax:   40,
+		NACKProb:       0.05,
+		NACKMaxRetries: 4,
+		NACKBackoff:    20,
+		MemStallProb:   0.02,
+		MemStallCycles: 60,
+	}
+}
+
+func TestDisabledReturnsNil(t *testing.T) {
+	if New(config.FaultConfig{}) != nil {
+		t.Fatal("disabled config must yield a nil injector")
+	}
+	// All methods must be nil-safe and inject nothing.
+	var i *Injector
+	if i.MeshDelay() != 0 || i.NACK(0) || i.Backoff(3) != 0 || i.MemStall() != 0 {
+		t.Error("nil injector injected a fault")
+	}
+	if i.Injected() {
+		t.Error("nil injector reports injections")
+	}
+	if i.Summary() == "" {
+		t.Error("nil injector must still render a summary")
+	}
+}
+
+// TestDeterminism: the same seed must produce the identical fault sequence.
+func TestDeterminism(t *testing.T) {
+	draw := func(seed uint64) (delays, nacks, stalls, cycles uint64) {
+		i := New(testCfg(seed))
+		for k := 0; k < 10_000; k++ {
+			cycles += i.MeshDelay()
+			if i.NACK(k % 5) {
+				cycles += i.Backoff(k % 5)
+			}
+			cycles += i.MemStall()
+		}
+		return i.MeshDelays, i.NACKs, i.MemStalls, cycles
+	}
+	d1, n1, s1, c1 := draw(42)
+	d2, n2, s2, c2 := draw(42)
+	if d1 != d2 || n1 != n2 || s1 != s2 || c1 != c2 {
+		t.Fatalf("same seed diverged: (%d,%d,%d,%d) vs (%d,%d,%d,%d)", d1, n1, s1, c1, d2, n2, s2, c2)
+	}
+	d3, _, _, _ := draw(43)
+	if d1 == 0 || d3 == d1 {
+		t.Errorf("different seeds produced suspiciously identical sequences (%d vs %d)", d1, d3)
+	}
+}
+
+// TestRatesRoughlyMatchProbabilities: over many draws, injection rates land
+// near their configured probabilities.
+func TestRatesRoughlyMatchProbabilities(t *testing.T) {
+	const n = 200_000
+	i := New(testCfg(7))
+	for k := 0; k < n; k++ {
+		i.MeshDelay()
+	}
+	rate := float64(i.MeshDelays) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("mesh delay rate %.4f far from configured 0.1", rate)
+	}
+}
+
+// TestNACKBounded: the retry bound must guarantee eventual service.
+func TestNACKBounded(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.NACKProb = 1.0 // always NACK when allowed
+	i := New(cfg)
+	attempts := 0
+	for i.NACK(attempts) {
+		attempts++
+		if attempts > 100 {
+			t.Fatal("NACK storm not bounded")
+		}
+	}
+	if attempts != cfg.NACKMaxRetries {
+		t.Errorf("got %d NACKs before forced service, want %d", attempts, cfg.NACKMaxRetries)
+	}
+	if i.Backoff(1) != uint64(2*cfg.NACKBackoff) {
+		t.Errorf("backoff not linear in attempt")
+	}
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	bad := testCfg(1)
+	bad.NACKProb = 1.5
+	if bad.Validate() == nil {
+		t.Error("probability > 1 accepted")
+	}
+	bad = testCfg(1)
+	bad.MeshDelayMax = 0
+	if bad.Validate() == nil {
+		t.Error("zero MeshDelayMax with positive probability accepted")
+	}
+	if (config.FaultConfig{}).Validate() != nil {
+		t.Error("disabled zero config rejected")
+	}
+	if err := testCfg(1).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

@@ -162,6 +162,7 @@ func (h *Hierarchy) l2Access(paddr uint64, home int, now uint64, write bool, pc 
 		done, class, _, mig := h.dirTransaction(la, home, maxU(hitT, m.Done), true, pc, inCS)
 		h.l2MSHR.Allocate(cache.MSHR{LineAddr: la, Done: done, Class: uint8(class), Write: true}, maxU(hitT, m.Done))
 		h.l2.SetState(paddr, cache.Modified)
+		h.sys.checkCoherence(la)
 		return done, class, mig
 	}
 
@@ -182,6 +183,7 @@ func (h *Hierarchy) l2Access(paddr uint64, home int, now uint64, write bool, pc 
 		done, class, _, mig = h.dirTransaction(la, home, hitT, true, pc, inCS)
 		h.l2MSHR.Allocate(cache.MSHR{LineAddr: la, Done: done, Class: uint8(class), Write: true}, hitT)
 		h.l2.SetState(paddr, cache.Modified)
+		h.sys.checkCoherence(la)
 		return done, class, mig
 	}
 
@@ -193,6 +195,7 @@ func (h *Hierarchy) l2Access(paddr uint64, home int, now uint64, write bool, pc 
 	done, class, grant, mig = h.dirTransaction(la, home, hitT, write, pc, inCS)
 	h.l2MSHR.Allocate(cache.MSHR{LineAddr: la, Done: done, Class: uint8(class), Read: !write, Write: write}, hitT)
 	h.handleL2Eviction(h.l2.Insert(paddr, grant), done)
+	h.sys.checkCoherence(la)
 	return done, class, mig
 }
 
@@ -217,12 +220,14 @@ func (h *Hierarchy) handleL2Eviction(ev cache.Eviction, now uint64) {
 		s.dir.Writeback(h.node, ev.LineAddr)
 		// Fire-and-forget write-back: occupy bus, network, and bank.
 		t := acquireAt(&s.busReqBusy[h.node], now, busOccupancy) + uint64(s.cfg.BusCycles)
-		t = s.net.Send(h.node, home, s.cfg.DataFlits, t)
+		t = s.send(h.node, home, s.cfg.DataFlits, t)
+		t += s.faults.MemStall()
 		bank := ev.LineAddr % uint64(s.cfg.MemBanks)
 		acquireAt(&s.bankBusy[home][bank], t, uint64(s.cfg.MemoryCycles))
 	} else {
 		s.dir.EvictClean(h.node, ev.LineAddr)
 	}
+	s.checkCoherence(ev.LineAddr)
 }
 
 // dirTransaction performs the coherence transaction for lineAddr at its
@@ -235,16 +240,32 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 
 	// Out over the node bus, across the network, into the home directory.
 	t := acquireAt(&s.busReqBusy[h.node], now, busOccupancy) + uint64(cfg.BusCycles)
-	t = s.net.Send(h.node, home, cfg.CtrlFlits, t)
+	t = s.send(h.node, home, cfg.CtrlFlits, t)
 	t = acquireAt(&s.dirBusy[home], t, uint64(cfg.DirCycles)) + uint64(cfg.DirCycles)
+
+	// Injected directory NACKs: the home bounces the request, the requester
+	// backs off and retries, bounded so the transaction always completes.
+	// Timing-only — protocol state is untouched until the request is
+	// accepted, so retired-instruction counts match a fault-free run.
+	for attempt := 0; s.faults.NACK(attempt); attempt++ {
+		t = s.send(home, h.node, cfg.CtrlFlits, t)
+		t += s.faults.Backoff(attempt)
+		t = s.send(h.node, home, cfg.CtrlFlits, t)
+		t = acquireAt(&s.dirBusy[home], t, uint64(cfg.DirCycles)) + uint64(cfg.DirCycles)
+	}
 
 	if !write {
 		res := s.dir.Read(h.node, lineAddr)
 		mig = res.Migratory
+		if res.Downgrade >= 0 {
+			// A clean-Exclusive holder folds to Shared so any later write
+			// there goes back through the directory.
+			s.nodes[res.Downgrade].downgrade(lineAddr)
+		}
 		switch res.Source {
 		case coherence.SrcOwnerCache:
 			owner := s.nodes[res.Owner]
-			t = s.net.Send(home, res.Owner, cfg.CtrlFlits, t)
+			t = s.send(home, res.Owner, cfg.CtrlFlits, t)
 			ot := acquire(owner.l2Ports, t, 1)
 			t = ot + uint64(cfg.L2.HitCycles) + uint64(cfg.InterventionCycles)
 			grant = cache.Shared
@@ -256,7 +277,7 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 			} else {
 				owner.downgrade(lineAddr)
 			}
-			t = s.net.Send(res.Owner, h.node, cfg.DataFlits, t)
+			t = s.send(res.Owner, h.node, cfg.DataFlits, t)
 			t = acquireAt(&s.busRespBusy[h.node], t, busOccupancy) + uint64(cfg.BusCycles)
 			class = ClassRemoteDirty
 			if mig {
@@ -268,10 +289,11 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 				}
 			}
 		default: // SrcMemory (SrcNone cannot occur on an L2 read miss)
+			t += s.faults.MemStall()
 			bank := lineAddr % uint64(cfg.MemBanks)
 			mt := acquireAt(&s.bankBusy[home][bank], t, uint64(cfg.MemoryCycles))
 			t = mt + uint64(cfg.MemoryCycles)
-			t = s.net.Send(home, h.node, cfg.DataFlits, t)
+			t = s.send(home, h.node, cfg.DataFlits, t)
 			t = acquireAt(&s.busRespBusy[h.node], t, busOccupancy) + uint64(cfg.BusCycles)
 			if home == h.node {
 				class = ClassLocal
@@ -300,9 +322,9 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 		if k == res.Owner && res.Source == coherence.SrcOwnerCache {
 			continue // ownership transfer handles the owner below
 		}
-		it := s.net.Send(home, k, cfg.CtrlFlits, t)
+		it := s.send(home, k, cfg.CtrlFlits, t)
 		s.nodes[k].applyInvalidation(lineAddr)
-		at := s.net.Send(k, home, cfg.CtrlFlits, it+2)
+		at := s.send(k, home, cfg.CtrlFlits, it+2)
 		if at > ackT {
 			ackT = at
 		}
@@ -311,7 +333,7 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 	switch res.Source {
 	case coherence.SrcNone:
 		// Upgrade: no data transfer; acknowledge after invalidations.
-		t = s.net.Send(home, h.node, cfg.CtrlFlits, ackT)
+		t = s.send(home, h.node, cfg.CtrlFlits, ackT)
 		t = acquireAt(&s.busRespBusy[h.node], t, busOccupancy) + uint64(cfg.BusCycles)
 		if home == h.node {
 			class = ClassLocal
@@ -320,18 +342,19 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 		}
 	case coherence.SrcOwnerCache:
 		owner := s.nodes[res.Owner]
-		ft := s.net.Send(home, res.Owner, cfg.CtrlFlits, t)
+		ft := s.send(home, res.Owner, cfg.CtrlFlits, t)
 		ot := acquire(owner.l2Ports, ft, 1)
 		dt := ot + uint64(cfg.L2.HitCycles) + uint64(cfg.InterventionCycles)
 		owner.applyInvalidation(lineAddr)
-		t = s.net.Send(res.Owner, h.node, cfg.DataFlits, maxU(dt, ackT))
+		t = s.send(res.Owner, h.node, cfg.DataFlits, maxU(dt, ackT))
 		t = acquireAt(&s.busRespBusy[h.node], t, busOccupancy) + uint64(cfg.BusCycles)
 		class = ClassRemoteDirty
 	default: // SrcMemory
+		t += s.faults.MemStall()
 		bank := lineAddr % uint64(cfg.MemBanks)
 		mt := acquireAt(&s.bankBusy[home][bank], t, uint64(cfg.MemoryCycles))
 		dataReady := mt + uint64(cfg.MemoryCycles)
-		t = s.net.Send(home, h.node, cfg.DataFlits, maxU(dataReady, ackT))
+		t = s.send(home, h.node, cfg.DataFlits, maxU(dataReady, ackT))
 		t = acquireAt(&s.busRespBusy[h.node], t, busOccupancy) + uint64(cfg.BusCycles)
 		if home == h.node {
 			class = ClassLocal

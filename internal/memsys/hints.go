@@ -62,7 +62,8 @@ func (h *Hierarchy) Flush(vaddr uint64, now uint64) {
 	}
 	// Sharing write-back: data travels to the home memory.
 	t := acquireAt(&s.busReqBusy[h.node], now, busOccupancy) + uint64(s.cfg.BusCycles)
-	t = s.net.Send(h.node, home, s.cfg.DataFlits, t)
+	t = s.send(h.node, home, s.cfg.DataFlits, t)
+	t += s.faults.MemStall()
 	bank := la % uint64(s.cfg.MemBanks)
 	acquireAt(&s.bankBusy[home][bank], t, uint64(s.cfg.MemoryCycles))
 	if keep {
@@ -75,4 +76,5 @@ func (h *Hierarchy) Flush(vaddr uint64, now uint64) {
 		h.l1d.Invalidate(paddr)
 	}
 	h.FlushesIssued++
+	s.checkCoherence(la)
 }

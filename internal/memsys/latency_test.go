@@ -11,7 +11,7 @@ import (
 func TestContentionlessLatencies(t *testing.T) {
 	cfg := config.Default()
 	cfg.PerfectDTLB = true // measure the pure memory path
-	s := New(cfg)
+	s := MustNew(cfg)
 
 	// Local read: node 0 touches a fresh page (homed at node 0).
 	res := s.Node(0).DataRead(0x100000, 1, 1000, false)
@@ -55,7 +55,7 @@ func TestContentionlessLatencies(t *testing.T) {
 func TestOverlappedReads(t *testing.T) {
 	cfg := config.Default()
 	cfg.Nodes = 1
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	// Warm the page table so homing is settled.
 	h.DataRead(0x500000, 1, 1, false)

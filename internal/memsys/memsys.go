@@ -15,9 +15,12 @@
 package memsys
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/tlb"
 )
@@ -78,6 +81,7 @@ type System struct {
 	classifier *coherence.Classifier
 	net        *mesh.Mesh
 	nodes      []*Hierarchy
+	faults     *fault.Injector // nil unless cfg.Faults.Enabled
 
 	// The split-transaction bus carries requests and replies on separate
 	// tracks; modelling both directions with one busy-until scalar would
@@ -88,33 +92,108 @@ type System struct {
 	bankBusy    [][]uint64 // per node, per bank
 }
 
-// New builds the memory system for cfg. Panics on invalid configuration
-// (validate cfg first).
-func New(cfg config.Config) *System {
+// New builds the memory system for cfg, validating the configuration and
+// every component geometry derived from it.
+func New(cfg config.Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("memsys: %w", err)
+	}
+	pt, err := tlb.NewPageTable(cfg.PageBytes)
+	if err != nil {
+		return nil, fmt.Errorf("memsys: %w", err)
+	}
+	net, err := mesh.New(cfg.Nodes, cfg.HopCycles, cfg.FlitCycles)
+	if err != nil {
+		return nil, fmt.Errorf("memsys: %w", err)
 	}
 	s := &System{
 		cfg:         cfg,
-		pt:          tlb.NewPageTable(cfg.PageBytes),
+		pt:          pt,
 		dir:         coherence.NewDirectory(),
 		classifier:  coherence.NewClassifier(),
-		net:         mesh.New(cfg.Nodes, cfg.HopCycles, cfg.FlitCycles),
+		net:         net,
+		faults:      fault.New(cfg.Faults),
 		busReqBusy:  make([]uint64, cfg.Nodes),
 		busRespBusy: make([]uint64, cfg.Nodes),
 		dirBusy:     make([]uint64, cfg.Nodes),
 		bankBusy:    make([][]uint64, cfg.Nodes),
 	}
 	s.dir.MigratoryOpt = cfg.MigratoryProtocol
+	// The directory learns about silent E->M upgrades by probing the
+	// grantee's L2 on the next conflicting request.
+	s.dir.SetProbe(func(node int, lineAddr uint64) bool {
+		h := s.nodes[node]
+		return h.l2.Probe(lineAddr<<h.l2.LineShift()) == cache.Modified
+	})
 	for n := 0; n < cfg.Nodes; n++ {
 		s.bankBusy[n] = make([]uint64, cfg.MemBanks)
-		s.nodes = append(s.nodes, newHierarchy(s, n))
+		h, err := newHierarchy(s, n)
+		if err != nil {
+			return nil, fmt.Errorf("memsys: node %d: %w", n, err)
+		}
+		s.nodes = append(s.nodes, h)
+	}
+	return s, nil
+}
+
+// MustNew is New for contexts (tests, examples) where the configuration is
+// known good; it panics on error.
+func MustNew(cfg config.Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
 
 // Node returns node n's hierarchy.
 func (s *System) Node(n int) *Hierarchy { return s.nodes[n] }
+
+// Faults returns the fault injector (nil when injection is disabled; a nil
+// injector is safe to call and injects nothing).
+func (s *System) Faults() *fault.Injector { return s.faults }
+
+// send carries a message across the mesh, adding any injected delay. All
+// protocol traffic goes through here so the fault injector perturbs every
+// message class uniformly.
+func (s *System) send(src, dst, flits int, t uint64) uint64 {
+	return s.net.Send(src, dst, flits, t) + s.faults.MeshDelay()
+}
+
+// checkCoherence verifies protocol invariants for one line after a
+// transaction's state updates have fully applied (cfg.DebugChecks): the
+// directory's own bookkeeping (CheckLine), no stale dirty copy — a Modified
+// L2 line is either the recorded owner or an unresolved Exclusive grantee —
+// every cached copy is on the sharer list, and L1D/L2 inclusion. Violations
+// panic; core.Machine.Run recovers them into a diagnostic error.
+func (s *System) checkCoherence(lineAddr uint64) {
+	if !s.cfg.DebugChecks {
+		return
+	}
+	if err := s.dir.CheckLine(lineAddr, s.cfg.Nodes); err != nil {
+		panic(err)
+	}
+	owner := s.dir.OwnerOf(lineAddr)
+	excl := s.dir.ExclusiveOf(lineAddr)
+	for n, h := range s.nodes {
+		paddr := lineAddr << h.l2.LineShift()
+		st := h.l2.Probe(paddr)
+		if st == cache.Modified && n != owner && n != excl {
+			panic(fmt.Sprintf("coherence: line %#x is Modified in node %d's L2 but the directory records owner %d (stale dirty copy)",
+				lineAddr, n, owner))
+		}
+		if st != cache.Invalid && !s.dir.IsSharer(n, lineAddr) {
+			panic(fmt.Sprintf("coherence: line %#x cached %v by node %d but absent from the directory's sharer list",
+				lineAddr, st, n))
+		}
+		// L1D/L2 inclusion (the L1I is exempt: stream-buffer fills install
+		// into the L1I without re-checking the L2).
+		if l1 := h.l1d.Probe(paddr); l1 != cache.Invalid && st == cache.Invalid {
+			panic(fmt.Sprintf("coherence: line %#x in node %d's L1D (%v) violates inclusion (L2 invalid)",
+				lineAddr, n, l1))
+		}
+	}
+}
 
 // Directory returns the machine's directory.
 func (s *System) Directory() *coherence.Directory { return s.dir }
@@ -187,24 +266,41 @@ type Hierarchy struct {
 	FlushesIssued     uint64
 }
 
-func newHierarchy(s *System, node int) *Hierarchy {
+func newHierarchy(s *System, node int) (*Hierarchy, error) {
 	cfg := s.cfg
 	h := &Hierarchy{
 		sys:      s,
 		node:     node,
-		l1i:      cache.New("L1I", cfg.L1I.SizeBytes, cfg.L1I.Assoc, cfg.L1I.LineBytes),
-		l1d:      cache.New("L1D", cfg.L1D.SizeBytes, cfg.L1D.Assoc, cfg.L1D.LineBytes),
-		l2:       cache.New("L2", cfg.L2.SizeBytes, cfg.L2.Assoc, cfg.L2.LineBytes),
-		l1iMSHR:  cache.NewMSHRFile(cfg.L1I.MSHRs),
-		l1dMSHR:  cache.NewMSHRFile(cfg.L1D.MSHRs),
-		l2MSHR:   cache.NewMSHRFile(cfg.L2.MSHRs),
-		itlb:     tlb.New(cfg.ITLBEntries),
-		dtlb:     tlb.New(cfg.DTLBEntries),
 		l1dPorts: make([]uint64, cfg.L1D.Ports),
 		l1iPorts: make([]uint64, cfg.L1I.Ports),
 		l2Ports:  make([]uint64, cfg.L2.Ports),
 	}
-	h.sbuf = cache.NewStreamBuffer(cfg.StreamBufEntries, func(lineAddr uint64, now uint64) uint64 {
+	var err error
+	if h.l1i, err = cache.New("L1I", cfg.L1I.SizeBytes, cfg.L1I.Assoc, cfg.L1I.LineBytes); err != nil {
+		return nil, err
+	}
+	if h.l1d, err = cache.New("L1D", cfg.L1D.SizeBytes, cfg.L1D.Assoc, cfg.L1D.LineBytes); err != nil {
+		return nil, err
+	}
+	if h.l2, err = cache.New("L2", cfg.L2.SizeBytes, cfg.L2.Assoc, cfg.L2.LineBytes); err != nil {
+		return nil, err
+	}
+	if h.l1iMSHR, err = cache.NewMSHRFile(cfg.L1I.MSHRs); err != nil {
+		return nil, err
+	}
+	if h.l1dMSHR, err = cache.NewMSHRFile(cfg.L1D.MSHRs); err != nil {
+		return nil, err
+	}
+	if h.l2MSHR, err = cache.NewMSHRFile(cfg.L2.MSHRs); err != nil {
+		return nil, err
+	}
+	if h.itlb, err = tlb.New(cfg.ITLBEntries); err != nil {
+		return nil, err
+	}
+	if h.dtlb, err = tlb.New(cfg.DTLBEntries); err != nil {
+		return nil, err
+	}
+	h.sbuf, err = cache.NewStreamBuffer(cfg.StreamBufEntries, func(lineAddr uint64, now uint64) uint64 {
 		// Stream-buffer prefetches go to the L2 (and beyond on L2 misses)
 		// but do not install into the L1; the buffer holds the line.
 		paddr := lineAddr << h.l2.LineShift()
@@ -215,7 +311,10 @@ func newHierarchy(s *System, node int) *Hierarchy {
 		done, _, _ := h.l2Access(paddr, home, now, false, 0, false)
 		return done
 	})
-	return h
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 // Node returns this hierarchy's node id.
@@ -232,6 +331,9 @@ func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
 
 // L1DMSHRs returns the L1D miss file.
 func (h *Hierarchy) L1DMSHRs() *cache.MSHRFile { return h.l1dMSHR }
+
+// L1IMSHRs returns the L1I miss file.
+func (h *Hierarchy) L1IMSHRs() *cache.MSHRFile { return h.l1iMSHR }
 
 // L2MSHRs returns the L2 miss file.
 func (h *Hierarchy) L2MSHRs() *cache.MSHRFile { return h.l2MSHR }

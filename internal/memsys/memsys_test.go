@@ -11,7 +11,7 @@ func TestCoalescingSameLine(t *testing.T) {
 	cfg := config.Default()
 	cfg.Nodes = 1
 	cfg.PerfectDTLB = true
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	r1 := h.DataRead(0x100000, 1, 1000, false)
 	r2 := h.DataRead(0x100008, 2, 1001, false) // same line: coalesces
@@ -30,7 +30,7 @@ func TestHitAfterFill(t *testing.T) {
 	cfg := config.Default()
 	cfg.Nodes = 1
 	cfg.PerfectDTLB = true
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	r := h.DataRead(0x200000, 1, 100, false)
 	r2 := h.DataRead(0x200000, 1, r.Done+10, false)
@@ -45,7 +45,7 @@ func TestHitAfterFill(t *testing.T) {
 func TestTLBMissPenalty(t *testing.T) {
 	cfg := config.Default()
 	cfg.Nodes = 1
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	r1 := h.DataRead(0x300000, 1, 1000, false)
 	if !r1.TLBMiss {
@@ -61,7 +61,7 @@ func TestTLBMissPenalty(t *testing.T) {
 func TestWriteGrantsModified(t *testing.T) {
 	cfg := config.Default()
 	cfg.PerfectDTLB = true
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	h.DataWrite(0x400000, 1, 100, false)
 	if pa, _ := s.PageTable().Translate(0x400000, 0); h.L1D().Probe(pa) != cache.Modified {
@@ -79,7 +79,7 @@ func TestWriteGrantsModified(t *testing.T) {
 func TestReadAfterRemoteWriteIsDirtyAndDowngrades(t *testing.T) {
 	cfg := config.Default()
 	cfg.PerfectDTLB = true
-	s := New(cfg)
+	s := MustNew(cfg)
 	s.Node(1).DataWrite(0x500000, 1, 100, false)
 	r := s.Node(2).DataRead(0x500000, 1, 1000, false)
 	if r.Class != ClassRemoteDirty {
@@ -98,7 +98,7 @@ func TestReadAfterRemoteWriteIsDirtyAndDowngrades(t *testing.T) {
 func TestInvalidationHookFiresOnRemoteWrite(t *testing.T) {
 	cfg := config.Default()
 	cfg.PerfectDTLB = true
-	s := New(cfg)
+	s := MustNew(cfg)
 	var invalidated []uint64
 	s.Node(0).SetInvalidationHook(func(la uint64) { invalidated = append(invalidated, la) })
 	r0 := s.Node(0).DataRead(0x600000, 1, 100, false)
@@ -122,7 +122,7 @@ func TestPrefetchWarmsCache(t *testing.T) {
 	cfg := config.Default()
 	cfg.Nodes = 1
 	cfg.PerfectDTLB = true
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	h.Prefetch(0x700000, 1, 100, false, false)
 	if h.PrefetchesIssued != 1 {
@@ -149,7 +149,7 @@ func TestPrefetchDroppedWhenMSHRsFull(t *testing.T) {
 	cfg.Nodes = 1
 	cfg.PerfectDTLB = true
 	cfg.L1D.MSHRs = 1
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	h.DataRead(0x800000, 1, 100, false) // occupies the only MSHR
 	h.Prefetch(0x800100, 1, 101, false, false)
@@ -161,7 +161,7 @@ func TestPrefetchDroppedWhenMSHRsFull(t *testing.T) {
 func TestFlushConvertsDirtyToMemoryService(t *testing.T) {
 	cfg := config.Default()
 	cfg.PerfectDTLB = true
-	s := New(cfg)
+	s := MustNew(cfg)
 	s.Node(0).DataWrite(0x900000, 1, 100, false)
 	s.Node(0).Flush(0x900000, 500)
 	if s.Node(0).FlushesIssued != 1 {
@@ -190,7 +190,7 @@ func TestL2InclusionOnEviction(t *testing.T) {
 	cfg.L1D = config.CacheConfig{SizeBytes: 8 << 10, Assoc: 2, LineBytes: 64, HitCycles: 1, Ports: 2, MSHRs: 8}
 	cfg.L1I = cfg.L1D
 	cfg.L2 = config.CacheConfig{SizeBytes: 16 << 10, Assoc: 1, LineBytes: 64, HitCycles: 20, Ports: 1, MSHRs: 8}
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	now := uint64(100)
 	// Two addresses mapping to the same (direct-mapped) L2 set.
@@ -210,7 +210,7 @@ func TestIFetchStreamBuffer(t *testing.T) {
 	cfg := config.Default()
 	cfg.Nodes = 1
 	cfg.StreamBufEntries = 4
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	now := uint64(1000)
 	// Sequential line fetches: the first misses and starts the stream;
@@ -236,7 +236,7 @@ func TestPerfectICache(t *testing.T) {
 	cfg.Nodes = 1
 	cfg.PerfectICache = true
 	cfg.PerfectITLB = true
-	s := New(cfg)
+	s := MustNew(cfg)
 	r := s.Node(0).IFetch(0x77777000, 50)
 	if r.Done != 51 || r.TLBMiss {
 		t.Errorf("perfect icache fetch: done=%d tlbMiss=%v", r.Done, r.TLBMiss)
@@ -246,7 +246,7 @@ func TestPerfectICache(t *testing.T) {
 func TestResetStatsKeepsState(t *testing.T) {
 	cfg := config.Default()
 	cfg.Nodes = 1
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	r := h.DataRead(0xA00000, 1, 100, false)
 	s.ResetStats(r.Done + 1)
@@ -274,7 +274,7 @@ func TestPrefetchInstrWarmsL1I(t *testing.T) {
 	cfg := config.Default()
 	cfg.Nodes = 1
 	cfg.PerfectITLB = true
-	s := New(cfg)
+	s := MustNew(cfg)
 	h := s.Node(0)
 	h.PrefetchInstr(0x1_0000, 100)
 	if h.PrefetchesIssued != 1 {

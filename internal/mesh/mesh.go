@@ -32,9 +32,12 @@ type Mesh struct {
 
 // New builds a mesh for n nodes arranged in the squarest grid with
 // cols >= rows (4 nodes -> 2x2, 1 node -> 1x1, 6 -> 3x2).
-func New(n, hopCycles, flitCycles int) *Mesh {
+func New(n, hopCycles, flitCycles int) (*Mesh, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("mesh: invalid node count %d", n))
+		return nil, fmt.Errorf("mesh: invalid node count %d", n)
+	}
+	if hopCycles < 0 || flitCycles < 0 {
+		return nil, fmt.Errorf("mesh: negative link timing (hop %d, flit %d)", hopCycles, flitCycles)
 	}
 	rows := 1
 	for r := 1; r*r <= n; r++ {
@@ -49,7 +52,7 @@ func New(n, hopCycles, flitCycles int) *Mesh {
 		hopCycles:  uint64(hopCycles),
 		flitCycles: uint64(flitCycles),
 		busyUntil:  make(map[int]*[virtualChannels]uint64),
-	}
+	}, nil
 }
 
 func (m *Mesh) coord(node int) (x, y int) { return node % m.cols, node / m.cols }
@@ -155,6 +158,21 @@ func (m *Mesh) AvgLatency() float64 {
 		return 0
 	}
 	return float64(m.TotalLatency) / float64(m.Messages)
+}
+
+// BusyLinks returns the number of directed links with at least one virtual
+// channel still occupied at cycle now (diagnostics).
+func (m *Mesh) BusyLinks(now uint64) int {
+	n := 0
+	for _, vcs := range m.busyUntil {
+		for _, b := range vcs {
+			if b > now {
+				n++
+				break
+			}
+		}
+	}
+	return n
 }
 
 // ResetStats zeroes the traffic counters (link state is kept).

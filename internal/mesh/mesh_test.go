@@ -5,12 +5,29 @@ import (
 	"testing/quick"
 )
 
+func mustMesh(n, hop, flit int) *Mesh {
+	m, err := New(n, hop, flit)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestBadGeometryErrors(t *testing.T) {
+	if _, err := New(0, 10, 2); err == nil {
+		t.Error("expected error for zero nodes")
+	}
+	if _, err := New(4, -1, 2); err == nil {
+		t.Error("expected error for negative hop cycles")
+	}
+}
+
 func TestDims(t *testing.T) {
 	cases := []struct{ n, cols, rows int }{
 		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {6, 3, 2}, {8, 4, 2}, {9, 3, 3}, {16, 4, 4},
 	}
 	for _, c := range cases {
-		m := New(c.n, 10, 2)
+		m := mustMesh(c.n, 10, 2)
 		cols, rows := m.Dims()
 		if cols != c.cols || rows != c.rows {
 			t.Errorf("New(%d): dims %dx%d, want %dx%d", c.n, cols, rows, c.cols, c.rows)
@@ -22,7 +39,7 @@ func TestDims(t *testing.T) {
 }
 
 func TestHops(t *testing.T) {
-	m := New(4, 10, 2) // 2x2: 0 1 / 2 3
+	m := mustMesh(4, 10, 2) // 2x2: 0 1 / 2 3
 	cases := []struct{ s, d, hops int }{
 		{0, 0, 0}, {0, 1, 1}, {0, 2, 1}, {0, 3, 2}, {1, 2, 2}, {3, 0, 2},
 	}
@@ -34,7 +51,7 @@ func TestHops(t *testing.T) {
 }
 
 func TestWormholeLatency(t *testing.T) {
-	m := New(4, 10, 2)
+	m := mustMesh(4, 10, 2)
 	// 1 hop, 8 flits: hops*hop + flits*flit = 10 + 16 = 26.
 	if got := m.Send(0, 1, 8, 1000) - 1000; got != 26 {
 		t.Errorf("1-hop latency = %d, want 26", got)
@@ -46,7 +63,7 @@ func TestWormholeLatency(t *testing.T) {
 }
 
 func TestLocalSendIsFree(t *testing.T) {
-	m := New(4, 10, 2)
+	m := mustMesh(4, 10, 2)
 	if got := m.Send(2, 2, 8, 777); got != 777 {
 		t.Errorf("local send arrived at %d, want 777", got)
 	}
@@ -56,7 +73,7 @@ func TestLocalSendIsFree(t *testing.T) {
 }
 
 func TestLinkContention(t *testing.T) {
-	m := New(4, 10, 2)
+	m := mustMesh(4, 10, 2)
 	// A link has 4 virtual channels: the first four same-cycle messages
 	// proceed; the fifth queues.
 	var last uint64
@@ -74,7 +91,7 @@ func TestLinkContention(t *testing.T) {
 		t.Error("contention not recorded in QueueCycles")
 	}
 	// Opposite direction is a different link: no queueing.
-	m2 := New(4, 10, 2)
+	m2 := mustMesh(4, 10, 2)
 	m2.Send(0, 1, 8, 100)
 	c := m2.Send(1, 0, 8, 100)
 	if c-100 != 26 {
@@ -83,7 +100,7 @@ func TestLinkContention(t *testing.T) {
 }
 
 func TestArrivalMonotoneProperty(t *testing.T) {
-	m := New(9, 10, 2)
+	m := mustMesh(9, 10, 2)
 	f := func(s, d uint8, flits uint8, now uint32) bool {
 		src, dst := int(s%9), int(d%9)
 		fl := int(flits%16) + 1
@@ -100,7 +117,7 @@ func TestArrivalMonotoneProperty(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	m := New(4, 10, 2)
+	m := mustMesh(4, 10, 2)
 	m.Send(0, 3, 4, 0)
 	m.Send(3, 0, 4, 0)
 	if m.Messages != 2 || m.FlitsCarried != 8 {

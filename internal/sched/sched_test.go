@@ -35,7 +35,7 @@ func TestSchedulerRoundRobinsBlockedProcesses(t *testing.T) {
 	cfg := config.Default()
 	cfg.Nodes = 1
 	cfg.CtxSwitchCycles = 50
-	ms := memsys.New(cfg)
+	ms := memsys.MustNew(cfg)
 	core := cpu.New(cfg, 0, ms.Node(0), noLocks{})
 	s := New(1, cfg.CtxSwitchCycles)
 	ctxs := []*cpu.Context{
@@ -80,7 +80,7 @@ func TestSchedulerRoundRobinsBlockedProcesses(t *testing.T) {
 func TestSchedulerIdleWhenAllBlocked(t *testing.T) {
 	cfg := config.Default()
 	cfg.Nodes = 1
-	ms := memsys.New(cfg)
+	ms := memsys.MustNew(cfg)
 	core := cpu.New(cfg, 0, ms.Node(0), noLocks{})
 	s := New(1, 10)
 	ctx := &cpu.Context{ID: 0, Stream: proc(50_000)}

@@ -30,9 +30,9 @@ type PageTable struct {
 
 // NewPageTable returns an empty page table for the given page size, which
 // must be a power of two.
-func NewPageTable(pageBytes int) *PageTable {
+func NewPageTable(pageBytes int) (*PageTable, error) {
 	if pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
-		panic(fmt.Sprintf("tlb: page size %d not a power of two", pageBytes))
+		return nil, fmt.Errorf("tlb: page size %d not a power of two", pageBytes)
 	}
 	shift := uint(0)
 	for 1<<shift != pageBytes {
@@ -42,7 +42,7 @@ func NewPageTable(pageBytes int) *PageTable {
 		pageShift: shift,
 		entries:   make(map[uint64]PTE),
 		homeByPPN: make(map[uint64]int),
-	}
+	}, nil
 }
 
 // PageShift returns log2(page size).
@@ -92,11 +92,11 @@ type tlbEntry struct {
 }
 
 // New returns a TLB with the given number of entries.
-func New(entries int) *TLB {
+func New(entries int) (*TLB, error) {
 	if entries <= 0 {
-		panic(fmt.Sprintf("tlb: invalid entry count %d", entries))
+		return nil, fmt.Errorf("tlb: invalid entry count %d", entries)
 	}
-	return &TLB{entries: make([]tlbEntry, entries)}
+	return &TLB{entries: make([]tlbEntry, entries)}, nil
 }
 
 // Lookup probes the TLB for vpn, inserting it on a miss (evicting the LRU

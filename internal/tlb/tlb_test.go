@@ -6,7 +6,7 @@ import (
 )
 
 func TestPageTableTranslateStable(t *testing.T) {
-	pt := NewPageTable(8 << 10)
+	pt, _ := NewPageTable(8 << 10)
 	p1, h1 := pt.Translate(0x1234_5678, 2)
 	p2, h2 := pt.Translate(0x1234_5678, 3) // second toucher does not re-home
 	if p1 != p2 || h1 != h2 {
@@ -21,7 +21,7 @@ func TestPageTableTranslateStable(t *testing.T) {
 }
 
 func TestPageTableBinHopping(t *testing.T) {
-	pt := NewPageTable(8 << 10)
+	pt, _ := NewPageTable(8 << 10)
 	// Consecutively touched pages get consecutive physical pages.
 	var prev uint64
 	for i := 0; i < 16; i++ {
@@ -38,7 +38,7 @@ func TestPageTableBinHopping(t *testing.T) {
 }
 
 func TestHomeOfPhys(t *testing.T) {
-	pt := NewPageTable(8 << 10)
+	pt, _ := NewPageTable(8 << 10)
 	p, _ := pt.Translate(0xABC000, 3)
 	home, ok := pt.HomeOfPhys(p)
 	if !ok || home != 3 {
@@ -50,7 +50,7 @@ func TestHomeOfPhys(t *testing.T) {
 }
 
 func TestTranslateDeterministicProperty(t *testing.T) {
-	pt := NewPageTable(8 << 10)
+	pt, _ := NewPageTable(8 << 10)
 	f := func(vaddr uint64, node uint8) bool {
 		n := int(node % 4)
 		p1, h1 := pt.Translate(vaddr, n)
@@ -63,7 +63,7 @@ func TestTranslateDeterministicProperty(t *testing.T) {
 }
 
 func TestTLBHitAfterInsert(t *testing.T) {
-	tlb := New(4)
+	tlb, _ := New(4)
 	if tlb.Lookup(100) {
 		t.Error("cold lookup must miss")
 	}
@@ -76,7 +76,7 @@ func TestTLBHitAfterInsert(t *testing.T) {
 }
 
 func TestTLBLRUEviction(t *testing.T) {
-	tlb := New(4)
+	tlb, _ := New(4)
 	for vpn := uint64(0); vpn < 4; vpn++ {
 		tlb.Lookup(vpn)
 	}
@@ -91,7 +91,7 @@ func TestTLBLRUEviction(t *testing.T) {
 }
 
 func TestTLBFlush(t *testing.T) {
-	tlb := New(8)
+	tlb, _ := New(8)
 	for vpn := uint64(0); vpn < 8; vpn++ {
 		tlb.Lookup(vpn)
 	}
@@ -104,7 +104,7 @@ func TestTLBFlush(t *testing.T) {
 }
 
 func TestTLBMissRateAndReset(t *testing.T) {
-	tlb := New(2)
+	tlb, _ := New(2)
 	tlb.Lookup(1)
 	tlb.Lookup(1)
 	if got := tlb.MissRate(); got != 0.5 {
@@ -122,7 +122,7 @@ func TestTLBMissRateAndReset(t *testing.T) {
 func TestTLBCapacityProperty(t *testing.T) {
 	// With W distinct pages cycling through a W-entry TLB, everything
 	// hits after warm-up; with W+1 pages in LRU order, everything misses.
-	tlb := New(8)
+	tlb, _ := New(8)
 	for round := 0; round < 3; round++ {
 		for vpn := uint64(0); vpn < 8; vpn++ {
 			tlb.Lookup(vpn)
@@ -131,7 +131,7 @@ func TestTLBCapacityProperty(t *testing.T) {
 	if tlb.Misses != 8 {
 		t.Errorf("resident set misses = %d, want 8 (cold only)", tlb.Misses)
 	}
-	thrash := New(4)
+	thrash, _ := New(4)
 	for round := 0; round < 3; round++ {
 		for vpn := uint64(0); vpn < 5; vpn++ {
 			thrash.Lookup(vpn)
@@ -143,10 +143,13 @@ func TestTLBCapacityProperty(t *testing.T) {
 }
 
 func TestBadConstruction(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for non-power-of-two page size")
-		}
-	}()
-	NewPageTable(3000)
+	if _, err := NewPageTable(3000); err == nil {
+		t.Error("expected error for non-power-of-two page size")
+	}
+	if _, err := NewPageTable(0); err == nil {
+		t.Error("expected error for zero page size")
+	}
+	if _, err := New(0); err == nil {
+		t.Error("expected error for zero TLB entries")
+	}
 }

@@ -11,6 +11,8 @@
 package oltp
 
 import (
+	"fmt"
+
 	"repro/internal/db"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -81,7 +83,22 @@ type Workload struct {
 	rCommit *workload.Routine
 
 	Transactions uint64
+	err          error // first database-model failure (see Err)
 }
+
+// fail records the first workload-model failure; generation stops cleanly
+// at the current transaction instead of panicking mid-run.
+func (w *Workload) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// Err returns the first database-model failure encountered while
+// generating the trace (nil if none). Runners must check it after a run:
+// a failed workload ends its streams early, which would otherwise read as
+// a suspiciously fast success.
+func (w *Workload) Err() error { return w.err }
 
 // New builds the workload.
 func New(cfg Config) *Workload {
@@ -234,7 +251,8 @@ func (p *procState) refillTx(g *workload.Gen) bool {
 	}
 	delta := int64(rng.IntN(1_999_999) - 999_999)
 	if err := w.tpcb.Apply(aid, tid, bid, delta); err != nil {
-		panic(err)
+		w.fail(fmt.Errorf("oltp: tx %d: applying update (aid=%d tid=%d bid=%d): %w", p.tx, aid, tid, bid, err))
+		return false
 	}
 
 	// Phase 1: SQL path (parse/bind/execute plumbing): a rotating window
