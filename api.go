@@ -33,6 +33,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload/dss"
 	"repro/internal/workload/oltp"
@@ -165,6 +166,40 @@ func RunOLTP(cfg Config, sc Scale, label string, hints HintLevel) (*Report, erro
 // RunDSS simulates the DSS workload on a machine configured by cfg.
 func RunDSS(cfg Config, sc Scale, label string) (*Report, error) {
 	return experiments.RunDSS(cfg, sc, label)
+}
+
+// Interval telemetry (attach a pipeline via RunOptions.Telemetry; the
+// collector is a pure observer — instruction and cycle counts are
+// identical with telemetry on or off).
+type (
+	// TelemetryPipeline is the per-run sampling pipeline (interval, tags,
+	// probes, and a router fanning samples out to sinks).
+	TelemetryPipeline = telemetry.Pipeline
+	// TelemetrySample is one interval's measurements.
+	TelemetrySample = telemetry.Sample
+	// TelemetrySink consumes samples (JSONL, CSV, Prometheus HTTP, or
+	// any custom implementation).
+	TelemetrySink = telemetry.Sink
+	// TelemetryFilter gates a sink by sample tags.
+	TelemetryFilter = telemetry.Filter
+	// TelemetryFuncSink adapts a function into a TelemetrySink.
+	TelemetryFuncSink = telemetry.FuncSink
+)
+
+// NewTelemetry builds a pipeline sampling every interval cycles
+// (0 = Config.TelemetryInterval, or 100k if that is also zero).
+func NewTelemetry(interval uint64) *TelemetryPipeline { return telemetry.New(interval) }
+
+// OpenJSONLSink appends one JSON object per sample to path.
+func OpenJSONLSink(path string) (TelemetrySink, error) { return telemetry.OpenJSONLSink(path) }
+
+// OpenCSVSink writes samples as CSV rows to path.
+func OpenCSVSink(path string) (TelemetrySink, error) { return telemetry.OpenCSVSink(path) }
+
+// ListenTelemetry serves the latest sample and accumulated totals in
+// Prometheus text format on addr (endpoint /metrics).
+func ListenTelemetry(addr string) (*telemetry.PromSink, error) {
+	return telemetry.ListenPromSink(addr)
 }
 
 // Robustness & diagnostics.

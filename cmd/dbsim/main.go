@@ -8,6 +8,11 @@
 //	dbsim -workload dss -nodes 1 -issue 8
 //	dbsim -workload oltp -consistency SC -impl spec
 //	dbsim -workload oltp -streambuf 4 -hints flush+prefetch
+//	dbsim -workload oltp -telemetry-jsonl series.jsonl -telemetry-interval 50000
+//	dbsim -workload dss -telemetry-http :9090   # live Prometheus endpoint
+//
+// Exit status: 0 on success, 1 when the simulation fails (the diagnostic
+// machine snapshot, if any, is printed to stderr), 2 on flag/usage errors.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload/oltp"
 )
@@ -59,8 +65,16 @@ func main() {
 		faultMesh   = flag.Float64("fault-mesh", 0, "per-message mesh delay probability (0 disables)")
 		faultNACK   = flag.Float64("fault-nack", 0, "per-request directory NACK probability (0 disables)")
 		faultStall  = flag.Float64("fault-stall", 0, "per-access transient memory stall probability (0 disables)")
+
+		telJSONL    = flag.String("telemetry-jsonl", "", "write interval telemetry samples to this JSONL file")
+		telCSV      = flag.String("telemetry-csv", "", "write interval telemetry samples to this CSV file")
+		telHTTP     = flag.String("telemetry-http", "", "serve live Prometheus metrics on this address (e.g. :9090)")
+		telInterval = flag.Uint64("telemetry-interval", 0, "telemetry sampling interval in cycles (0 = config default, 100k)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected arguments: %v", flag.Args())
+	}
 
 	cfg := config.Default()
 	cfg.Nodes = *nodes
@@ -80,7 +94,7 @@ func main() {
 	case "RC":
 		cfg.Consistency = config.RC
 	default:
-		log.Fatalf("unknown consistency model %q", *consistency)
+		fatalUsage("unknown consistency model %q", *consistency)
 	}
 	switch *impl {
 	case "plain":
@@ -90,7 +104,7 @@ func main() {
 	case "spec":
 		cfg.ConsistencyOpts = config.ImplSpeculative
 	default:
-		log.Fatalf("unknown consistency implementation %q", *impl)
+		fatalUsage("unknown consistency implementation %q", *impl)
 	}
 	cfg.DebugChecks = *debugChecks
 	if *faultMesh > 0 || *faultNACK > 0 || *faultStall > 0 {
@@ -107,7 +121,7 @@ func main() {
 		}
 	}
 	if err := cfg.Validate(); err != nil {
-		log.Fatal(err)
+		fatalUsage("%v", err)
 	}
 
 	var hl oltp.HintLevel
@@ -119,7 +133,12 @@ func main() {
 	case "flush+prefetch":
 		hl = oltp.HintFlushPrefetch
 	default:
-		log.Fatalf("unknown hint level %q", *hints)
+		fatalUsage("unknown hint level %q", *hints)
+	}
+
+	pipe, err := buildPipeline(*telJSONL, *telCSV, *telHTTP, *telInterval)
+	if err != nil {
+		fatalUsage("%v", err)
 	}
 
 	ctx := context.Background()
@@ -138,26 +157,76 @@ func main() {
 		WatchdogWindow:   *watchdog,
 		DisableWatchdog:  *noWatchdog,
 	}
+	if pipe != nil {
+		sc.Telemetry = func(string) *telemetry.Pipeline { return pipe }
+	}
 
 	var rep *stats.Report
-	var err error
 	switch {
 	case *tracePrefix != "":
-		rep, err = replayTraces(cfg, *tracePrefix, *traceProcs, sc)
+		rep, err = replayTraces(cfg, *tracePrefix, *traceProcs, sc, pipe)
 	case *workload == "oltp":
 		rep, err = experiments.RunOLTP(cfg, sc, "oltp", hl)
 	case *workload == "dss":
 		rep, err = experiments.RunDSS(cfg, sc, "dss")
 	default:
-		log.Fatalf("unknown workload %q", *workload)
+		fatalUsage("unknown workload %q", *workload)
 	}
 	if err != nil {
 		if snap := snapshotOf(err); snap != nil {
 			fmt.Fprint(os.Stderr, snap.String())
 		}
-		log.Fatal(err)
+		log.Print(err)
+		os.Exit(1)
+	}
+	if pipe != nil {
+		if terr := pipe.Err(); terr != nil {
+			log.Printf("warning: %v", terr)
+		}
 	}
 	printReport(os.Stdout, cfg, rep)
+}
+
+// fatalUsage reports a flag/usage error: message, usage text, exit 2.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dbsim: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+}
+
+// buildPipeline assembles the telemetry pipeline from the CLI flags,
+// returning nil when no sink was requested.
+func buildPipeline(jsonlPath, csvPath, httpAddr string, interval uint64) (*telemetry.Pipeline, error) {
+	if jsonlPath == "" && csvPath == "" && httpAddr == "" {
+		if interval != 0 {
+			return nil, errors.New("-telemetry-interval needs at least one telemetry sink flag")
+		}
+		return nil, nil
+	}
+	pipe := telemetry.New(interval)
+	if jsonlPath != "" {
+		sink, err := telemetry.OpenJSONLSink(jsonlPath)
+		if err != nil {
+			return nil, err
+		}
+		pipe.Attach(sink, nil)
+	}
+	if csvPath != "" {
+		sink, err := telemetry.OpenCSVSink(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		pipe.Attach(sink, nil)
+	}
+	if httpAddr != "" {
+		sink, err := telemetry.ListenPromSink(httpAddr)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("serving telemetry on http://%s/metrics", sink.Addr())
+		pipe.Attach(sink, nil)
+	}
+	return pipe, nil
 }
 
 // snapshotOf extracts the machine-state snapshot attached to a watchdog,
@@ -180,7 +249,7 @@ func snapshotOf(err error) *diag.Snapshot {
 
 // replayTraces drives the machine from trace files written by cmd/tracegen
 // (one per server process, round-robin across the nodes).
-func replayTraces(cfg config.Config, prefix string, procs int, sc experiments.Scale) (*stats.Report, error) {
+func replayTraces(cfg config.Config, prefix string, procs int, sc experiments.Scale, pipe *telemetry.Pipeline) (*stats.Report, error) {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err
@@ -204,12 +273,17 @@ func replayTraces(cfg config.Config, prefix string, procs int, sc experiments.Sc
 		}
 		sys.AddProcess(p%cfg.Nodes, r)
 	}
+	if pipe != nil {
+		pipe.SetTag("workload", "trace-replay")
+		defer func() { _ = pipe.Close() }()
+	}
 	return sys.Run(core.RunOptions{
 		Label:           "trace-replay",
 		MaxCycles:       sc.MaxCycles,
 		Context:         sc.Context,
 		WatchdogWindow:  sc.WatchdogWindow,
 		DisableWatchdog: sc.DisableWatchdog,
+		Telemetry:       pipe,
 	})
 }
 

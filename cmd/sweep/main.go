@@ -9,30 +9,56 @@
 //	sweep -fig fig2a
 //	sweep -fig fig6 -scale quick
 //	sweep -all | tee experiments_output.txt
+//	sweep -all -json results.json
+//	sweep -fig fig2a -telemetry-dir series/   # one JSONL series per run point
+//
+// Exit status: 0 on success, 1 when an experiment fails, 2 on flag/usage
+// errors.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
+
+// jsonResult is the machine-readable form of one experiment, written by
+// -json so BENCH_*.json-style trajectories can be scripted instead of
+// scraped from the text tables.
+type jsonResult struct {
+	ID      string          `json:"id"`
+	Title   string          `json:"title"`
+	Reports []*stats.Report `json:"reports"`
+	Seconds float64         `json:"seconds"`
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		fig     = flag.String("fig", "", "experiment id to run (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiment ids")
-		scale   = flag.String("scale", "default", "workload scale: default or quick")
-		timeout = flag.Duration("timeout", 0, "wall-clock bound on the whole sweep (0 = none)")
+		fig          = flag.String("fig", "", "experiment id to run (see -list)")
+		all          = flag.Bool("all", false, "run every experiment")
+		list         = flag.Bool("list", false, "list experiment ids")
+		scale        = flag.String("scale", "default", "workload scale: default or quick")
+		timeout      = flag.Duration("timeout", 0, "wall-clock bound on the whole sweep (0 = none)")
+		jsonPath     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
+		telemetryDir = flag.String("telemetry-dir", "", "write one JSONL telemetry series per run point into this directory")
+		telInterval  = flag.Uint64("telemetry-interval", 0, "telemetry sampling interval in cycles (0 = config default, 100k)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected arguments: %v", flag.Args())
+	}
 
 	if *list {
 		fmt.Println("id         description")
@@ -43,23 +69,52 @@ func main() {
 	}
 
 	sc := experiments.DefaultScale
-	if *scale == "quick" {
+	switch *scale {
+	case "default":
+	case "quick":
 		sc = experiments.QuickScale
+	default:
+		fatalUsage("unknown scale %q (default or quick)", *scale)
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		sc.Context = ctx
 	}
+	if *telemetryDir != "" {
+		if err := os.MkdirAll(*telemetryDir, 0o777); err != nil {
+			log.Fatal(err) // not a usage error: the path was valid, creating it failed
+		}
+	} else if *telInterval != 0 {
+		fatalUsage("-telemetry-interval needs -telemetry-dir")
+	}
 
+	var results []jsonResult
 	run := func(id string, f func(experiments.Scale) (*experiments.Result, error), notes string) {
+		esc := sc
+		if *telemetryDir != "" {
+			esc.Telemetry = func(label string) *telemetry.Pipeline {
+				path := filepath.Join(*telemetryDir, seriesFile(id, label))
+				sink, err := telemetry.OpenJSONLSink(path)
+				if err != nil {
+					log.Printf("warning: %s: %v (series dropped)", id, err)
+					return nil
+				}
+				pipe := telemetry.New(*telInterval)
+				pipe.SetTag("fig", id)
+				pipe.Attach(sink, nil)
+				return pipe
+			}
+		}
 		start := time.Now()
-		res, err := f(sc)
+		res, err := f(esc)
 		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
+		secs := time.Since(start).Seconds()
 		fmt.Print(res.Render())
-		fmt.Printf("   [%s, %.1fs]\n\n", notes, time.Since(start).Seconds())
+		fmt.Printf("   [%s, %.1fs]\n\n", notes, secs)
+		results = append(results, jsonResult{ID: res.ID, Title: res.Title, Reports: res.Reports, Seconds: secs})
 	}
 
 	switch {
@@ -72,15 +127,62 @@ func main() {
 	case *fig == "fig1":
 		fmt.Print(experiments.Fig1Params().Render())
 	case *fig != "":
+		found := false
 		for _, e := range experiments.All {
 			if e.ID == *fig {
 				run(e.ID, e.Run, e.Notes)
-				return
+				found = true
+				break
 			}
 		}
-		log.Fatalf("unknown experiment %q (try -list)", *fig)
+		if !found {
+			fatalUsage("unknown experiment %q (try -list)", *fig)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, results); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// fatalUsage reports a flag/usage error: message, usage text, exit 2.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+}
+
+// seriesFile names the per-run-point series file <fig>__<label>.jsonl,
+// with the label mapped onto the portable filename alphabet.
+func seriesFile(id, label string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, label)
+	return fmt.Sprintf("%s__%s.jsonl", id, clean)
+}
+
+// writeJSON writes the collected results ("-" = stdout).
+func writeJSON(path string, results []jsonResult) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
 }

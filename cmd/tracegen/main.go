@@ -7,6 +7,9 @@
 //	tracegen -workload oltp -procs 4 -tx 2 -o /tmp/oltp
 //	tracegen -workload dss -procs 2 -rows 10000 -o /tmp/dss
 //	tracegen -summarize /tmp/oltp.p0.trace
+//
+// Exit status: 0 on success, 1 when generation or file I/O fails, 2 on
+// flag/usage errors.
 package main
 
 import (
@@ -32,6 +35,12 @@ func main() {
 		summarize = flag.String("summarize", "", "summarize an existing trace file and exit")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected arguments: %v", flag.Args())
+	}
+	if *procs <= 0 {
+		fatalUsage("-procs must be positive, got %d", *procs)
+	}
 
 	if *summarize != "" {
 		if err := summary(*summarize); err != nil {
@@ -44,6 +53,9 @@ func main() {
 	wErr := func() error { return nil }
 	switch *workload {
 	case "oltp":
+		if *tx <= 0 {
+			fatalUsage("-tx must be positive, got %d", *tx)
+		}
 		cfg := oltp.DefaultConfig(1)
 		cfg.Processes = *procs
 		cfg.TransactionsPerProcess = *tx
@@ -53,6 +65,9 @@ func main() {
 		}
 		wErr = w.Err
 	case "dss":
+		if *rows <= 0 {
+			fatalUsage("-rows must be positive, got %d", *rows)
+		}
 		cfg := dss.DefaultConfig(1)
 		cfg.Processes = *procs
 		cfg.RowsPerProcess = *rows
@@ -61,7 +76,7 @@ func main() {
 			streams[p] = w.Stream(p)
 		}
 	default:
-		log.Fatalf("unknown workload %q", *workload)
+		fatalUsage("unknown workload %q (oltp or dss)", *workload)
 	}
 
 	for p, s := range streams {
@@ -90,6 +105,13 @@ func main() {
 	if err := wErr(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// fatalUsage reports a flag/usage error: message, usage text, exit 2.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }
 
 func summary(path string) error {

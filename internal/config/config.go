@@ -247,6 +247,15 @@ type Config struct {
 	// help under relaxed consistency; the ext-migproto ablation checks it.
 	MigratoryProtocol bool
 
+	// --- telemetry ---
+
+	// TelemetryInterval is the sampling period, in simulated cycles, for
+	// the interval telemetry pipeline (internal/telemetry) when a run has
+	// one attached and the pipeline does not set its own interval. 0
+	// falls back to telemetry.DefaultInterval (100k cycles). Sampling is
+	// a pure observer: it never changes simulated timing.
+	TelemetryInterval uint64
+
 	// --- robustness / debugging ---
 
 	// DebugChecks enables the coherence invariant checker (single dirty
@@ -315,6 +324,8 @@ func Default() Config {
 		MemBanks:           4,
 		InterventionCycles: 140,
 		FlushKeepsClean:    true,
+
+		TelemetryInterval: 100_000,
 	}
 }
 

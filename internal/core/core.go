@@ -20,6 +20,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -161,6 +162,12 @@ type RunOptions struct {
 	// every few thousand cycles and its error is returned wrapped in a
 	// *CanceledError.
 	Context context.Context
+	// Telemetry, when non-nil, receives interval samples every
+	// TelemetryInterval simulated cycles (pipeline interval, then
+	// cfg.TelemetryInterval, then telemetry.DefaultInterval). Sampling
+	// is a pure observer: it never changes retirement or cycle counts.
+	// The caller owns the pipeline and closes it after the run.
+	Telemetry *telemetry.Pipeline
 }
 
 // DefaultWatchdogWindow is the default forward-progress window in cycles.
@@ -240,6 +247,7 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 	lastRetired := s.totalRetired()
 	lastProgress := s.cycle
 	warmed := opt.WarmupInstructions == 0
+	tel := s.newTelemetry(opt)
 	for {
 		s.cycle++
 		allDone := true
@@ -253,6 +261,9 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 		if !warmed && s.totalRetired() >= opt.WarmupInstructions {
 			s.ResetStats()
 			warmed = true
+		}
+		if tel != nil {
+			tel.maybeSample(s)
 		}
 		if allDone {
 			break
@@ -284,6 +295,9 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 		}
 	}
 	s.mem.Finalize(s.cycle)
+	if tel != nil {
+		tel.flush(s)
+	}
 	return s.buildReport(opt.Label), nil
 }
 

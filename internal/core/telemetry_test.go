@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// telemetryWorkload builds a 4-node machine with sharing between
+// neighbouring processes (processes p and p+1 overlap half their array),
+// so coherence, mesh, and directory activity all show up in the series.
+func telemetryWorkload(t testing.TB, cfg config.Config) *System {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < cfg.Nodes; p++ {
+		base := uint64(1<<20) + uint64(p)*32*1024
+		sys.AddProcess(p, synthStream(3000, base))
+	}
+	return sys
+}
+
+func runTelemetryWorkload(t testing.TB, pipe *telemetry.Pipeline) *stats.Report {
+	cfg := config.Default()
+	rep, err := telemetryWorkload(t, cfg).Run(RunOptions{
+		Label:              "telemetry",
+		WarmupInstructions: 4_000,
+		MaxCycles:          20_000_000,
+		Telemetry:          pipe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestTelemetryDeterminism is the tentpole guarantee: attaching telemetry
+// must not change what the machine does — identical retired-instruction
+// and cycle counts, and an identical execution-time breakdown, with
+// sampling on or off.
+func TestTelemetryDeterminism(t *testing.T) {
+	off := runTelemetryWorkload(t, nil)
+
+	pipe := telemetry.New(10_000) // aggressive interval to maximize observer activity
+	var samples []telemetry.Sample
+	pipe.Attach(telemetry.FuncSink(func(s *telemetry.Sample) error {
+		samples = append(samples, *s)
+		return nil
+	}), nil)
+	probeReads := 0
+	pipe.RegisterProbe("probe", func() uint64 { probeReads++; return uint64(probeReads) })
+	on := runTelemetryWorkload(t, pipe)
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if off.Cycles != on.Cycles {
+		t.Errorf("cycle count changed with telemetry on: %d vs %d", off.Cycles, on.Cycles)
+	}
+	if off.Instructions != on.Instructions {
+		t.Errorf("retired instructions changed with telemetry on: %d vs %d", off.Instructions, on.Instructions)
+	}
+	if off.Breakdown != on.Breakdown {
+		t.Errorf("execution-time breakdown changed with telemetry on:\noff %v\non  %v", off.Breakdown, on.Breakdown)
+	}
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples, want several", len(samples))
+	}
+	if probeReads == 0 {
+		t.Error("registered probe was never read")
+	}
+}
+
+// TestTelemetrySeriesConsistency checks the samples tile the run: interval
+// cycle counts sum to the total, sequence numbers are dense, the final
+// flush reaches the last cycle, and post-warm-up instruction deltas sum to
+// the report's retired count.
+func TestTelemetrySeriesConsistency(t *testing.T) {
+	pipe := telemetry.New(10_000)
+	var samples []telemetry.Sample
+	pipe.Attach(telemetry.FuncSink(func(s *telemetry.Sample) error {
+		samples = append(samples, *s)
+		return nil
+	}), nil)
+	rep := runTelemetryWorkload(t, pipe)
+
+	var cycles, instr uint64
+	sawROB, sawMSHR := false, false
+	for i := range samples {
+		s := &samples[i]
+		if s.Seq != i {
+			t.Fatalf("sample %d has seq %d", i, s.Seq)
+		}
+		cycles += s.Cycles
+		instr += s.Instructions
+		if s.ROBOcc.Total() > 0 {
+			sawROB = true
+		}
+		if s.L1DMSHROcc.Total() > 0 || s.L2MSHROcc.Total() > 0 {
+			sawMSHR = true
+		}
+		if len(s.Cores) != 4 {
+			t.Fatalf("sample %d has %d core rows, want 4", i, len(s.Cores))
+		}
+	}
+	last := samples[len(samples)-1]
+	if cycles != last.Cycle {
+		t.Errorf("interval cycles sum to %d but the last sample is at cycle %d", cycles, last.Cycle)
+	}
+	// Warm-up resets the retirement counters mid-run, so the clamped
+	// series can undercount the pre-reset interval but never the
+	// measured-phase total.
+	if instr < rep.Instructions {
+		t.Errorf("series instructions %d < report instructions %d", instr, rep.Instructions)
+	}
+	if !sawROB {
+		t.Error("no sample recorded ROB occupancy")
+	}
+	if !sawMSHR {
+		t.Error("no sample recorded MSHR occupancy")
+	}
+}
+
+// TestTelemetryIntervalResolution checks the pipeline interval overrides
+// the machine configuration, and the configuration is used when the
+// pipeline leaves it unset.
+func TestTelemetryIntervalResolution(t *testing.T) {
+	cfg := config.Default()
+	cfg.TelemetryInterval = 77
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := sys.newTelemetry(RunOptions{Telemetry: telemetry.New(0)})
+	if ts.interval != 77 {
+		t.Errorf("interval = %d, want cfg fallback 77", ts.interval)
+	}
+	ts = sys.newTelemetry(RunOptions{Telemetry: telemetry.New(123)})
+	if ts.interval != 123 {
+		t.Errorf("interval = %d, want pipeline override 123", ts.interval)
+	}
+	cfg.TelemetryInterval = 0
+	sys2, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts = sys2.newTelemetry(RunOptions{Telemetry: telemetry.New(0)})
+	if ts.interval != telemetry.DefaultInterval {
+		t.Errorf("interval = %d, want DefaultInterval", ts.interval)
+	}
+	if sys.newTelemetry(RunOptions{}) != nil {
+		t.Error("nil pipeline must disable telemetry")
+	}
+}
+
+// benchRun drives one fixed workload with or without a pipeline attached;
+// the Telemetry benchmarks quantify the observer's overhead (the issue
+// budget: <2% disabled, <10% at the default 100k interval).
+func benchRun(b *testing.B, pipe func() *telemetry.Pipeline) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var p *telemetry.Pipeline
+		if pipe != nil {
+			p = pipe()
+		}
+		cfg := config.Default()
+		sys := telemetryWorkload(b, cfg)
+		if _, err := sys.Run(RunOptions{Label: "bench", MaxCycles: 20_000_000, Telemetry: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTelemetryOff(b *testing.B) { benchRun(b, nil) }
+
+func BenchmarkTelemetryOn(b *testing.B) {
+	benchRun(b, func() *telemetry.Pipeline {
+		p := telemetry.New(0) // default 100k-cycle interval
+		p.Attach(telemetry.FuncSink(func(s *telemetry.Sample) error { return nil }), nil)
+		return p
+	})
+}
+
+// BenchmarkTelemetryOnFast samples 10x more often than the default to
+// bound the worst-case observer cost.
+func BenchmarkTelemetryOnFast(b *testing.B) {
+	benchRun(b, func() *telemetry.Pipeline {
+		p := telemetry.New(10_000)
+		p.Attach(telemetry.FuncSink(func(s *telemetry.Sample) error { return nil }), nil)
+		return p
+	})
+}

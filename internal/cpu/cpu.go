@@ -148,6 +148,10 @@ type Core struct {
 	LockWaits  uint64 // acquires that found the lock held
 	SpecLoads  uint64
 	Violations uint64
+	// ROBOcc is the instruction-window occupancy histogram, in cycles
+	// with a context scheduled: bucket 0 is an empty window, buckets 1-4
+	// the occupied quartiles. Telemetry samples interval deltas of it.
+	ROBOcc [5]uint64
 }
 
 // New builds a core for node id using hierarchy mem and lock manager locks.
@@ -266,6 +270,13 @@ func (c *Core) onInvalidation(lineAddr uint64) {
 func (c *Core) Tick(now uint64) {
 	if c.ctx == nil {
 		return
+	}
+	if n := c.robLen(); n == 0 {
+		c.ROBOcc[0]++
+	} else if b := (4*n + c.cfg.WindowSize - 1) / c.cfg.WindowSize; b > 4 {
+		c.ROBOcc[4]++
+	} else {
+		c.ROBOcc[b]++
 	}
 	c.drainWbuf(now)
 	c.retireStage(now)

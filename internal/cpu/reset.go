@@ -13,6 +13,7 @@ func (c *Core) ResetStats() {
 	c.LockWaits = 0
 	c.SpecLoads = 0
 	c.Violations = 0
+	c.ROBOcc = [5]uint64{}
 	c.pred.CondBranches, c.pred.CondMispred = 0, 0
 	c.pred.TargetBranches, c.pred.TargetMispred = 0, 0
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload/dss"
 	"repro/internal/workload/oltp"
 )
@@ -35,6 +36,22 @@ type Scale struct {
 	WatchdogWindow uint64
 	// DisableWatchdog turns the forward-progress watchdog off entirely.
 	DisableWatchdog bool
+
+	// Telemetry, when non-nil, is called once per run with the run's
+	// label and returns the interval-telemetry pipeline to attach (nil =
+	// no telemetry for that run). The runner registers workload probes
+	// (OLTP txns_committed, DSS rows_scanned), drives sampling through
+	// core.Run, and closes the pipeline when the run finishes — so a
+	// sweep gets one series file per run point.
+	Telemetry func(label string) *telemetry.Pipeline
+}
+
+// pipelineFor resolves the per-run telemetry pipeline (nil when disabled).
+func (sc *Scale) pipelineFor(label string) *telemetry.Pipeline {
+	if sc.Telemetry == nil {
+		return nil
+	}
+	return sc.Telemetry(label)
 }
 
 // DefaultScale is used by cmd/sweep and EXPERIMENTS.md.
@@ -66,6 +83,13 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 	for p := 0; p < wcfg.Processes; p++ {
 		sys.AddProcess(p%cfg.Nodes, w.Stream(p))
 	}
+	pipe := sc.pipelineFor(label)
+	if pipe != nil {
+		pipe.SetTag("workload", "oltp")
+		pipe.SetTag("label", label)
+		pipe.RegisterProbe("txns_committed", func() uint64 { return w.Transactions })
+		defer func() { _ = pipe.Close() }()
+	}
 	warmup := uint64(sc.OLTPWarmupTx) * uint64(wcfg.Processes) * w.ApproxInstrPerTx()
 	rep, err := sys.Run(core.RunOptions{
 		Label:              label,
@@ -74,6 +98,7 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 		Context:            sc.Context,
 		WatchdogWindow:     sc.WatchdogWindow,
 		DisableWatchdog:    sc.DisableWatchdog,
+		Telemetry:          pipe,
 	})
 	if err != nil {
 		return rep, fmt.Errorf("experiments: OLTP %q: %w", label, err)
@@ -99,6 +124,13 @@ func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
 	for p := 0; p < wcfg.Processes; p++ {
 		sys.AddProcess(p%cfg.Nodes, w.Stream(p))
 	}
+	pipe := sc.pipelineFor(label)
+	if pipe != nil {
+		pipe.SetTag("workload", "dss")
+		pipe.SetTag("label", label)
+		pipe.RegisterProbe("rows_scanned", func() uint64 { return w.RowsScanned })
+		defer func() { _ = pipe.Close() }()
+	}
 	// Warm up over the first ~30% of the scan (one pass of the per-process
 	// work area through the L2).
 	warmup := uint64(wcfg.Processes) * w.ApproxInstrPerProcess() * 3 / 10
@@ -109,6 +141,7 @@ func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
 		Context:            sc.Context,
 		WatchdogWindow:     sc.WatchdogWindow,
 		DisableWatchdog:    sc.DisableWatchdog,
+		Telemetry:          pipe,
 	})
 	if err != nil {
 		return rep, fmt.Errorf("experiments: DSS %q: %w", label, err)

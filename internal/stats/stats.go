@@ -61,6 +61,16 @@ func (c Category) String() string {
 	return fmt.Sprintf("Category(%d)", int(c))
 }
 
+// ParseCategory returns the category named s (the inverse of String).
+func ParseCategory(s string) (Category, bool) {
+	for i, name := range categoryNames {
+		if name == s {
+			return Category(i), true
+		}
+	}
+	return 0, false
+}
+
 // IsRead reports whether the category is a read-stall subcategory.
 func (c Category) IsRead() bool { return c >= ReadL1 && c <= ReadDTLB }
 
@@ -81,6 +91,20 @@ func (b *Breakdown) Add(other *Breakdown) {
 	for i := range b {
 		b[i] += other[i]
 	}
+}
+
+// Sub returns the per-category delta b - prev with each component clamped
+// at zero. Cumulative breakdowns are monotone except across a statistics
+// reset (warm-up); clamping keeps interval telemetry from reporting
+// negative time.
+func (b *Breakdown) Sub(prev *Breakdown) Breakdown {
+	var out Breakdown
+	for i := range b {
+		if d := b[i] - prev[i]; d > 0 {
+			out[i] = d
+		}
+	}
+	return out
 }
 
 // CPU returns the paper's "CPU" component (busy + FU/branch stalls).

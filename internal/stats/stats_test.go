@@ -118,6 +118,66 @@ func TestFormatOccupancyTable(t *testing.T) {
 	}
 }
 
+// TestZeroTotalRendering pins down percent/normalized rendering against a
+// zero-total base: no NaN or Inf may leak into the tables, and Normalized
+// must return all zeros rather than divide by zero.
+func TestZeroTotalRendering(t *testing.T) {
+	zero := &Report{Label: "zero"}
+	nonzero := mkReport("nonzero", 60, 40)
+	if n := nonzero.Normalized(zero); n != (Breakdown{}) {
+		t.Errorf("Normalized against zero base = %v, want all zeros", n)
+	}
+	for name, out := range map[string]string{
+		"breakdown": FormatBreakdownTable([]*Report{zero, nonzero}),
+		"readstall": FormatReadStallTable([]*Report{zero, nonzero}),
+		"speedup":   SpeedupTable([]*Report{zero, nonzero}),
+	} {
+		if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+			t.Errorf("%s table with zero-total base renders NaN/Inf:\n%s", name, out)
+		}
+	}
+}
+
+// TestBreakdownSub covers the interval-delta path used by telemetry: plain
+// deltas, and the clamp that guards against counters moving backwards when
+// warm-up resets statistics mid-interval.
+func TestBreakdownSub(t *testing.T) {
+	var prev, cur Breakdown
+	prev[Busy], cur[Busy] = 10, 35
+	prev[ReadL2], cur[ReadL2] = 5, 5
+	d := cur.Sub(&prev)
+	if d[Busy] != 25 || d[ReadL2] != 0 {
+		t.Errorf("Sub = %v, want busy 25, read_L2 0", d)
+	}
+	// Counter went backwards (stats reset): clamp to zero, never negative.
+	prev[Sync], cur[Sync] = 100, 3
+	d = cur.Sub(&prev)
+	if d[Sync] != 0 {
+		t.Errorf("negative delta not clamped: got %f", d[Sync])
+	}
+	for i := range d {
+		if d[i] < 0 {
+			t.Errorf("category %v delta is negative: %f", Category(i), d[i])
+		}
+	}
+}
+
+// TestCategoryRoundTrip checks String and ParseCategory are inverses over
+// every category, and that ParseCategory rejects junk.
+func TestCategoryRoundTrip(t *testing.T) {
+	for c := Category(0); c < NumCategories; c++ {
+		got, ok := ParseCategory(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseCategory(%q) = %v, %v; want %v, true", c.String(), got, ok, c)
+		}
+	}
+	for _, bad := range []string{"", "bogus", "Busy", "category(99)"} {
+		if _, ok := ParseCategory(bad); ok {
+			t.Errorf("ParseCategory(%q) accepted junk", bad)
+		}
+	}
+}
+
 func TestSpeedupTable(t *testing.T) {
 	out := SpeedupTable([]*Report{mkReport("base", 100, 0), mkReport("fast", 50, 0)})
 	if !strings.Contains(out, "2.000") {

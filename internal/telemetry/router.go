@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sink receives samples from the Router. Implementations need not be
+// concurrency-safe: the Router publishes from the simulation goroutine
+// only. Close flushes and releases the sink's resources.
+type Sink interface {
+	Write(s *Sample) error
+	Close() error
+}
+
+// Filter selects samples by tag. Every key must be present on the sample,
+// and when the filter's value is non-empty it must match exactly. A nil
+// or empty filter matches everything.
+type Filter map[string]string
+
+// ParseFilter parses "key=value,key2,key3=v3" (an empty value means "key
+// present"). An empty string parses to a match-all filter.
+func ParseFilter(spec string) (Filter, error) {
+	f := Filter{}
+	if strings.TrimSpace(spec) == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(part, "=")
+		if k == "" {
+			return nil, fmt.Errorf("telemetry: filter term %q has empty key", part)
+		}
+		f[k] = v
+	}
+	return f, nil
+}
+
+// Matches reports whether tags satisfy the filter.
+func (f Filter) Matches(tags map[string]string) bool {
+	for k, want := range f {
+		got, ok := tags[k]
+		if !ok || (want != "" && got != want) {
+			return false
+		}
+	}
+	return true
+}
+
+type route struct {
+	sink   Sink
+	filter Filter
+}
+
+// Router fans samples out to attached sinks whose filters match. Sink
+// write failures are sticky — recorded once and the sink dropped — so a
+// full disk cannot abort a multi-hour simulation; callers check Err after
+// the run.
+type Router struct {
+	routes []route
+	errs   []error
+}
+
+// Attach registers a sink; samples whose tags match filter are delivered
+// to it. The router owns the sink from here on and closes it in Close.
+func (r *Router) Attach(sink Sink, filter Filter) {
+	r.routes = append(r.routes, route{sink: sink, filter: filter})
+}
+
+// Publish delivers the sample to every matching sink.
+func (r *Router) Publish(s *Sample) {
+	for i := range r.routes {
+		rt := &r.routes[i]
+		if rt.sink == nil || !rt.filter.Matches(s.Tags) {
+			continue
+		}
+		if err := rt.sink.Write(s); err != nil {
+			r.errs = append(r.errs, fmt.Errorf("telemetry: sink write: %w", err))
+			_ = rt.sink.Close()
+			rt.sink = nil // drop the failed sink, keep the run alive
+		}
+	}
+}
+
+// Sinks returns the number of live (non-failed) sinks.
+func (r *Router) Sinks() int {
+	n := 0
+	for _, rt := range r.routes {
+		if rt.sink != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Close closes every live sink, keeping the first close error.
+func (r *Router) Close() error {
+	for i := range r.routes {
+		if r.routes[i].sink == nil {
+			continue
+		}
+		if err := r.routes[i].sink.Close(); err != nil {
+			r.errs = append(r.errs, fmt.Errorf("telemetry: sink close: %w", err))
+		}
+		r.routes[i].sink = nil
+	}
+	return r.Err()
+}
+
+// Err returns the first sink failure observed (nil if none).
+func (r *Router) Err() error {
+	if len(r.errs) == 0 {
+		return nil
+	}
+	return r.errs[0]
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// JSONLSink writes one JSON object per sample, newline-delimited — the
+// full record including histograms, tags, per-core rows and probes.
+type JSONLSink struct {
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps wc. The sink buffers; Close flushes.
+func NewJSONLSink(wc io.WriteCloser) *JSONLSink {
+	bw := bufio.NewWriter(wc)
+	return &JSONLSink{w: bw, c: wc, enc: json.NewEncoder(bw)}
+}
+
+// OpenJSONLSink creates (truncating) a JSONL series file at path.
+func OpenJSONLSink(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return NewJSONLSink(f), nil
+}
+
+// Write implements Sink.
+func (s *JSONLSink) Write(sm *Sample) error { return s.enc.Encode(sm) }
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error {
+	ferr := s.w.Flush()
+	cerr := s.c.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// CSVSink writes the scalar fields of each sample as one CSV row
+// (histograms and per-core rows are left to the JSONL sink). The column
+// set — including probe columns — is fixed by the first sample written.
+type CSVSink struct {
+	w      *csv.Writer
+	c      io.Closer
+	probes []string // probe column order, fixed at first write
+	wrote  bool
+}
+
+// NewCSVSink wraps wc.
+func NewCSVSink(wc io.WriteCloser) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(wc), c: wc}
+}
+
+// OpenCSVSink creates (truncating) a CSV series file at path.
+func OpenCSVSink(path string) (*CSVSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return NewCSVSink(f), nil
+}
+
+// Write implements Sink.
+func (s *CSVSink) Write(sm *Sample) error {
+	if !s.wrote {
+		for name := range sm.Probes {
+			s.probes = append(s.probes, name)
+		}
+		sort.Strings(s.probes)
+		if err := s.w.Write(s.header()); err != nil {
+			return err
+		}
+		s.wrote = true
+	}
+	return s.w.Write(s.row(sm))
+}
+
+func (s *CSVSink) header() []string {
+	cols := []string{"seq", "cycle", "cycles", "instructions", "ipc", "idle"}
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		cols = append(cols, "bk_"+c.String())
+	}
+	cols = append(cols,
+		"l1i_mpki", "l1d_mpki", "l2_mpki", "sbuf_hits", "sbuf_misses",
+		"dir_reads", "dir_reads_dirty", "dir_writes", "dir_writes_shared",
+		"dir_upgrades", "dir_writebacks", "dir_flushes", "dir_migratory",
+		"mesh_messages", "mesh_flits", "mesh_queue_cycles", "mesh_avg_latency",
+		"lock_tries", "lock_waits", "lock_spin_cycles",
+	)
+	for _, p := range s.probes {
+		cols = append(cols, "probe_"+p)
+	}
+	return cols
+}
+
+func (s *CSVSink) row(sm *Sample) []string {
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	row := []string{
+		strconv.Itoa(sm.Seq), u(sm.Cycle), u(sm.Cycles),
+		u(sm.Instructions), f(sm.IPC), u(sm.Idle),
+	}
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		row = append(row, f(sm.Breakdown[c]))
+	}
+	row = append(row,
+		f(sm.L1IMisses), f(sm.L1DMisses), f(sm.L2Misses),
+		u(sm.StreamBufHits), u(sm.StreamBufMisses),
+		u(sm.Dir.Reads), u(sm.Dir.ReadsDirty), u(sm.Dir.Writes), u(sm.Dir.WritesShared),
+		u(sm.Dir.Upgrades), u(sm.Dir.Writebacks), u(sm.Dir.Flushes), u(sm.Dir.MigratoryTransfers),
+		u(sm.Mesh.Messages), u(sm.Mesh.Flits), u(sm.Mesh.QueueCycles), f(sm.Mesh.AvgLatency),
+		u(sm.Locks.Tries), u(sm.Locks.Waits), u(sm.Locks.SpinCycles),
+	)
+	for _, p := range s.probes {
+		row = append(row, u(sm.Probes[p]))
+	}
+	return row
+}
+
+// Close implements Sink.
+func (s *CSVSink) Close() error {
+	s.w.Flush()
+	ferr := s.w.Error()
+	cerr := s.c.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// FuncSink adapts a function to the Sink interface (tests, ad-hoc
+// aggregation).
+type FuncSink func(s *Sample) error
+
+// Write implements Sink.
+func (f FuncSink) Write(s *Sample) error { return f(s) }
+
+// Close implements Sink.
+func (f FuncSink) Close() error { return nil }

@@ -1,0 +1,163 @@
+// Package telemetry is the simulator's interval time-series pipeline:
+// every N simulated cycles the machine (internal/core) snapshots its
+// counters into a typed Sample — interval IPC, execution-time component
+// deltas, MPKI, MSHR/ROB occupancy histograms, directory transaction mix,
+// mesh traffic, lock-manager activity, workload probes — and publishes it
+// through a Router to pluggable Sinks (JSONL, CSV, a live Prometheus
+// text-format HTTP endpoint).
+//
+// The pipeline is a pure observer: it reads counters the machine already
+// maintains and never feeds anything back, so a run with telemetry
+// attached retires exactly the instructions of a run without, in exactly
+// the same number of cycles (asserted by TestTelemetryDeterminism).
+//
+// The collector → router → sink shape follows production metric stacks
+// (ClusterCockpit's cc-metric-collector is the reference architecture):
+// the machine is the collector, the Router applies tag-based filtering,
+// and Sinks are interchangeable back-ends.
+package telemetry
+
+import "repro/internal/stats"
+
+// DefaultInterval is the sampling period in simulated cycles when neither
+// the pipeline nor the machine configuration overrides it.
+const DefaultInterval = 100_000
+
+// Histogram is a bucketed occupancy distribution accumulated over one
+// sampling interval. For MSHR histograms Buckets[n] is the number of
+// cycles with exactly n registers in use (index 0 unused); for the ROB
+// histogram the five buckets are empty, (0,¼], (¼,½], (½,¾] and (¾,1] of
+// the instruction window, in cycles.
+type Histogram struct {
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// Total returns the histogram mass (cycles).
+func (h Histogram) Total() uint64 {
+	var t uint64
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// DirSample is the home-directory transaction mix over one interval.
+type DirSample struct {
+	Reads              uint64 `json:"reads"`
+	ReadsDirty         uint64 `json:"reads_dirty"` // serviced cache-to-cache
+	Writes             uint64 `json:"writes"`
+	WritesShared       uint64 `json:"writes_shared"`
+	Upgrades           uint64 `json:"upgrades"`
+	Writebacks         uint64 `json:"writebacks"`
+	Flushes            uint64 `json:"flushes"`
+	MigratoryTransfers uint64 `json:"migratory_transfers"`
+}
+
+// MeshSample is interconnect traffic over one interval.
+type MeshSample struct {
+	Messages    uint64  `json:"messages"`
+	Flits       uint64  `json:"flits"`
+	QueueCycles uint64  `json:"queue_cycles"` // latency due to link contention
+	AvgLatency  float64 `json:"avg_latency"`  // cycles, this interval's messages
+}
+
+// LockSample is db lock-manager activity over one interval, summed across
+// processors.
+type LockSample struct {
+	Tries      uint64 `json:"tries"`       // acquire attempts
+	Waits      uint64 `json:"waits"`       // attempts that found the lock held
+	SpinCycles uint64 `json:"spin_cycles"` // cycles spent spinning
+}
+
+// CoreSample is one processor's share of the interval.
+type CoreSample struct {
+	ID        int     `json:"id"`
+	ContextID int     `json:"ctx"` // scheduled process (-1 = idle)
+	Retired   uint64  `json:"retired"`
+	IPC       float64 `json:"ipc"`
+	ROBLen    int     `json:"rob"` // occupancy at sample time
+}
+
+// Sample is one interval's snapshot. All counter fields are deltas over
+// the interval; negative deltas (a warm-up statistics reset crossed the
+// interval) are clamped to zero rather than wrapped.
+type Sample struct {
+	Seq    int               `json:"seq"`
+	Cycle  uint64            `json:"cycle"`  // machine cycle at sample time
+	Cycles uint64            `json:"cycles"` // interval length
+	Tags   map[string]string `json:"tags,omitempty"`
+
+	Instructions uint64          `json:"instructions"`
+	IPC          float64         `json:"ipc"`       // per-processor, non-idle
+	Idle         uint64          `json:"idle"`      // idle+switch cycles, all CPUs
+	Breakdown    stats.Breakdown `json:"breakdown"` // component deltas, cycles
+
+	L1IMisses float64 `json:"l1i_mpki"` // misses per kilo-instruction
+	L1DMisses float64 `json:"l1d_mpki"`
+	L2Misses  float64 `json:"l2_mpki"`
+
+	StreamBufHits   uint64 `json:"sbuf_hits"`
+	StreamBufMisses uint64 `json:"sbuf_misses"`
+
+	L1DMSHROcc Histogram `json:"l1d_mshr_occ"`
+	L2MSHROcc  Histogram `json:"l2_mshr_occ"`
+	ROBOcc     Histogram `json:"rob_occ"`
+
+	Dir   DirSample  `json:"dir"`
+	Mesh  MeshSample `json:"mesh"`
+	Locks LockSample `json:"locks"`
+
+	// Probes are workload-level gauges registered on the pipeline
+	// (e.g. txns_committed), also as interval deltas.
+	Probes map[string]uint64 `json:"probes,omitempty"`
+
+	Cores []CoreSample `json:"cores,omitempty"`
+}
+
+// Probe is a named workload-level counter read at every sample; the
+// pipeline reports its interval delta.
+type Probe struct {
+	Name string
+	Read func() uint64
+}
+
+// Pipeline couples a Router with the sampling period and workload probes.
+// Construct with New, attach sinks, register probes, then hand it to
+// core.RunOptions.Telemetry (or experiments.Scale.Telemetry).
+type Pipeline struct {
+	Router
+
+	// Interval is the sampling period in cycles; 0 defers to the machine
+	// configuration's TelemetryInterval (and then DefaultInterval).
+	Interval uint64
+
+	// Tags are stamped on every sample (e.g. workload=oltp); sinks can be
+	// filtered on them at Attach time.
+	Tags map[string]string
+
+	probes []Probe
+}
+
+// New returns a pipeline sampling every interval cycles (0 = defer to the
+// machine configuration).
+func New(interval uint64) *Pipeline {
+	return &Pipeline{Interval: interval}
+}
+
+// SetTag stamps key=value on every subsequent sample.
+func (p *Pipeline) SetTag(key, value string) {
+	if p.Tags == nil {
+		p.Tags = make(map[string]string)
+	}
+	p.Tags[key] = value
+}
+
+// RegisterProbe adds a workload-level counter to every sample. Read is
+// called at sample time on the simulation goroutine; it must be cheap and
+// side-effect free.
+func (p *Pipeline) RegisterProbe(name string, read func() uint64) {
+	p.probes = append(p.probes, Probe{Name: name, Read: read})
+}
+
+// Probes returns the registered probes (read by the core's collector).
+func (p *Pipeline) Probes() []Probe { return p.probes }

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sample(seq int, tags map[string]string) *Sample {
+	s := &Sample{
+		Seq:          seq,
+		Cycle:        uint64(seq+1) * 100_000,
+		Cycles:       100_000,
+		Tags:         tags,
+		Instructions: 250_000,
+		IPC:          0.625,
+		Dir:          DirSample{Reads: 10, ReadsDirty: 3, Writes: 5},
+		Mesh:         MeshSample{Messages: 42, Flits: 300, AvgLatency: 31.5},
+		Locks:        LockSample{Tries: 7, Waits: 2, SpinCycles: 900},
+		Probes:       map[string]uint64{"txns_committed": 3},
+		Cores:        []CoreSample{{ID: 0, ContextID: 1, Retired: 250_000, IPC: 2.5, ROBLen: 12}},
+	}
+	s.Breakdown[stats.Busy] = 62_500
+	return s
+}
+
+func TestParseFilterAndMatch(t *testing.T) {
+	f, err := ParseFilter("workload=oltp, node , fig=2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Matches(map[string]string{"workload": "oltp", "node": "3", "fig": "2a"}) {
+		t.Error("filter should match tags satisfying every term")
+	}
+	if f.Matches(map[string]string{"workload": "dss", "node": "3", "fig": "2a"}) {
+		t.Error("filter should reject a mismatched value")
+	}
+	if f.Matches(map[string]string{"workload": "oltp", "fig": "2a"}) {
+		t.Error("filter should reject a missing key")
+	}
+	if _, err := ParseFilter("=oops"); err == nil {
+		t.Error("empty key must be rejected")
+	}
+	all, err := ParseFilter("  ")
+	if err != nil || !all.Matches(nil) {
+		t.Errorf("blank spec should match everything, got %v, %v", all, err)
+	}
+}
+
+func TestRouterFiltersAndDropsFailedSinks(t *testing.T) {
+	var got []int
+	var r Router
+	r.Attach(FuncSink(func(s *Sample) error {
+		got = append(got, s.Seq)
+		return nil
+	}), Filter{"workload": "oltp"})
+
+	fails := 0
+	r.Attach(FuncSink(func(s *Sample) error {
+		fails++
+		return errors.New("disk full")
+	}), nil)
+
+	r.Publish(sample(0, map[string]string{"workload": "oltp"}))
+	r.Publish(sample(1, map[string]string{"workload": "dss"}))
+	r.Publish(sample(2, map[string]string{"workload": "oltp"}))
+
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("filtered sink saw %v, want [0 2]", got)
+	}
+	if fails != 1 {
+		t.Errorf("failing sink called %d times, want 1 (dropped after first error)", fails)
+	}
+	if r.Sinks() != 1 {
+		t.Errorf("live sinks = %d, want 1", r.Sinks())
+	}
+	if r.Err() == nil {
+		t.Error("router should report the sink failure")
+	}
+}
+
+type memFile struct{ strings.Builder }
+
+func (m *memFile) Close() error { return nil }
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf memFile
+	sink := NewJSONLSink(&buf)
+	want := sample(0, map[string]string{"workload": "oltp"})
+	if err := sink.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Write(sample(1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var got Sample
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 0 || got.Instructions != want.Instructions ||
+		got.Breakdown[stats.Busy] != want.Breakdown[stats.Busy] ||
+		got.Tags["workload"] != "oltp" || got.Probes["txns_committed"] != 3 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}
+
+func TestCSVSinkShape(t *testing.T) {
+	var buf memFile
+	sink := NewCSVSink(&buf)
+	for i := 0; i < 3; i++ {
+		if err := sink.Write(sample(i, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want header + 3", len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != len(rows[0]) {
+			t.Errorf("row %d has %d fields, header has %d", i, len(row), len(rows[0]))
+		}
+	}
+	header := strings.Join(rows[0], ",")
+	for _, col := range []string{"seq", "ipc", "bk_busy", "bk_sync", "l1d_mpki", "dir_reads_dirty", "lock_waits", "probe_txns_committed"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("header missing column %q: %s", col, header)
+		}
+	}
+	if rows[1][0] != "0" || rows[3][0] != "2" {
+		t.Errorf("seq column wrong: %v %v", rows[1][0], rows[3][0])
+	}
+}
+
+func TestPromSinkExposition(t *testing.T) {
+	sink := NewPromSink()
+	srv := httptest.NewServer(sink.Handler())
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("pre-sample scrape status %d", res.StatusCode)
+	}
+
+	tags := map[string]string{"workload": "oltp"}
+	if err := sink.Write(sample(0, tags)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Write(sample(1, tags)); err != nil {
+		t.Fatal(err)
+	}
+	page := sink.Render()
+	// Counters accumulate across the two samples; gauges show the last.
+	for _, want := range []string{
+		`dbsim_interval_ipc{workload="oltp"} 0.625`,
+		`dbsim_instructions_total{workload="oltp"} 500000`,
+		`dbsim_dir_reads_dirty_total{workload="oltp"} 6`,
+		`dbsim_breakdown_cycles_total{component="busy",workload="oltp"} 125000`,
+		`dbsim_probe_total{probe="txns_committed",workload="oltp"} 6`,
+		`dbsim_core_interval_ipc{core="0",workload="oltp"} 2.5`,
+		"# TYPE dbsim_instructions_total counter",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("exposition missing %q\n%s", want, page)
+		}
+	}
+}
+
+func TestListenPromSinkServes(t *testing.T) {
+	sink, err := ListenPromSink("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	if err := sink.Write(sample(0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get(fmt.Sprintf("http://%s/metrics", sink.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("scrape status %d", res.StatusCode)
+	}
+}
+
+func TestPipelineProbesAndTags(t *testing.T) {
+	p := New(50_000)
+	p.SetTag("workload", "oltp")
+	n := uint64(0)
+	p.RegisterProbe("txns_committed", func() uint64 { return n })
+	if p.Interval != 50_000 {
+		t.Errorf("interval = %d", p.Interval)
+	}
+	if p.Tags["workload"] != "oltp" {
+		t.Errorf("tags = %v", p.Tags)
+	}
+	probes := p.Probes()
+	if len(probes) != 1 || probes[0].Name != "txns_committed" {
+		t.Fatalf("probes = %+v", probes)
+	}
+	n = 7
+	if got := probes[0].Read(); got != 7 {
+		t.Errorf("probe read = %d, want 7", got)
+	}
+}
+
+func TestHistogramTotal(t *testing.T) {
+	h := Histogram{Buckets: []uint64{0, 3, 5}}
+	if h.Total() != 8 {
+		t.Errorf("total = %d, want 8", h.Total())
+	}
+	if (Histogram{}).Total() != 0 {
+		t.Error("empty histogram total should be 0")
+	}
+}

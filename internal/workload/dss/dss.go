@@ -49,6 +49,11 @@ type Workload struct {
 	rScan *workload.Routine
 	rHdr  *workload.Routine
 	rAgg  *workload.Routine
+
+	// RowsScanned counts rows enqueued into the query servers' streams,
+	// summed over processes (telemetry probe; generation is lazy, so this
+	// tracks simulation progress to within one batch per process).
+	RowsScanned uint64
 }
 
 // New builds the workload.
@@ -131,6 +136,7 @@ func (p *procState) refillBatch(g *workload.Gen) bool {
 	}
 	start := p.row
 	p.row = end
+	w.RowsScanned += uint64(end - start)
 	// Enqueue the scan in small chunks so the instruction buffer stays
 	// cache-resident at generation time.
 	const chunk = 64
