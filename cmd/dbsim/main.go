@@ -12,7 +12,10 @@
 //	dbsim -workload dss -telemetry-http :9090   # live Prometheus endpoint
 //
 // Exit status: 0 on success, 1 when the simulation fails (the diagnostic
-// machine snapshot, if any, is printed to stderr), 2 on flag/usage errors.
+// machine snapshot, if any, is printed to stderr), 2 on flag/usage errors,
+// 3 when the run is interrupted (Ctrl-C cancels the run cleanly: the
+// machine snapshot at the interrupt is printed to stderr instead of the
+// process dying mid-cycle).
 package main
 
 import (
@@ -22,6 +25,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -141,7 +146,11 @@ func main() {
 		fatalUsage("%v", err)
 	}
 
-	ctx := context.Background()
+	// Ctrl-C cancels the run through the context instead of killing the
+	// process: core.Run notices within a few thousand simulated cycles and
+	// returns a *core.CanceledError carrying a machine snapshot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -177,6 +186,9 @@ func main() {
 			fmt.Fprint(os.Stderr, snap.String())
 		}
 		log.Print(err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(3) // interrupted, not failed: the run was draining fine
+		}
 		os.Exit(1)
 	}
 	if pipe != nil {
@@ -243,6 +255,10 @@ func snapshotOf(err error) *diag.Snapshot {
 	var fe *diag.PanicError
 	if errors.As(err, &fe) {
 		return fe.Snapshot
+	}
+	var cce *core.CanceledError
+	if errors.As(err, &cce) {
+		return cce.Snapshot
 	}
 	return nil
 }

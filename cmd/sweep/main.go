@@ -3,6 +3,13 @@
 // plots (normalized execution-time breakdowns, read-stall magnifications,
 // MSHR occupancy distributions, characterization tables).
 //
+// Points run through the supervised orchestration layer (internal/runner):
+// a bounded worker pool with per-point deadlines, panic isolation,
+// classified retries, and a durable JSONL journal. An interrupted sweep
+// (Ctrl-C drains in-flight points; a second Ctrl-C aborts them) can be
+// re-invoked with -resume to run only the points the journal does not
+// already cover.
+//
 // Examples:
 //
 //	sweep -list
@@ -10,10 +17,13 @@
 //	sweep -fig fig6 -scale quick
 //	sweep -all | tee experiments_output.txt
 //	sweep -all -json results.json
-//	sweep -fig fig2a -telemetry-dir series/   # one JSONL series per run point
+//	sweep -all -parallel 4 -journal sweep.jsonl     # bounded worker pool
+//	sweep -all -parallel 4 -journal sweep.jsonl -resume
+//	sweep -fig fig2a -telemetry-dir series/         # one JSONL series per run point
 //
-// Exit status: 0 on success, 1 when an experiment fails, 2 on flag/usage
-// errors.
+// Exit status: 0 when every point succeeds, 1 when nothing succeeds, 2 on
+// flag/usage errors, 3 on partial success (some points completed, some
+// failed or were interrupted; partial results are still written).
 package main
 
 import (
@@ -23,23 +33,33 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
-	"time"
+	"syscall"
 
+	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
-// jsonResult is the machine-readable form of one experiment, written by
-// -json so BENCH_*.json-style trajectories can be scripted instead of
-// scraped from the text tables.
-type jsonResult struct {
-	ID      string          `json:"id"`
-	Title   string          `json:"title"`
-	Reports []*stats.Report `json:"reports"`
-	Seconds float64         `json:"seconds"`
+// pointJSON is the machine-readable form of one run point, written by
+// -json. Unlike the pre-orchestration format it carries per-point status,
+// so partially-failed and interrupted sweeps still produce usable output.
+type pointJSON struct {
+	ID       string          `json:"id"`
+	Title    string          `json:"title,omitempty"`
+	Status   runner.Status   `json:"status"`
+	Class    runner.Class    `json:"class,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Resumed  bool            `json:"resumed,omitempty"`
+	Seconds  float64         `json:"seconds"`
+	Reports  []*stats.Report `json:"reports,omitempty"`
 }
 
 func main() {
@@ -54,6 +74,18 @@ func main() {
 		jsonPath     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 		telemetryDir = flag.String("telemetry-dir", "", "write one JSONL telemetry series per run point into this directory")
 		telInterval  = flag.Uint64("telemetry-interval", 0, "telemetry sampling interval in cycles (0 = config default, 100k)")
+
+		parallel     = flag.Int("parallel", 1, "worker pool size (points run concurrently; outcomes stay deterministic)")
+		journalPath  = flag.String("journal", "", "durable JSONL run journal, appended as each point completes")
+		resume       = flag.Bool("resume", false, "skip points with a terminal record in -journal")
+		retries      = flag.Int("retries", 2, "sweep-wide retry budget for retryable failures")
+		pointTimeout = flag.Duration("point-timeout", 0, "per-point wall-clock deadline (0 = derived from the scale's cycle budget)")
+		inject       = flag.String("inject", "", "comma-separated synthetic failure points for chaos testing: panic, livelock")
+
+		faultSeed  = flag.Uint64("fault-seed", 1, "fault injector seed")
+		faultMesh  = flag.Float64("fault-mesh", 0, "per-message mesh delay probability (0 disables)")
+		faultNACK  = flag.Float64("fault-nack", 0, "per-request directory NACK probability (0 disables)")
+		faultStall = flag.Float64("fault-stall", 0, "per-access transient memory stall probability (0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -76,10 +108,21 @@ func main() {
 	default:
 		fatalUsage("unknown scale %q (default or quick)", *scale)
 	}
-	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		defer cancel()
-		sc.Context = ctx
+	if *faultMesh > 0 || *faultNACK > 0 || *faultStall > 0 {
+		sc.Faults = config.FaultConfig{
+			Enabled:        true,
+			Seed:           *faultSeed,
+			MeshDelayProb:  *faultMesh,
+			MeshDelayMax:   20,
+			NACKProb:       *faultNACK,
+			NACKMaxRetries: 4,
+			NACKBackoff:    50,
+			MemStallProb:   *faultStall,
+			MemStallCycles: 100,
+		}
+		if err := sc.Faults.Validate(); err != nil {
+			fatalUsage("%v", err)
+		}
 	}
 	if *telemetryDir != "" {
 		if err := os.MkdirAll(*telemetryDir, 0o777); err != nil {
@@ -88,13 +131,47 @@ func main() {
 	} else if *telInterval != 0 {
 		fatalUsage("-telemetry-interval needs -telemetry-dir")
 	}
+	if *resume && *journalPath == "" {
+		fatalUsage("-resume needs -journal")
+	}
+	if *parallel < 1 {
+		fatalUsage("-parallel must be >= 1")
+	}
 
-	var results []jsonResult
-	run := func(id string, f func(experiments.Scale) (*experiments.Result, error), notes string) {
-		esc := sc
-		if *telemetryDir != "" {
+	// Select the experiments to run. fig1 is a parameter table, not a
+	// simulation, so it prints directly and never enters the pool.
+	var selected []experiments.Experiment
+	switch {
+	case *all:
+		fmt.Print(experiments.Fig1Params().Render())
+		fmt.Println()
+		selected = experiments.All
+	case *fig == "fig1":
+		fmt.Print(experiments.Fig1Params().Render())
+		return
+	case *fig != "":
+		for _, e := range experiments.All {
+			if e.ID == *fig {
+				selected = []experiments.Experiment{e}
+				break
+			}
+		}
+		if selected == nil {
+			fatalUsage("unknown experiment %q (try -list)", *fig)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Per-point telemetry: one JSONL series per run point, named with the
+	// collision-proof id/label hash so shared labels cannot clobber each
+	// other's series.
+	var perPoint func(id string, esc experiments.Scale) experiments.Scale
+	if *telemetryDir != "" {
+		perPoint = func(id string, esc experiments.Scale) experiments.Scale {
 			esc.Telemetry = func(label string) *telemetry.Pipeline {
-				path := filepath.Join(*telemetryDir, seriesFile(id, label))
+				path := filepath.Join(*telemetryDir, telemetry.SeriesFileName(id, label))
 				sink, err := telemetry.OpenJSONLSink(path)
 				if err != nil {
 					log.Printf("warning: %s: %v (series dropped)", id, err)
@@ -105,49 +182,199 @@ func main() {
 				pipe.Attach(sink, nil)
 				return pipe
 			}
+			return esc
 		}
-		start := time.Now()
-		res, err := f(esc)
-		if err != nil {
-			log.Fatalf("%s: %v", id, err)
-		}
-		secs := time.Since(start).Seconds()
-		fmt.Print(res.Render())
-		fmt.Printf("   [%s, %.1fs]\n\n", notes, secs)
-		results = append(results, jsonResult{ID: res.ID, Title: res.Title, Reports: res.Reports, Seconds: secs})
 	}
 
-	switch {
-	case *all:
-		fmt.Print(experiments.Fig1Params().Render())
-		fmt.Println()
-		for _, e := range experiments.All {
-			run(e.ID, e.Run, e.Notes)
+	points := experiments.Points(selected, sc, perPoint)
+	if *telemetryDir != "" {
+		for i := range points {
+			points[i].Series = filepath.Join(*telemetryDir, points[i].ID+"__*.jsonl")
 		}
-	case *fig == "fig1":
-		fmt.Print(experiments.Fig1Params().Render())
-	case *fig != "":
-		found := false
-		for _, e := range experiments.All {
-			if e.ID == *fig {
-				run(e.ID, e.Run, e.Notes)
-				found = true
-				break
+	}
+	injected, err := injectedPoints(*inject)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	points = append(points, injected...)
+
+	// Journal + resume.
+	var journal *runner.Journal
+	var completed map[string]*runner.Record
+	if *journalPath != "" {
+		if *resume {
+			completed, err = runner.ReadJournal(*journalPath)
+			if err != nil {
+				log.Fatal(err)
 			}
 		}
-		if !found {
-			fatalUsage("unknown experiment %q (try -list)", *fig)
-		}
-	default:
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, results); err != nil {
+		journal, err = runner.OpenJournal(*journalPath)
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
+
+	// Interrupt handling: first signal drains (in-flight points finish and
+	// are journaled), second aborts in-flight points.
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	if *timeout > 0 {
+		hardCtx, hardCancel = context.WithTimeout(context.Background(), *timeout)
+	}
+	defer hardCancel()
+	drainCtx, drainCancel := context.WithCancel(context.Background())
+	defer drainCancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		log.Print("interrupt: draining in-flight points; interrupt again to abort them")
+		drainCancel()
+		<-sigc
+		log.Print("interrupt: aborting in-flight points")
+		hardCancel()
+	}()
+
+	notes := make(map[string]string, len(selected))
+	for _, e := range selected {
+		notes[e.ID] = e.Notes
+	}
+	sum, err := runner.Run(hardCtx, points, runner.Options{
+		Workers:      *parallel,
+		PointTimeout: *pointTimeout,
+		RetryBudget:  *retries,
+		Journal:      journal,
+		Completed:    completed,
+		Drain:        drainCtx,
+		OnEvent:      eventLogger(notes),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil {
+			log.Printf("warning: %v", cerr)
+		}
+	}
+	if sum.JournalErrs > 0 {
+		log.Printf("warning: %d journal write(s) failed; -resume may re-run those points", sum.JournalErrs)
+	}
+
+	if *jsonPath != "" && len(sum.Records) > 0 {
+		if werr := writeJSON(*jsonPath, sum); werr != nil {
+			log.Print(werr)
+			if sum.Complete() {
+				os.Exit(1)
+			}
+		}
+	}
+
+	code := sum.ExitCode()
+	log.Printf("%d ok, %d recovered, %d failed, %d canceled, %d skipped (%d reused, %d retries) — exit %d",
+		sum.OK, sum.Recovered, sum.Failed, sum.Canceled, sum.Skipped, sum.Reused, sum.RetriesUsed, code)
+	os.Exit(code)
+}
+
+// eventLogger renders pool progress: completed results stream to stdout in
+// completion order; failures, retries and skips go to the log.
+func eventLogger(notes map[string]string) func(runner.Event) {
+	return func(ev runner.Event) {
+		switch ev.Kind {
+		case runner.EventRetry:
+			log.Printf("%s: attempt %d failed (%v); retrying in %v", ev.Point, ev.Attempt, ev.Err, ev.Delay)
+		case runner.EventSkip:
+			if ev.Record != nil && ev.Record.Reused {
+				log.Printf("%s: complete in journal (%s), skipping", ev.Point, ev.Record.Status)
+			} else {
+				log.Printf("%s: skipped (sweep draining)", ev.Point)
+			}
+		case runner.EventDone:
+			if res, ok := ev.Result.(*experiments.Result); ok && res != nil {
+				fmt.Print(res.Render())
+				fmt.Printf("   [%s, %.1fs]\n\n", notes[ev.Point], ev.Record.Seconds)
+			}
+			switch ev.Record.Status {
+			case runner.StatusRecovered:
+				log.Printf("%s: recovered after disabling the fault profile (%d attempts; original failure: %s)",
+					ev.Point, ev.Record.Attempts, ev.Record.Error)
+			case runner.StatusFailed, runner.StatusCanceled:
+				log.Printf("%s: %s (%s): %s", ev.Point, ev.Record.Status, ev.Record.Class, ev.Record.Error)
+				if ev.Record.Diag != nil {
+					fmt.Fprint(os.Stderr, ev.Record.Diag.String())
+				}
+			}
+		}
+	}
+}
+
+// injectedPoints builds the synthetic chaos points requested by -inject:
+// "panic" crashes inside the point (exercising panic isolation), and
+// "livelock" fails with a fault-injected watchdog trip until the pool
+// retries it with faults disabled (exercising classified retry and
+// recovered_after_fault journaling).
+func injectedPoints(kinds string) ([]runner.Point, error) {
+	if kinds == "" {
+		return nil, nil
+	}
+	var pts []runner.Point
+	for _, k := range strings.Split(kinds, ",") {
+		switch strings.TrimSpace(k) {
+		case "panic":
+			pts = append(pts, runner.Point{
+				ID:   "inject-panic",
+				Spec: "inject-panic",
+				Run: func(context.Context, runner.Attempt) (any, error) {
+					// Crash inside a real machine so the failure carries a
+					// machine snapshot, exactly like a model invariant blowing
+					// up mid-run.
+					cfg := config.Default()
+					cfg.Nodes = 1
+					sys, err := core.NewSystem(cfg)
+					if err != nil {
+						return nil, err
+					}
+					sys.AddProcess(0, panicStream{})
+					_, err = sys.Run(core.RunOptions{Label: "inject-panic", MaxCycles: 1_000_000})
+					return nil, err
+				},
+			})
+		case "livelock":
+			pts = append(pts, runner.Point{
+				ID:     "inject-livelock",
+				Spec:   "inject-livelock",
+				Faulty: true,
+				Run: func(_ context.Context, att runner.Attempt) (any, error) {
+					if att.DisableFaults {
+						return &experiments.Result{
+							ID:    "inject-livelock",
+							Title: "synthetic fault-injected livelock (clean retry succeeded)",
+						}, nil
+					}
+					return nil, livelockError()
+				},
+			})
+		default:
+			return nil, fmt.Errorf("unknown -inject kind %q (panic or livelock)", k)
+		}
+	}
+	return pts, nil
+}
+
+// panicStream panics on its first instruction, standing in for an internal
+// invariant violation inside the machine model.
+type panicStream struct{}
+
+func (panicStream) Next(*trace.Instr) bool { panic("injected panic point") }
+
+// livelockError fabricates the failure a fault-induced livelock produces:
+// a watchdog ProgressError carrying a real machine snapshot.
+func livelockError() error {
+	pe := &core.ProgressError{Cycle: 2_000_000, LastProgress: 0, Window: 2_000_000}
+	cfg := config.Default()
+	cfg.Nodes = 1
+	if sys, err := core.NewSystem(cfg); err == nil {
+		pe.Snapshot = sys.Snapshot("watchdog")
+	}
+	return pe
 }
 
 // fatalUsage reports a flag/usage error: message, usage text, exit 2.
@@ -157,22 +384,31 @@ func fatalUsage(format string, args ...any) {
 	os.Exit(2)
 }
 
-// seriesFile names the per-run-point series file <fig>__<label>.jsonl,
-// with the label mapped onto the portable filename alphabet.
-func seriesFile(id, label string) string {
-	clean := strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
-			r == '.', r == '-', r == '_':
-			return r
+// writeJSON writes one pointJSON per record ("-" = stdout), including
+// records replayed from the journal on -resume, so the output always
+// reflects everything known about the sweep — even when it only partially
+// succeeded.
+func writeJSON(path string, sum *runner.Summary) error {
+	results := make([]pointJSON, 0, len(sum.Records))
+	for _, rec := range sum.Records {
+		pj := pointJSON{
+			ID:       rec.ID,
+			Status:   rec.Status,
+			Class:    rec.Class,
+			Error:    rec.Error,
+			Attempts: rec.Attempts,
+			Resumed:  rec.Reused,
+			Seconds:  rec.Seconds,
 		}
-		return '_'
-	}, label)
-	return fmt.Sprintf("%s__%s.jsonl", id, clean)
-}
-
-// writeJSON writes the collected results ("-" = stdout).
-func writeJSON(path string, results []jsonResult) error {
+		if len(rec.Result) > 0 {
+			var res experiments.Result
+			if err := json.Unmarshal(rec.Result, &res); err == nil {
+				pj.Title = res.Title
+				pj.Reports = res.Reports
+			}
+		}
+		results = append(results, pj)
+	}
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

@@ -217,10 +217,12 @@ func (e *ProgressError) Error() string {
 
 // CanceledError reports that opt.Context ended the run early; it wraps the
 // context's error so errors.Is(err, context.Canceled/DeadlineExceeded)
-// works.
+// works. The snapshot shows where the machine was when it was interrupted,
+// so a Ctrl-C'd run still yields diagnostics.
 type CanceledError struct {
-	Cycle uint64
-	Cause error
+	Cycle    uint64
+	Cause    error
+	Snapshot *diag.Snapshot
 }
 
 func (e *CanceledError) Error() string {
@@ -290,7 +292,11 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 		}
 		if opt.Context != nil && s.cycle%ctxCheckEvery == 0 {
 			if cerr := opt.Context.Err(); cerr != nil {
-				return s.buildReport(opt.Label), &CanceledError{Cycle: s.cycle, Cause: cerr}
+				return s.buildReport(opt.Label), &CanceledError{
+					Cycle:    s.cycle,
+					Cause:    cerr,
+					Snapshot: s.Snapshot("canceled"),
+				}
 			}
 		}
 	}

@@ -176,6 +176,9 @@ func TestRunHonorsContext(t *testing.T) {
 	if ce.Cycle > 2*ctxCheckEvery {
 		t.Errorf("cancellation noticed only at cycle %d", ce.Cycle)
 	}
+	if ce.Snapshot == nil {
+		t.Error("CanceledError carries no machine snapshot")
+	}
 }
 
 // TestSnapshotRenders: the diagnostic snapshot of a healthy running machine

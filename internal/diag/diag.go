@@ -18,74 +18,76 @@ import (
 	"strings"
 )
 
-// CoreState is one processor's pipeline state.
+// CoreState is one processor's pipeline state. The JSON tags are the
+// snapshot's durable wire format: run journals (internal/runner) embed
+// snapshots verbatim, so renaming a tag is a journal format change.
 type CoreState struct {
-	ID        int
-	ContextID int // running process, -1 when idle
-	Retired   uint64
-	ROB       int    // instructions in the window
-	FetchQ    int    // instructions in the fetch buffer
-	WriteBuf  int    // stores in the post-retirement write buffer
-	HeadOp    string // opcode of the oldest unretired instruction ("" if none)
-	HeadPC    uint64
-	HeadAddr  uint64
-	Spinning  bool   // the head is a lock acquire that keeps losing
-	SpinAddr  uint64 // the contended lock's address
+	ID        int    `json:"id"`
+	ContextID int    `json:"ctx"` // running process, -1 when idle
+	Retired   uint64 `json:"retired"`
+	ROB       int    `json:"rob"`       // instructions in the window
+	FetchQ    int    `json:"fetch_q"`   // instructions in the fetch buffer
+	WriteBuf  int    `json:"write_buf"` // stores in the post-retirement write buffer
+	HeadOp    string `json:"head_op,omitempty"` // opcode of the oldest unretired instruction ("" if none)
+	HeadPC    uint64 `json:"head_pc,omitempty"`
+	HeadAddr  uint64 `json:"head_addr,omitempty"`
+	Spinning  bool   `json:"spinning,omitempty"`  // the head is a lock acquire that keeps losing
+	SpinAddr  uint64 `json:"spin_addr,omitempty"` // the contended lock's address
 }
 
 // MSHRLine is one in-flight miss (the memory system's transient state).
 type MSHRLine struct {
-	LineAddr uint64
-	Done     uint64 // cycle the fill completes
-	Write    bool   // exclusive (GETX/upgrade) request
+	LineAddr uint64 `json:"line"`
+	Done     uint64 `json:"done"`            // cycle the fill completes
+	Write    bool   `json:"write,omitempty"` // exclusive (GETX/upgrade) request
 }
 
 // MSHRState is one miss file's occupancy.
 type MSHRState struct {
-	Level string // "L1I", "L1D", "L2"
-	InUse int
-	Max   int
-	Lines []MSHRLine
+	Level string     `json:"level"` // "L1I", "L1D", "L2"
+	InUse int        `json:"in_use"`
+	Max   int        `json:"max"`
+	Lines []MSHRLine `json:"lines,omitempty"`
 }
 
 // NodeState is one node's memory-system state.
 type NodeState struct {
-	Node  int
-	MSHRs []MSHRState
+	Node  int         `json:"node"`
+	MSHRs []MSHRState `json:"mshrs,omitempty"`
 }
 
 // DirectoryState summarizes the coherence directory.
 type DirectoryState struct {
-	Lines     int // lines with directory state
-	Owned     int // lines dirty in some cache
-	Shared    int // lines cached by >= 2 nodes
-	Migratory int // lines classified migratory
+	Lines     int `json:"lines"`     // lines with directory state
+	Owned     int `json:"owned"`     // lines dirty in some cache
+	Shared    int `json:"shared"`    // lines cached by >= 2 nodes
+	Migratory int `json:"migratory"` // lines classified migratory
 }
 
 // LockState is one held simulated lock.
 type LockState struct {
-	Addr    uint64
-	Owner   int   // process id of the holder
-	Waiters []int // core ids spinning on it
+	Addr    uint64 `json:"addr"`
+	Owner   int    `json:"owner"`             // process id of the holder
+	Waiters []int  `json:"waiters,omitempty"` // core ids spinning on it
 }
 
 // MeshState summarizes the interconnect.
 type MeshState struct {
-	Messages    uint64
-	AvgLatency  float64
-	QueueCycles uint64
-	BusyLinks   int // links still occupied at snapshot time
+	Messages    uint64  `json:"messages"`
+	AvgLatency  float64 `json:"avg_latency"`
+	QueueCycles uint64  `json:"queue_cycles"`
+	BusyLinks   int     `json:"busy_links"` // links still occupied at snapshot time
 }
 
 // Snapshot is the machine state at one instant.
 type Snapshot struct {
-	Cycle  uint64
-	Reason string // what prompted the snapshot ("watchdog", "panic", ...)
-	Cores  []CoreState
-	Nodes  []NodeState
-	Dir    DirectoryState
-	Locks  []LockState
-	Mesh   MeshState
+	Cycle  uint64         `json:"cycle"`
+	Reason string         `json:"reason"` // what prompted the snapshot ("watchdog", "panic", ...)
+	Cores  []CoreState    `json:"cores,omitempty"`
+	Nodes  []NodeState    `json:"nodes,omitempty"`
+	Dir    DirectoryState `json:"dir"`
+	Locks  []LockState    `json:"locks,omitempty"`
+	Mesh   MeshState      `json:"mesh"`
 }
 
 // String renders the snapshot as a multi-line diagnostic report.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/workload/dss"
@@ -36,6 +37,13 @@ type Scale struct {
 	WatchdogWindow uint64
 	// DisableWatchdog turns the forward-progress watchdog off entirely.
 	DisableWatchdog bool
+
+	// Faults, when Enabled, overlays the deterministic fault injector
+	// profile onto every machine configuration the experiments build
+	// (chaos sweeps). Points built from a faulted scale are marked
+	// retryable: the orchestration layer re-runs fault-induced failures
+	// with this profile cleared.
+	Faults config.FaultConfig
 
 	// Telemetry, when non-nil, is called once per run with the run's
 	// label and returns the interval-telemetry pipeline to attach (nil =
@@ -72,6 +80,9 @@ var QuickScale = Scale{
 
 // RunOLTP simulates the OLTP workload on machine cfg and returns the report.
 func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*stats.Report, error) {
+	if sc.Faults.Enabled {
+		cfg.Faults = sc.Faults
+	}
 	wcfg := oltp.DefaultConfig(cfg.Nodes)
 	wcfg.TransactionsPerProcess = sc.OLTPTransactions + sc.OLTPWarmupTx
 	wcfg.Hints = hints
@@ -114,6 +125,9 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 
 // RunDSS simulates the DSS workload on machine cfg and returns the report.
 func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
+	if sc.Faults.Enabled {
+		cfg.Faults = sc.Faults
+	}
 	wcfg := dss.DefaultConfig(cfg.Nodes)
 	wcfg.RowsPerProcess = sc.DSSRows
 	w := dss.New(wcfg)
@@ -164,4 +178,74 @@ func (r *Result) Render() string {
 		out += t + "\n"
 	}
 	return out
+}
+
+// PointSpec is the JSON identity of one experiment run point. Its runner
+// spec hash keys the durable sweep journal: any change to the experiment
+// id, the scale, or the fault profile re-runs the point on -resume instead
+// of reusing a stale result.
+type PointSpec struct {
+	Experiment string `json:"experiment"`
+
+	OLTPTransactions int    `json:"oltp_tx"`
+	OLTPWarmupTx     int    `json:"oltp_warmup_tx"`
+	DSSRows          int    `json:"dss_rows"`
+	MaxCycles        uint64 `json:"max_cycles"`
+	WatchdogWindow   uint64 `json:"watchdog_window,omitempty"`
+	DisableWatchdog  bool   `json:"disable_watchdog,omitempty"`
+
+	Faults config.FaultConfig `json:"faults"`
+}
+
+// Spec returns the hashed identity of experiment id under sc. Context and
+// Telemetry deliberately do not participate: cancellation plumbing and
+// observer sinks change no simulated outcome.
+func (sc Scale) Spec(id string) PointSpec {
+	return PointSpec{
+		Experiment:       id,
+		OLTPTransactions: sc.OLTPTransactions,
+		OLTPWarmupTx:     sc.OLTPWarmupTx,
+		DSSRows:          sc.DSSRows,
+		MaxCycles:        sc.MaxCycles,
+		WatchdogWindow:   sc.WatchdogWindow,
+		DisableWatchdog:  sc.DisableWatchdog,
+		Faults:           sc.Faults,
+	}
+}
+
+// maxRunsPerExperiment is the largest number of simulations a single
+// experiment performs (fig6: 2 workloads x 9 configurations). The derived
+// per-point wall-clock deadline budgets for the worst case.
+const maxRunsPerExperiment = 18
+
+// Points adapts experiments to orchestration run points (internal/runner):
+// each point threads the pool's per-point context into the runs, clears
+// the fault profile when the pool retries a fault-induced failure, and is
+// journaled under sc's spec hash. perPoint, when non-nil, derives each
+// point's scale from the base (cmd/sweep uses it to attach per-experiment
+// telemetry factories); it must only change observers — the spec hash is
+// computed from the base scale.
+func Points(exps []Experiment, sc Scale, perPoint func(id string, sc Scale) Scale) []runner.Point {
+	pts := make([]runner.Point, 0, len(exps))
+	for _, e := range exps {
+		e := e
+		pts = append(pts, runner.Point{
+			ID:        e.ID,
+			Spec:      sc.Spec(e.ID),
+			MaxCycles: sc.MaxCycles * maxRunsPerExperiment,
+			Faulty:    sc.Faults.Enabled,
+			Run: func(ctx context.Context, att runner.Attempt) (any, error) {
+				esc := sc
+				if perPoint != nil {
+					esc = perPoint(e.ID, sc)
+				}
+				esc.Context = ctx
+				if att.DisableFaults {
+					esc.Faults = config.FaultConfig{}
+				}
+				return e.Run(esc)
+			},
+		})
+	}
+	return pts
 }

@@ -1,0 +1,198 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+// TestJournalRoundTrip: appended records come back keyed by spec hash,
+// with snapshots intact.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*Record{
+		{ID: "a", SpecHash: "h-a", Status: StatusOK, Attempts: 1},
+		{ID: "b", SpecHash: "h-b", Status: StatusFailed, Attempts: 3, Class: ClassProgress,
+			Error: "no forward progress", Diag: &diag.Snapshot{Cycle: 7, Reason: "watchdog"}},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records, want 2", len(got))
+	}
+	b := got["h-b"]
+	if b == nil || b.Status != StatusFailed || b.Diag == nil || b.Diag.Reason != "watchdog" {
+		t.Fatalf("record b = %+v, want failed with watchdog snapshot", b)
+	}
+}
+
+// TestJournalLastRecordWins: a re-run point's newer record supersedes the
+// older one.
+func TestJournalLastRecordWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = j.Append(&Record{ID: "a", SpecHash: "h", Status: StatusCanceled})
+	_ = j.Append(&Record{ID: "a", SpecHash: "h", Status: StatusOK})
+	_ = j.Close()
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["h"].Status != StatusOK {
+		t.Fatalf("status = %q, want ok (last record wins)", got["h"].Status)
+	}
+}
+
+// TestJournalToleratesPartialLine: a crash mid-write leaves a trailing
+// partial line; reading must skip it and keep the intact records.
+func TestJournalToleratesPartialLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = j.Append(&Record{ID: "a", SpecHash: "h-a", Status: StatusOK})
+	_ = j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"b","spec_ha`); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["h-a"] == nil {
+		t.Fatalf("read %d records, want the 1 intact one", len(got))
+	}
+}
+
+// TestReadJournalMissingFile: a missing journal is empty, not an error.
+func TestReadJournalMissingFile(t *testing.T) {
+	got, err := ReadJournal(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", got, err)
+	}
+}
+
+// TestSpecHash: stable for equal specs, different for different specs,
+// and well-defined for unmarshalable ones.
+func TestSpecHash(t *testing.T) {
+	type spec struct{ A, B int }
+	if SpecHash(spec{1, 2}) != SpecHash(spec{1, 2}) {
+		t.Error("equal specs hash differently")
+	}
+	if SpecHash(spec{1, 2}) == SpecHash(spec{1, 3}) {
+		t.Error("different specs collide")
+	}
+	if h := SpecHash(func() {}); h != "unhashable" {
+		t.Errorf("unmarshalable spec hash = %q", h)
+	}
+}
+
+// TestResumeSkipsCompleted: a second pool run over the same journal re-runs
+// only the points without a terminal record, and the merged journal covers
+// every point exactly once.
+func TestResumeSkipsCompleted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	var ran []string
+	mk := func(id string) Point {
+		return Point{
+			ID: id, Spec: id,
+			Run: func(context.Context, Attempt) (any, error) {
+				ran = append(ran, id)
+				return id + "-result", nil
+			},
+		}
+	}
+	pts := []Point{mk("p1"), mk("p2"), mk("p3")}
+
+	// First run: drain after the first point so p2/p3 never start.
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain, stop := context.WithCancel(context.Background())
+	opt := fastOpts()
+	opt.Workers = 1
+	opt.Journal = j
+	opt.Drain = drain
+	opt.OnEvent = func(ev Event) {
+		if ev.Kind == EventDone {
+			stop()
+		}
+	}
+	sum, err := Run(context.Background(), pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = j.Close()
+	if sum.OK != 1 || sum.Skipped != 2 {
+		t.Fatalf("first run: ok=%d skipped=%d, want 1/2", sum.OK, sum.Skipped)
+	}
+
+	// Resume: replay the journal, run the rest.
+	completed, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2 := fastOpts()
+	opt2.Workers = 1
+	opt2.Journal = j2
+	opt2.Completed = completed
+	ran = nil
+	sum2, err := Run(context.Background(), pts, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = j2.Close()
+	if len(ran) != 2 || ran[0] != "p2" || ran[1] != "p3" {
+		t.Fatalf("resume ran %v, want [p2 p3]", ran)
+	}
+	if sum2.Reused != 1 || sum2.OK != 3 || sum2.ExitCode() != 0 {
+		t.Fatalf("resume summary = %+v, want 3 ok (1 reused), exit 0", sum2)
+	}
+	// The reused record still carries its journaled result payload.
+	if !strings.Contains(string(sum2.Records[0].Result), "p1-result") {
+		t.Errorf("reused record lost its result: %s", sum2.Records[0].Result)
+	}
+
+	// Merged journal: every point exactly once.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"p1", "p2", "p3"} {
+		if n := strings.Count(string(data), `"id":"`+id+`"`); n != 1 {
+			t.Errorf("journal has %d records for %s, want exactly 1", n, id)
+		}
+	}
+}

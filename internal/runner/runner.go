@@ -1,0 +1,533 @@
+// Package runner is the simulator's run-orchestration layer: it executes a
+// sweep's run points through a supervised, bounded worker pool so that
+// multi-hour experiment grids survive individual failures and operator
+// interruption.
+//
+// Each point runs under a per-point context deadline (derived from its
+// simulated-cycle budget, capped by a wall-clock bound) with panic
+// isolation — a crash in one point becomes a *diag.PanicError result
+// instead of killing sibling workers. Failures are classified
+// (ProgressError / CycleLimitError / panic / timeout / canceled) and only
+// retryable ones are retried, with capped exponential backoff and a
+// sweep-wide retry budget; a fault-injected point that livelocks is
+// retried with its fault profile disabled and recorded as
+// recovered_after_fault, preserving the original diagnostic snapshot.
+// Outcomes stream to a durable JSONL journal as each point completes, so
+// an interrupted sweep resumes by replaying the journal and skipping
+// points with a terminal record.
+//
+// Every point builds its own core.System, so worker parallelism cannot
+// change any point's simulated outcome: for a fixed seed the parallel
+// sweep's per-point counters are bit-identical to serial execution
+// (asserted by the orchestration tests in internal/experiments).
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+)
+
+// Class is a failure classification; it decides retryability.
+type Class string
+
+const (
+	// ClassProgress: the forward-progress watchdog tripped (livelock).
+	// Deterministic for a fixed seed, so only retryable when the point ran
+	// with fault injection (retry disables the fault profile).
+	ClassProgress Class = "progress"
+	// ClassCycleLimit: the run exceeded MaxCycles. Retryable only for
+	// fault-injected points (faults stretch runs past the bound).
+	ClassCycleLimit Class = "cycle-limit"
+	// ClassPanic: the machine model panicked; recovered into a
+	// *diag.PanicError. Deterministic, so retryable only under faults.
+	ClassPanic Class = "panic"
+	// ClassTimeout: the per-point wall-clock deadline expired — a host
+	// condition (loaded machine), not a simulation outcome. Always
+	// retryable.
+	ClassTimeout Class = "timeout"
+	// ClassCanceled: the sweep itself was canceled. Never retried.
+	ClassCanceled Class = "canceled"
+	// ClassError: any other error (workload failure, bad config, I/O).
+	// Retryable only under faults.
+	ClassError Class = "error"
+)
+
+// Classify maps a run error onto its failure class.
+func Classify(err error) Class {
+	var pan *diag.PanicError
+	var pe *core.ProgressError
+	var cle *core.CycleLimitError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &pan):
+		return ClassPanic
+	case errors.As(err, &pe):
+		return ClassProgress
+	case errors.As(err, &cle):
+		return ClassCycleLimit
+	case errors.Is(err, context.DeadlineExceeded):
+		return ClassTimeout
+	case errors.Is(err, context.Canceled):
+		return ClassCanceled
+	}
+	return ClassError
+}
+
+// SnapshotOf extracts the machine snapshot attached to a classified run
+// error, if any.
+func SnapshotOf(err error) *diag.Snapshot {
+	var pan *diag.PanicError
+	if errors.As(err, &pan) {
+		return pan.Snapshot
+	}
+	var pe *core.ProgressError
+	if errors.As(err, &pe) {
+		return pe.Snapshot
+	}
+	var cle *core.CycleLimitError
+	if errors.As(err, &cle) {
+		return cle.Snapshot
+	}
+	var ce *core.CanceledError
+	if errors.As(err, &ce) {
+		return ce.Snapshot
+	}
+	return nil
+}
+
+// retryable reports whether a failure of class c should be retried, given
+// whether the failing attempt ran with fault injection enabled.
+func retryable(c Class, faulted bool) bool {
+	switch c {
+	case ClassTimeout:
+		return true
+	case ClassProgress, ClassCycleLimit, ClassPanic, ClassError:
+		return faulted // deterministic without faults: retrying reproduces the failure
+	}
+	return false
+}
+
+// Attempt tells Point.Run which try this is and whether to disable the
+// point's fault profile (set on retries after fault-induced failures).
+type Attempt struct {
+	Number        int // 0 = first try
+	DisableFaults bool
+}
+
+// Point is one schedulable unit of a sweep.
+type Point struct {
+	// ID names the point in journals, logs and events; unique per sweep.
+	ID string
+	// Spec is the point's JSON-marshalable identity; its hash keys the
+	// journal, so resume re-runs the point whenever the spec changes.
+	Spec any
+	// MaxCycles is the point's simulated-cycle budget, used to derive the
+	// per-point wall-clock deadline (0 = no derivation; the cap applies).
+	MaxCycles uint64
+	// Faulty marks a point running with fault injection: its failures are
+	// retried with Attempt.DisableFaults set.
+	Faulty bool
+	// Series names the point's telemetry series path (journaled verbatim).
+	Series string
+	// Run executes the point. It must honor ctx (the per-point deadline
+	// and the sweep's hard cancel) and be safe to call again for retries.
+	Run func(ctx context.Context, att Attempt) (any, error)
+}
+
+// EventKind labels pool progress events.
+type EventKind string
+
+const (
+	EventStart EventKind = "start"
+	EventDone  EventKind = "done" // terminal or canceled; Record is set
+	EventRetry EventKind = "retry"
+	EventSkip  EventKind = "skip" // drained before dispatch, or resumed from journal
+)
+
+// Event is one pool progress notification. Events are delivered serially
+// (never concurrently) but in completion order, not point order.
+type Event struct {
+	Kind    EventKind
+	Point   string
+	Attempt int           // attempts so far
+	Err     error         // failing attempt's error (retry/done)
+	Delay   time.Duration // backoff before the next attempt (retry)
+	Record  *Record       // the point's record (done/skip)
+	Result  any           // the point's outcome (done, successful points)
+}
+
+// Options configures a pool run.
+type Options struct {
+	// Workers bounds parallel points (<=0 means 1, i.e. serial).
+	Workers int
+	// PointTimeout fixes the per-point wall-clock deadline; 0 derives it
+	// from Point.MaxCycles at MinCyclesPerSecond, clamped to
+	// [MinPointTimeout, WallClockCap].
+	PointTimeout time.Duration
+	// WallClockCap bounds the derived deadline (0 = DefaultWallClockCap).
+	WallClockCap time.Duration
+	// MaxAttempts bounds tries per point (0 = DefaultMaxAttempts).
+	MaxAttempts int
+	// RetryBudget bounds retries across the whole sweep (<0 = unlimited,
+	// 0 = no retries).
+	RetryBudget int
+	// BackoffBase is the delay before the first retry (0 =
+	// DefaultBackoffBase); it doubles per attempt up to BackoffCap (0 =
+	// DefaultBackoffCap).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Journal, when non-nil, receives every started point's record as it
+	// completes. Journal write failures are counted, not fatal.
+	Journal *Journal
+	// Completed maps spec hashes to prior records (from ReadJournal);
+	// points whose hash has a terminal record are skipped and their
+	// records replayed into the summary with Reused set.
+	Completed map[string]*Record
+	// Drain, when non-nil and done, stops dispatching new points while
+	// letting in-flight points finish (graceful SIGINT semantics). The
+	// ctx passed to Run is the hard stop that also aborts in-flight work.
+	Drain context.Context
+	// OnEvent, when non-nil, observes pool progress. Called serially.
+	OnEvent func(Event)
+}
+
+// Timeout-derivation constants. MinCyclesPerSecond is a deliberately
+// conservative floor on simulation speed (the simulator sustains tens of
+// millions of cycles per second): a point given fewer wall-clock seconds
+// than MaxCycles/MinCyclesPerSecond could time out on a healthy run.
+const (
+	MinCyclesPerSecond  = 500_000
+	MinPointTimeout     = time.Minute
+	DefaultWallClockCap = 30 * time.Minute
+	DefaultMaxAttempts  = 3
+	DefaultBackoffBase  = 250 * time.Millisecond
+	DefaultBackoffCap   = 10 * time.Second
+)
+
+// Summary aggregates a pool run. Records holds one record per input point
+// in input order; skipped points get a synthetic StatusSkipped record.
+type Summary struct {
+	Records     []*Record
+	OK          int // StatusOK (including reused)
+	Recovered   int // StatusRecovered (including reused)
+	Failed      int // StatusFailed (including reused)
+	Canceled    int // StatusCanceled
+	Skipped     int // never dispatched
+	Reused      int // replayed from a prior journal
+	RetriesUsed int
+	JournalErrs int
+}
+
+func (s *Summary) add(r *Record) {
+	switch r.Status {
+	case StatusOK:
+		s.OK++
+	case StatusRecovered:
+		s.Recovered++
+	case StatusFailed:
+		s.Failed++
+	case StatusCanceled:
+		s.Canceled++
+	case StatusSkipped:
+		s.Skipped++
+	}
+	if r.Reused {
+		s.Reused++
+	}
+}
+
+// Complete reports whether every point succeeded (ok or recovered).
+func (s *Summary) Complete() bool {
+	return s.Failed+s.Canceled+s.Skipped == 0
+}
+
+// ExitCode maps the summary onto the CLI exit-code convention: 0 = every
+// point succeeded, 3 = partial success (some points succeeded, some failed
+// or never ran), 1 = nothing succeeded.
+func (s *Summary) ExitCode() int {
+	switch {
+	case s.Complete():
+		return 0
+	case s.OK+s.Recovered > 0:
+		return 3
+	}
+	return 1
+}
+
+// Run executes the points under opt. ctx is the hard stop: canceling it
+// aborts in-flight points (their Run contexts are children of ctx). Use
+// opt.Drain for the graceful "finish in-flight, skip the rest" stop. Run
+// itself returns an error only for setup problems (duplicate point IDs);
+// per-point failures are reported through the summary and journal.
+func Run(ctx context.Context, points []Point, opt Options) (*Summary, error) {
+	p, err := newPool(points, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.run(ctx, points), nil
+}
+
+type pool struct {
+	opt     Options
+	timeout func(Point) time.Duration
+	budget  atomic.Int64 // remaining sweep-wide retries (<0 handled at init)
+	retries atomic.Int64 // retries actually used
+	jerrs   atomic.Int64 // journal append failures
+	eventMu sync.Mutex
+}
+
+func newPool(points []Point, opt Options) (*pool, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.WallClockCap <= 0 {
+		opt.WallClockCap = DefaultWallClockCap
+	}
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = DefaultMaxAttempts
+	}
+	if opt.BackoffBase <= 0 {
+		opt.BackoffBase = DefaultBackoffBase
+	}
+	if opt.BackoffCap <= 0 {
+		opt.BackoffCap = DefaultBackoffCap
+	}
+	seen := make(map[string]bool, len(points))
+	for _, pt := range points {
+		if seen[pt.ID] {
+			return nil, errors.New("runner: duplicate point id " + pt.ID)
+		}
+		seen[pt.ID] = true
+	}
+	p := &pool{opt: opt}
+	p.timeout = func(pt Point) time.Duration {
+		if opt.PointTimeout > 0 {
+			return opt.PointTimeout
+		}
+		if pt.MaxCycles == 0 {
+			return opt.WallClockCap
+		}
+		d := time.Duration(pt.MaxCycles/MinCyclesPerSecond) * time.Second
+		if d < MinPointTimeout {
+			d = MinPointTimeout
+		}
+		if d > opt.WallClockCap {
+			d = opt.WallClockCap
+		}
+		return d
+	}
+	if opt.RetryBudget < 0 {
+		p.budget.Store(1 << 40)
+	} else {
+		p.budget.Store(int64(opt.RetryBudget))
+	}
+	return p, nil
+}
+
+func (p *pool) emit(ev Event) {
+	if p.opt.OnEvent == nil {
+		return
+	}
+	p.eventMu.Lock()
+	defer p.eventMu.Unlock()
+	p.opt.OnEvent(ev)
+}
+
+func (p *pool) drained(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	if p.opt.Drain != nil && p.opt.Drain.Err() != nil {
+		return true
+	}
+	return false
+}
+
+func (p *pool) run(ctx context.Context, points []Point) *Summary {
+	records := make([]*Record, len(points))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p.opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// A send already pending when the drain fired still
+				// delivers; re-check here so the job is skipped instead
+				// of started.
+				if p.drained(ctx) {
+					continue // leave nil => skipped
+				}
+				records[i] = p.runPoint(ctx, points[i])
+			}
+		}()
+	}
+	for i := range points {
+		hash := SpecHash(points[i].Spec)
+		if prior, ok := p.opt.Completed[hash]; ok && prior.Status.Terminal() {
+			r := *prior
+			r.Reused = true
+			records[i] = &r
+			p.emit(Event{Kind: EventSkip, Point: points[i].ID, Record: records[i]})
+			continue
+		}
+		if p.drained(ctx) {
+			break // stop dispatching; remaining points stay nil => skipped
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	sum := &Summary{
+		Records:     records,
+		RetriesUsed: int(p.retries.Load()),
+		JournalErrs: int(p.jerrs.Load()),
+	}
+	for i, r := range records {
+		if r == nil {
+			r = &Record{ID: points[i].ID, SpecHash: SpecHash(points[i].Spec), Status: StatusSkipped}
+			records[i] = r
+			p.emit(Event{Kind: EventSkip, Point: r.ID, Record: r})
+		}
+		sum.add(r)
+	}
+	return sum
+}
+
+// runPoint drives one point through attempts, classification, backoff and
+// journaling, and returns its terminal record.
+func (p *pool) runPoint(ctx context.Context, pt Point) *Record {
+	rec := &Record{ID: pt.ID, SpecHash: SpecHash(pt.Spec), Series: pt.Series}
+	start := time.Now()
+	disableFaults := false
+	var result any
+	for attempt := 0; ; attempt++ {
+		rec.Attempts = attempt + 1
+		p.emit(Event{Kind: EventStart, Point: pt.ID, Attempt: attempt + 1})
+		res, err := p.attempt(ctx, pt, Attempt{Number: attempt, DisableFaults: disableFaults})
+		if err == nil {
+			rec.Status = StatusOK
+			if disableFaults {
+				rec.Status = StatusRecovered
+			}
+			result = res
+			if res != nil {
+				if b, merr := json.Marshal(res); merr == nil {
+					rec.Result = b
+				}
+			}
+			break
+		}
+		class := Classify(err)
+		if ctx.Err() != nil {
+			// The sweep was hard-canceled: whatever the run reported
+			// (deadline, watchdog racing the abort), the point is
+			// incomplete, not failed.
+			class = ClassCanceled
+		}
+		if rec.Error == "" {
+			// Keep the *first* failure as the root cause; for a point that
+			// later recovers this preserves the original diag snapshot.
+			rec.Class = class
+			rec.Error = err.Error()
+			rec.Diag = SnapshotOf(err)
+		}
+		faulted := pt.Faulty && !disableFaults
+		if class == ClassCanceled {
+			rec.Status = StatusCanceled
+			break
+		}
+		if !retryable(class, faulted) || attempt+1 >= p.opt.MaxAttempts || !p.takeRetry() {
+			rec.Status = StatusFailed
+			break
+		}
+		if faulted && class != ClassTimeout {
+			disableFaults = true
+		}
+		delay := p.backoff(attempt)
+		p.emit(Event{Kind: EventRetry, Point: pt.ID, Attempt: attempt + 1, Err: err, Delay: delay})
+		if !sleepCtx(ctx, delay) {
+			rec.Status = StatusCanceled
+			break
+		}
+	}
+	rec.Seconds = time.Since(start).Seconds()
+	if p.opt.Journal != nil {
+		if jerr := p.opt.Journal.Append(rec); jerr != nil {
+			p.jerrs.Add(1)
+		}
+	}
+	ev := Event{Kind: EventDone, Point: pt.ID, Attempt: rec.Attempts, Record: rec, Result: result}
+	if rec.Status == StatusFailed || rec.Status == StatusCanceled {
+		ev.Err = errors.New(rec.Error)
+	}
+	p.emit(ev)
+	return rec
+}
+
+// attempt runs one try under the per-point deadline with panic isolation.
+func (p *pool) attempt(ctx context.Context, pt Point, att Attempt) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic that escaped Point.Run (core.Run recovers its own):
+			// isolate it so sibling workers keep running.
+			res, err = nil, &diag.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	actx, cancel := context.WithTimeout(ctx, p.timeout(pt))
+	defer cancel()
+	return pt.Run(actx, att)
+}
+
+// takeRetry consumes one unit of the sweep-wide retry budget.
+func (p *pool) takeRetry() bool {
+	for {
+		b := p.budget.Load()
+		if b <= 0 {
+			return false
+		}
+		if p.budget.CompareAndSwap(b, b-1) {
+			p.retries.Add(1)
+			return true
+		}
+	}
+}
+
+// backoff returns the capped exponential delay before retrying after the
+// attempt-th try (0-based).
+func (p *pool) backoff(attempt int) time.Duration {
+	d := p.opt.BackoffBase
+	for i := 0; i < attempt && d < p.opt.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > p.opt.BackoffCap {
+		d = p.opt.BackoffCap
+	}
+	return d
+}
+
+// sleepCtx sleeps for d unless ctx ends first; reports whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,298 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+)
+
+// okPoint returns a point that succeeds immediately with value v.
+func okPoint(id string, v any) Point {
+	return Point{
+		ID:   id,
+		Spec: map[string]string{"id": id},
+		Run:  func(context.Context, Attempt) (any, error) { return v, nil },
+	}
+}
+
+func fastOpts() Options {
+	return Options{
+		Workers:      2,
+		PointTimeout: 5 * time.Second,
+		BackoffBase:  time.Millisecond,
+		BackoffCap:   4 * time.Millisecond,
+		RetryBudget:  8,
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{&core.ProgressError{}, ClassProgress},
+		{&core.CycleLimitError{}, ClassCycleLimit},
+		{&diag.PanicError{Value: "x"}, ClassPanic},
+		{fmt.Errorf("wrapped: %w", &core.ProgressError{}), ClassProgress},
+		{&core.CanceledError{Cause: context.DeadlineExceeded}, ClassTimeout},
+		{&core.CanceledError{Cause: context.Canceled}, ClassCanceled},
+		{context.DeadlineExceeded, ClassTimeout},
+		{errors.New("boom"), ClassError},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// TestPanicIsolation: one panicking point must not take down its siblings,
+// and must be journaled as a classified panic with a stack.
+func TestPanicIsolation(t *testing.T) {
+	pts := []Point{
+		okPoint("a", "ra"),
+		{
+			ID:   "boom",
+			Spec: "boom",
+			Run: func(context.Context, Attempt) (any, error) {
+				panic("injected crash")
+			},
+		},
+		okPoint("b", "rb"),
+	}
+	sum, err := Run(context.Background(), pts, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.OK != 2 || sum.Failed != 1 {
+		t.Fatalf("ok=%d failed=%d, want 2/1", sum.OK, sum.Failed)
+	}
+	rec := sum.Records[1]
+	if rec.Status != StatusFailed || rec.Class != ClassPanic {
+		t.Fatalf("record = %+v, want failed/panic", rec)
+	}
+	if rec.Error == "" {
+		t.Error("panic record has no error text")
+	}
+	if sum.ExitCode() != 3 {
+		t.Errorf("exit code = %d, want 3 (partial success)", sum.ExitCode())
+	}
+}
+
+// TestTimeoutRetry: a point that exceeds its wall-clock deadline on the
+// first attempt is retried (timeouts are host conditions) and succeeds.
+func TestTimeoutRetry(t *testing.T) {
+	var tries atomic.Int32
+	pt := Point{
+		ID:   "slow",
+		Spec: "slow",
+		Run: func(ctx context.Context, att Attempt) (any, error) {
+			if tries.Add(1) == 1 {
+				<-ctx.Done() // simulate a run noticing its deadline
+				return nil, &core.CanceledError{Cause: ctx.Err()}
+			}
+			return "done", nil
+		},
+	}
+	opt := fastOpts()
+	opt.PointTimeout = 20 * time.Millisecond
+	sum, err := Run(context.Background(), []Point{pt}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sum.Records[0]
+	if rec.Status != StatusOK || rec.Attempts != 2 || rec.Class != ClassTimeout {
+		t.Fatalf("record = %+v, want ok after timeout retry", rec)
+	}
+	if sum.RetriesUsed != 1 {
+		t.Errorf("retries used = %d, want 1", sum.RetriesUsed)
+	}
+}
+
+// TestDeterministicFailureNotRetried: a watchdog trip without fault
+// injection is deterministic — it must fail on the first attempt.
+func TestDeterministicFailureNotRetried(t *testing.T) {
+	var tries atomic.Int32
+	pt := Point{
+		ID:   "livelock",
+		Spec: "livelock",
+		Run: func(context.Context, Attempt) (any, error) {
+			tries.Add(1)
+			return nil, &core.ProgressError{Cycle: 100, Window: 50, Snapshot: &diag.Snapshot{Reason: "watchdog"}}
+		},
+	}
+	sum, err := Run(context.Background(), []Point{pt}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tries.Load() != 1 {
+		t.Fatalf("deterministic failure ran %d times, want 1", tries.Load())
+	}
+	rec := sum.Records[0]
+	if rec.Status != StatusFailed || rec.Class != ClassProgress || rec.Diag == nil {
+		t.Fatalf("record = %+v, want failed/progress with diag", rec)
+	}
+	if sum.ExitCode() != 1 {
+		t.Errorf("exit code = %d, want 1 (nothing succeeded)", sum.ExitCode())
+	}
+}
+
+// TestFaultyRetriedWithFaultsDisabled: a fault-injected point whose first
+// attempt trips the watchdog must be retried with DisableFaults set and
+// recorded as recovered_after_fault, keeping the original snapshot.
+func TestFaultyRetriedWithFaultsDisabled(t *testing.T) {
+	snap := &diag.Snapshot{Cycle: 42, Reason: "watchdog"}
+	pt := Point{
+		ID:     "storm",
+		Spec:   "storm",
+		Faulty: true,
+		Run: func(_ context.Context, att Attempt) (any, error) {
+			if !att.DisableFaults {
+				return nil, &core.ProgressError{Cycle: 42, Snapshot: snap}
+			}
+			return "clean", nil
+		},
+	}
+	sum, err := Run(context.Background(), []Point{pt}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sum.Records[0]
+	if rec.Status != StatusRecovered {
+		t.Fatalf("status = %q, want %q", rec.Status, StatusRecovered)
+	}
+	if rec.Diag == nil || rec.Diag.Cycle != 42 || rec.Diag.Reason != "watchdog" {
+		t.Fatalf("original diag snapshot not preserved: %+v", rec.Diag)
+	}
+	if rec.Class != ClassProgress || rec.Error == "" {
+		t.Errorf("root cause not recorded: class=%q error=%q", rec.Class, rec.Error)
+	}
+	if sum.ExitCode() != 0 {
+		t.Errorf("exit code = %d, want 0 (recovered counts as success)", sum.ExitCode())
+	}
+}
+
+// TestRetryBudget: the sweep-wide budget bounds retries across points.
+func TestRetryBudget(t *testing.T) {
+	mk := func(id string) Point {
+		return Point{
+			ID: id, Spec: id, Faulty: true,
+			Run: func(_ context.Context, att Attempt) (any, error) {
+				if !att.DisableFaults {
+					return nil, &core.ProgressError{}
+				}
+				return id, nil
+			},
+		}
+	}
+	opt := fastOpts()
+	opt.Workers = 1
+	opt.RetryBudget = 1
+	sum, err := Run(context.Background(), []Point{mk("p1"), mk("p2")}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.RetriesUsed != 1 {
+		t.Fatalf("retries used = %d, want 1", sum.RetriesUsed)
+	}
+	if sum.Recovered != 1 || sum.Failed != 1 {
+		t.Fatalf("recovered=%d failed=%d, want 1/1 (budget exhausted)", sum.Recovered, sum.Failed)
+	}
+}
+
+// TestBackoffCap: the exponential delay never exceeds the cap.
+func TestBackoffCap(t *testing.T) {
+	p, err := newPool(nil, Options{BackoffBase: time.Second, BackoffCap: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 5 * time.Second, 5 * time.Second}
+	for i, w := range want {
+		if got := p.backoff(i); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestGracefulDrain: canceling the Drain context stops dispatch but lets
+// in-flight points finish; undispatched points are skipped, not journaled.
+func TestGracefulDrain(t *testing.T) {
+	drain, stop := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	pts := []Point{
+		{
+			ID: "inflight", Spec: "inflight",
+			Run: func(context.Context, Attempt) (any, error) {
+				once.Do(func() { close(started) })
+				<-release
+				return "finished", nil
+			},
+		},
+		okPoint("later1", 1),
+		okPoint("later2", 2),
+	}
+	opt := fastOpts()
+	opt.Workers = 1
+	opt.Drain = drain
+
+	go func() {
+		<-started
+		stop() // drain while the first point is in flight
+		close(release)
+	}()
+	sum, err := Run(context.Background(), pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records[0].Status != StatusOK {
+		t.Errorf("in-flight point = %q, want ok (drain must not abort it)", sum.Records[0].Status)
+	}
+	if sum.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2", sum.Skipped)
+	}
+	if sum.ExitCode() != 3 {
+		t.Errorf("exit code = %d, want 3", sum.ExitCode())
+	}
+}
+
+// TestHardCancelAbortsInFlight: canceling the run context aborts in-flight
+// points; they journal as canceled (not terminal) so resume re-runs them.
+func TestHardCancelAbortsInFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pts := []Point{{
+		ID: "victim", Spec: "victim",
+		Run: func(rctx context.Context, _ Attempt) (any, error) {
+			cancel()
+			<-rctx.Done()
+			return nil, &core.CanceledError{Cause: rctx.Err()}
+		},
+	}}
+	sum, err := Run(ctx, pts, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sum.Records[0]
+	if rec.Status != StatusCanceled {
+		t.Fatalf("status = %q, want canceled", rec.Status)
+	}
+	if rec.Status.Terminal() {
+		t.Error("canceled must not be terminal (resume re-runs it)")
+	}
+}
+
+// TestDuplicateIDsRejected: duplicate point IDs are a setup error.
+func TestDuplicateIDsRejected(t *testing.T) {
+	_, err := Run(context.Background(), []Point{okPoint("x", 1), okPoint("x", 2)}, fastOpts())
+	if err == nil {
+		t.Fatal("duplicate point ids accepted")
+	}
+}

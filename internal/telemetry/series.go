@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// SeriesFileName returns the canonical file name for one run point's JSONL
+// telemetry series: <id>__<label>__<hash>.jsonl. The label is mapped onto
+// the portable filename alphabet, and the hash is over the *raw* (id,
+// label) pair, so two labels that sanitize to the same string — "cfg/a"
+// and "cfg_a", say — can no longer collide on one file. Sweep tools key
+// their journals on the same hash, which makes the series file findable
+// from a journal record.
+func SeriesFileName(id, label string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, label)
+	return fmt.Sprintf("%s__%s__%s.jsonl", id, clean, SeriesHash(id, label))
+}
+
+// SeriesHash returns the 8-hex-digit collision guard used in series file
+// names: a truncated SHA-256 over the NUL-separated (id, label) pair.
+func SeriesHash(id, label string) string {
+	sum := sha256.Sum256([]byte(id + "\x00" + label))
+	return hex.EncodeToString(sum[:4])
+}

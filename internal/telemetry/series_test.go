@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSeriesFileNameNoCollision: labels that sanitize to the same filename
+// text must still produce distinct series files.
+func TestSeriesFileNameNoCollision(t *testing.T) {
+	a := SeriesFileName("fig6", "OLTP-SC/plain")
+	b := SeriesFileName("fig6", "OLTP-SC_plain")
+	if a == b {
+		t.Fatalf("colliding series names: %q", a)
+	}
+	for _, name := range []string{a, b} {
+		if !strings.HasSuffix(name, ".jsonl") {
+			t.Errorf("%q missing .jsonl suffix", name)
+		}
+		for _, r := range name {
+			ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+				r == '.' || r == '-' || r == '_'
+			if !ok {
+				t.Errorf("%q contains non-portable rune %q", name, r)
+			}
+		}
+	}
+}
+
+// TestSeriesFileNameStable: the name is a pure function of (id, label).
+func TestSeriesFileNameStable(t *testing.T) {
+	if SeriesFileName("fig2a", "ooo-4way") != SeriesFileName("fig2a", "ooo-4way") {
+		t.Fatal("series name not deterministic")
+	}
+	if SeriesHash("fig2a", "x") == SeriesHash("fig2b", "x") {
+		t.Fatal("hash ignores the experiment id")
+	}
+}
