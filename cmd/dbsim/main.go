@@ -10,6 +10,7 @@
 //	dbsim -workload oltp -streambuf 4 -hints flush+prefetch
 //	dbsim -workload oltp -telemetry-jsonl series.jsonl -telemetry-interval 50000
 //	dbsim -workload dss -telemetry-http :9090   # live Prometheus endpoint
+//	dbsim -workload oltp -trace-events run.trace.json -trace-profile profile.json
 //
 // Exit status: 0 on success, 1 when the simulation fails (the diagnostic
 // machine snapshot, if any, is printed to stderr), 2 on flag/usage errors,
@@ -26,6 +27,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/config"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/workload/oltp"
 )
 
@@ -75,6 +78,11 @@ func main() {
 		telCSV      = flag.String("telemetry-csv", "", "write interval telemetry samples to this CSV file")
 		telHTTP     = flag.String("telemetry-http", "", "serve live Prometheus metrics on this address (e.g. :9090)")
 		telInterval = flag.Uint64("telemetry-interval", 0, "telemetry sampling interval in cycles (0 = config default, 100k)")
+
+		traceEvents  = flag.String("trace-events", "", "write the cycle-resolved event trace to this Chrome trace-event JSON file (Perfetto-loadable)")
+		traceProfile = flag.String("trace-profile", "", "write the stall/migratory/latency aggregate tables to this file (.csv, else JSON)")
+		traceBuf     = flag.Int("trace-buf", tracing.DefaultBufferCap, "event ring capacity; oldest raw events are overwritten beyond it")
+		traceSample  = flag.Uint64("trace-sample", 1, "keep every Nth raw event of each kind (aggregates stay exact)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -169,6 +177,13 @@ func main() {
 	if pipe != nil {
 		sc.Telemetry = func(string) *telemetry.Pipeline { return pipe }
 	}
+	var trc *tracing.Tracer
+	if *traceEvents != "" || *traceProfile != "" {
+		trc = tracing.New(tracing.Options{BufferCap: *traceBuf, SampleEvery: *traceSample})
+		sc.Tracer = trc
+	} else if *traceBuf != tracing.DefaultBufferCap || *traceSample != 1 {
+		fatalUsage("-trace-buf/-trace-sample need -trace-events or -trace-profile")
+	}
 
 	var rep *stats.Report
 	switch {
@@ -185,6 +200,9 @@ func main() {
 		if snap := snapshotOf(err); snap != nil {
 			fmt.Fprint(os.Stderr, snap.String())
 		}
+		// A failed run's partial trace is often the most useful diagnostic;
+		// export whatever was recorded before exiting.
+		writeTraceOutputs(trc, *traceEvents, *traceProfile, rep)
 		log.Print(err)
 		if errors.Is(err, context.Canceled) {
 			os.Exit(3) // interrupted, not failed: the run was draining fine
@@ -196,7 +214,51 @@ func main() {
 			log.Printf("warning: %v", terr)
 		}
 	}
+	writeTraceOutputs(trc, *traceEvents, *traceProfile, rep)
 	printReport(os.Stdout, cfg, rep)
+}
+
+// writeTraceOutputs exports the recorded event trace and aggregate
+// profile, embedding the simulator's own breakdown for reconciliation.
+func writeTraceOutputs(trc *tracing.Tracer, eventsPath, profilePath string, rep *stats.Report) {
+	if trc == nil {
+		return
+	}
+	if rep != nil {
+		trc.SetMeta(tracing.BreakdownMetaKey, tracing.BreakdownToMeta(rep.Breakdown))
+		trc.SetMeta("label", rep.Label)
+	}
+	if eventsPath != "" {
+		if f, err := telemetry.CreateFile(eventsPath); err != nil {
+			log.Printf("warning: %v", err)
+		} else {
+			werr := trc.WriteChrome(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				log.Printf("warning: writing %s: %v", eventsPath, werr)
+			} else {
+				kept, sampled, overwritten := trc.Stats()
+				log.Printf("trace: %d events -> %s (%d sampled out, %d overwritten)",
+					kept, eventsPath, sampled, overwritten)
+			}
+		}
+	}
+	if profilePath != "" {
+		tables := trc.Analysis().Tables(trc.Resolve, 50)
+		var err error
+		if strings.HasSuffix(profilePath, ".csv") {
+			err = telemetry.WriteTablesCSV(profilePath, tables)
+		} else {
+			err = telemetry.WriteTablesJSON(profilePath, tables)
+		}
+		if err != nil {
+			log.Printf("warning: %v", err)
+		} else {
+			log.Printf("trace: aggregate profile -> %s", profilePath)
+		}
+	}
 }
 
 // fatalUsage reports a flag/usage error: message, usage text, exit 2.
@@ -300,6 +362,7 @@ func replayTraces(cfg config.Config, prefix string, procs int, sc experiments.Sc
 		WatchdogWindow:  sc.WatchdogWindow,
 		DisableWatchdog: sc.DisableWatchdog,
 		Telemetry:       pipe,
+		Tracer:          sc.Tracer,
 	})
 }
 

@@ -126,7 +126,8 @@ func main() {
 	}
 	if *telemetryDir != "" {
 		if err := os.MkdirAll(*telemetryDir, 0o777); err != nil {
-			log.Fatal(err) // not a usage error: the path was valid, creating it failed
+			// Not a usage error: the path was valid, creating it failed.
+			log.Fatalf("creating -telemetry-dir %s: %v", *telemetryDir, err)
 		}
 	} else if *telInterval != 0 {
 		fatalUsage("-telemetry-interval needs -telemetry-dir")

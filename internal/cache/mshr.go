@@ -14,6 +14,7 @@ import "fmt"
 type MSHR struct {
 	LineAddr uint64
 	Done     uint64 // cycle at which the fill completes
+	AllocAt  uint64 // cycle the register was allocated (diagnostics/tracing)
 	Class    uint8  // service class recorded by the memory system
 	Read     bool   // read miss (loads/ifetch) vs write/upgrade miss
 	Write    bool   // an exclusive (GETX/upgrade) request is outstanding
@@ -168,6 +169,7 @@ func (f *MSHRFile) Allocate(m MSHR, now uint64) {
 	if len(f.entries) >= f.max {
 		panic("cache: MSHR allocate on full file")
 	}
+	m.AllocAt = now
 	f.entries = append(f.entries, m)
 	f.Allocations++
 }

@@ -54,6 +54,9 @@ type ReadResult struct {
 	// Downgrade names a node that held the line clean-Exclusive and must
 	// fold its copy to Shared (so it can no longer upgrade silently), or -1.
 	Downgrade int
+	// Sharers is the number of nodes that cached the line (owner included)
+	// when the request arrived, before this transaction changed the state.
+	Sharers int
 }
 
 // WriteResult describes how a write (GETX/upgrade) is serviced.
@@ -63,6 +66,9 @@ type WriteResult struct {
 	Invalidates []int // other nodes whose copies must be invalidated
 	Migratory   bool  // line classified migratory (after this request)
 	WasShared   bool  // the write required coherence action on others
+	// Sharers is the number of nodes that cached the line (owner included)
+	// when the request arrived, before this transaction changed the state.
+	Sharers int
 }
 
 // Directory is the machine-wide directory (conceptually distributed across
@@ -169,6 +175,10 @@ func (d *Directory) Read(node int, lineAddr uint64) ReadResult {
 		e = newEntry()
 	}
 	res := ReadResult{Source: SrcMemory, Owner: noNode, Migratory: e.migratory, Downgrade: noNode}
+	res.Sharers = bits.OnesCount64(e.sharers)
+	if e.owner != noNode {
+		res.Sharers++
+	}
 	res.Downgrade = d.resolveExcl(&e, lineAddr, node)
 	switch {
 	case e.owner == int8(node):
@@ -226,6 +236,10 @@ func (d *Directory) Write(node int, lineAddr uint64) WriteResult {
 	}
 	d.invBuf = d.invBuf[:0]
 	res := WriteResult{Source: SrcMemory, Owner: noNode}
+	res.Sharers = bits.OnesCount64(e.sharers)
+	if e.owner != noNode {
+		res.Sharers++
+	}
 
 	// A clean-Exclusive grantee either becomes the recorded dirty owner
 	// (cache-to-cache below) or a plain sharer (invalidated below).

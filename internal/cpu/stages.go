@@ -415,6 +415,9 @@ func (c *Core) retireStage(now uint64) {
 		}
 		c.ctx.Retired++
 		c.Retired++
+		if c.trc != nil {
+			c.trc.RetireSlot(c.id, e.in.PC, 1/float64(width))
+		}
 		c.headSeq++
 		retired++
 	}
@@ -423,8 +426,12 @@ func (c *Core) retireStage(now uint64) {
 		return
 	}
 	frac := float64(width-retired) / float64(width)
-	if !stalled {
-		// Window empty: charge the fetch-side reason.
+	stallPC := uint64(0)
+	if stalled {
+		stallPC = c.entry(c.headSeq).in.PC
+	} else {
+		// Window empty: charge the fetch-side reason (PC 0 marks the
+		// frontend in the stall profile).
 		if c.pendingSys || c.streamEnded {
 			return // transition cycles; the scheduler accounts switches
 		}
@@ -435,6 +442,9 @@ func (c *Core) retireStage(now uint64) {
 		}
 	}
 	c.Bk[stallCat] += frac
+	if c.trc != nil {
+		c.trc.StallSlot(c.id, c.ctx.ID, stallPC, stallCat, frac, now)
+	}
 }
 
 // readCategory maps a load's service point to its stall category.
@@ -523,6 +533,9 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 					e.waited = true
 				}
 				c.LockSpins++
+				if c.trc != nil {
+					c.trc.LockSpin(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now)
+				}
 				return false, stats.Sync
 			}
 			// The winning read-modify-write brings the lock line in
@@ -530,6 +543,9 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 			res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
 			e.issuedMem = true
 			e.complete = res.Done
+			if c.trc != nil {
+				c.trc.LockAcquired(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now, e.complete)
+			}
 		}
 		if e.complete > now {
 			return false, stats.Sync
@@ -551,6 +567,9 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 				return false, stats.Sync
 			}
 			c.locks.Release(e.in.Addr, c.ctx.ID, e.complete)
+			if c.trc != nil {
+				c.trc.LockReleased(c.id, c.ctx.ID, e.in.Addr, e.complete)
+			}
 			c.ctx.csDepth--
 			return true, 0
 		}
@@ -713,6 +732,9 @@ func (c *Core) drainWbuf(now uint64) {
 		case w.issued && w.done <= now:
 			if w.release {
 				c.locks.Release(w.addr, c.ctx.ID, w.done)
+				if c.trc != nil {
+					c.trc.LockReleased(c.id, c.ctx.ID, w.addr, w.done)
+				}
 			}
 		default:
 			return

@@ -1,0 +1,35 @@
+// Address-space region naming for profiling and tracing reports: the
+// inverse of the layout constants in layout.go.
+
+package db
+
+// Region names the address-space region an address falls in, using the
+// same names throughout traces and reports: "code", "meta" (latches,
+// block headers, hash buckets, statistics), "plan" (shared read-mostly
+// plan/dictionary), "buffer" (buffer-cache block frames), "private"
+// (per-process heaps/stacks), or "other".
+func Region(addr uint64) string {
+	switch {
+	case addr >= PrivBase:
+		return "private"
+	case addr >= BufBase:
+		return "buffer"
+	case addr >= SharedPlanBase:
+		return "plan"
+	case addr >= MetaBase:
+		return "meta"
+	case addr >= CodeBase:
+		return "code"
+	default:
+		return "other"
+	}
+}
+
+// BlockOf returns the buffer-cache block index containing addr, or false
+// when addr is not inside a block frame.
+func BlockOf(addr uint64) (int, bool) {
+	if addr < BufBase || addr >= PrivBase {
+		return 0, false
+	}
+	return int((addr - BufBase) / BlockBytes), true
+}

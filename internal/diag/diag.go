@@ -38,8 +38,9 @@ type CoreState struct {
 // MSHRLine is one in-flight miss (the memory system's transient state).
 type MSHRLine struct {
 	LineAddr uint64 `json:"line"`
-	Done     uint64 `json:"done"`            // cycle the fill completes
-	Write    bool   `json:"write,omitempty"` // exclusive (GETX/upgrade) request
+	Done     uint64 `json:"done"`               // cycle the fill completes
+	AllocAt  uint64 `json:"alloc_at,omitempty"` // cycle the register was taken
+	Write    bool   `json:"write,omitempty"`    // exclusive (GETX/upgrade) request
 }
 
 // MSHRState is one miss file's occupancy.

@@ -97,13 +97,21 @@ func Validation(sc Scale) (*Result, error) {
 		}
 		reports = append(reports, rep)
 		// Throughput scaling: the same per-process work runs on more CPUs;
-		// compare transactions per cycle via instructions per cycle.
-		times = append(times, float64(rep.Instructions)/float64(rep.Cycles))
+		// compare transactions per cycle via instructions per cycle. A run
+		// that retired nothing (Cycles == 0) reports zero, not NaN.
+		ipc, idle := 0.0, 0.0
+		if rep.Cycles > 0 {
+			ipc = float64(rep.Instructions) / float64(rep.Cycles)
+			idle = rep.IdleCycles / float64(rep.Cycles*uint64(nodes))
+		}
+		times = append(times, ipc)
 		fmt.Fprintf(&sb, "%dP: machine throughput %.2f instr/cycle, lock contention %.1f%%, idle %.0f%%\n",
-			nodes, times[len(times)-1], rep.SyncContention*100,
-			rep.IdleCycles/float64(rep.Cycles*uint64(nodes))*100)
+			nodes, ipc, rep.SyncContention*100, idle*100)
 	}
-	speedup := times[2] / times[0]
+	speedup := 0.0
+	if times[0] > 0 {
+		speedup = times[2] / times[0]
+	}
 	fmt.Fprintf(&sb, "1P -> 4P throughput scaling: %.2fx\n", speedup)
 	fmt.Fprintf(&sb, "(Section 2.3: speedup and locking behaviour verified against the real platform;\n")
 	fmt.Fprintf(&sb, " most OLTP lock accesses are contentionless.)\n")

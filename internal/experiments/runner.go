@@ -14,6 +14,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 	"repro/internal/workload/dss"
 	"repro/internal/workload/oltp"
 )
@@ -52,6 +53,13 @@ type Scale struct {
 	// core.Run, and closes the pipeline when the run finishes — so a
 	// sweep gets one series file per run point.
 	Telemetry func(label string) *telemetry.Pipeline
+
+	// Tracer, when non-nil, records the run's cycle-resolved event stream
+	// (internal/tracing). Like Telemetry it is a pure observer and does not
+	// participate in the spec hash. The runner installs the workload's
+	// PC-to-routine resolver; the caller owns export. Intended for single
+	// runs (cmd/dbsim) — a sweep would overwrite the tracer per point.
+	Tracer *tracing.Tracer
 }
 
 // pipelineFor resolves the per-run telemetry pipeline (nil when disabled).
@@ -101,6 +109,9 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 		pipe.RegisterProbe("txns_committed", func() uint64 { return w.Transactions })
 		defer func() { _ = pipe.Close() }()
 	}
+	if sc.Tracer != nil {
+		sc.Tracer.SetResolver(w.Resolve)
+	}
 	warmup := uint64(sc.OLTPWarmupTx) * uint64(wcfg.Processes) * w.ApproxInstrPerTx()
 	rep, err := sys.Run(core.RunOptions{
 		Label:              label,
@@ -110,6 +121,7 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 		WatchdogWindow:     sc.WatchdogWindow,
 		DisableWatchdog:    sc.DisableWatchdog,
 		Telemetry:          pipe,
+		Tracer:             sc.Tracer,
 	})
 	if err != nil {
 		return rep, fmt.Errorf("experiments: OLTP %q: %w", label, err)
@@ -145,6 +157,9 @@ func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
 		pipe.RegisterProbe("rows_scanned", func() uint64 { return w.RowsScanned })
 		defer func() { _ = pipe.Close() }()
 	}
+	if sc.Tracer != nil {
+		sc.Tracer.SetResolver(w.Resolve)
+	}
 	// Warm up over the first ~30% of the scan (one pass of the per-process
 	// work area through the L2).
 	warmup := uint64(wcfg.Processes) * w.ApproxInstrPerProcess() * 3 / 10
@@ -156,6 +171,7 @@ func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
 		WatchdogWindow:     sc.WatchdogWindow,
 		DisableWatchdog:    sc.DisableWatchdog,
 		Telemetry:          pipe,
+		Tracer:             sc.Tracer,
 	})
 	if err != nil {
 		return rep, fmt.Errorf("experiments: DSS %q: %w", label, err)
@@ -197,9 +213,9 @@ type PointSpec struct {
 	Faults config.FaultConfig `json:"faults"`
 }
 
-// Spec returns the hashed identity of experiment id under sc. Context and
-// Telemetry deliberately do not participate: cancellation plumbing and
-// observer sinks change no simulated outcome.
+// Spec returns the hashed identity of experiment id under sc. Context,
+// Telemetry, and Tracer deliberately do not participate: cancellation
+// plumbing and observer sinks change no simulated outcome.
 func (sc Scale) Spec(id string) PointSpec {
 	return PointSpec{
 		Experiment:       id,

@@ -66,7 +66,16 @@ func (h *Hierarchy) DataRead(vaddr, pc uint64, now uint64, inCS bool) Result {
 	for h.l1dMSHR.Full(hitT) {
 		hitT = h.l1dMSHR.NextFree()
 	}
+	if h.trc != nil {
+		h.trc.BeginMiss(h.node, pc, now, false, inCS)
+		h.trc.MissMSHR(hitT)
+	}
 	done, class, mig := h.l2Access(paddr, home, hitT, false, pc, inCS)
+	if h.trc != nil {
+		// Events carry the virtual line-aligned address (physical pages are
+		// first-touch allocated, so only virtual addresses name db regions).
+		h.trc.EndMiss(h.traceLine(vaddr), done, uint8(class), mig, tlbMiss)
+	}
 	h.l1dMSHR.Allocate(cache.MSHR{LineAddr: la, Done: done, Class: uint8(class), Read: true}, hitT)
 	h.handleL1DEviction(h.l1d.Insert(paddr, cache.Shared))
 	return Result{Done: done, LineAddr: la, Class: class, TLBMiss: tlbMiss, Migratory: mig}
@@ -94,7 +103,14 @@ func (h *Hierarchy) DataWrite(vaddr, pc uint64, now uint64, inCS bool) Result {
 		}
 		// A read fill is outstanding; the exclusive request chains after
 		// it through the L2 (likely an upgrade by then).
+		if h.trc != nil {
+			h.trc.BeginMiss(h.node, pc, now, true, inCS)
+			h.trc.MissMSHR(maxU(hitT, m.Done))
+		}
 		done, class, mig := h.l2Access(paddr, home, maxU(hitT, m.Done), true, pc, inCS)
+		if h.trc != nil {
+			h.trc.EndMiss(h.traceLine(vaddr), done, uint8(class), mig, tlbMiss)
+		}
 		h.l1d.Insert(paddr, cache.Modified)
 		return Result{Done: done, LineAddr: la, Class: class, TLBMiss: tlbMiss, Migratory: mig}
 	}
@@ -116,10 +132,23 @@ func (h *Hierarchy) DataWrite(vaddr, pc uint64, now uint64, inCS bool) Result {
 	for h.l1dMSHR.Full(hitT) {
 		hitT = h.l1dMSHR.NextFree()
 	}
+	if h.trc != nil {
+		h.trc.BeginMiss(h.node, pc, now, true, inCS)
+		h.trc.MissMSHR(hitT)
+	}
 	done, class, mig := h.l2Access(paddr, home, hitT, true, pc, inCS)
+	if h.trc != nil {
+		h.trc.EndMiss(h.traceLine(vaddr), done, uint8(class), mig, tlbMiss)
+	}
 	h.l1dMSHR.Allocate(cache.MSHR{LineAddr: la, Done: done, Class: uint8(class), Write: true}, hitT)
 	h.handleL1DEviction(h.l1d.Insert(paddr, cache.Modified))
 	return Result{Done: done, LineAddr: la, Class: class, TLBMiss: tlbMiss, Migratory: mig}
+}
+
+// traceLine aligns a virtual address to the coherence (L2 line)
+// granularity for event tagging.
+func (h *Hierarchy) traceLine(vaddr uint64) uint64 {
+	return vaddr >> h.l2.LineShift() << h.l2.LineShift()
 }
 
 // handleL1DEviction folds a dirty L1D victim back into the (inclusive) L2
@@ -218,6 +247,9 @@ func (h *Hierarchy) handleL2Eviction(ev cache.Eviction, now uint64) {
 	}
 	if ev.State == cache.Modified {
 		s.dir.Writeback(h.node, ev.LineAddr)
+		if h.trc != nil {
+			h.trc.Writeback(h.node, ev.LineAddr<<h.l2.LineShift(), now)
+		}
 		// Fire-and-forget write-back: occupy bus, network, and bank.
 		t := acquireAt(&s.busReqBusy[h.node], now, busOccupancy) + uint64(s.cfg.BusCycles)
 		t = s.send(h.node, home, s.cfg.DataFlits, t)
@@ -241,21 +273,28 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 	// Out over the node bus, across the network, into the home directory.
 	t := acquireAt(&s.busReqBusy[h.node], now, busOccupancy) + uint64(cfg.BusCycles)
 	t = s.send(h.node, home, cfg.CtrlFlits, t)
+	reqQueue := s.net.LastQueued()
 	t = acquireAt(&s.dirBusy[home], t, uint64(cfg.DirCycles)) + uint64(cfg.DirCycles)
 
 	// Injected directory NACKs: the home bounces the request, the requester
 	// backs off and retries, bounded so the transaction always completes.
 	// Timing-only — protocol state is untouched until the request is
 	// accepted, so retired-instruction counts match a fault-free run.
+	retries := 0
 	for attempt := 0; s.faults.NACK(attempt); attempt++ {
 		t = s.send(home, h.node, cfg.CtrlFlits, t)
 		t += s.faults.Backoff(attempt)
 		t = s.send(h.node, home, cfg.CtrlFlits, t)
 		t = acquireAt(&s.dirBusy[home], t, uint64(cfg.DirCycles)) + uint64(cfg.DirCycles)
+		retries++
 	}
+	dirAt := t
 
 	if !write {
 		res := s.dir.Read(h.node, lineAddr)
+		if h.trc != nil {
+			h.trc.MissDir(home, dirAt, s.net.Hops(h.node, home), retries, res.Sharers, reqQueue)
+		}
 		mig = res.Migratory
 		if res.Downgrade >= 0 {
 			// A clean-Exclusive holder folds to Shared so any later write
@@ -268,6 +307,9 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 			t = s.send(home, res.Owner, cfg.CtrlFlits, t)
 			ot := acquire(owner.l2Ports, t, 1)
 			t = ot + uint64(cfg.L2.HitCycles) + uint64(cfg.InterventionCycles)
+			if h.trc != nil {
+				h.trc.MissSource(t, res.Owner)
+			}
 			grant = cache.Shared
 			if res.MigratoryTransfer {
 				// Adaptive migratory protocol: ownership moves with the
@@ -293,6 +335,9 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 			bank := lineAddr % uint64(cfg.MemBanks)
 			mt := acquireAt(&s.bankBusy[home][bank], t, uint64(cfg.MemoryCycles))
 			t = mt + uint64(cfg.MemoryCycles)
+			if h.trc != nil {
+				h.trc.MissSource(t, -1)
+			}
 			t = s.send(home, h.node, cfg.DataFlits, t)
 			t = acquireAt(&s.busRespBusy[h.node], t, busOccupancy) + uint64(cfg.BusCycles)
 			if home == h.node {
@@ -309,6 +354,9 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 	}
 
 	res := s.dir.Write(h.node, lineAddr)
+	if h.trc != nil {
+		h.trc.MissDir(home, dirAt, s.net.Hops(h.node, home), retries, res.Sharers, reqQueue)
+	}
 	mig = res.Migratory
 	grant = cache.Modified
 	if res.WasShared && res.Migratory {
@@ -345,6 +393,9 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 		ft := s.send(home, res.Owner, cfg.CtrlFlits, t)
 		ot := acquire(owner.l2Ports, ft, 1)
 		dt := ot + uint64(cfg.L2.HitCycles) + uint64(cfg.InterventionCycles)
+		if h.trc != nil {
+			h.trc.MissSource(dt, res.Owner)
+		}
 		owner.applyInvalidation(lineAddr)
 		t = s.send(res.Owner, h.node, cfg.DataFlits, maxU(dt, ackT))
 		t = acquireAt(&s.busRespBusy[h.node], t, busOccupancy) + uint64(cfg.BusCycles)
@@ -354,6 +405,9 @@ func (h *Hierarchy) dirTransaction(lineAddr uint64, home int, now uint64, write 
 		bank := lineAddr % uint64(cfg.MemBanks)
 		mt := acquireAt(&s.bankBusy[home][bank], t, uint64(cfg.MemoryCycles))
 		dataReady := mt + uint64(cfg.MemoryCycles)
+		if h.trc != nil {
+			h.trc.MissSource(dataReady, -1)
+		}
 		t = s.send(home, h.node, cfg.DataFlits, maxU(dataReady, ackT))
 		t = acquireAt(&s.busRespBusy[h.node], t, busOccupancy) + uint64(cfg.BusCycles)
 		if home == h.node {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/tlb"
+	"repro/internal/tracing"
 )
 
 // Class says where an access was serviced; it maps onto the read-stall
@@ -258,6 +259,7 @@ type Hierarchy struct {
 	l2Ports  []uint64
 
 	invalHook InvalidationHook
+	trc       *tracing.Tracer // nil = tracing disabled (pure-observer hooks)
 
 	// Statistics beyond the per-cache counters.
 	IFetchSBHits      uint64 // L1I misses satisfied by the stream buffer
@@ -346,6 +348,10 @@ func (h *Hierarchy) DTLB() *tlb.TLB { return h.dtlb }
 
 // StreamBuffer returns the instruction stream buffer (nil when disabled).
 func (h *Hierarchy) StreamBuffer() *cache.StreamBuffer { return h.sbuf }
+
+// SetTracer attaches (or with nil detaches) the event tracer. The tracer
+// is a pure observer of the access paths: it never changes timing.
+func (h *Hierarchy) SetTracer(t *tracing.Tracer) { h.trc = t }
 
 // SetInvalidationHook registers the processor's violation detector.
 func (h *Hierarchy) SetInvalidationHook(f InvalidationHook) { h.invalHook = f }

@@ -28,6 +28,8 @@ type Mesh struct {
 	FlitsCarried uint64
 	TotalLatency uint64 // sum of (arrival - injected)
 	QueueCycles  uint64 // portion of latency due to contention
+
+	lastQueued uint64 // contention suffered by the most recent Send
 }
 
 // New builds a mesh for n nodes arranged in the squarest grid with
@@ -110,6 +112,7 @@ func (m *Mesh) route(src, dst int, links []int) []int {
 // returns the cycle at which the full message has arrived at dst. Sending
 // to the local node returns now (no network traversal).
 func (m *Mesh) Send(src, dst int, flits int, now uint64) uint64 {
+	m.lastQueued = 0
 	if src == dst {
 		return now
 	}
@@ -143,8 +146,14 @@ func (m *Mesh) Send(src, dst int, flits int, now uint64) uint64 {
 	m.FlitsCarried += uint64(flits)
 	m.TotalLatency += arrival - now
 	m.QueueCycles += queued
+	m.lastQueued = queued
 	return arrival
 }
+
+// LastQueued returns the contention (queueing) cycles suffered by the
+// most recent Send — per-message detail for event tracing, where the
+// cumulative QueueCycles counter only gives interval averages.
+func (m *Mesh) LastQueued() uint64 { return m.lastQueued }
 
 // Nodes returns the number of routers in the mesh.
 func (m *Mesh) Nodes() int { return m.cols * m.rows }

@@ -192,6 +192,22 @@ func (r *Report) Normalized(base *Report) Breakdown {
 	return out
 }
 
+// Percentages returns each category as a percentage of the breakdown's
+// total. An empty breakdown (total 0, e.g. an interval sampled before any
+// cycle was charged, or a run that never left warm-up) yields all zeros
+// rather than NaN.
+func (b *Breakdown) Percentages() Breakdown {
+	var out Breakdown
+	t := b.Total()
+	if t == 0 {
+		return out
+	}
+	for i := range b {
+		out[i] = b[i] / t * 100
+	}
+	return out
+}
+
 // FormatBreakdownTable renders reports as the paper's stacked-bar data:
 // normalized execution time split into CPU / instr / read / write / sync,
 // with the leftmost report as the normalization base.

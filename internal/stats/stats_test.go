@@ -187,3 +187,22 @@ func TestSpeedupTable(t *testing.T) {
 		t.Error("empty input should render nothing")
 	}
 }
+
+// TestPercentagesZeroTotal checks the NaN guard: an empty breakdown must
+// report all-zero percentages, not 0/0.
+func TestPercentagesZeroTotal(t *testing.T) {
+	var b Breakdown
+	p := b.Percentages()
+	for i := range p {
+		if p[i] != 0 {
+			t.Errorf("category %v = %f, want 0 for empty breakdown", Category(i), p[i])
+		}
+	}
+
+	b[Busy] = 3
+	b[Sync] = 1
+	p = b.Percentages()
+	if p[Busy] != 75 || p[Sync] != 25 {
+		t.Errorf("percentages = busy %f sync %f, want 75/25", p[Busy], p[Sync])
+	}
+}

@@ -4,9 +4,7 @@ import (
 	"bufio"
 	"encoding/csv"
 	"encoding/json"
-	"fmt"
 	"io"
-	"os"
 	"sort"
 	"strconv"
 
@@ -27,11 +25,12 @@ func NewJSONLSink(wc io.WriteCloser) *JSONLSink {
 	return &JSONLSink{w: bw, c: wc, enc: json.NewEncoder(bw)}
 }
 
-// OpenJSONLSink creates (truncating) a JSONL series file at path.
+// OpenJSONLSink creates (truncating) a JSONL series file at path,
+// creating missing parent directories.
 func OpenJSONLSink(path string) (*JSONLSink, error) {
-	f, err := os.Create(path)
+	f, err := CreateFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("telemetry: %w", err)
+		return nil, err
 	}
 	return NewJSONLSink(f), nil
 }
@@ -64,11 +63,12 @@ func NewCSVSink(wc io.WriteCloser) *CSVSink {
 	return &CSVSink{w: csv.NewWriter(wc), c: wc}
 }
 
-// OpenCSVSink creates (truncating) a CSV series file at path.
+// OpenCSVSink creates (truncating) a CSV series file at path, creating
+// missing parent directories.
 func OpenCSVSink(path string) (*CSVSink, error) {
-	f, err := os.Create(path)
+	f, err := CreateFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("telemetry: %w", err)
+		return nil, err
 	}
 	return NewCSVSink(f), nil
 }

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CreateFile creates path for writing, creating missing parent
+// directories first. Sinks and exporters route file creation through
+// this so pointing an output flag at a not-yet-existing directory works
+// and a failure names the directory instead of surfacing a bare open
+// error.
+func CreateFile(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" && dir != string(filepath.Separator) {
+		if err := os.MkdirAll(dir, 0o777); err != nil {
+			return nil, fmt.Errorf("telemetry: creating output directory %s: %w", dir, err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: creating %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Table is a generic named aggregate table (column header plus string
+// rows) that renders to CSV or JSON — the export shape for end-of-run
+// aggregates, as opposed to the per-interval Sample stream.
+type Table struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTablesCSV writes the tables to path as CSV: each table preceded
+// by a "# name" comment row, then its header, then its rows.
+func WriteTablesCSV(path string, tables []*Table) error {
+	f, err := CreateFile(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	for _, t := range tables {
+		if err := w.Write([]string{"# " + t.Name}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Write(t.Columns); err != nil {
+			f.Close()
+			return err
+		}
+		for _, row := range t.Rows {
+			if err := w.Write(row); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTablesJSON writes the tables to path as one indented JSON array.
+func WriteTablesJSON(path string, tables []*Table) error {
+	f, err := CreateFile(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tables); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

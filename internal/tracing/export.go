@@ -1,0 +1,99 @@
+// Aggregate export through the telemetry table machinery: the three
+// reports as generic tables that dbsim writes as JSON or CSV next to the
+// interval series.
+
+package tracing
+
+import (
+	"strconv"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 9, 64) }
+func utoa(v uint64) string  { return strconv.FormatUint(v, 10) }
+
+// Tables renders the analysis as telemetry tables: the top-N stall
+// sites, the per-operation rollup, the migratory-sharing attribution,
+// and the latency histograms. resolve may be nil.
+func (a *Analysis) Tables(resolve func(uint64) string, topN int) []*telemetry.Table {
+	catCols := make([]string, 0, int(stats.NumCategories))
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		catCols = append(catCols, c.String())
+	}
+
+	sites := &telemetry.Table{
+		Name:    "stall_sites",
+		Columns: append([]string{"pc", "op", "stall_cycles"}, catCols...),
+	}
+	for _, r := range a.StallProfile(resolve, topN) {
+		row := []string{hexAddr(r.PC), r.Op, ftoa(r.Stall())}
+		for _, v := range r.ByCat {
+			row = append(row, ftoa(v))
+		}
+		sites.Rows = append(sites.Rows, row)
+	}
+
+	ops := &telemetry.Table{
+		Name:    "stall_operations",
+		Columns: append([]string{"op", "stall_cycles"}, catCols...),
+	}
+	for _, r := range a.OperationProfile(resolve) {
+		row := []string{r.Op, ftoa(r.Stall())}
+		for _, v := range r.ByCat {
+			row = append(row, ftoa(v))
+		}
+		ops.Rows = append(ops.Rows, row)
+	}
+
+	mig, non, rows := a.MigratorySummary(topN)
+	sharing := &telemetry.Table{
+		Name: "migratory_sharing",
+		Columns: []string{
+			"line", "region", "block", "classification", "tenures",
+			"owning_tenures", "misses", "dirty_misses", "dirty_cycles", "protocol_agree",
+		},
+	}
+	addTotals := func(label string, t MigratoryTotals) {
+		sharing.AddRow("total", "-", "-", label, "-", "-", "-",
+			utoa(t.DirtyMisses), utoa(t.DirtyCycles), "-")
+	}
+	addTotals("migratory", mig)
+	addTotals("non-migratory", non)
+	for _, r := range rows {
+		class := "non-migratory"
+		if r.Migratory {
+			class = "migratory"
+		}
+		blk := "-"
+		if r.Block >= 0 {
+			blk = strconv.Itoa(r.Block)
+		}
+		sharing.AddRow(hexAddr(r.Line), r.Region, blk, class,
+			utoa(uint64(r.Tenures)), utoa(uint64(r.Owning)), utoa(r.Misses),
+			utoa(r.DirtyMisses), utoa(r.DirtyCycles), ftoa(r.ProtocolAgree))
+	}
+
+	lat := &telemetry.Table{
+		Name:    "miss_latency",
+		Columns: []string{"class", "count", "sum_cycles", "mean", "min", "max"},
+	}
+	for _, b := range LatencyBounds {
+		lat.Columns = append(lat.Columns, "lt_"+utoa(b))
+	}
+	lat.Columns = append(lat.Columns, "ge_"+utoa(LatencyBounds[len(LatencyBounds)-1]))
+	for c := Class(0); c < NumClasses; c++ {
+		h := &a.Lat[c]
+		if h.Count == 0 {
+			continue
+		}
+		row := []string{c.String(), utoa(h.Count), utoa(h.Sum), ftoa(h.Mean()), utoa(h.Min), utoa(h.Max)}
+		for _, n := range h.Buckets {
+			row = append(row, utoa(n))
+		}
+		lat.Rows = append(lat.Rows, row)
+	}
+
+	return []*telemetry.Table{sites, ops, sharing, lat}
+}

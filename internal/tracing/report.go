@@ -1,0 +1,123 @@
+// Plain-text renderings of the three aggregate reports, shared by dbsim
+// and traceview so both print identical tables.
+
+package tracing
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// FormatStallProfile renders the stall-attribution profile: one row per
+// site (or engine operation for rollup rows), busy and stall cycles, and
+// the dominant stall categories. reference, when non-nil, is the
+// simulator's own CPI breakdown; the footer then reports how closely the
+// profile reconciles with it.
+func FormatStallProfile(rows []ProfileRow, totals stats.Breakdown, reference *stats.Breakdown) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-10s %12s %12s | %10s %10s %10s %10s %10s\n",
+		"pc", "op", "busy", "stall", "instr", "read_dirty", "read_other", "write", "sync")
+	for _, r := range rows {
+		pc := "-"
+		if r.PC != 0 || r.Op == "" {
+			pc = fmt.Sprintf("%#x", r.PC)
+		}
+		op := r.Op
+		if op == "" {
+			op = "?"
+		}
+		readOther := r.ByCat.Read() - r.ByCat[stats.ReadDirty]
+		fmt.Fprintf(&sb, "%-12s %-10s %12.0f %12.0f | %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+			pc, op, r.ByCat[stats.Busy], r.Stall(),
+			r.ByCat[stats.Instr], r.ByCat[stats.ReadDirty], readOther,
+			r.ByCat[stats.Write], r.ByCat[stats.Sync])
+	}
+	pct := totals.Percentages()
+	fmt.Fprintf(&sb, "total %.0f slot-cycles: busy %.1f%%, cpu_stall %.1f%%, instr %.1f%%, read %.1f%%, write %.1f%%, sync %.1f%%\n",
+		totals.Total(), pct[stats.Busy], pct[stats.CPUStall], pct[stats.Instr],
+		pct[stats.ReadL1]+pct[stats.ReadL2]+pct[stats.ReadLocal]+pct[stats.ReadRemote]+pct[stats.ReadDirty]+pct[stats.ReadDTLB],
+		pct[stats.Write], pct[stats.Sync])
+	if reference != nil {
+		fmt.Fprintf(&sb, "reconciliation vs simulator breakdown: max category error %.3f%%\n",
+			ReconcileError(totals, *reference)*100)
+	}
+	return sb.String()
+}
+
+// ReconcileError returns the largest per-category absolute difference
+// between two breakdowns, as a fraction of the reference total (0 when
+// the reference is empty).
+func ReconcileError(got, ref stats.Breakdown) float64 {
+	t := ref.Total()
+	if t == 0 {
+		return 0
+	}
+	var worst float64
+	for i := range ref {
+		if d := math.Abs(got[i] - ref[i]) / t; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// FormatMigratory renders the paper-§6-style dirty-miss attribution:
+// the migratory vs non-migratory split, then the top individual lines.
+func FormatMigratory(mig, non MigratoryTotals, rows []MigratoryRow) string {
+	var sb strings.Builder
+	totalCycles := mig.DirtyCycles + non.DirtyCycles
+	pct := func(c uint64) float64 {
+		if totalCycles == 0 {
+			return 0
+		}
+		return float64(c) / float64(totalCycles) * 100
+	}
+	fmt.Fprintf(&sb, "%-14s %8s %12s %14s %8s\n", "sharing", "lines", "dirty misses", "dirty cycles", "time%")
+	fmt.Fprintf(&sb, "%-14s %8d %12d %14d %7.1f%%\n", "migratory", mig.Lines, mig.DirtyMisses, mig.DirtyCycles, pct(mig.DirtyCycles))
+	fmt.Fprintf(&sb, "%-14s %8d %12d %14d %7.1f%%\n", "non-migratory", non.Lines, non.DirtyMisses, non.DirtyCycles, pct(non.DirtyCycles))
+	if len(rows) == 0 {
+		return sb.String()
+	}
+	sb.WriteString("\ntop lines by dirty-miss cycles:\n")
+	fmt.Fprintf(&sb, "%-12s %-8s %7s %8s %7s %12s %14s %-10s %9s\n",
+		"line", "region", "block", "tenures", "owning", "dirty misses", "dirty cycles", "class", "protocol%")
+	for _, r := range rows {
+		blk := "-"
+		if r.Block >= 0 {
+			blk = fmt.Sprintf("%d", r.Block)
+		}
+		class := "non-migratory"
+		if r.Migratory {
+			class = "migratory"
+		}
+		fmt.Fprintf(&sb, "%#-12x %-8s %7s %8d %7d %12d %14d %-10s %8.0f%%\n",
+			r.Line, r.Region, blk, r.Tenures, r.Owning, r.DirtyMisses, r.DirtyCycles,
+			class, r.ProtocolAgree*100)
+	}
+	return sb.String()
+}
+
+// FormatLatency renders the per-class miss-latency histograms.
+func FormatLatency(lat *[NumClasses]LatencyHist) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %10s %9s %6s %6s |", "class", "misses", "mean", "min", "max")
+	for _, b := range LatencyBounds {
+		fmt.Fprintf(&sb, " %6s", fmt.Sprintf("<%d", b))
+	}
+	fmt.Fprintf(&sb, " %6s\n", fmt.Sprintf(">=%d", LatencyBounds[len(LatencyBounds)-1]))
+	for c := Class(0); c < NumClasses; c++ {
+		h := &lat[c]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-8s %10d %9.1f %6d %6d |", c, h.Count, h.Mean(), h.Min, h.Max)
+		for _, n := range h.Buckets {
+			fmt.Fprintf(&sb, " %6d", n)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

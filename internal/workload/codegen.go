@@ -30,8 +30,9 @@ func SiteChoice(pc uint64, n int) int {
 
 // CodeSpace allocates routine PCs within a text segment.
 type CodeSpace struct {
-	base uint64
-	next uint64
+	base     uint64
+	next     uint64
+	routines []*Routine
 }
 
 // NewCodeSpace starts a text segment at base.
@@ -53,7 +54,34 @@ type Routine struct {
 func (cs *CodeSpace) NewRoutine(name string, size int) *Routine {
 	r := &Routine{Name: name, Base: cs.next, End: cs.next + uint64(size)}
 	cs.next += uint64(size)
+	cs.routines = append(cs.routines, r)
 	return r
+}
+
+// Routines returns the allocated routines in layout (address) order.
+func (cs *CodeSpace) Routines() []*Routine { return cs.routines }
+
+// Resolve maps a PC back to the routine containing it. Routines are
+// allocated at monotonically increasing addresses, so a binary search over
+// Base suffices.
+func (cs *CodeSpace) Resolve(pc uint64) (string, bool) {
+	lo, hi := 0, len(cs.routines)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cs.routines[mid].Base <= pc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return "", false
+	}
+	r := cs.routines[lo-1]
+	if pc >= r.End {
+		return "", false
+	}
+	return r.Name, true
 }
 
 // Emitter produces instructions with consistent PCs, register rotation,

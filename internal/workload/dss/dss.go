@@ -82,6 +82,9 @@ func New(cfg Config) *Workload {
 // LineItem exposes the table for verification.
 func (w *Workload) LineItem() *db.LineItem { return w.li }
 
+// Resolve maps a PC to the query-plan routine containing it (for profilers).
+func (w *Workload) Resolve(pc uint64) (string, bool) { return w.cs.Resolve(pc) }
+
 // ExpectedRevenue returns the Query 6 aggregate for process proc's scan.
 func (w *Workload) ExpectedRevenue(proc int) int64 {
 	return w.li.PartitionRevenue(proc, w.cfg.RowsPerProcess)

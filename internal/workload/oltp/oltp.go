@@ -130,6 +130,9 @@ func New(cfg Config) *Workload {
 // Footprint returns the instruction footprint in bytes (~560KB by default).
 func (w *Workload) Footprint() uint64 { return w.cs.Footprint() }
 
+// Resolve maps a PC to the engine routine containing it (for profilers).
+func (w *Workload) Resolve(pc uint64) (string, bool) { return w.cs.Resolve(pc) }
+
 // TPCB exposes the engine for verification.
 func (w *Workload) TPCB() *db.TPCB { return w.tpcb }
 

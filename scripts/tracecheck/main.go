@@ -1,0 +1,181 @@
+// Command tracecheck validates a Chrome trace-event JSON file written by
+// dbsim -trace-events against the subset of the format the exporter
+// emits, so CI catches schema regressions before a human loads a broken
+// trace into Perfetto. Checks:
+//
+//   - the top level is a JSON object with a traceEvents array;
+//   - every event has a known phase ("X", "i", "s", "f", "M") and a
+//     non-negative ts/pid/tid;
+//   - complete slices ("X") have dur >= 1;
+//   - flow starts ("s") and ends ("f") are paired per id, and ends carry
+//     bp:"e" (Perfetto drops unbound flow ends silently otherwise);
+//   - pid 0 (cpu) and, when directory events exist, pid 1 (dir) have
+//     process_name metadata, and every tid used has thread_name metadata;
+//   - the embedded dbsimAggregates block, when present, parses.
+//
+// Exit status: 0 when the file passes, 1 with one line per violation on
+// stderr when it does not, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	ID   string         `json:"id"`
+	BP   string         `json:"bp"`
+	Args map[string]any `json:"args"`
+}
+
+type file struct {
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+	Aggregates      json.RawMessage `json:"dbsimAggregates"`
+	TraceEvents     []event         `json:"traceEvents"`
+}
+
+type aggregates struct {
+	Categories []string `json:"categories"`
+	Sites      []struct {
+		PC    string    `json:"pc"`
+		ByCat []float64 `json:"by_cat"`
+	} `json:"stall_sites"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "tracecheck: usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+	var f file
+	if err := json.Unmarshal(raw, &f); err != nil {
+		log.Printf("%s: not a trace-event JSON object: %v", path, err)
+		os.Exit(1)
+	}
+
+	var violations []string
+	fail := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	if f.TraceEvents == nil {
+		fail("missing traceEvents array")
+	}
+	if len(f.TraceEvents) == 0 {
+		fail("traceEvents is empty")
+	}
+
+	// Track metadata coverage and flow pairing while walking the events.
+	procNamed := map[int]bool{}
+	threadNamed := map[[2]int]bool{}
+	usedThreads := map[[2]int]bool{}
+	flowStarts := map[string]int{}
+	flowEnds := map[string]int{}
+	for i, ev := range f.TraceEvents {
+		where := fmt.Sprintf("event %d (%s %q)", i, ev.Ph, ev.Name)
+		if ev.Pid == nil || ev.Tid == nil {
+			fail("%s: missing pid/tid", where)
+			continue
+		}
+		if *ev.Pid < 0 || *ev.Tid < 0 {
+			fail("%s: negative pid/tid", where)
+		}
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				procNamed[*ev.Pid] = true
+			case "thread_name":
+				threadNamed[[2]int{*ev.Pid, *ev.Tid}] = true
+			default:
+				fail("%s: unknown metadata record", where)
+			}
+			continue
+		case "X", "i", "s", "f":
+		default:
+			fail("%s: unknown phase", where)
+			continue
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			fail("%s: missing or negative ts", where)
+		}
+		usedThreads[[2]int{*ev.Pid, *ev.Tid}] = true
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 1 {
+				fail("%s: complete slice without dur >= 1", where)
+			}
+		case "s":
+			if ev.ID == "" {
+				fail("%s: flow start without id", where)
+			}
+			flowStarts[ev.ID]++
+		case "f":
+			if ev.ID == "" {
+				fail("%s: flow end without id", where)
+			}
+			if ev.BP != "e" {
+				fail("%s: flow end without bp:\"e\"", where)
+			}
+			flowEnds[ev.ID]++
+		}
+	}
+	for id, n := range flowStarts {
+		if flowEnds[id] != n {
+			fail("flow id %s: %d starts but %d ends", id, n, flowEnds[id])
+		}
+	}
+	for id, n := range flowEnds {
+		if _, ok := flowStarts[id]; !ok {
+			fail("flow id %s: %d ends without a start", id, n)
+		}
+	}
+	for key := range usedThreads {
+		if !procNamed[key[0]] {
+			fail("pid %d used without process_name metadata", key[0])
+			procNamed[key[0]] = true // report each pid once
+		}
+		if !threadNamed[key] {
+			fail("pid %d tid %d used without thread_name metadata", key[0], key[1])
+		}
+	}
+
+	if len(f.Aggregates) > 0 {
+		var agg aggregates
+		if err := json.Unmarshal(f.Aggregates, &agg); err != nil {
+			fail("dbsimAggregates does not parse: %v", err)
+		} else {
+			for _, s := range agg.Sites {
+				if len(s.ByCat) != len(agg.Categories) {
+					fail("aggregate site %s: %d by_cat values for %d categories",
+						s.PC, len(s.ByCat), len(agg.Categories))
+					break
+				}
+			}
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %s\n", path, v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s: %d events OK\n", path, len(f.TraceEvents))
+}
