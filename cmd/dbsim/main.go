@@ -11,6 +11,7 @@
 //	dbsim -workload oltp -telemetry-jsonl series.jsonl -telemetry-interval 50000
 //	dbsim -workload dss -telemetry-http :9090   # live Prometheus endpoint
 //	dbsim -workload oltp -trace-events run.trace.json -trace-profile profile.json
+//	dbsim -workload oltp -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Exit status: 0 on success, 1 when the simulation fails (the diagnostic
 // machine snapshot, if any, is printed to stderr), 2 on flag/usage errors,
@@ -27,6 +28,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -78,6 +81,9 @@ func main() {
 		telCSV      = flag.String("telemetry-csv", "", "write interval telemetry samples to this CSV file")
 		telHTTP     = flag.String("telemetry-http", "", "serve live Prometheus metrics on this address (e.g. :9090)")
 		telInterval = flag.Uint64("telemetry-interval", 0, "telemetry sampling interval in cycles (0 = config default, 100k)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 
 		traceEvents  = flag.String("trace-events", "", "write the cycle-resolved event trace to this Chrome trace-event JSON file (Perfetto-loadable)")
 		traceProfile = flag.String("trace-profile", "", "write the stall/migratory/latency aggregate tables to this file (.csv, else JSON)")
@@ -185,6 +191,11 @@ func main() {
 		fatalUsage("-trace-buf/-trace-sample need -trace-events or -trace-profile")
 	}
 
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var rep *stats.Report
 	switch {
 	case *tracePrefix != "":
@@ -203,6 +214,7 @@ func main() {
 		// A failed run's partial trace is often the most useful diagnostic;
 		// export whatever was recorded before exiting.
 		writeTraceOutputs(trc, *traceEvents, *traceProfile, rep)
+		stopProfiles()
 		log.Print(err)
 		if errors.Is(err, context.Canceled) {
 			os.Exit(3) // interrupted, not failed: the run was draining fine
@@ -215,7 +227,53 @@ func main() {
 		}
 	}
 	writeTraceOutputs(trc, *traceEvents, *traceProfile, rep)
+	stopProfiles()
 	printReport(os.Stdout, cfg, rep)
+}
+
+// startProfiles starts the pprof CPU profile and arranges the heap profile,
+// returning a stop function that finishes both. The stop function is called
+// on every exit path (including failed runs, whose profiles are usually the
+// interesting ones) rather than deferred, because the error paths leave via
+// os.Exit.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	stop := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("warning: %v", err)
+			}
+		}
+	}
+	if memPath == "" {
+		return stop, nil
+	}
+	cpuStop := stop
+	return func() {
+		cpuStop()
+		f, err := os.Create(memPath)
+		if err != nil {
+			log.Printf("warning: %v", err)
+			return
+		}
+		runtime.GC() // materialize the live set before the snapshot
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Printf("warning: writing %s: %v", memPath, werr)
+		}
+	}, nil
 }
 
 // writeTraceOutputs exports the recorded event trace and aggregate

@@ -76,6 +76,7 @@ func main() {
 		telInterval  = flag.Uint64("telemetry-interval", 0, "telemetry sampling interval in cycles (0 = config default, 100k)")
 
 		parallel     = flag.Int("parallel", 1, "worker pool size (points run concurrently; outcomes stay deterministic)")
+		serial       = flag.Bool("serial", false, "run each figure's simulations serially (default: a per-figure pool of up to GOMAXPROCS workers)")
 		journalPath  = flag.String("journal", "", "durable JSONL run journal, appended as each point completes")
 		resume       = flag.Bool("resume", false, "skip points with a terminal record in -journal")
 		retries      = flag.Int("retries", 2, "sweep-wide retry budget for retryable failures")
@@ -107,6 +108,9 @@ func main() {
 		sc = experiments.QuickScale
 	default:
 		fatalUsage("unknown scale %q (default or quick)", *scale)
+	}
+	if *serial {
+		sc.Parallel = 1
 	}
 	if *faultMesh > 0 || *faultNACK > 0 || *faultStall > 0 {
 		sc.Faults = config.FaultConfig{

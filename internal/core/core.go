@@ -32,6 +32,7 @@ import (
 type LockTable struct {
 	owner  map[uint64]int
 	freeAt map[uint64]uint64
+	gen    uint64 // bumped on every release (cached-wake invalidation)
 }
 
 // NewLockTable returns an empty lock table.
@@ -59,7 +60,31 @@ func (t *LockTable) Release(addr uint64, proc int, availableAt uint64) {
 	if o, held := t.owner[addr]; held && o == proc {
 		delete(t.owner, addr)
 		t.freeAt[addr] = availableAt
+		// A release is the one lock transition that can make a spinner's
+		// next interesting cycle earlier than any bound it was given
+		// (NextTry returns EventNever while the lock is held), so the run
+		// loop drops cached per-core wake times when gen changes.
+		t.gen++
 	}
+}
+
+// NextTry implements cpu.LockProber: the next cycle at which a failing
+// TryAcquire by proc could change outcome. Held by proc itself means the
+// idempotent re-acquire succeeds immediately (now+1); held by another
+// process means only the holder's release changes anything, and the
+// holder's own pipeline events already bound that (EventNever); released
+// but cooling down means the freeAt cycle.
+func (t *LockTable) NextTry(addr uint64, proc int, now uint64) uint64 {
+	if o, held := t.owner[addr]; held {
+		if o == proc {
+			return now + 1
+		}
+		return cpu.EventNever
+	}
+	if f := t.freeAt[addr]; now < f {
+		return f
+	}
+	return now + 1
 }
 
 // Held reports whether the lock is currently owned (tests).
@@ -176,6 +201,11 @@ type RunOptions struct {
 	// finished (open spans closed) when the run returns. The caller owns
 	// the tracer and exports it after the run.
 	Tracer *tracing.Tracer
+	// DisableFastForward turns off the event-driven idle-cycle skip and
+	// ticks every cycle instead. Fast-forward is bit-identical by
+	// construction (reports, telemetry, and traces match exactly); the
+	// escape hatch exists for the equivalence tests and for debugging.
+	DisableFastForward bool
 }
 
 // DefaultWatchdogWindow is the default forward-progress window in cycles.
@@ -269,22 +299,65 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 		// still well-formed.
 		defer func() { opt.Tracer.Finish(s.cycle) }()
 	}
+	prevRet := lastRetired
+	// Per-core steady-cycle skip: wake[i] is a cached bound below which core
+	// i provably repeats the same retire-free cycle, so its Tick can be
+	// replaced by the O(1) single-cycle FastForward. The bound is computed
+	// only on retire-free ticks (on busy cores the bookkeeping would be pure
+	// overhead) and is invalidated by the two cross-core channels that can
+	// make a core's next interesting cycle earlier than predicted: a line
+	// invalidation marking one of its speculative loads violated (TakePoked)
+	// and any lock release (LockTable.gen). Everything else that times a
+	// core — its own pipeline, its own scheduler queue, fixed memory
+	// latencies — is already folded into NextEvent.
+	wake := make([]uint64, len(s.cores))
+	coreRet := make([]uint64, len(s.cores))
+	for i, c := range s.cores {
+		coreRet[i] = c.Retired
+	}
+	lockGen := s.locks.gen
 	for {
 		s.cycle++
 		allDone := true
 		for i, c := range s.cores {
-			s.sch.Tick(i, c, s.cycle)
-			c.Tick(s.cycle)
+			if s.locks.gen != lockGen {
+				// A lock was released mid-cycle (by an earlier core's tick) or
+				// since last cycle: drop every cached bound — a spinner's next
+				// successful try may now be due immediately.
+				lockGen = s.locks.gen
+				for k := range wake {
+					wake[k] = 0
+				}
+			}
+			if !opt.DisableFastForward && wake[i] > s.cycle && !c.TakePoked() {
+				s.sch.FastForward(i, c, s.cycle, s.cycle)
+				c.FastForward(s.cycle, s.cycle)
+			} else {
+				s.sch.Tick(i, c, s.cycle)
+				c.Tick(s.cycle)
+				if rr := c.Retired; rr != coreRet[i] {
+					coreRet[i] = rr
+					wake[i] = 0
+				} else if !opt.DisableFastForward {
+					w := s.sch.NextEvent(i, c, s.cycle)
+					if cw := c.NextEvent(s.cycle); cw < w {
+						w = cw
+					}
+					wake[i] = w
+				}
+			}
 			if c.Context() != nil || s.sch.Pending(i) {
 				allDone = false
 			}
 		}
-		if !warmed && s.totalRetired() >= opt.WarmupInstructions {
+		ret := s.totalRetired()
+		if !warmed && ret >= opt.WarmupInstructions {
 			s.ResetStats()
 			if opt.Tracer != nil {
 				opt.Tracer.Reset(s.cycle)
 			}
 			warmed = true
+			ret = s.totalRetired() // counters were just zeroed
 		}
 		if tel != nil {
 			tel.maybeSample(s)
@@ -295,13 +368,13 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 		if opt.MaxCycles > 0 && s.cycle-s.statsStart >= opt.MaxCycles {
 			return s.buildReport(opt.Label), &CycleLimitError{
 				Cycles:   s.cycle - s.statsStart,
-				Retired:  s.totalRetired(),
+				Retired:  ret,
 				Snapshot: s.Snapshot("cycle-limit"),
 			}
 		}
 		if !opt.DisableWatchdog {
-			if n := s.totalRetired(); n != lastRetired {
-				lastRetired, lastProgress = n, s.cycle
+			if ret != lastRetired {
+				lastRetired, lastProgress = ret, s.cycle
 			} else if s.cycle-lastProgress >= window {
 				return s.buildReport(opt.Label), &ProgressError{
 					Cycle:        s.cycle,
@@ -321,12 +394,101 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 				}
 			}
 		}
+		// A retire-free cycle is the fast-forward trigger: only then is it
+		// worth asking every component for its next event. (The skip itself
+		// is correct regardless; this is purely a cost gate.)
+		if !opt.DisableFastForward && ret == prevRet {
+			if s.locks.gen != lockGen {
+				// A core later in this cycle's order released a lock after the
+				// earlier cores' bounds were refreshed: a spinner's next
+				// successful try may precede its cached wake. No jump; the
+				// zeroed bounds force full re-ticking next cycle.
+				lockGen = s.locks.gen
+				for k := range wake {
+					wake[k] = 0
+				}
+			} else {
+				s.fastForward(&opt, window, lastProgress, tel, wake)
+			}
+		}
+		prevRet = ret
 	}
 	s.mem.Finalize(s.cycle)
 	if tel != nil {
 		tel.flush(s)
 	}
 	return s.buildReport(opt.Label), nil
+}
+
+// fastForward jumps s.cycle to just before the machine-wide next event
+// when every component proves the intervening cycles are steady (constant
+// per-cycle bookkeeping, zero state mutation), bulk-applying that
+// bookkeeping so the run is bit-identical to ticking every cycle. The jump
+// is also capped so that every externally timed check in Run — telemetry
+// sample boundaries, the watchdog trip, the MaxCycles trip, the context
+// poll cadence — still happens on exactly the cycle it would have.
+func (s *System) fastForward(opt *RunOptions, window, lastProgress uint64, tel *telemetryState, wake []uint64) {
+	now := s.cycle
+	limit := uint64(cpu.EventNever)
+	// On a machine-wide retire-free cycle every core either skipped (its
+	// cached wake bound still holds) or ticked retire-free and refreshed its
+	// bound, so the machine-wide next event is simply the minimum of the
+	// per-core bounds — no component needs to be asked again, provided the
+	// two cross-core invalidation channels are re-checked here: the caller
+	// rules out lock releases that post-date the refreshes, and pokes are
+	// consumed below. A zero bound (core mid-refresh, e.g. right after the
+	// warm-up counter reset) just means "unknown": no jump this cycle.
+	for i, c := range s.cores {
+		w := wake[i]
+		if c.TakePoked() {
+			// An invalidation landed after this core's bound was cached (a
+			// later core's store this very cycle): the rollback is due at the
+			// violated load's retirement, earlier than the stale bound. Zeroing
+			// the bound forces a re-ticking refresh next cycle.
+			w = 0
+			wake[i] = 0
+		}
+		if w < limit {
+			limit = w
+		}
+		if limit <= now+1 {
+			return
+		}
+	}
+	// limit may still be EventNever here — a wedged machine (spinners whose
+	// lock holder never releases). The caps below bound the jump to the
+	// watchdog trip, cycle limit, context poll, or telemetry sample; with
+	// none of them set the final check falls back to per-cycle ticking,
+	// which is the original loop's (non-terminating) behavior.
+	if tel != nil && tel.nextAt < limit {
+		limit = tel.nextAt
+	}
+	if !opt.DisableWatchdog {
+		if t := lastProgress + window; t < limit {
+			limit = t
+		}
+	}
+	if opt.MaxCycles > 0 {
+		if t := s.statsStart + opt.MaxCycles; t < limit {
+			limit = t
+		}
+	}
+	if opt.Context != nil {
+		if t := (now/ctxCheckEvery + 1) * ctxCheckEvery; t < limit {
+			limit = t
+		}
+	}
+	if limit <= now+1 || limit == cpu.EventNever {
+		return
+	}
+	// Cycles now+1 .. limit-1 are steady; cycle limit is ticked normally by
+	// the next loop iteration (it may retire, sample, trip a check, ...).
+	from, to := now+1, limit-1
+	for i, c := range s.cores {
+		s.sch.FastForward(i, c, from, to)
+		c.FastForward(from, to)
+	}
+	s.cycle = to
 }
 
 // recoverPanic converts a recovered panic into a *diag.PanicError. The

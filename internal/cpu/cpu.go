@@ -64,11 +64,15 @@ const noProd uint64 = 0
 const farFuture = ^uint64(0) >> 2
 
 type robEntry struct {
-	in        trace.Instr
-	seq       uint64
+	// Field order is scan locality, not taxonomy: the issue scan touches
+	// state, the producer seqs, and the timestamps of every waiting entry
+	// every cycle, so they lead the struct (first cache line); identity and
+	// retire-only bookkeeping trail.
 	fetchDone uint64
 	prod1     uint64 // producer sequence numbers (noProd = ready)
 	prod2     uint64
+	complete  uint64
+	addrDone  uint64 // address-generation completion (0 = not yet)
 	state     uint8
 	issuedMem bool
 	performed bool
@@ -76,12 +80,12 @@ type robEntry struct {
 	violated  bool
 	prefetch  bool // consistency prefetch already issued
 	mispred   bool
-	waited    bool   // lock acquire already counted as contended
-	addrDone  uint64 // address-generation completion (0 = not yet)
-	complete  uint64
+	waited    bool // lock acquire already counted as contended
+	in        trace.Instr
+	seq       uint64
+	lineAddr  uint64
 	class     memsys.Class
 	tlbMiss   bool
-	lineAddr  uint64
 }
 
 type fqEntry struct {
@@ -103,20 +107,23 @@ type wbufEntry struct {
 
 // Core is one simulated processor.
 type Core struct {
-	cfg   config.Config
-	id    int
-	mem   *memsys.Hierarchy
-	pred  *bpred.Predictor
-	locks LockManager
+	cfg    config.Config
+	id     int
+	mem    *memsys.Hierarchy
+	pred   *bpred.Predictor
+	locks  LockManager
+	prober LockProber // optional view of locks for NextEvent (nil = none)
 
 	ctx *Context
 	trc *tracing.Tracer // nil = tracing disabled (pure-observer event hooks)
 
 	rob        []robEntry
+	robMask    uint64 // len(rob)-1; capacity rounded to a power of two
 	headSeq    uint64 // oldest in-flight sequence number
 	tailSeq    uint64 // next sequence number to allocate
 	rename     [trace.MaxReg + 1]uint64
 	memInROB   int
+	waiting    int // in-window entries not yet executing (issue-scan skip)
 	fenceCount int    // unretired MB/lock-acquire entries in the window
 	scanFrom   uint64 // issue-scan fast-path start (RC, no fences)
 
@@ -131,9 +138,12 @@ type Core struct {
 	pendingSys   bool
 	pendingSysNs uint32
 	streamEnded  bool
-	stallInstr   bool // last fetch stall was the icache/iTLB
+	stallInstr   bool        // last fetch stall was the icache/iTLB
+	poked        bool        // async wake: a line invalidation marked a violation
+	inScratch    trace.Instr // fetch-loop decode buffer (kept off the heap's per-call path)
 
-	wbuf []wbufEntry
+	wbuf   []wbufEntry
+	wbHead int // index of the oldest buffered store (pop without realloc)
 
 	// Debug-mode (cfg.DebugChecks) memory-ordering watermarks: perform-time
 	// stamps that must be monotone under the consistency model's rules.
@@ -184,9 +194,22 @@ func New(cfg config.Config, id int, mem *memsys.Hierarchy, locks LockManager) *C
 			Perfect:     cfg.PerfectBPred,
 		}),
 		locks: locks,
-		rob:   make([]robEntry, cfg.WindowSize),
 	}
+	// The ROB ring is indexed by sequence number modulo its capacity on
+	// every pipeline-stage touch; rounding the backing array up to a power
+	// of two turns that modulo into a mask (the division was the hottest
+	// instruction in the whole simulator). Occupancy is still bounded by
+	// cfg.WindowSize at dispatch.
+	robCap := 1
+	for robCap < cfg.WindowSize {
+		robCap <<= 1
+	}
+	c.rob = make([]robEntry, robCap)
+	c.robMask = uint64(robCap - 1)
 	c.headSeq, c.tailSeq = 1, 1
+	if p, ok := locks.(LockProber); ok {
+		c.prober = p
+	}
 	mem.SetInvalidationHook(c.onInvalidation)
 	return c
 }
@@ -202,14 +225,16 @@ func (c *Core) Predictor() *bpred.Predictor { return c.pred }
 func (c *Core) Context() *Context { return c.ctx }
 
 func (c *Core) entry(seq uint64) *robEntry {
-	return &c.rob[seq%uint64(len(c.rob))]
+	return &c.rob[seq&c.robMask]
 }
 
 func (c *Core) robLen() int { return int(c.tailSeq - c.headSeq) }
 
+func (c *Core) wbufLen() int { return len(c.wbuf) - c.wbHead }
+
 // Empty reports whether the pipeline has fully drained.
 func (c *Core) Empty() bool {
-	return c.robLen() == 0 && c.fqHead >= len(c.fetchQ) && len(c.wbuf) == 0
+	return c.robLen() == 0 && c.fqHead >= len(c.fetchQ) && c.wbufLen() == 0
 }
 
 // NeedsSwitch reports that the running process hit a blocking system call
@@ -268,8 +293,20 @@ func (c *Core) onInvalidation(lineAddr uint64) {
 		e := c.entry(seq)
 		if e.specLoad && e.state == stExec && e.lineAddr == lineAddr && !e.violated {
 			e.violated = true
+			// Invalidate any cached NextEvent bound: the violation makes the
+			// rollback (and everything after it) due earlier than predicted.
+			c.poked = true
 		}
 	}
+}
+
+// TakePoked reports and clears the asynchronous-wake flag: another core's
+// store invalidated a line under one of this core's speculative loads since
+// the last call, which voids any previously returned NextEvent bound.
+func (c *Core) TakePoked() bool {
+	p := c.poked
+	c.poked = false
+	return p
 }
 
 // Tick advances the core by one cycle.
@@ -294,5 +331,5 @@ func (c *Core) Tick(now uint64) {
 // String summarizes the core state (debugging aid).
 func (c *Core) String() string {
 	return fmt.Sprintf("core%d rob=%d fq=%d wbuf=%d retired=%d",
-		c.id, c.robLen(), len(c.fetchQ)-c.fqHead, len(c.wbuf), c.Retired)
+		c.id, c.robLen(), len(c.fetchQ)-c.fqHead, c.wbufLen(), c.Retired)
 }

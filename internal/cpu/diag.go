@@ -19,7 +19,7 @@ func (c *Core) FetchQueueLen() int { return len(c.fetchQ) - c.fqHead }
 
 // WriteBufferLen returns the number of entries in the post-retirement
 // write buffer.
-func (c *Core) WriteBufferLen() int { return len(c.wbuf) }
+func (c *Core) WriteBufferLen() int { return c.wbufLen() }
 
 // HeadInstr describes the oldest unretired instruction — the one whose
 // stall holds up the whole window. ok is false when the window is empty.

@@ -31,6 +31,7 @@ func (c *Core) srcsReady(e *robEntry, now uint64) bool {
 	return c.prodReady(e.prod1, now) && c.prodReady(e.prod2, now)
 }
 
+
 // ---------------------------------------------------------------- fetch --
 
 func (c *Core) fetchStage(now uint64) {
@@ -70,8 +71,12 @@ func (c *Core) fetchStage(now uint64) {
 			c.stallInstr = false
 			return
 		}
-		var in trace.Instr
-		if !c.ctx.Stream.Next(&in) {
+		// The instruction buffer is a reused field: a local escapes to the
+		// heap through the Stream interface call, at one allocation per
+		// fetched instruction (the simulator's dominant allocation site).
+		in := &c.inScratch
+		*in = trace.Instr{}
+		if !c.ctx.Stream.Next(in) {
 			c.streamEnded = true
 			return
 		}
@@ -94,7 +99,7 @@ func (c *Core) fetchStage(now uint64) {
 		}
 		mis := false
 		if in.Op.IsBranch() {
-			mis = !c.pred.PredictAndUpdate(&in)
+			mis = !c.pred.PredictAndUpdate(in)
 			c.unresolved++
 			if c.cfg.BTBPrefetch && !mis && in.Taken && in.Target>>lineShift != c.curLine {
 				// BTB-directed prefetch of the predicted target's line
@@ -103,7 +108,7 @@ func (c *Core) fetchStage(now uint64) {
 				c.mem.PrefetchInstr(in.Target, now)
 			}
 		}
-		c.fetchQ = append(c.fetchQ, fqEntry{in: in, fetchDone: avail, mispred: mis})
+		c.fetchQ = append(c.fetchQ, fqEntry{in: *in, fetchDone: avail, mispred: mis})
 		if mis {
 			// Trace-driven: no wrong-path fetch; stall until resolution.
 			c.stallInstr = false
@@ -160,6 +165,9 @@ func (c *Core) dispatchStage(now uint64) {
 		case trace.OpMemBar, trace.OpLockAcquire:
 			c.fenceCount++
 		}
+		if e.state != stExec {
+			c.waiting++
+		}
 		if fe.mispred {
 			c.blockBranch = seq
 		}
@@ -179,27 +187,42 @@ func (c *Core) dispatchStage(now uint64) {
 // memory consistency model. The walk maintains the ordering flags each
 // model needs, so consistency checks are O(1) per instruction.
 func (c *Core) issueStage(now uint64) {
+	if c.waiting == 0 {
+		// Every in-window entry is already executing: the scan would only
+		// recompute ordering flags nobody consumes. (The scanFrom cache may
+		// lag; starting the next real scan earlier changes no decision.)
+		return
+	}
 	intFree, fpFree, agFree := c.cfg.IntALUs, c.cfg.FPUs, c.cfg.AddrGenUnits
 	if c.cfg.InfiniteFUs {
 		intFree, fpFree, agFree = 1<<30, 1<<30, 1<<30
 	}
 	budget := c.cfg.IssueWidth
+	// Entries younger than the last non-executing one contribute ordering
+	// flags nobody consumes, so the scan can stop once it has visited all
+	// c.waiting of them instead of walking to the window tail.
+	remaining := c.waiting
+
+	// Fast path: under RC with no fence in flight the ordering flags are
+	// irrelevant (loads are never blocked by older accesses), so a
+	// specialized scan skips the already-executing prefix and already-
+	// executing entries without maintaining any flags.
+	if c.cfg.Consistency == config.RC && c.fenceCount == 0 {
+		c.issueStageRC(now, intFree, fpFree, agFree, budget, remaining)
+		return
+	}
 
 	olderLoadUnperformed := false
 	olderMemUnperformed := false
 	olderFence := false // unretired MB or lock acquire ahead of this point
 
-	// Fast path: under RC with no fence in flight, ordering flags are
-	// irrelevant, so the scan can skip the already-executing prefix.
 	start := c.headSeq
-	if c.cfg.Consistency == config.RC && c.fenceCount == 0 {
-		if c.scanFrom > start {
-			start = c.scanFrom
-		}
-	}
 
 	for seq := start; seq < c.tailSeq && budget > 0; seq++ {
 		e := c.entry(seq)
+		if e.state != stExec {
+			remaining--
+		}
 
 		// Ordering flags are updated after the entry is considered, below.
 		issuedSomething := false
@@ -227,6 +250,7 @@ func (c *Core) issueStage(now uint64) {
 			*free--
 			budget--
 			e.state = stExec
+			c.waiting--
 			e.complete = now + uint64(lat)
 			issuedSomething = true
 
@@ -243,6 +267,7 @@ func (c *Core) issueStage(now uint64) {
 			intFree--
 			budget--
 			e.state = stExec
+			c.waiting--
 			e.complete = now + uint64(c.cfg.IntLatency)
 			issuedSomething = true
 
@@ -280,6 +305,7 @@ func (c *Core) issueStage(now uint64) {
 			}
 			if e.addrDone <= now {
 				e.state = stExec
+				c.waiting--
 				e.complete = e.addrDone
 				issuedSomething = true
 				if c.cfg.ConsistencyOpts != config.ImplPlain && !e.prefetch {
@@ -309,9 +335,110 @@ func (c *Core) issueStage(now uint64) {
 		case trace.OpMemBar, trace.OpLockAcquire:
 			olderFence = true
 		}
+		if remaining == 0 {
+			break
+		}
 	}
 
 	// Advance the fast-path scan start past the fully executing prefix.
+	if c.scanFrom < c.headSeq {
+		c.scanFrom = c.headSeq
+	}
+	for c.scanFrom < c.tailSeq && c.entry(c.scanFrom).state == stExec {
+		c.scanFrom++
+	}
+}
+
+// issueStageRC is the issue scan specialized for RC with no fence in
+// flight: ordering flags are irrelevant, so already-executing entries are
+// skipped with a single state check and loads issue with all ordering
+// restrictions clear. Decisions are identical to the generic scan — only
+// the per-entry bookkeeping is cheaper.
+func (c *Core) issueStageRC(now uint64, intFree, fpFree, agFree, budget, remaining int) {
+	start := c.headSeq
+	if c.scanFrom > start {
+		start = c.scanFrom
+	}
+	inOrder := c.cfg.InOrder
+	for seq := start; seq < c.tailSeq && budget > 0 && remaining > 0; seq++ {
+		e := c.entry(seq)
+		if e.state == stExec {
+			continue
+		}
+		remaining--
+		switch e.in.Op {
+		case trace.OpIntALU, trace.OpFPALU:
+			if e.fetchDone > now || !c.srcsReady(e, now) {
+				if inOrder {
+					return
+				}
+				continue
+			}
+			lat, free := c.cfg.IntLatency, &intFree
+			if e.in.Op == trace.OpFPALU {
+				lat, free = c.cfg.FPLatency, &fpFree
+			}
+			if *free == 0 {
+				if inOrder {
+					return
+				}
+				continue
+			}
+			*free--
+			budget--
+			e.state = stExec
+			c.waiting--
+			e.complete = now + uint64(lat)
+
+		case trace.OpBranch, trace.OpJump, trace.OpCall, trace.OpReturn:
+			if e.fetchDone > now || !c.srcsReady(e, now) || intFree == 0 {
+				if inOrder {
+					return
+				}
+				continue
+			}
+			intFree--
+			budget--
+			e.state = stExec
+			c.waiting--
+			e.complete = now + uint64(c.cfg.IntLatency)
+
+		case trace.OpLoad:
+			if !c.issueLoad(e, now, &agFree, &budget, false, false, false) && inOrder {
+				return
+			}
+
+		case trace.OpStore:
+			if e.fetchDone > now || !c.srcsReady(e, now) {
+				if inOrder {
+					return
+				}
+				continue
+			}
+			if e.addrDone == 0 {
+				if agFree == 0 {
+					if inOrder {
+						return
+					}
+					continue
+				}
+				agFree--
+				budget--
+				e.addrDone = now + 1
+				continue
+			}
+			if e.addrDone <= now {
+				e.state = stExec
+				c.waiting--
+				e.complete = e.addrDone
+				if c.cfg.ConsistencyOpts != config.ImplPlain && !e.prefetch {
+					c.mem.Prefetch(e.in.Addr, e.in.PC, now, true, c.inCS())
+					e.prefetch = true
+				}
+			}
+		}
+	}
+
 	if c.scanFrom < c.headSeq {
 		c.scanFrom = c.headSeq
 	}
@@ -372,6 +499,7 @@ func (c *Core) issueLoad(e *robEntry, now uint64, agFree, budget *int,
 	res := c.mem.DataRead(e.in.Addr, e.in.PC, now, c.inCS())
 	e.issuedMem = true
 	e.state = stExec
+	c.waiting--
 	e.complete = res.Done
 	e.class = res.Class
 	e.tlbMiss = res.TLBMiss
@@ -515,7 +643,7 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 			return true, 0
 		}
 		// PC/RC: retire into the write buffer.
-		if len(c.wbuf) >= c.cfg.WriteBufEntries {
+		if c.wbufLen() >= c.cfg.WriteBufEntries {
 			return false, stats.Write
 		}
 		c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, pc: e.in.PC, inCS: c.inCS()})
@@ -573,7 +701,7 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 			c.ctx.csDepth--
 			return true, 0
 		}
-		if len(c.wbuf) >= c.cfg.WriteBufEntries {
+		if c.wbufLen() >= c.cfg.WriteBufEntries {
 			return false, stats.Write
 		}
 		c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, pc: e.in.PC, inCS: true, release: true})
@@ -583,13 +711,13 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 	case trace.OpMemBar:
 		// Full barrier: all prior memory operations performed and the
 		// write buffer drained (older window entries retired by induction).
-		if len(c.wbuf) != 0 {
+		if c.wbufLen() != 0 {
 			return false, stats.Sync
 		}
 		return true, 0
 
 	case trace.OpWriteBar:
-		if len(c.wbuf) >= c.cfg.WriteBufEntries {
+		if c.wbufLen() >= c.cfg.WriteBufEntries {
 			return false, stats.Sync
 		}
 		c.wbuf = append(c.wbuf, wbufEntry{isWMB: true})
@@ -618,7 +746,7 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 		// PC/RC: queue behind the buffered stores so the flush executes
 		// once they perform, without stalling retirement (the hint is off
 		// the critical path, as in the paper).
-		if len(c.wbuf) >= c.cfg.WriteBufEntries {
+		if c.wbufLen() >= c.cfg.WriteBufEntries {
 			return false, stats.Write
 		}
 		c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, isFlush: true})
@@ -649,6 +777,7 @@ func (c *Core) rollback(fromSeq, now uint64) {
 	width := uint64(c.cfg.IssueWidth)
 	for seq := fromSeq; seq < c.tailSeq; seq++ {
 		e := c.entry(seq)
+		wasExec := e.state == stExec
 		refetch := now + uint64(c.cfg.BranchRestart) + (seq-fromSeq)/width
 		*e = robEntry{
 			in:        e.in,
@@ -664,6 +793,9 @@ func (c *Core) rollback(fromSeq, now uint64) {
 			e.state = stExec
 			e.complete = e.fetchDone
 		}
+		if wasExec && e.state != stExec {
+			c.waiting++
+		}
 	}
 }
 
@@ -673,13 +805,13 @@ func (c *Core) rollback(fromSeq, now uint64) {
 // RC overlaps stores freely between WMB markers; PC issues one store at a
 // time in FIFO order.
 func (c *Core) drainWbuf(now uint64) {
-	if len(c.wbuf) == 0 {
+	if c.wbufLen() == 0 {
 		return
 	}
 	switch c.cfg.Consistency {
 	case config.RC:
 		allPriorDone := true
-		for i := range c.wbuf {
+		for i := c.wbHead; i < len(c.wbuf); i++ {
 			w := &c.wbuf[i]
 			if w.isWMB {
 				if !allPriorDone {
@@ -700,7 +832,7 @@ func (c *Core) drainWbuf(now uint64) {
 			}
 		}
 	case config.PC:
-		for i := range c.wbuf {
+		for i := c.wbHead; i < len(c.wbuf); i++ {
 			w := &c.wbuf[i]
 			if w.isWMB || w.isFlush {
 				continue
@@ -723,8 +855,8 @@ func (c *Core) drainWbuf(now uint64) {
 	// Retire performed entries from the front. A flush at the front has
 	// seen all prior stores perform; it executes now, off the critical
 	// path.
-	for len(c.wbuf) > 0 {
-		w := c.wbuf[0]
+	for c.wbufLen() > 0 {
+		w := c.wbuf[c.wbHead]
 		switch {
 		case w.isWMB:
 		case w.isFlush:
@@ -739,9 +871,12 @@ func (c *Core) drainWbuf(now uint64) {
 		default:
 			return
 		}
-		c.wbuf = c.wbuf[1:]
+		c.wbHead++
 	}
-	if len(c.wbuf) == 0 {
-		c.wbuf = nil
+	if c.wbHead == len(c.wbuf) {
+		// Keep the backing array: the buffer refills constantly and a nil
+		// reset made every refill reallocate.
+		c.wbuf = c.wbuf[:0]
+		c.wbHead = 0
 	}
 }

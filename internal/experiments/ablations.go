@@ -29,17 +29,21 @@ func AblationLineSize(sc Scale) (*Result, error) {
 		}},
 		{"64B+streambuf-4", func(c *config.Config) { c.StreamBufEntries = 4 }},
 	}
-	var reports []*stats.Report
-	var sb []string
+	var pts []figPoint
 	for _, v := range variants {
 		cfg := config.Default()
 		v.mod(&cfg)
-		rep, err := RunOLTP(cfg, sc, v.label, oltp.HintNone)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
-		sb = append(sb, fmt.Sprintf("%-20s L1I miss/instr %.3f", v.label, rep.L1IMissRate))
+		pts = append(pts, figPoint{v.label, func(sc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, sc, v.label, oltp.HintNone)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
+	}
+	var sb []string
+	for i, v := range variants {
+		sb = append(sb, fmt.Sprintf("%-20s L1I miss/instr %.3f", v.label, reports[i].L1IMissRate))
 	}
 	tables := []string{stats.FormatBreakdownTable(reports)}
 	for _, s := range sb {
@@ -65,16 +69,18 @@ func AblationFlushInvalidate(sc Scale) (*Result, error) {
 		{"flush-keep-clean", true, oltp.HintFlush},
 		{"flush-invalidate", false, oltp.HintFlush},
 	}
-	var reports []*stats.Report
+	var pts []figPoint
 	for _, v := range variants {
 		cfg := config.Default()
 		cfg.StreamBufEntries = 4
 		cfg.FlushKeepsClean = v.keep
-		rep, err := RunOLTP(cfg, sc, v.label, v.hints)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		pts = append(pts, figPoint{v.label, func(sc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, sc, v.label, v.hints)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		ID: "ext-flushinv", Title: "Ablation: flush keeping vs invalidating the local copy (Sec 4.2)",
@@ -87,15 +93,18 @@ func AblationFlushInvalidate(sc Scale) (*Result, error) {
 // sensitive OLTP is to front-end redirect cost (the paper's mispredict
 // handling stalls fetch until resolution; the restart adds on top).
 func AblationBranchPenalty(sc Scale) (*Result, error) {
-	var reports []*stats.Report
+	var pts []figPoint
 	for _, pen := range []int{2, 4, 8, 16} {
 		cfg := config.Default()
 		cfg.BranchRestart = pen
-		rep, err := RunOLTP(cfg, sc, fmt.Sprintf("restart-%d", pen), oltp.HintNone)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		label := fmt.Sprintf("restart-%d", pen)
+		pts = append(pts, figPoint{label, func(sc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, sc, label, oltp.HintNone)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		ID: "ext-restart", Title: "Ablation: pipeline restart penalty",

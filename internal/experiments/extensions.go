@@ -28,16 +28,18 @@ func MigratoryProtocol(sc Scale) (*Result, error) {
 		{"SC-base", config.SC, false},
 		{"SC+migratory-protocol", config.SC, true},
 	}
-	var reports []*stats.Report
+	var pts []figPoint
 	for _, v := range variants {
 		cfg := config.Default()
 		cfg.Consistency = v.model
 		cfg.MigratoryProtocol = v.mig
-		rep, err := RunOLTP(cfg, sc, v.label, oltp.HintNone)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		pts = append(pts, figPoint{v.label, func(sc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, sc, v.label, oltp.HintNone)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
 	}
 	var sb strings.Builder
 	rcBase, rcMig := reports[0].ExecTime(), reports[1].ExecTime()
@@ -59,7 +61,7 @@ func MigratoryProtocol(sc Scale) (*Result, error) {
 // multiprocessor gains because instruction stall is a bigger share of
 // uniprocessor time (Figure 5).
 func UniStreamBuffer(sc Scale) (*Result, error) {
-	var reports []*stats.Report
+	var pts []figPoint
 	for _, n := range []int{0, 2, 4, 8} {
 		cfg := config.Default()
 		cfg.Nodes = 1
@@ -68,11 +70,13 @@ func UniStreamBuffer(sc Scale) (*Result, error) {
 		if n > 0 {
 			label = fmt.Sprintf("uni-streambuf-%d", n)
 		}
-		rep, err := RunOLTP(cfg, sc, label, oltp.HintNone)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		pts = append(pts, figPoint{label, func(sc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, sc, label, oltp.HintNone)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		ID: "ext-unisb", Title: "Uniprocessor stream buffers (Sec 4.1: -22%/-27%)",
@@ -85,17 +89,24 @@ func UniStreamBuffer(sc Scale) (*Result, error) {
 // scaling from 1 to 4 processors and the locking characteristics ("most of
 // the lock accesses in OLTP were contentionless").
 func Validation(sc Scale) (*Result, error) {
-	var reports []*stats.Report
-	var sb strings.Builder
-	var times []float64
-	for _, nodes := range []int{1, 2, 4} {
+	nodeCounts := []int{1, 2, 4}
+	var pts []figPoint
+	for _, nodes := range nodeCounts {
 		cfg := config.Default()
 		cfg.Nodes = nodes
-		rep, err := RunOLTP(cfg, sc, fmt.Sprintf("%dP", nodes), oltp.HintNone)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		label := fmt.Sprintf("%dP", nodes)
+		pts = append(pts, figPoint{label, func(sc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, sc, label, oltp.HintNone)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	var times []float64
+	for i, nodes := range nodeCounts {
+		rep := reports[i]
 		// Throughput scaling: the same per-process work runs on more CPUs;
 		// compare transactions per cycle via instructions per cycle. A run
 		// that retired nothing (Cycles == 0) reports zero, not NaN.
@@ -150,15 +161,17 @@ func BTBPrefetch(sc Scale) (*Result, error) {
 			c.BTBPrefetch = true
 		}},
 	}
-	var reports []*stats.Report
+	var pts []figPoint
 	for _, v := range variants {
 		cfg := config.Default()
 		v.mod(&cfg)
-		rep, err := RunOLTP(cfg, sc, v.label, oltp.HintNone)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		pts = append(pts, figPoint{v.label, func(sc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, sc, v.label, oltp.HintNone)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		ID: "ext-btbpf", Title: "BTB-directed instruction prefetch vs stream buffer (Sec 4.1)",

@@ -47,7 +47,7 @@ func Fig3a(sc Scale) (*Result, error) {
 }
 
 func issueWidthSweep(sc Scale, id string, isOLTP bool) (*Result, error) {
-	var reports []*stats.Report
+	var pts []figPoint
 	for _, inorder := range []bool{true, false} {
 		for _, w := range []int{1, 2, 4, 8} {
 			cfg := config.Default()
@@ -58,12 +58,14 @@ func issueWidthSweep(sc Scale, id string, isOLTP bool) (*Result, error) {
 				kind = "inorder"
 			}
 			label := fmt.Sprintf("%s-%dway", kind, w)
-			rep, err := runWorkload(cfg, sc, label, isOLTP)
-			if err != nil {
-				return nil, err
-			}
-			reports = append(reports, rep)
+			pts = append(pts, figPoint{label, func(sc Scale) (*stats.Report, error) {
+				return runWorkload(cfg, sc, label, isOLTP)
+			}})
 		}
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
 	}
 	title := "Impact of multiple issue and out-of-order execution"
 	return &Result{
@@ -87,15 +89,18 @@ func Fig2b(sc Scale) (*Result, error) { return windowSweep(sc, "fig2b", true) }
 func Fig3b(sc Scale) (*Result, error) { return windowSweep(sc, "fig3b", false) }
 
 func windowSweep(sc Scale, id string, isOLTP bool) (*Result, error) {
-	var reports []*stats.Report
+	var pts []figPoint
 	for _, ws := range []int{16, 32, 64, 128} {
 		cfg := config.Default()
 		cfg.WindowSize = ws
-		rep, err := runWorkload(cfg, sc, fmt.Sprintf("window-%d", ws), isOLTP)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		label := fmt.Sprintf("window-%d", ws)
+		pts = append(pts, figPoint{label, func(sc Scale) (*stats.Report, error) {
+			return runWorkload(cfg, sc, label, isOLTP)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		ID: id, Title: "Impact of instruction window size", Reports: reports,
@@ -113,16 +118,19 @@ func Fig2c(sc Scale) (*Result, error) { return mshrSweep(sc, "fig2c", true) }
 func Fig3c(sc Scale) (*Result, error) { return mshrSweep(sc, "fig3c", false) }
 
 func mshrSweep(sc Scale, id string, isOLTP bool) (*Result, error) {
-	var reports []*stats.Report
+	var pts []figPoint
 	for _, n := range []int{1, 2, 4, 8} {
 		cfg := config.Default()
 		cfg.L1D.MSHRs = n
 		cfg.L2.MSHRs = n
-		rep, err := runWorkload(cfg, sc, fmt.Sprintf("mshr-%d", n), isOLTP)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		label := fmt.Sprintf("mshr-%d", n)
+		pts = append(pts, figPoint{label, func(sc Scale) (*stats.Report, error) {
+			return runWorkload(cfg, sc, label, isOLTP)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		ID: id, Title: "Impact of multiple outstanding misses", Reports: reports,
@@ -174,15 +182,17 @@ func Fig4(sc Scale) (*Result, error) {
 			c.WindowSize = 128
 		}},
 	}
-	var reports []*stats.Report
+	var pts []figPoint
 	for _, v := range variants {
 		cfg := config.Default()
 		v.mod(&cfg)
-		rep, err := RunOLTP(cfg, sc, v.label, oltp.HintNone)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		pts = append(pts, figPoint{v.label, func(sc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, sc, v.label, oltp.HintNone)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		ID: "fig4", Title: "Factors limiting OLTP performance", Reports: reports,
@@ -196,24 +206,27 @@ func Fig4(sc Scale) (*Result, error) {
 // Fig5 reproduces Figure 5: the relative importance of execution-time
 // components in uniprocessor vs multiprocessor systems, for both workloads.
 func Fig5(sc Scale) (*Result, error) {
-	var reports []*stats.Report
-	var tables []string
+	var pts []figPoint
 	for _, wl := range []struct {
 		name   string
 		isOLTP bool
 	}{{"OLTP", true}, {"DSS", false}} {
-		var pair []*stats.Report
 		for _, nodes := range []int{1, 4} {
 			cfg := config.Default()
 			cfg.Nodes = nodes
 			label := fmt.Sprintf("%s-%dP", wl.name, nodes)
-			rep, err := runWorkload(cfg, sc, label, wl.isOLTP)
-			if err != nil {
-				return nil, err
-			}
-			pair = append(pair, rep)
-			reports = append(reports, rep)
+			isOLTP := wl.isOLTP
+			pts = append(pts, figPoint{label, func(sc Scale) (*stats.Report, error) {
+				return runWorkload(cfg, sc, label, isOLTP)
+			}})
 		}
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
+	}
+	var tables []string
+	for _, pair := range [][]*stats.Report{reports[:2], reports[2:]} {
 		// The paper compares the composition of execution time, so each
 		// bar is normalized to its own total.
 		var sb strings.Builder
@@ -238,28 +251,32 @@ func Fig5(sc Scale) (*Result, error) {
 func Fig6(sc Scale) (*Result, error) {
 	impls := []config.ConsistencyImpl{config.ImplPlain, config.ImplPrefetch, config.ImplSpeculative}
 	models := []config.ConsistencyModel{config.SC, config.PC, config.RC}
-	var reports []*stats.Report
-	var tables []string
+	var pts []figPoint
 	for _, wl := range []struct {
 		name   string
 		isOLTP bool
 	}{{"OLTP", true}, {"DSS", false}} {
-		var group []*stats.Report
 		for _, impl := range impls {
 			for _, m := range models {
 				cfg := config.Default()
 				cfg.Consistency = m
 				cfg.ConsistencyOpts = impl
 				label := fmt.Sprintf("%s-%v-%v", wl.name, m, impl)
-				rep, err := runWorkload(cfg, sc, label, wl.isOLTP)
-				if err != nil {
-					return nil, err
-				}
-				group = append(group, rep)
+				isOLTP := wl.isOLTP
+				pts = append(pts, figPoint{label, func(sc Scale) (*stats.Report, error) {
+					return runWorkload(cfg, sc, label, isOLTP)
+				}})
 			}
 		}
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
+	}
+	perWL := len(impls) * len(models)
+	var tables []string
+	for _, group := range [][]*stats.Report{reports[:perWL], reports[perWL:]} {
 		tables = append(tables, stats.FormatBreakdownTable(group))
-		reports = append(reports, group...)
 	}
 	return &Result{
 		ID: "fig6", Title: "ILP-enabled consistency optimizations",
@@ -286,19 +303,25 @@ func Fig7a(sc Scale) (*Result, error) {
 			c.PerfectITLB = true
 		}},
 	}
-	var reports []*stats.Report
-	var sb strings.Builder
-	for _, v := range variants {
+	var pts []figPoint
+	streamBuf := make([]bool, len(variants))
+	for i, v := range variants {
 		cfg := config.Default()
 		v.mod(&cfg)
-		rep, err := RunOLTP(cfg, sc, v.label, oltp.HintNone)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
-		if cfg.StreamBufEntries > 0 {
+		streamBuf[i] = cfg.StreamBufEntries > 0
+		pts = append(pts, figPoint{v.label, func(sc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, sc, v.label, oltp.HintNone)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	for i, v := range variants {
+		if streamBuf[i] {
 			fmt.Fprintf(&sb, "%-22s stream-buffer hit rate %.2f (I-miss reduction)\n",
-				v.label, rep.StreamBufHitRate)
+				v.label, reports[i].StreamBufHitRate)
 		}
 	}
 	return &Result{
@@ -324,16 +347,18 @@ func Fig7b(sc Scale) (*Result, error) {
 		{"+flush+prefetch", oltp.HintFlushPrefetch, false},
 		{"bound(-40%-migratory)", oltp.HintNone, true},
 	}
-	var reports []*stats.Report
+	var pts []figPoint
 	for _, v := range variants {
 		cfg := config.Default()
 		cfg.StreamBufEntries = 4
 		cfg.MigratoryBound = v.bound
-		rep, err := RunOLTP(cfg, sc, v.label, v.hints)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		pts = append(pts, figPoint{v.label, func(sc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, sc, v.label, v.hints)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		ID: "fig7b", Title: "Addressing the migratory data bottleneck (flush/prefetch hints)",
@@ -349,14 +374,14 @@ func Fig7b(sc Scale) (*Result, error) {
 // miss rates per level and IPC for both workloads on the base system.
 func MissRates(sc Scale) (*Result, error) {
 	cfg := config.Default()
-	o, err := RunOLTP(cfg, sc, "OLTP", oltp.HintNone)
+	reports, err := runPoints(sc, []figPoint{
+		{"OLTP", func(sc Scale) (*stats.Report, error) { return RunOLTP(cfg, sc, "OLTP", oltp.HintNone) }},
+		{"DSS", func(sc Scale) (*stats.Report, error) { return RunDSS(cfg, sc, "DSS") }},
+	})
 	if err != nil {
 		return nil, err
 	}
-	d, err := RunDSS(cfg, sc, "DSS")
-	if err != nil {
-		return nil, err
-	}
+	o, d := reports[0], reports[1]
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-8s | %7s %7s %7s | %5s | %7s %7s | %9s\n",
 		"workload", "L1I", "L1D", "L2", "IPC", "bpred", "dirty%", "of L2 miss")

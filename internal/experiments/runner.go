@@ -60,6 +60,21 @@ type Scale struct {
 	// PC-to-routine resolver; the caller owns export. Intended for single
 	// runs (cmd/dbsim) — a sweep would overwrite the tracer per point.
 	Tracer *tracing.Tracer
+
+	// Parallel is the number of worker goroutines each multi-point figure
+	// uses to run its points (through the internal/runner pool). 0 means
+	// min(GOMAXPROCS, number of points); 1 forces serial execution.
+	// Parallelism is bit-identical to serial execution (each point is an
+	// independent deterministic simulation), so it does not participate in
+	// the spec hash. Figures with a Tracer attached always run serially:
+	// the tracer is shared mutable state.
+	Parallel int
+
+	// DisableFastForward turns off the event-driven idle-cycle skip in
+	// every run (core.RunOptions.DisableFastForward). Fast-forward is
+	// bit-identical by construction, so this does not participate in the
+	// spec hash; the equivalence tests use it as the reference arm.
+	DisableFastForward bool
 }
 
 // pipelineFor resolves the per-run telemetry pipeline (nil when disabled).
@@ -122,6 +137,7 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 		DisableWatchdog:    sc.DisableWatchdog,
 		Telemetry:          pipe,
 		Tracer:             sc.Tracer,
+		DisableFastForward: sc.DisableFastForward,
 	})
 	if err != nil {
 		return rep, fmt.Errorf("experiments: OLTP %q: %w", label, err)
@@ -172,6 +188,7 @@ func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
 		DisableWatchdog:    sc.DisableWatchdog,
 		Telemetry:          pipe,
 		Tracer:             sc.Tracer,
+		DisableFastForward: sc.DisableFastForward,
 	})
 	if err != nil {
 		return rep, fmt.Errorf("experiments: DSS %q: %w", label, err)

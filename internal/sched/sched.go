@@ -67,6 +67,65 @@ func (s *Scheduler) Tick(cpuID int, core *cpu.Core, now uint64) {
 	s.IdleCycles[cpuID]++
 }
 
+// EventNever mirrors cpu.EventNever for the scheduler's next-event bound.
+const EventNever = ^uint64(0)
+
+// NextEvent returns a conservative lower bound on the next cycle at which
+// Tick(cpuID) would do anything beyond its constant per-cycle accounting
+// (SwitchCycles or IdleCycles bumps). now+1 means "cannot prove the next
+// cycle is quiet"; EventNever means the scheduler only acts again after the
+// core does (a running context's progress is bounded by cpu.NextEvent).
+func (s *Scheduler) NextEvent(cpuID int, core *cpu.Core, now uint64) uint64 {
+	if core.NeedsSwitch() {
+		return now + 1 // the swap-out happens on the next tick
+	}
+	if core.Context() != nil {
+		return EventNever // nothing to do while a process runs
+	}
+	// Core idle: the next install is the first cycle some queued process is
+	// runnable and the switch overhead has elapsed.
+	ready := uint64(EventNever)
+	for _, ctx := range s.queues[cpuID] {
+		if ctx.Finished {
+			continue
+		}
+		if ctx.BlockedUntil < ready {
+			ready = ctx.BlockedUntil
+		}
+	}
+	if ready == EventNever {
+		return EventNever // processes are pinned: an empty queue stays empty
+	}
+	if at := s.switchAt[cpuID]; at > ready {
+		ready = at
+	}
+	if ready <= now {
+		return now + 1
+	}
+	return ready
+}
+
+// FastForward bulk-applies the per-cycle idle/switch accounting for the
+// steady cycles [from, to] (inclusive), which core.Run has proven
+// event-free via NextEvent: every cycle t in the span would have counted
+// SwitchCycles (t < switchAt) or IdleCycles (otherwise), with no queue or
+// core mutation.
+func (s *Scheduler) FastForward(cpuID int, core *cpu.Core, from, to uint64) {
+	if core.Context() != nil {
+		return
+	}
+	n := to - from + 1
+	if at := s.switchAt[cpuID]; at > from {
+		sw := at - from // cycles t in [from, min(at, to+1)) count as switching
+		if sw > n {
+			sw = n
+		}
+		s.SwitchCycles[cpuID] += sw
+		n -= sw
+	}
+	s.IdleCycles[cpuID] += n
+}
+
 // pick removes and returns the first runnable process on cpuID's queue.
 func (s *Scheduler) pick(cpuID int, now uint64) *cpu.Context {
 	q := s.queues[cpuID]

@@ -107,6 +107,33 @@ func (b *Breakdown) Sub(prev *Breakdown) Breakdown {
 	return out
 }
 
+// AddRepeat adds v to *f n times, bit-identically to the loop
+//
+//	for i := uint64(0); i < n; i++ { *f += v }
+//
+// so that bulk-applied per-cycle charges (the fast-forwarded cycle spans in
+// core.Run) produce the exact float64 the per-cycle loop would. When v is
+// 1.0, *f is a non-negative multiple of 1/64 and every intermediate sum
+// stays at or below 2^46, all n intermediate values are exactly
+// representable, so the loop collapses to a single addition; otherwise the
+// loop runs as written.
+func AddRepeat(f *float64, v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v == 1.0 {
+		// x*64 integral and x*64 + n*64 <= 2^52 means every x+i is k/64
+		// with k <= 2^52 < 2^53: exact, so n exact += 1.0 equal x + n.
+		if x := *f * 64; x >= 0 && x+float64(n)*64 <= 1<<52 && x == float64(uint64(x)) {
+			*f += float64(n)
+			return
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		*f += v
+	}
+}
+
 // CPU returns the paper's "CPU" component (busy + FU/branch stalls).
 func (b *Breakdown) CPU() float64 { return b[Busy] + b[CPUStall] }
 

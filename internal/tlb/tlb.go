@@ -80,6 +80,7 @@ func (pt *PageTable) Pages() int { return len(pt.entries) }
 type TLB struct {
 	entries []tlbEntry
 	stamp   uint64
+	mru     int // index of the last hit: sequential scans hit the same page
 
 	Accesses uint64
 	Misses   uint64
@@ -104,21 +105,38 @@ func New(entries int) (*TLB, error) {
 func (t *TLB) Lookup(vpn uint64) bool {
 	t.Accesses++
 	t.stamp++
-	victim := 0
+	// MRU short-circuit: page locality makes back-to-back lookups of the
+	// same page the common case, and a full associative probe per access
+	// shows up hot in profiles.
+	if e := &t.entries[t.mru]; e.valid && e.vpn == vpn {
+		e.stamp = t.stamp
+		return true
+	}
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.vpn == vpn {
 			e.stamp = t.stamp
+			t.mru = i
 			return true
-		}
-		if !e.valid {
-			victim = i
-		} else if t.entries[victim].valid && e.stamp < t.entries[victim].stamp {
-			victim = i
 		}
 	}
 	t.Misses++
+	// Victim selection only runs on the (rare) miss path: any invalid way,
+	// else true LRU. Which invalid way is filled is unobservable — the set
+	// of cached pages ends up the same.
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.stamp < t.entries[victim].stamp {
+			victim = i
+		}
+	}
 	t.entries[victim] = tlbEntry{vpn: vpn, stamp: t.stamp, valid: true}
+	t.mru = victim
 	return false
 }
 

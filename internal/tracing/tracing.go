@@ -357,6 +357,28 @@ func (t *Tracer) StallSlot(cpu, proc int, pc uint64, cat stats.Category, frac fl
 	*sp = stallSpan{active: true, pc: pc, cat: cat, start: now, last: now, cycles: frac, proc: int32(proc)}
 }
 
+// StallRun charges frac at (pc, cat) for every cycle of the steady span
+// [from, to] (inclusive), bit-identically to calling StallSlot once per
+// cycle. core.Run uses it to bulk-apply fast-forwarded spans; the profile
+// accumulation and span coalescing use stats.AddRepeat so the resulting
+// float64s match the per-cycle loop exactly.
+func (t *Tracer) StallRun(cpu, proc int, pc uint64, cat stats.Category, frac float64, from, to uint64) {
+	t.cpuSlot(cpu)
+	n := to - from + 1
+	stats.AddRepeat(&t.an.site(pc).ByCat[cat], frac, n)
+	sp := &t.stalls[cpu]
+	if sp.active && sp.pc == pc && sp.cat == cat && from <= sp.last+1 {
+		stats.AddRepeat(&sp.cycles, frac, n)
+		sp.last = to
+		return
+	}
+	if sp.active {
+		t.emitStall(sp)
+	}
+	*sp = stallSpan{active: true, pc: pc, cat: cat, start: from, last: to, proc: int32(proc)}
+	stats.AddRepeat(&sp.cycles, frac, n)
+}
+
 func (t *Tracer) emitStall(sp *stallSpan) {
 	// The cpu index is recoverable from the slice position, but spans are
 	// emitted from both StallSlot and Finish; carry it explicitly.
