@@ -19,7 +19,16 @@
 //	sweep -all -json results.json
 //	sweep -all -parallel 4 -journal sweep.jsonl     # bounded worker pool
 //	sweep -all -parallel 4 -journal sweep.jsonl -resume
-//	sweep -fig fig2a -telemetry-dir series/         # one JSONL series per run point
+//	sweep -fig fig2a,fig3a -telemetry-dir series/   # one JSONL series per run point
+//	sweep -remote http://host:8044 -all             # submit to a sweepd fleet
+//
+// With -remote the grid is submitted to a sweepd server (cmd/sweepd) and
+// executed by its sweepworker fleet: per-point status streams back, the
+// merged results are fetched when the job completes, and points whose spec
+// hash is already in the server's content-addressed result cache return
+// instantly. -merged writes the canonical merged-results JSON, which is
+// byte-identical between a serial local run and a distributed remote run
+// of the same grid (the chaos harness's acceptance check).
 //
 // Exit status: 0 when every point succeeds, 1 when nothing succeeds, 2 on
 // flag/usage errors, 3 on partial success (some points completed, some
@@ -38,11 +47,14 @@ import (
 	"strings"
 	"syscall"
 
+	"time"
+
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/sweepsvc"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -66,7 +78,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		fig          = flag.String("fig", "", "experiment id to run (see -list)")
+		fig          = flag.String("fig", "", "experiment id(s) to run, comma-separated (see -list)")
 		all          = flag.Bool("all", false, "run every experiment")
 		list         = flag.Bool("list", false, "list experiment ids")
 		scale        = flag.String("scale", "default", "workload scale: default or quick")
@@ -74,6 +86,10 @@ func main() {
 		jsonPath     = flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 		telemetryDir = flag.String("telemetry-dir", "", "write one JSONL telemetry series per run point into this directory")
 		telInterval  = flag.Uint64("telemetry-interval", 0, "telemetry sampling interval in cycles (0 = config default, 100k)")
+
+		remote     = flag.String("remote", "", "submit the grid to this sweepd server instead of running locally (e.g. http://host:8044)")
+		jobID      = flag.String("job", "", "job id for -remote submissions (default: server-assigned)")
+		mergedPath = flag.String("merged", "", "write canonical merged results JSON to this file (local and -remote runs of the same grid produce identical bytes)")
 
 		parallel     = flag.Int("parallel", 1, "worker pool size (points run concurrently; outcomes stay deterministic)")
 		serial       = flag.Bool("serial", false, "run each figure's simulations serially (default: a per-figure pool of up to GOMAXPROCS workers)")
@@ -151,22 +167,44 @@ func main() {
 		fmt.Print(experiments.Fig1Params().Render())
 		fmt.Println()
 		selected = experiments.All
-	case *fig == "fig1":
-		fmt.Print(experiments.Fig1Params().Render())
-		return
 	case *fig != "":
+		byID := make(map[string]experiments.Experiment, len(experiments.All))
 		for _, e := range experiments.All {
-			if e.ID == *fig {
-				selected = []experiments.Experiment{e}
-				break
-			}
+			byID[e.ID] = e
 		}
-		if selected == nil {
-			fatalUsage("unknown experiment %q (try -list)", *fig)
+		seen := map[string]bool{}
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" || seen[id] {
+				continue
+			}
+			seen[id] = true
+			if id == "fig1" {
+				fmt.Print(experiments.Fig1Params().Render())
+				continue
+			}
+			e, ok := byID[id]
+			if !ok {
+				fatalUsage("unknown experiment %q (try -list)", id)
+			}
+			selected = append(selected, e)
+		}
+		if len(selected) == 0 {
+			return // only fig1 requested
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Remote mode: hand the grid to a sweepd fleet and wait for the
+	// merged results; everything local below (telemetry, journal, pool)
+	// is the workers' business, not ours.
+	if *remote != "" {
+		if *inject != "" || *telemetryDir != "" || *journalPath != "" || *resume {
+			fatalUsage("-inject/-telemetry-dir/-journal/-resume are local-run knobs; not available with -remote")
+		}
+		os.Exit(runRemote(*remote, *jobID, selected, sc, *mergedPath, *timeout))
 	}
 
 	// Per-point telemetry: one JSONL series per run point, named with the
@@ -208,7 +246,11 @@ func main() {
 	var completed map[string]*runner.Record
 	if *journalPath != "" {
 		if *resume {
-			completed, err = runner.ReadJournal(*journalPath)
+			// Torn or corrupt journal lines (a crash mid-write) are skipped
+			// with a warning; their points simply re-run.
+			completed, err = runner.ReadJournalWarn(*journalPath, func(format string, args ...any) {
+				log.Printf("journal: "+format, args...)
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -266,6 +308,14 @@ func main() {
 
 	if *jsonPath != "" && len(sum.Records) > 0 {
 		if werr := writeJSON(*jsonPath, sum); werr != nil {
+			log.Print(werr)
+			if sum.Complete() {
+				os.Exit(1)
+			}
+		}
+	}
+	if *mergedPath != "" {
+		if werr := writeMergedLocal(*mergedPath, sum); werr != nil {
 			log.Print(werr)
 			if sum.Complete() {
 				os.Exit(1)
@@ -380,6 +430,125 @@ func livelockError() error {
 		pe.Snapshot = sys.Snapshot("watchdog")
 	}
 	return pe
+}
+
+// runRemote submits the selected experiments to a sweepd server, streams
+// per-point progress, renders completed results, and optionally writes the
+// canonical merged-results file. Returns the process exit code using the
+// same convention as local runs (0 complete, 3 partial, 1 nothing).
+func runRemote(base, jobID string, selected []experiments.Experiment, sc experiments.Scale, mergedPath string, timeout time.Duration) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	req := &sweepsvc.SubmitRequest{JobID: jobID}
+	for _, e := range selected {
+		spec, err := sc.SpecJSON(e.ID)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		req.Points = append(req.Points, sweepsvc.JobPoint{
+			ID:        e.ID,
+			Spec:      spec,
+			MaxCycles: sc.MaxCycles,
+			Faulty:    sc.Faults.Enabled,
+		})
+	}
+
+	cl := &sweepsvc.Client{
+		Base: base,
+		OnRetry: func(op string, err error, delay time.Duration) {
+			log.Printf("%s failed (%v); retrying in %v", op, err, delay)
+		},
+	}
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		log.Printf("submit: %v", err)
+		return 1
+	}
+	log.Printf("submitted job %s: %d points (%d already done, %d from cache)",
+		st.JobID, st.Total, st.Done, st.Cached)
+
+	st, err = cl.WaitJob(ctx, st.JobID, func(ev sweepsvc.Event) {
+		switch ev.Status {
+		case sweepsvc.PointLeased:
+			log.Printf("%s: leased to %s", ev.ID, ev.Worker)
+		case sweepsvc.PointDone:
+			if ev.Cached {
+				log.Printf("%s: done (result cache)", ev.ID)
+			} else {
+				log.Printf("%s: done on %s", ev.ID, ev.Worker)
+			}
+		case sweepsvc.PointFailed:
+			log.Printf("%s: failed on %s: %s", ev.ID, ev.Worker, ev.Error)
+		case sweepsvc.PointPending:
+			if ev.Worker == "" && ev.Seq > 0 {
+				log.Printf("%s: lease expired; re-queued", ev.ID)
+			}
+		}
+	})
+	if err != nil {
+		log.Printf("wait: %v", err)
+		return 1
+	}
+
+	res, err := cl.Results(ctx, st.JobID)
+	if err != nil {
+		log.Printf("results: %v", err)
+		return 1
+	}
+	for _, p := range res.Points {
+		if len(p.Result) == 0 {
+			continue
+		}
+		var r experiments.Result
+		if json.Unmarshal(p.Result, &r) == nil && r.ID != "" {
+			fmt.Print(r.Render())
+			fmt.Println()
+		}
+	}
+	if mergedPath != "" {
+		if werr := writeMergedFile(mergedPath, res.Points); werr != nil {
+			log.Print(werr)
+			return 1
+		}
+	}
+
+	code := 0
+	switch {
+	case st.Failed == 0 && st.Done == st.Total:
+	case st.Done > 0:
+		code = 3
+	default:
+		code = 1
+	}
+	log.Printf("job %s: %d done (%d from cache), %d failed of %d — exit %d",
+		st.JobID, st.Done, st.Cached, st.Failed, st.Total, code)
+	return code
+}
+
+// writeMergedLocal writes a local summary in the canonical merged-results
+// byte form shared with -remote (sweepsvc.WriteMerged), so the chaos
+// harness can diff a serial local sweep against a distributed one.
+func writeMergedLocal(path string, sum *runner.Summary) error {
+	return writeMergedFile(path, sweepsvc.MergedFromRecords(sum.Records))
+}
+
+func writeMergedFile(path string, pts []sweepsvc.MergedPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sweepsvc.WriteMerged(f, pts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // fatalUsage reports a flag/usage error: message, usage text, exit 2.

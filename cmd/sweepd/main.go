@@ -1,0 +1,94 @@
+// Command sweepd is the fault-tolerant sweep server: it accepts point
+// grids over an HTTP/JSON job API, hands points to remote sweepworker
+// processes under expiring leases, records every transition in a durable
+// append-only ledger, and serves repeated points from a content-addressed
+// result cache keyed by the runner spec hash.
+//
+// Robustness properties:
+//
+//   - Restarting sweepd on the same -ledger replays the pending → leased →
+//     done|failed state machine last-record-wins; in-flight jobs continue.
+//   - A worker that stops heartbeating loses its lease after -lease-ttl and
+//     the point is re-issued to another worker.
+//   - Duplicate completions (expired-lease races, retried RPCs) are deduped
+//     by spec hash: the first terminal record wins, so every point is
+//     recorded exactly once no matter how chaotic the fleet.
+//   - A torn trailing ledger record (crash mid-write) is skipped with a
+//     warning on replay, never a refusal to start.
+//
+// Example:
+//
+//	sweepd -addr :8044 -ledger sweepd.ledger.jsonl
+//	sweepworker -server http://host:8044 &
+//	sweep -remote http://host:8044 -all -scale quick
+//
+// /metrics exposes service counters plus each worker's self-monitoring
+// sample (heap, goroutines, rusage, points/sec) as one Prometheus page.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/sweepsvc"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("sweepd: ")
+	var (
+		addr        = flag.String("addr", ":8044", "listen address")
+		ledgerPath  = flag.String("ledger", "", "durable JSONL ledger (required; reopening replays it)")
+		leaseTTL    = flag.Duration("lease-ttl", sweepsvc.DefaultLeaseTTL, "lease deadline horizon; a worker silent this long loses its point")
+		cacheCap    = flag.Int("cache-cap", 0, "result cache capacity in records (0 = unbounded)")
+		expireEvery = flag.Duration("expire-every", time.Second, "expired-lease scan interval")
+	)
+	flag.Parse()
+	if *ledgerPath == "" {
+		fmt.Fprintln(os.Stderr, "sweepd: -ledger is required (durability is the point)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	m, err := sweepsvc.NewManager(sweepsvc.ManagerOptions{
+		LedgerPath:    *ledgerPath,
+		LeaseTTL:      *leaseTTL,
+		CacheCapacity: *cacheCap,
+		Warn:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	srv := sweepsvc.NewServer(m)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go srv.ExpireLoop(ctx, *expireEvery)
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(sctx)
+	}()
+
+	log.Printf("serving on %s (ledger %s, lease TTL %v)", ln.Addr(), *ledgerPath, *leaseTTL)
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Command sweepworker is a remote sweep worker: it pulls leased points
+// from a sweepd server, runs them through internal/runner's supervision
+// (per-point deadlines, panic isolation, classified failures, jittered
+// capped-backoff retries), heartbeats to keep its leases alive, and
+// reports results idempotently. SIGKILL it mid-point and the lease
+// expires, the point is re-issued, and the sweep completes anyway — that
+// is the chaos harness's whole job.
+//
+// Each worker self-monitors (heap, goroutines, rusage, points/sec) in the
+// style of cc-metric-collector's `self` collector; samples ride the
+// heartbeats to sweepd's /metrics page and are optionally served locally
+// with -metrics-addr.
+//
+// Example:
+//
+//	sweepworker -server http://host:8044 -name w1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/sweepsvc"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	var (
+		server       = flag.String("server", "http://127.0.0.1:8044", "sweepd base URL")
+		name         = flag.String("name", "", "worker name (default host-pid)")
+		heartbeat    = flag.Duration("heartbeat", 0, "lease renewal period (0 = lease TTL / 4)")
+		pointTimeout = flag.Duration("point-timeout", 0, "per-point wall-clock deadline (0 = derived from the point's cycle budget)")
+		retries      = flag.Int("retries", 2, "worker-side retry budget per point")
+		selfEvery    = flag.Duration("self-interval", 5*time.Second, "self-monitoring sample interval")
+		metricsAddr  = flag.String("metrics-addr", "", "also serve this worker's self-metrics at this address (optional)")
+	)
+	flag.Parse()
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = sweepsvc.WorkerID(host, os.Getpid())
+	}
+	log.SetPrefix("sweepworker[" + *name + "]: ")
+
+	w := &sweepsvc.Worker{
+		Client:         &sweepsvc.Client{Base: strings.TrimRight(*server, "/")},
+		Name:           *name,
+		Build:          func(p *sweepsvc.JobPoint) (runner.Point, error) { return experiments.PointFromSpec(p.Spec) },
+		HeartbeatEvery: *heartbeat,
+		PointTimeout:   *pointTimeout,
+		RetryBudget:    *retries,
+		Log:            log.Printf,
+	}
+	self := &telemetry.SelfCollector{Interval: *selfEvery, Points: w.PointsDone}
+	w.Self = self
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go self.Run(ctx)
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+			var sb strings.Builder
+			telemetry.PromSelf(&sb, "sweepworker_", self.Last(), map[string]string{"worker": *name})
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			fmt.Fprint(rw, sb.String())
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	log.Printf("pulling from %s", *server)
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	log.Print("stopped")
+}

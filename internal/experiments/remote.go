@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/runner"
+)
+
+// SpecJSON returns the marshaled identity of experiment id under sc — the
+// bytes a remote submission sends on the wire. Hashing these bytes
+// (runner.SpecHash) gives the same content address the local sweep journal
+// uses, because json.Marshal of a struct is canonical (fixed field order,
+// compact) and re-marshaling the resulting RawMessage is byte-preserving.
+func (sc Scale) SpecJSON(id string) (json.RawMessage, error) {
+	b, err := json.Marshal(sc.Spec(id))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: spec %s: %w", id, err)
+	}
+	return b, nil
+}
+
+// PointFromSpec reconstructs a runnable orchestration point from a
+// marshaled PointSpec — the remote worker's inverse of Points: sweepd
+// ships the spec bytes, the worker rebuilds the experiment and scale they
+// denote and runs them under its own supervision pool. The rebuilt point
+// hashes to the same content address as the spec bytes, so the record the
+// worker reports lands on the ledger entry the server expects.
+func PointFromSpec(raw json.RawMessage) (runner.Point, error) {
+	var ps PointSpec
+	if err := json.Unmarshal(raw, &ps); err != nil {
+		return runner.Point{}, fmt.Errorf("experiments: bad point spec: %w", err)
+	}
+	var exp *Experiment
+	for i := range All {
+		if All[i].ID == ps.Experiment {
+			exp = &All[i]
+			break
+		}
+	}
+	if exp == nil {
+		return runner.Point{}, fmt.Errorf("experiments: unknown experiment %q in spec", ps.Experiment)
+	}
+	sc := Scale{
+		OLTPTransactions: ps.OLTPTransactions,
+		OLTPWarmupTx:     ps.OLTPWarmupTx,
+		DSSRows:          ps.DSSRows,
+		MaxCycles:        ps.MaxCycles,
+		WatchdogWindow:   ps.WatchdogWindow,
+		DisableWatchdog:  ps.DisableWatchdog,
+		Faults:           ps.Faults,
+	}
+	e := *exp
+	return runner.Point{
+		ID:        e.ID,
+		Spec:      ps,
+		MaxCycles: sc.MaxCycles * maxRunsPerExperiment,
+		Faulty:    sc.Faults.Enabled,
+		Run: func(ctx context.Context, att runner.Attempt) (any, error) {
+			esc := sc
+			esc.Context = ctx
+			if att.DisableFaults {
+				esc.Faults = config.FaultConfig{}
+			}
+			return e.Run(esc)
+		},
+	}, nil
+}

@@ -17,12 +17,60 @@ import (
 	"repro/internal/config"
 )
 
+// Stream is a seeded splitmix64 decision stream: the deterministic PRNG
+// behind the injector, exported so other fault-injection layers (the sweep
+// service's chaos transport, the runner's retry jitter) reproduce their
+// decisions from a seed exactly like the machine-level injector does. Not
+// safe for concurrent use.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a stream seeded by seed (0 is mapped to 1 so a zero
+// value still advances).
+func NewStream(seed uint64) *Stream {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Stream{state: seed}
+}
+
+// Next advances the splitmix64 stream and returns the next draw.
+func (s *Stream) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float returns a uniform draw in [0, 1) using 53 bits of the stream.
+func (s *Stream) Float() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// Chance draws a Bernoulli decision with probability p.
+func (s *Stream) Chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return s.Float() < p
+}
+
+// Intn returns a draw in [0, n) (0 when n <= 0).
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.Next() % uint64(n))
+}
+
 // Injector draws deterministic fault decisions for one machine. All
 // methods are nil-safe: a nil *Injector injects nothing, so callers need
 // no "faults enabled?" branches. Not safe for concurrent use.
 type Injector struct {
-	cfg   config.FaultConfig
-	state uint64
+	cfg config.FaultConfig
+	rng Stream
 
 	// Statistics (what was actually injected).
 	MeshDelays      uint64 // messages delayed
@@ -39,30 +87,14 @@ func New(cfg config.FaultConfig) *Injector {
 	if !cfg.Enabled {
 		return nil
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	return &Injector{cfg: cfg, state: seed}
+	return &Injector{cfg: cfg, rng: *NewStream(cfg.Seed)}
 }
 
 // next advances the splitmix64 stream.
-func (i *Injector) next() uint64 {
-	i.state += 0x9E3779B97F4A7C15
-	z := i.state
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
+func (i *Injector) next() uint64 { return i.rng.Next() }
 
 // chance draws a Bernoulli decision with probability p.
-func (i *Injector) chance(p float64) bool {
-	if p <= 0 {
-		return false
-	}
-	// 53 bits of the draw give a uniform float in [0, 1).
-	return float64(i.next()>>11)/(1<<53) < p
-}
+func (i *Injector) chance(p float64) bool { return i.rng.Chance(p) }
 
 // MeshDelay returns the extra cycles to add to a mesh message's arrival
 // (0 for most messages).

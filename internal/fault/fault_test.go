@@ -113,3 +113,40 @@ func TestFaultConfigValidate(t *testing.T) {
 		t.Errorf("valid config rejected: %v", err)
 	}
 }
+
+// TestStreamDeterminism: the exported Stream draws the same sequence from
+// the same seed (chaos-harness reproducibility) and respects its ranges.
+func TestStreamDeterminism(t *testing.T) {
+	a, b := NewStream(99), NewStream(99)
+	for i := 0; i < 256; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("draw %d diverged for identical seeds", i)
+		}
+	}
+	c := NewStream(100)
+	diverged := false
+	for i := 0; i < 16; i++ {
+		if a.Next() != c.Next() {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds drew identical sequences")
+	}
+
+	s := NewStream(0) // seed 0 must still produce a usable stream
+	for i := 0; i < 1000; i++ {
+		if f := s.Float(); f < 0 || f >= 1 {
+			t.Fatalf("Float() = %v, want [0,1)", f)
+		}
+		if n := s.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn(10) = %d", n)
+		}
+	}
+	if s.Chance(0) {
+		t.Fatal("Chance(0) fired")
+	}
+	if !s.Chance(1) {
+		t.Fatal("Chance(1) did not fire")
+	}
+}

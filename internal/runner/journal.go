@@ -130,33 +130,78 @@ func (j *Journal) Close() error {
 
 // ReadJournal loads a journal written by earlier runs and returns the last
 // record per spec hash. A missing file is an empty journal, not an error.
-// Unparsable lines (a crash mid-write leaves at most one trailing partial
-// line) are skipped, so an interrupted sweep's journal is always readable.
+// Torn or corrupt lines are skipped silently; use ReadJournalWarn to
+// observe them.
 func ReadJournal(path string) (map[string]*Record, error) {
+	return ReadJournalWarn(path, nil)
+}
+
+// ReadJournalWarn is ReadJournal with a warning hook: warn (when non-nil)
+// is called for every line that cannot be parsed, distinguishing the torn
+// trailing record a crash mid-write leaves (expected; bounded to one line
+// by the fsync-per-record discipline) from corruption earlier in the file
+// (unexpected; the record is lost and its point will re-run on resume).
+// Either way replay continues — a crashed sweep's journal is always
+// readable.
+func ReadJournalWarn(path string, warn func(format string, args ...any)) (map[string]*Record, error) {
+	recs := make(map[string]*Record)
+	err := ScanJSONL(path, warn, func(line []byte) bool {
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.SpecHash == "" {
+			return false
+		}
+		recs[r.SpecHash] = &r
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: journal: %w", err)
+	}
+	return recs, nil
+}
+
+// ScanJSONL streams the lines of an append-only JSONL file at path into
+// apply, which reports whether the line parsed. A missing file is an empty
+// file. Lines that fail to parse are skipped and reported to warn (when
+// non-nil): a final unparsable line is a torn tail from a crash mid-write,
+// anything earlier is corruption. The sweep journal and the sweep-service
+// ledger both replay through this, so both survive a crash mid-append.
+func ScanJSONL(path string, warn func(format string, args ...any), apply func(line []byte) bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return map[string]*Record{}, nil
+			return nil
 		}
-		return nil, fmt.Errorf("runner: journal: %w", err)
+		return err
 	}
 	defer f.Close()
-	recs := make(map[string]*Record)
+	if warn == nil {
+		warn = func(string, ...any) {}
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26) // snapshots + results can be large
+	lineNo := 0
+	badLine := 0 // most recent unparsable line (0 = none pending)
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var r Record
-		if err := json.Unmarshal(line, &r); err != nil || r.SpecHash == "" {
-			continue // partial/corrupt line: tolerate and move on
+		if badLine != 0 {
+			// The unparsable line had lines after it: real corruption, not
+			// a torn tail.
+			warn("corrupt record at line %d skipped (mid-file corruption; its point will re-run)", badLine)
+			badLine = 0
 		}
-		recs[r.SpecHash] = &r
+		if !apply(line) {
+			badLine = lineNo
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("runner: journal: %w", err)
+		return err
 	}
-	return recs, nil
+	if badLine != 0 {
+		warn("torn trailing record at line %d skipped (crash mid-write; its point will re-run)", badLine)
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -194,5 +195,59 @@ func TestResumeSkipsCompleted(t *testing.T) {
 		if n := strings.Count(string(data), `"id":"`+id+`"`); n != 1 {
 			t.Errorf("journal has %d records for %s, want exactly 1", n, id)
 		}
+	}
+}
+
+// TestReadJournalWarnDistinguishesTornFromCorrupt: an unparsable final
+// line warns as a torn tail (expected crash artifact); an unparsable line
+// with intact records after it warns as mid-file corruption.
+func TestReadJournalWarnDistinguishesTornFromCorrupt(t *testing.T) {
+	write := func(t *testing.T, lines ...string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "j.jsonl")
+		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	rec := `{"id":"a","spec_hash":"h-a","status":"ok","attempts":1}`
+	cases := []struct {
+		name     string
+		lines    []string
+		want     string // substring of the expected warning
+		survived int
+	}{
+		{"torn-tail", []string{rec, `{"id":"b","spec_ha`}, "torn trailing record at line 2", 1},
+		{"mid-file", []string{`{"broken`, rec}, "corrupt record at line 1", 1},
+		{"clean", []string{rec, ""}, "", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var warns []string
+			got, err := ReadJournalWarn(write(t, tc.lines...), func(f string, a ...any) {
+				warns = append(warns, fmt.Sprintf(f, a...))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != tc.survived {
+				t.Fatalf("%d records survived, want %d", len(got), tc.survived)
+			}
+			if tc.want == "" {
+				if len(warns) != 0 {
+					t.Fatalf("unexpected warnings: %q", warns)
+				}
+				return
+			}
+			found := false
+			for _, w := range warns {
+				if strings.Contains(w, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("warnings %q missing %q", warns, tc.want)
+			}
+		})
 	}
 }

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/fault"
 )
 
 // Class is a failure classification; it decides retryability.
@@ -185,6 +186,15 @@ type Options struct {
 	// DefaultBackoffCap).
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
+	// BackoffJitter randomizes each retry delay so concurrent workers
+	// retrying the same transient fault (a loaded host, a flaky sweepd)
+	// don't synchronize into retry storms: a delay d becomes
+	// d*(1-j) + U[0, d*j). 0 means DefaultBackoffJitter; negative disables
+	// jitter (exact exponential delays, used by deterministic tests).
+	BackoffJitter float64
+	// JitterSeed seeds the jitter stream (0 = derived from wall clock, so
+	// distinct worker processes draw distinct schedules).
+	JitterSeed uint64
 	// Journal, when non-nil, receives every started point's record as it
 	// completes. Journal write failures are counted, not fatal.
 	Journal *Journal
@@ -205,12 +215,13 @@ type Options struct {
 // millions of cycles per second): a point given fewer wall-clock seconds
 // than MaxCycles/MinCyclesPerSecond could time out on a healthy run.
 const (
-	MinCyclesPerSecond  = 500_000
-	MinPointTimeout     = time.Minute
-	DefaultWallClockCap = 30 * time.Minute
-	DefaultMaxAttempts  = 3
-	DefaultBackoffBase  = 250 * time.Millisecond
-	DefaultBackoffCap   = 10 * time.Second
+	MinCyclesPerSecond   = 500_000
+	MinPointTimeout      = time.Minute
+	DefaultWallClockCap  = 30 * time.Minute
+	DefaultMaxAttempts   = 3
+	DefaultBackoffBase   = 250 * time.Millisecond
+	DefaultBackoffCap    = 10 * time.Second
+	DefaultBackoffJitter = 0.5
 )
 
 // Summary aggregates a pool run. Records holds one record per input point
@@ -283,6 +294,9 @@ type pool struct {
 	retries atomic.Int64 // retries actually used
 	jerrs   atomic.Int64 // journal append failures
 	eventMu sync.Mutex
+
+	jitterMu  sync.Mutex // workers draw retry jitter concurrently
+	jitterRng *fault.Stream
 }
 
 func newPool(points []Point, opt Options) (*pool, error) {
@@ -329,6 +343,16 @@ func newPool(points []Point, opt Options) (*pool, error) {
 		p.budget.Store(1 << 40)
 	} else {
 		p.budget.Store(int64(opt.RetryBudget))
+	}
+	if opt.BackoffJitter == 0 {
+		p.opt.BackoffJitter = DefaultBackoffJitter
+	}
+	if p.opt.BackoffJitter > 0 {
+		seed := opt.JitterSeed
+		if seed == 0 {
+			seed = uint64(time.Now().UnixNano())
+		}
+		p.jitterRng = fault.NewStream(seed)
 	}
 	return p, nil
 }
@@ -454,7 +478,7 @@ func (p *pool) runPoint(ctx context.Context, pt Point) *Record {
 		if faulted && class != ClassTimeout {
 			disableFaults = true
 		}
-		delay := p.backoff(attempt)
+		delay := p.jitter(p.backoff(attempt))
 		p.emit(Event{Kind: EventRetry, Point: pt.ID, Attempt: attempt + 1, Err: err, Delay: delay})
 		if !sleepCtx(ctx, delay) {
 			rec.Status = StatusCanceled
@@ -501,6 +525,25 @@ func (p *pool) takeRetry() bool {
 			return true
 		}
 	}
+}
+
+// jitter randomizes a backoff delay: d*(1-j) + U[0, d*j). With jitter
+// disabled (or a zero delay) it returns d unchanged. Randomizing each
+// worker's schedule keeps concurrent retries of the same transient fault
+// from synchronizing into a retry storm.
+func (p *pool) jitter(d time.Duration) time.Duration {
+	if p.jitterRng == nil || d <= 0 {
+		return d
+	}
+	j := p.opt.BackoffJitter
+	if j > 1 {
+		j = 1
+	}
+	span := float64(d) * j
+	p.jitterMu.Lock()
+	u := p.jitterRng.Float()
+	p.jitterMu.Unlock()
+	return time.Duration(float64(d) - span + u*span)
 }
 
 // backoff returns the capped exponential delay before retrying after the

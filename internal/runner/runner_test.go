@@ -296,3 +296,60 @@ func TestDuplicateIDsRejected(t *testing.T) {
 		t.Fatal("duplicate point ids accepted")
 	}
 }
+
+// TestBackoffJitter: jittered delays stay inside [d*(1-j), d), the same
+// seed draws the same sequence, and a negative jitter disables it.
+func TestBackoffJitter(t *testing.T) {
+	mk := func(jit float64, seed uint64) *pool {
+		p, err := newPool(nil, Options{
+			BackoffBase: time.Second, BackoffCap: 8 * time.Second,
+			BackoffJitter: jit, JitterSeed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		jit  float64
+		lo   float64 // fraction of d
+	}{
+		{"default-half", 0, 0.5}, // 0 means DefaultBackoffJitter
+		{"quarter", 0.25, 0.75},
+		{"full", 1.0, 0.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mk(tc.jit, 42)
+			for attempt := 0; attempt < 4; attempt++ {
+				d := p.backoff(attempt)
+				for i := 0; i < 50; i++ {
+					got := p.jitter(d)
+					if got < time.Duration(tc.lo*float64(d)) || got > d {
+						t.Fatalf("jitter(%v) = %v, want within [%v, %v]",
+							d, got, time.Duration(tc.lo*float64(d)), d)
+					}
+				}
+			}
+		})
+	}
+
+	t.Run("seed-deterministic", func(t *testing.T) {
+		a, b := mk(0.5, 7), mk(0.5, 7)
+		for i := 0; i < 32; i++ {
+			if da, db := a.jitter(time.Second), b.jitter(time.Second); da != db {
+				t.Fatalf("draw %d: %v vs %v — same seed must draw same jitter", i, da, db)
+			}
+		}
+	})
+
+	t.Run("negative-disables", func(t *testing.T) {
+		p := mk(-1, 42)
+		for i := 0; i < 8; i++ {
+			if got := p.jitter(time.Second); got != time.Second {
+				t.Fatalf("jitter disabled but got %v, want exactly 1s", got)
+			}
+		}
+	})
+}

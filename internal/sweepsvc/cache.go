@@ -1,0 +1,85 @@
+package sweepsvc
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/runner"
+)
+
+// Cache is the content-addressed result cache: terminal records keyed by
+// the runner spec hash, so a point resubmitted in any later job or sweep
+// is served instantly instead of re-simulated. Bounded LRU: eviction only
+// costs a re-run (simulations are deterministic), never correctness, and
+// the ledger still holds every evicted record for audit.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List               // front = most recent
+	idx map[string]*list.Element // hash -> element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	hash string
+	rec  *runner.Record
+}
+
+// NewCache returns a cache holding at most capacity records (<=0 means
+// unbounded).
+func NewCache(capacity int) *Cache {
+	return &Cache{cap: capacity, lru: list.New(), idx: make(map[string]*list.Element)}
+}
+
+// Get returns the cached record for hash (nil on miss) and refreshes its
+// recency.
+func (c *Cache) Get(hash string) *runner.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[hash]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).rec
+}
+
+// Put stores the record for hash, evicting the least-recently-used entry
+// when over capacity. Re-putting an existing hash refreshes it (the
+// records are identical by determinism).
+func (c *Cache) Put(hash string, rec *runner.Record) {
+	if rec == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[hash]; ok {
+		el.Value.(*cacheEntry).rec = rec
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.idx[hash] = c.lru.PushFront(&cacheEntry{hash: hash, rec: rec})
+	if c.cap > 0 && c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.idx, oldest.Value.(*cacheEntry).hash)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached records.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns cumulative hit/miss/eviction counters.
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

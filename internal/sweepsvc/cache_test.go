@@ -1,0 +1,139 @@
+package sweepsvc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+func rec(id string) *runner.Record {
+	return &runner.Record{ID: id, SpecHash: id, Status: runner.StatusOK}
+}
+
+// TestCache drives the LRU through table-driven op sequences and checks
+// the hit/miss/eviction counters and residency after each script.
+func TestCache(t *testing.T) {
+	type op struct {
+		verb string // "put", "get"
+		key  string
+		want bool // for get: expect a hit
+	}
+	cases := []struct {
+		name                 string
+		cap                  int
+		ops                  []op
+		hits, misses, evicts uint64
+		len                  int
+	}{
+		{
+			name: "hit-and-miss",
+			cap:  4,
+			ops: []op{
+				{"put", "a", false},
+				{"get", "a", true},
+				{"get", "b", false},
+			},
+			hits: 1, misses: 1, len: 1,
+		},
+		{
+			name: "evicts-lru",
+			cap:  2,
+			ops: []op{
+				{"put", "a", false},
+				{"put", "b", false},
+				{"put", "c", false}, // evicts a
+				{"get", "a", false},
+				{"get", "b", true},
+				{"get", "c", true},
+			},
+			hits: 2, misses: 1, evicts: 1, len: 2,
+		},
+		{
+			name: "get-refreshes-recency",
+			cap:  2,
+			ops: []op{
+				{"put", "a", false},
+				{"put", "b", false},
+				{"get", "a", true},  // a is now MRU
+				{"put", "c", false}, // evicts b, not a
+				{"get", "a", true},
+				{"get", "b", false},
+			},
+			hits: 2, misses: 1, evicts: 1, len: 2,
+		},
+		{
+			name: "put-same-key-no-evict",
+			cap:  2,
+			ops: []op{
+				{"put", "a", false},
+				{"put", "a", false},
+				{"put", "b", false},
+				{"get", "a", true},
+				{"get", "b", true},
+			},
+			hits: 2, len: 2,
+		},
+		{
+			name: "unbounded",
+			cap:  0,
+			ops: []op{
+				{"put", "a", false}, {"put", "b", false}, {"put", "c", false},
+				{"get", "a", true}, {"get", "b", true}, {"get", "c", true},
+			},
+			hits: 3, len: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCache(tc.cap)
+			for i, o := range tc.ops {
+				switch o.verb {
+				case "put":
+					c.Put(o.key, rec(o.key))
+				case "get":
+					got := c.Get(o.key)
+					if (got != nil) != o.want {
+						t.Fatalf("op %d: Get(%q) hit=%v, want %v", i, o.key, got != nil, o.want)
+					}
+					if got != nil && got.ID != o.key {
+						t.Fatalf("op %d: Get(%q) returned record %q", i, o.key, got.ID)
+					}
+				default:
+					t.Fatalf("bad op %q", o.verb)
+				}
+			}
+			hits, misses, evicts := c.Stats()
+			if hits != tc.hits || misses != tc.misses || evicts != tc.evicts {
+				t.Fatalf("stats = %d/%d/%d, want %d/%d/%d",
+					hits, misses, evicts, tc.hits, tc.misses, tc.evicts)
+			}
+			if c.Len() != tc.len {
+				t.Fatalf("len = %d, want %d", c.Len(), tc.len)
+			}
+		})
+	}
+}
+
+// TestCacheEvictionOrder fills far past capacity and checks only the most
+// recent capacity entries survive.
+func TestCacheEvictionOrder(t *testing.T) {
+	c := NewCache(3)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), rec(fmt.Sprintf("k%d", i)))
+	}
+	for i := 0; i < 7; i++ {
+		if c.Get(fmt.Sprintf("k%d", i)) != nil {
+			t.Fatalf("k%d survived; should have been evicted", i)
+		}
+	}
+	for i := 7; i < 10; i++ {
+		if c.Get(fmt.Sprintf("k%d", i)) == nil {
+			t.Fatalf("k%d evicted; should have survived", i)
+		}
+	}
+	_, _, evicts := c.Stats()
+	if evicts != 7 {
+		t.Fatalf("evictions = %d, want 7", evicts)
+	}
+}

@@ -1,0 +1,368 @@
+package sweepsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// The in-process chaos harness: a sweepd (Manager+Server over a durable
+// ledger), three workers, and a seeded fault-injecting transport between
+// them. Mid-sweep one worker is killed while holding a lease and the
+// server is killed and restarted over the same ledger. The invariant under
+// all of it: the merged results are byte-identical to a serial local
+// runner.Run over the same grid, and the ledger records each point's
+// terminal state exactly once.
+
+// chaosSpec is a synthetic, deterministic point spec: Value depends only
+// on X, so any worker, any attempt, any replica computes the same result.
+type chaosSpec struct {
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	X    int    `json:"x"`
+	Fail bool   `json:"fail,omitempty"`
+}
+
+type chaosResult struct {
+	Name  string `json:"name"`
+	Value int    `json:"value"`
+}
+
+// chaosRun is the Point.Run both the serial baseline and the workers use.
+// The sleep makes points long enough for kills to land mid-run; it does
+// not affect the result bytes.
+func chaosRun(sp chaosSpec, delay time.Duration) func(ctx context.Context, att runner.Attempt) (any, error) {
+	return func(ctx context.Context, att runner.Attempt) (any, error) {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+		if sp.Fail {
+			return nil, fmt.Errorf("chaos: %s is wired to fail", sp.Name)
+		}
+		return &chaosResult{Name: sp.Name, Value: sp.X*sp.X*7 + 1}, nil
+	}
+}
+
+func chaosGrid(n int) []JobPoint {
+	pts := make([]JobPoint, 0, n)
+	for i := 0; i < n; i++ {
+		sp := chaosSpec{Kind: "chaos", Name: fmt.Sprintf("pt-%02d", i), X: i, Fail: i == n-1}
+		raw, _ := json.Marshal(sp)
+		pts = append(pts, JobPoint{ID: sp.Name, Spec: raw})
+	}
+	return pts
+}
+
+func buildChaosPoint(delay time.Duration) func(jp *JobPoint) (runner.Point, error) {
+	return func(jp *JobPoint) (runner.Point, error) {
+		var sp chaosSpec
+		if err := json.Unmarshal(jp.Spec, &sp); err != nil {
+			return runner.Point{}, err
+		}
+		return runner.Point{ID: jp.ID, Spec: json.RawMessage(jp.Spec), Run: chaosRun(sp, delay)}, nil
+	}
+}
+
+// serialBaseline runs the grid through runner.Run locally and returns the
+// canonical merged bytes.
+func serialBaseline(t *testing.T, grid []JobPoint, delay time.Duration) []byte {
+	t.Helper()
+	build := buildChaosPoint(delay)
+	pts := make([]runner.Point, 0, len(grid))
+	for i := range grid {
+		pt, err := build(&grid[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, pt)
+	}
+	sum, err := runner.Run(context.Background(), pts, runner.Options{
+		Workers: 1, PointTimeout: 5 * time.Second, MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMerged(&buf, MergedFromRecords(sum.Records)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// chaosServer is a restartable sweepd: kill() drops every client
+// connection and closes the ledger; start() replays the same ledger into a
+// fresh Manager on a fresh listener. addr is what the rewriteTransport
+// routes to, so clients and workers follow the server across restarts.
+type chaosServer struct {
+	t      *testing.T
+	ledger string
+	ttl    time.Duration
+
+	addr atomic.Value // host:port
+
+	mu  sync.Mutex
+	m   *Manager
+	srv *httptest.Server
+}
+
+func (cs *chaosServer) start() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	m, err := NewManager(ManagerOptions{
+		LedgerPath: cs.ledger,
+		LeaseTTL:   cs.ttl,
+		Warn:       func(f string, a ...any) { cs.t.Logf("sweepd: "+f, a...) },
+	})
+	if err != nil {
+		cs.t.Fatalf("chaos server start: %v", err)
+	}
+	srv := httptest.NewServer(NewServer(m).Handler())
+	u, _ := url.Parse(srv.URL)
+	cs.m, cs.srv = m, srv
+	cs.addr.Store(u.Host)
+	cs.t.Logf("chaos: sweepd up at %s", u.Host)
+}
+
+func (cs *chaosServer) kill() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.srv.CloseClientConnections()
+	cs.srv.Close()
+	cs.m.Close()
+	cs.t.Logf("chaos: sweepd killed")
+}
+
+func (cs *chaosServer) restart() {
+	cs.kill()
+	cs.start()
+}
+
+// expireLoop runs lease expiry against whichever manager is current.
+func (cs *chaosServer) expireLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			cs.mu.Lock()
+			cs.m.ExpireLeases()
+			cs.mu.Unlock()
+		}
+	}
+}
+
+func (cs *chaosServer) done(job string) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	st, err := cs.m.JobStatus(job, false)
+	if err != nil {
+		return 0
+	}
+	return st.Done + st.Failed
+}
+
+// rewriteTransport routes every request to the chaos server's *current*
+// address — the client-side half of "sweepd restarted on us".
+type rewriteTransport struct {
+	addr *atomic.Value
+}
+
+func (rt *rewriteTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r2 := req.Clone(req.Context())
+	r2.URL.Scheme = "http"
+	r2.URL.Host = rt.addr.Load().(string)
+	r2.Host = ""
+	return http.DefaultTransport.RoundTrip(r2)
+}
+
+// TestChaosSweep is the chaos harness: seeded RPC faults (delays, drops,
+// duplicate deliveries), a worker SIGKILL-equivalent mid-point, and a
+// sweepd kill+restart mid-sweep — after which the merged results must be
+// byte-identical to the serial baseline, the ledger must hold exactly one
+// terminal record per point, and resubmission must be served from cache.
+func TestChaosSweep(t *testing.T) {
+	const (
+		nPoints    = 10
+		pointDelay = 40 * time.Millisecond
+		leaseTTL   = 1200 * time.Millisecond
+	)
+	grid := chaosGrid(nPoints)
+	want := serialBaseline(t, grid, pointDelay)
+
+	cs := &chaosServer{
+		t:      t,
+		ledger: filepath.Join(t.TempDir(), "ledger.jsonl"),
+		ttl:    leaseTTL,
+	}
+	cs.start()
+	defer cs.kill()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	go cs.expireLoop(ctx, 100*time.Millisecond)
+
+	// Every RPC — client and workers alike — crosses the seeded fault
+	// transport, then gets routed to the current server address.
+	ft := &FaultTransport{
+		Base:      &rewriteTransport{addr: &cs.addr},
+		DelayProb: 0.3, DelayMax: 10 * time.Millisecond,
+		DropProb: 0.1,
+		DupProb:  0.1,
+		Seed:     0xC0FFEE,
+	}
+	httpClient := &http.Client{Transport: ft}
+	newClient := func() *Client {
+		return &Client{Base: "http://sweepd.chaos", HTTP: httpClient,
+			OnRetry: func(op string, err error, d time.Duration) {
+				t.Logf("client: %s failed (%v); retrying in %v", op, err, d)
+			}}
+	}
+
+	// Three workers; worker-0 will be killed while holding a lease.
+	var wg sync.WaitGroup
+	workerCtx := make([]context.CancelFunc, 3)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		wctx, wcancel := context.WithCancel(ctx)
+		workerCtx[i] = wcancel
+		w := &Worker{
+			Client:         newClient(),
+			Name:           name,
+			Build:          buildChaosPoint(pointDelay),
+			HeartbeatEvery: leaseTTL / 4,
+			PointTimeout:   5 * time.Second,
+			MaxAttempts:    1,
+			IdleSleep:      25 * time.Millisecond,
+			Log:            func(f string, a ...any) { t.Logf(name+": "+f, a...) },
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Run(wctx) }()
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	client := newClient()
+	if _, err := client.Submit(ctx, &SubmitRequest{JobID: "chaos", Points: grid}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// The chaos choreography: kill worker-0 once the sweep is moving
+	// (leaving its leased point to expire and be re-issued), then kill and
+	// restart sweepd once a few points are done.
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		time.Sleep(3 * pointDelay)
+		workerCtx[0]()
+		t.Logf("chaos: worker w0 killed")
+		for cs.done("chaos") < nPoints/3 && ctx.Err() == nil {
+			time.Sleep(20 * time.Millisecond)
+		}
+		cs.restart()
+	}()
+
+	st, err := client.WaitJob(ctx, "chaos", func(ev Event) {
+		if ev.Status == PointPending && ev.Seq > 0 {
+			t.Logf("event: %s re-queued (lease expired)", ev.ID)
+		} else {
+			t.Logf("event: %s %s (worker %s)", ev.ID, ev.Status, ev.Worker)
+		}
+	})
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	<-chaosDone
+	if st.Done != nPoints-1 || st.Failed != 1 {
+		t.Fatalf("final status: %+v, want %d done + 1 failed", st, nPoints-1)
+	}
+
+	// Invariant 1: merged results are byte-identical to the serial run.
+	res, err := client.Results(ctx, "chaos")
+	if err != nil {
+		t.Fatalf("results: %v", err)
+	}
+	var got bytes.Buffer
+	if err := WriteMerged(&got, res.Points); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("merged results diverge from serial baseline:\n--- serial ---\n%s\n--- chaos ---\n%s", want, got.Bytes())
+	}
+
+	// Invariant 2: the ledger holds exactly one terminal record per point,
+	// despite duplicate deliveries, the worker kill and the restart.
+	terminal := make(map[string]int)
+	if err := ReplayLedger(cs.ledger, nil, func(r *LedgerRecord) {
+		if r.Type == "done" || r.Type == "failed" {
+			terminal[r.Hash]++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, jp := range grid {
+		if n := terminal[jp.Hash()]; n != 1 {
+			t.Errorf("point %s has %d terminal ledger records, want exactly 1", jp.ID, n)
+		}
+	}
+	if len(terminal) != nPoints {
+		t.Errorf("ledger has %d terminal hashes, want %d", len(terminal), nPoints)
+	}
+
+	// Invariant 3: resubmitting the completed points is served entirely
+	// from the content-addressed cache — instantly complete, no re-run.
+	okGrid := grid[:nPoints-1] // the wired-to-fail point gets a fresh chance by design
+	st2, err := client.Submit(ctx, &SubmitRequest{JobID: "chaos-again", Points: okGrid})
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !st2.Complete || st2.Cached != len(okGrid) {
+		t.Fatalf("resubmit status: %+v, want instant completion with %d cached", st2, len(okGrid))
+	}
+}
+
+// TestChaosFaultTransportDeterminism: the same seed draws the same RPC
+// fault sequence — the property that makes a chaos failure reproducible.
+func TestChaosFaultTransportDeterminism(t *testing.T) {
+	decisions := func(seed uint64) []string {
+		ft := &FaultTransport{DelayProb: 0.3, DropProb: 0.2, DupProb: 0.2, Seed: seed}
+		var out []string
+		for i := 0; i < 64; i++ {
+			d, drop, dup := ft.decide()
+			out = append(out, fmt.Sprintf("%v/%v/%v", d, drop, dup))
+		}
+		return out
+	}
+	a, b := decisions(7), decisions(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := decisions(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds drew identical fault sequences")
+	}
+}

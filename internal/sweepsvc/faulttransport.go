@@ -1,0 +1,129 @@
+package sweepsvc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// ErrInjectedDrop is the error a dropped RPC surfaces to the client (which
+// then retries it, exactly like a lost connection).
+var ErrInjectedDrop = errors.New("sweepsvc: injected RPC drop")
+
+// FaultTransport is a fault-injecting http.RoundTripper for the chaos
+// harness: it delays, drops, and duplicates requests, drawing every
+// decision from the same seeded splitmix64 stream the machine-level
+// injector uses (internal/fault), so a chaos run's RPC fault sequence
+// reproduces from its seed.
+//
+// Drop loses the request before it reaches the server (client sees a
+// transport error). DupProb sends the request twice and returns the second
+// response — the duplicate-delivery case that flushes out non-idempotent
+// handlers. Delay sleeps before forwarding. Requests with bodies are
+// buffered so replays are byte-identical.
+type FaultTransport struct {
+	// Base performs real round trips (nil = http.DefaultTransport).
+	Base http.RoundTripper
+
+	// DelayProb delays a request by up to DelayMax (default 50ms).
+	DelayProb float64
+	DelayMax  time.Duration
+	// DropProb loses the request entirely.
+	DropProb float64
+	// DupProb delivers the request twice.
+	DupProb float64
+
+	// Seed seeds the decision stream (0 is mapped to 1).
+	Seed uint64
+
+	mu  sync.Mutex
+	rng *fault.Stream
+
+	// Injection counters.
+	Delays uint64
+	Drops  uint64
+	Dups   uint64
+}
+
+func (t *FaultTransport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// decide draws the fault decisions for one request under the lock (round
+// trips run concurrently; the stream is not).
+func (t *FaultTransport) decide() (delay time.Duration, drop, dup bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rng == nil {
+		t.rng = fault.NewStream(t.Seed)
+	}
+	if t.rng.Chance(t.DelayProb) {
+		max := t.DelayMax
+		if max <= 0 {
+			max = 50 * time.Millisecond
+		}
+		delay = time.Duration(t.rng.Intn(int(max)))
+		t.Delays++
+	}
+	if t.rng.Chance(t.DropProb) {
+		drop = true
+		t.Drops++
+	}
+	if t.rng.Chance(t.DupProb) {
+		dup = true
+		t.Dups++
+	}
+	return delay, drop, dup
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	delay, drop, dup := t.decide()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if drop {
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		return nil, ErrInjectedDrop
+	}
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		_ = req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	send := func() (*http.Response, error) {
+		r2 := req.Clone(req.Context())
+		if body != nil {
+			r2.Body = io.NopCloser(bytes.NewReader(body))
+			r2.ContentLength = int64(len(body))
+		}
+		return t.base().RoundTrip(r2)
+	}
+	if dup {
+		// First delivery lands; its response is discarded, as if the
+		// network ate the reply and the client re-sent.
+		if resp, err := send(); err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+	}
+	return send()
+}

@@ -1,0 +1,107 @@
+package sweepsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/runner"
+)
+
+// LedgerRecord is one line of the sweep-service ledger: the multi-worker
+// extension of internal/runner's journal. Where the journal records only
+// terminal outcomes, the ledger also records point registration and lease
+// issuance, so a restarted sweepd can rebuild the whole pending → leased →
+// done|failed state machine by last-record-wins replay.
+//
+// Record types:
+//
+//   - "point":  a point was registered (Job, ID, Hash, Spec, MaxCycles, Faulty)
+//   - "lease":  a lease was issued or re-issued (Hash, Worker, DeadlineUnix)
+//   - "done":   a point completed (Hash, Worker, Record)
+//   - "failed": a point failed terminally on its worker (Hash, Worker, Record)
+//
+// Lease renewals are deliberately NOT persisted: heartbeats would grow the
+// ledger without bound, and the worst a restart can do without them is
+// re-issue a still-running point — which the idempotent completion path
+// dedupes. Execution is at-least-once; recording is exactly-once.
+type LedgerRecord struct {
+	Type   string `json:"type"`
+	Job    string `json:"job,omitempty"`
+	ID     string `json:"id,omitempty"`
+	Hash   string `json:"hash"`
+	Worker string `json:"worker,omitempty"`
+
+	// Lease fields.
+	DeadlineUnix int64 `json:"deadline_unix_ms,omitempty"`
+
+	// Point registration fields.
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	MaxCycles uint64          `json:"max_cycles,omitempty"`
+	Faulty    bool            `json:"faulty,omitempty"`
+
+	// Terminal fields.
+	Record *runner.Record `json:"record,omitempty"`
+}
+
+// Ledger is the append-only, fsync-per-record JSONL file behind the sweep
+// service. Safe for concurrent Append.
+type Ledger struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenLedger opens (creating if needed) the ledger at path for appending.
+// Re-opening the same path across sweepd restarts is the recovery
+// mechanism: Replay rebuilds the state machine from the records in place.
+func OpenLedger(path string) (*Ledger, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("sweepsvc: ledger: %w", err)
+	}
+	return &Ledger{f: f}, nil
+}
+
+// Append writes one record and syncs it to disk before returning, so a
+// machine crash loses at most the record being written — which replay then
+// skips as a torn tail.
+func (l *Ledger) Append(r *LedgerRecord) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("sweepsvc: ledger: %w", err)
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(b); err != nil {
+		return fmt.Errorf("sweepsvc: ledger: %w", err)
+	}
+	return l.f.Sync()
+}
+
+// Close closes the underlying file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// ReplayLedger streams the records at path into apply in append order. A
+// missing file is an empty ledger. Torn or corrupt lines are skipped with
+// a warning (runner.ScanJSONL semantics): a crash mid-append must never
+// make the ledger unreadable.
+func ReplayLedger(path string, warn func(format string, args ...any), apply func(*LedgerRecord)) error {
+	err := runner.ScanJSONL(path, warn, func(line []byte) bool {
+		var r LedgerRecord
+		if err := json.Unmarshal(line, &r); err != nil || r.Type == "" || r.Hash == "" {
+			return false
+		}
+		apply(&r)
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("sweepsvc: ledger: %w", err)
+	}
+	return nil
+}

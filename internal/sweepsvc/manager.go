@@ -1,0 +1,595 @@
+package sweepsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// ErrLeaseLost is returned by Renew when the caller no longer holds the
+// lease (it expired and was re-issued, or the point reached a terminal
+// state through another worker).
+var ErrLeaseLost = errors.New("sweepsvc: lease lost")
+
+// DefaultLeaseTTL is the lease deadline horizon granted on lease and on
+// every renewal. Workers heartbeat at a fraction of this; a worker that
+// misses a full TTL of heartbeats is presumed dead and its point is
+// re-issued.
+const DefaultLeaseTTL = 30 * time.Second
+
+// pointState is the authoritative per-hash state. A hash is global: jobs
+// submitting the same spec share one state, one execution, one result.
+type pointState struct {
+	id        string // first-submitted point id (display)
+	hash      string
+	spec      []byte
+	maxCycles uint64
+	faulty    bool
+
+	status   PointStatus
+	worker   string    // current lease holder (leased) or completer (done/failed)
+	deadline time.Time // lease deadline (leased)
+	leases   int       // leases issued, re-issues included
+	cached   bool      // done was served from the result cache
+	record   *runner.Record
+}
+
+func (p *pointState) state() PointState {
+	ps := PointState{
+		ID:     p.id,
+		Hash:   p.hash,
+		Status: p.status,
+		Worker: p.worker,
+		Leases: p.leases,
+		Cached: p.cached,
+	}
+	if p.record != nil {
+		ps.Attempts = p.record.Attempts
+		if p.status == PointFailed {
+			ps.Class = string(p.record.Class)
+			ps.Error = p.record.Error
+		}
+	}
+	return ps
+}
+
+// jobState tracks one submitted grid: its (id, hash) members in submission
+// order and its event log.
+type jobState struct {
+	id     string
+	points []jobMember
+	events []Event
+}
+
+type jobMember struct {
+	id   string
+	hash string
+}
+
+// sameMembers reports whether a submitted grid matches a job's existing
+// membership (same ids, same hashes, same order) — the test for treating
+// a repeated submit as an idempotent retry.
+func sameMembers(members []jobMember, points []JobPoint) bool {
+	if len(members) != len(points) {
+		return false
+	}
+	for i := range points {
+		if members[i].id != points[i].ID || members[i].hash != points[i].Hash() {
+			return false
+		}
+	}
+	return true
+}
+
+// Metrics are the manager's cumulative robustness counters, exposed on
+// sweepd's /metrics page.
+type Metrics struct {
+	Jobs             uint64
+	PointsRegistered uint64
+	LeasesIssued     uint64
+	LeasesRenewed    uint64
+	LeasesExpired    uint64
+	ReportsAccepted  uint64
+	ReportsDuplicate uint64
+	CacheHits        uint64
+	CacheMisses      uint64
+	CacheEvictions   uint64
+	ReplayWarnings   uint64
+	LedgerErrors     uint64
+}
+
+// Manager is the sweep service's brain: the pending → leased → done|failed
+// state machine over every known point, durably backed by the Ledger and
+// fronted by the result cache. All methods are safe for concurrent use.
+type Manager struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	ttl    time.Duration
+	ledger *Ledger
+	cache  *Cache
+	warn   func(format string, args ...any)
+
+	points  map[string]*pointState // by hash
+	pending []string               // FIFO of pending hashes
+	jobs    map[string]*jobState
+	jobSeq  int
+	metrics Metrics
+
+	change chan struct{} // closed+replaced on every transition (broadcast)
+}
+
+// ManagerOptions configures NewManager.
+type ManagerOptions struct {
+	// LedgerPath is the durable ledger file; replayed on open. Empty runs
+	// the manager in-memory only (tests).
+	LedgerPath string
+	// LeaseTTL is the lease deadline horizon (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// CacheCapacity bounds the result cache (<=0 = unbounded).
+	CacheCapacity int
+	// Now overrides the clock (tests); nil = time.Now.
+	Now func() time.Time
+	// Warn observes replay warnings and ledger append failures (nil =
+	// dropped).
+	Warn func(format string, args ...any)
+}
+
+// NewManager opens (and replays) the ledger and returns a ready manager.
+func NewManager(opt ManagerOptions) (*Manager, error) {
+	m := &Manager{
+		now:    opt.Now,
+		ttl:    opt.LeaseTTL,
+		cache:  NewCache(opt.CacheCapacity),
+		warn:   opt.Warn,
+		points: make(map[string]*pointState),
+		jobs:   make(map[string]*jobState),
+		change: make(chan struct{}),
+	}
+	if m.now == nil {
+		m.now = time.Now
+	}
+	if m.ttl <= 0 {
+		m.ttl = DefaultLeaseTTL
+	}
+	if m.warn == nil {
+		m.warn = func(string, ...any) {}
+	}
+	if opt.LedgerPath != "" {
+		warn := func(format string, args ...any) {
+			m.metrics.ReplayWarnings++
+			m.warn(format, args...)
+		}
+		if err := ReplayLedger(opt.LedgerPath, warn, m.replay); err != nil {
+			return nil, err
+		}
+		led, err := OpenLedger(opt.LedgerPath)
+		if err != nil {
+			return nil, err
+		}
+		m.ledger = led
+	}
+	return m, nil
+}
+
+// Close closes the ledger.
+func (m *Manager) Close() error {
+	if m.ledger == nil {
+		return nil
+	}
+	return m.ledger.Close()
+}
+
+// replay applies one ledger record during recovery (no locking: runs
+// before the manager is shared; no re-journaling: the record is already
+// durable).
+func (m *Manager) replay(r *LedgerRecord) {
+	switch r.Type {
+	case "point":
+		p := m.points[r.Hash]
+		if p == nil {
+			p = &pointState{id: r.ID, hash: r.Hash, spec: r.Spec, maxCycles: r.MaxCycles, faulty: r.Faulty, status: PointPending}
+			m.points[r.Hash] = p
+			m.pending = append(m.pending, r.Hash)
+			m.metrics.PointsRegistered++
+		}
+		if r.Job != "" {
+			j := m.jobs[r.Job]
+			if j == nil {
+				j = &jobState{id: r.Job}
+				m.jobs[r.Job] = j
+				m.jobSeq++
+				m.metrics.Jobs++
+			}
+			j.points = append(j.points, jobMember{id: r.ID, hash: r.Hash})
+		}
+	case "lease":
+		p := m.points[r.Hash]
+		if p == nil || p.status.Terminal() {
+			return // lease after done: stale record, terminal wins
+		}
+		if p.status == PointPending {
+			m.unqueue(r.Hash)
+		}
+		p.status = PointLeased
+		p.worker = r.Worker
+		p.deadline = time.UnixMilli(r.DeadlineUnix)
+		p.leases++
+	case "done", "failed":
+		p := m.points[r.Hash]
+		if p == nil || p.status.Terminal() {
+			return // duplicate terminal record: first wins
+		}
+		if p.status == PointPending {
+			m.unqueue(r.Hash)
+		}
+		p.worker = r.Worker
+		p.record = r.Record
+		if r.Type == "done" {
+			p.status = PointDone
+			m.cache.Put(r.Hash, r.Record)
+		} else {
+			p.status = PointFailed
+		}
+	}
+}
+
+// unqueue removes hash from the pending queue. Caller holds the lock (or
+// is replaying single-threaded).
+func (m *Manager) unqueue(hash string) {
+	for i, h := range m.pending {
+		if h == hash {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// append writes a ledger record, tolerating a nil ledger (in-memory mode)
+// and counting failures (an unwritable ledger degrades durability, not
+// availability).
+func (m *Manager) append(r *LedgerRecord) {
+	if m.ledger == nil {
+		return
+	}
+	if err := m.ledger.Append(r); err != nil {
+		m.metrics.LedgerErrors++
+		m.warn("ledger append failed: %v", err)
+	}
+}
+
+// broadcast wakes every watcher blocked on a change.
+func (m *Manager) broadcast() {
+	close(m.change)
+	m.change = make(chan struct{})
+}
+
+// emit appends a transition event to every job containing hash.
+func (m *Manager) emit(p *pointState, errMsg string) {
+	for _, j := range m.jobs {
+		for _, mem := range j.points {
+			if mem.hash == p.hash {
+				j.events = append(j.events, Event{
+					Seq:    len(j.events),
+					JobID:  j.id,
+					ID:     mem.id,
+					Hash:   p.hash,
+					Status: p.status,
+					Worker: p.worker,
+					Cached: p.cached,
+					Error:  errMsg,
+				})
+				break
+			}
+		}
+	}
+	m.broadcast()
+}
+
+// Submit registers a grid as a job. Points whose hash already has a
+// terminal done record (from this server's lifetime or ledger replay —
+// the content-addressed cache) complete instantly; failed hashes get a
+// fresh chance (reset to pending); pending/leased hashes are joined, not
+// duplicated.
+func (m *Manager) Submit(req *SubmitRequest) (*JobStatus, error) {
+	if len(req.Points) == 0 {
+		return nil, errors.New("sweepsvc: submit: no points")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := req.JobID
+	if id == "" {
+		id = fmt.Sprintf("job-%d", m.jobSeq+1)
+	}
+	if j, exists := m.jobs[id]; exists {
+		// Submit is idempotent: the client retries on transport faults, so a
+		// duplicated submit of the identical grid must return the job's
+		// current status, not an error. A *different* grid under the same
+		// name is a real conflict.
+		if !sameMembers(j.points, req.Points) {
+			return nil, fmt.Errorf("sweepsvc: submit: job %q already exists with a different point set", id)
+		}
+		return m.jobStatusLocked(j, false), nil
+	}
+	j := &jobState{id: id}
+	m.jobs[id] = j
+	m.jobSeq++
+	m.metrics.Jobs++
+	for i := range req.Points {
+		jp := &req.Points[i]
+		hash := jp.Hash()
+		j.points = append(j.points, jobMember{id: jp.ID, hash: hash})
+		p := m.points[hash]
+		if p == nil {
+			p = &pointState{id: jp.ID, hash: hash, spec: jp.Spec, maxCycles: jp.MaxCycles, faulty: jp.Faulty, status: PointPending}
+			m.points[hash] = p
+			m.metrics.PointsRegistered++
+			if rec := m.cache.Get(hash); rec != nil {
+				// Replay populated the cache but dropped this point's
+				// registration (e.g. torn record): still a hit.
+				p.status = PointDone
+				p.record = rec
+				p.cached = true
+				m.metrics.CacheHits++
+			} else {
+				m.metrics.CacheMisses++
+				m.pending = append(m.pending, hash)
+			}
+		} else {
+			switch {
+			case p.status == PointDone:
+				// Content-addressed cache hit: same spec, same result.
+				m.cache.Get(hash) // refresh recency
+				p.cached = true
+				m.metrics.CacheHits++
+			case p.status == PointFailed:
+				// A new submission re-tries a previously failed spec.
+				m.metrics.CacheMisses++
+				p.status = PointPending
+				p.worker = ""
+				p.record = nil
+				p.cached = false
+				m.pending = append(m.pending, hash)
+			default:
+				// pending/leased: join the in-flight execution (neither a
+				// cache hit nor a miss — the work is shared, not repeated).
+			}
+		}
+		m.append(&LedgerRecord{Type: "point", Job: id, ID: jp.ID, Hash: hash, Spec: jp.Spec, MaxCycles: jp.MaxCycles, Faulty: jp.Faulty})
+		m.emit(p, "")
+	}
+	return m.jobStatusLocked(j, false), nil
+}
+
+// Lease hands the worker one pending point, or nil when none is pending.
+// Idempotent per worker: if the worker already holds a live lease (its
+// previous request landed but the response was lost), the same lease is
+// returned instead of a second point.
+func (m *Manager) Lease(worker string) *LeaseResponse {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.expireLocked(now)
+	for _, p := range m.points {
+		if p.status == PointLeased && p.worker == worker {
+			return m.leaseResponse(p)
+		}
+	}
+	if len(m.pending) == 0 {
+		return &LeaseResponse{RetryAfterMS: 500}
+	}
+	hash := m.pending[0]
+	m.pending = m.pending[1:]
+	p := m.points[hash]
+	p.status = PointLeased
+	p.worker = worker
+	p.deadline = now.Add(m.ttl)
+	p.leases++
+	m.metrics.LeasesIssued++
+	m.append(&LedgerRecord{Type: "lease", Hash: hash, Worker: worker, DeadlineUnix: p.deadline.UnixMilli()})
+	m.emit(p, "")
+	return m.leaseResponse(p)
+}
+
+func (m *Manager) leaseResponse(p *pointState) *LeaseResponse {
+	return &LeaseResponse{
+		Point: &JobPoint{
+			ID:        p.id,
+			Spec:      append([]byte(nil), p.spec...),
+			MaxCycles: p.maxCycles,
+			Faulty:    p.faulty,
+		},
+		DeadlineUnix: p.deadline.UnixMilli(),
+	}
+}
+
+// Renew extends the worker's lease on hash. Renewals are in-memory only
+// (heartbeats would grow the ledger without bound); after a sweepd restart
+// the replayed deadline is the one from lease issuance, which at worst
+// re-issues a still-running point — deduped at completion.
+func (m *Manager) Renew(worker, hash string) (*RenewResponse, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked(m.now())
+	p := m.points[hash]
+	if p == nil || p.status != PointLeased || p.worker != worker {
+		return nil, ErrLeaseLost
+	}
+	p.deadline = m.now().Add(m.ttl)
+	m.metrics.LeasesRenewed++
+	return &RenewResponse{DeadlineUnix: p.deadline.UnixMilli()}, nil
+}
+
+// Report records a point's terminal record, idempotently: the first
+// terminal report for a hash wins and is journaled; duplicates (a second
+// worker that raced an expired lease, a retried RPC) are acknowledged and
+// dropped. The report is accepted even from a worker whose lease expired —
+// the result of a deterministic simulation is the result.
+func (m *Manager) Report(worker, hash string, rec *runner.Record) (*ReportResponse, error) {
+	if rec == nil {
+		return nil, errors.New("sweepsvc: report: no record")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.points[hash]
+	if p == nil {
+		return nil, fmt.Errorf("sweepsvc: report: unknown point %s", hash)
+	}
+	if p.status.Terminal() {
+		m.metrics.ReportsDuplicate++
+		return &ReportResponse{Accepted: true, Duplicate: true}, nil
+	}
+	if p.status == PointPending {
+		m.unqueue(hash)
+	}
+	typ := "failed"
+	p.status = PointFailed
+	if rec.Status == runner.StatusOK || rec.Status == runner.StatusRecovered {
+		typ = "done"
+		p.status = PointDone
+		m.cache.Put(hash, rec)
+	}
+	p.worker = worker
+	p.record = rec
+	m.metrics.ReportsAccepted++
+	m.append(&LedgerRecord{Type: typ, Hash: hash, Worker: worker, Record: rec})
+	m.emit(p, rec.Error)
+	return &ReportResponse{Accepted: true}, nil
+}
+
+// ExpireLeases re-queues every lease whose deadline has passed and returns
+// how many were re-issued to pending. Called on sweepd's expiry ticker and
+// before every lease grant.
+func (m *Manager) ExpireLeases() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.expireLocked(m.now())
+}
+
+func (m *Manager) expireLocked(now time.Time) int {
+	n := 0
+	for _, p := range m.points {
+		if p.status == PointLeased && now.After(p.deadline) {
+			p.status = PointPending
+			m.warn("lease on %s (%s) held by %s expired; re-queueing", p.id, p.hash, p.worker)
+			p.worker = ""
+			m.pending = append(m.pending, p.hash)
+			m.metrics.LeasesExpired++
+			n++
+			m.emit(p, "")
+		}
+	}
+	return n
+}
+
+// JobStatus returns the job's summary (withPoints includes per-point
+// states).
+func (m *Manager) JobStatus(id string, withPoints bool) (*JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("sweepsvc: unknown job %q", id)
+	}
+	return m.jobStatusLocked(j, withPoints), nil
+}
+
+func (m *Manager) jobStatusLocked(j *jobState, withPoints bool) *JobStatus {
+	st := &JobStatus{JobID: j.id, Total: len(j.points)}
+	for _, mem := range j.points {
+		p := m.points[mem.hash]
+		if p == nil {
+			st.Pending++
+			continue
+		}
+		switch p.status {
+		case PointPending:
+			st.Pending++
+		case PointLeased:
+			st.Leased++
+		case PointDone:
+			st.Done++
+			if p.cached {
+				st.Cached++
+			}
+		case PointFailed:
+			st.Failed++
+		}
+		if withPoints {
+			ps := p.state()
+			ps.ID = mem.id
+			st.Points = append(st.Points, ps)
+		}
+	}
+	st.Complete = st.Done+st.Failed == st.Total
+	return st
+}
+
+// Events returns the job's event log from seq on (a copy).
+func (m *Manager) Events(id string, from int) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("sweepsvc: unknown job %q", id)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(j.events) {
+		return nil, nil
+	}
+	return append([]Event(nil), j.events[from:]...), nil
+}
+
+// WaitChange blocks until the next state transition or ctx ends.
+func (m *Manager) WaitChange(ctx context.Context) {
+	m.mu.Lock()
+	ch := m.change
+	m.mu.Unlock()
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+// Merged returns the job's canonical merged results: points sorted by ID,
+// result bytes verbatim from the terminal records. This is the byte
+// surface the chaos harness compares against a serial local run.
+func (m *Manager) Merged(id string) (*MergedResults, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("sweepsvc: unknown job %q", id)
+	}
+	out := &MergedResults{JobID: j.id}
+	for _, mem := range j.points {
+		p := m.points[mem.hash]
+		mp := MergedPoint{ID: mem.id, Hash: mem.hash, Status: PointPending}
+		if p != nil {
+			mp.Status = p.status
+			if p.record != nil {
+				mp.Result = append(json.RawMessage(nil), p.record.Result...)
+			}
+		}
+		out.Points = append(out.Points, mp)
+	}
+	sort.Slice(out.Points, func(a, b int) bool { return out.Points[a].ID < out.Points[b].ID })
+	return out, nil
+}
+
+// MetricsSnapshot returns the cumulative counters, merging in the cache's.
+func (m *Manager) MetricsSnapshot() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mt := m.metrics
+	_, _, ev := m.cache.Stats()
+	mt.CacheEvictions = ev
+	return mt
+}

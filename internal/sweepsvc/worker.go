@@ -1,0 +1,207 @@
+package sweepsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+)
+
+// Worker pulls leased points from sweepd and runs them through
+// internal/runner's supervision: per-point deadlines, panic isolation,
+// classified failures, capped-backoff retries with jitter. While a point
+// runs, a heartbeat goroutine renews the lease (piggybacking the worker's
+// self-monitoring sample); a lost lease cancels the in-flight point — its
+// spec was re-issued elsewhere — and the terminal record is reported
+// idempotently either way.
+type Worker struct {
+	Client *Client
+	Name   string
+	// Build turns a leased point's spec into a runnable runner.Point
+	// (cmd/sweepworker wires experiments.PointFromSpec).
+	Build func(p *JobPoint) (runner.Point, error)
+	// HeartbeatEvery is the lease renewal period (0 = DefaultLeaseTTL/4).
+	HeartbeatEvery time.Duration
+	// PointTimeout / MaxAttempts / RetryBudget configure the supervision
+	// pool per point (zero values = runner defaults; RetryBudget 0 means
+	// no worker-side retries, matching runner.Options).
+	PointTimeout time.Duration
+	MaxAttempts  int
+	RetryBudget  int
+	// IdleSleep is the poll interval when no work is pending (0 = server's
+	// RetryAfter hint, then 500ms).
+	IdleSleep time.Duration
+	// Log observes worker progress (nil = silent).
+	Log func(format string, args ...any)
+
+	// Self samples the worker's own health; each heartbeat carries the
+	// latest sample to sweepd's /metrics page. Points feeds its rate
+	// metric automatically.
+	Self *telemetry.SelfCollector
+
+	pointsDone atomic.Uint64
+}
+
+// PointsDone returns the cumulative completed-point counter (the self
+// collector's Points function).
+func (w *Worker) PointsDone() uint64 { return w.pointsDone.Load() }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		w.Log(format, args...)
+	}
+}
+
+// Run leases, executes and reports points until ctx ends. Transport
+// failures never kill the worker — every call path retries or re-leases.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Build == nil {
+		return errors.New("sweepsvc: worker: Build is required")
+	}
+	if w.Name == "" {
+		return errors.New("sweepsvc: worker: Name is required")
+	}
+	for ctx.Err() == nil {
+		lease, err := w.Client.Lease(ctx, w.Name)
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			w.logf("lease failed (%v); backing off", err)
+			sleepCtx(ctx, time.Second)
+			continue
+		}
+		if lease.Point == nil {
+			d := w.IdleSleep
+			if d <= 0 {
+				d = 500 * time.Millisecond
+				if lease.RetryAfterMS > 0 {
+					d = time.Duration(lease.RetryAfterMS) * time.Millisecond
+				}
+			}
+			sleepCtx(ctx, d)
+			continue
+		}
+		w.runPoint(ctx, lease.Point)
+	}
+	return ctx.Err()
+}
+
+// runPoint executes one leased point under supervision and reports its
+// terminal record.
+func (w *Worker) runPoint(ctx context.Context, jp *JobPoint) {
+	hash := jp.Hash()
+	pt, err := w.Build(jp)
+	if err != nil {
+		// A spec this worker cannot build (version skew, corrupt spec) is
+		// a terminal failure — report it so the point doesn't ping-pong
+		// between workers forever.
+		w.logf("%s: unbuildable spec: %v", jp.ID, err)
+		w.report(ctx, hash, &runner.Record{
+			ID: jp.ID, SpecHash: hash, Status: runner.StatusFailed,
+			Attempts: 1, Class: runner.ClassError, Error: err.Error(),
+		})
+		return
+	}
+
+	// Heartbeat while the point runs; a lost lease hard-cancels the run.
+	runCtx, cancel := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeat(runCtx, hash, cancel)
+	}()
+
+	w.logf("%s: running (hash %s)", jp.ID, hash)
+	sum, err := runner.Run(runCtx, []runner.Point{pt}, runner.Options{
+		Workers:      1,
+		PointTimeout: w.PointTimeout,
+		MaxAttempts:  w.MaxAttempts,
+		RetryBudget:  w.RetryBudget,
+	})
+	cancel()
+	<-hbDone
+	if err != nil || len(sum.Records) == 0 {
+		w.logf("%s: pool setup failed: %v", jp.ID, err)
+		return
+	}
+	rec := sum.Records[0]
+	if rec.Status == runner.StatusCanceled || rec.Status == runner.StatusSkipped {
+		// The worker is shutting down or lost its lease mid-run: the point
+		// is incomplete, not failed. Someone else (or this worker, later)
+		// will re-run it; report nothing.
+		w.logf("%s: canceled mid-run; not reporting", jp.ID)
+		return
+	}
+	w.pointsDone.Add(1)
+	w.logf("%s: %s (%d attempts, %.1fs)", jp.ID, rec.Status, rec.Attempts, rec.Seconds)
+	w.report(ctx, hash, rec)
+}
+
+// heartbeat renews the lease until ctx ends, canceling the run when the
+// lease is lost.
+func (w *Worker) heartbeat(ctx context.Context, hash string, lost context.CancelFunc) {
+	every := w.HeartbeatEvery
+	if every <= 0 {
+		every = DefaultLeaseTTL / 4
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		req := &RenewRequest{Worker: w.Name, Hash: hash}
+		if w.Self != nil {
+			req.Self = w.Self.Sample()
+		}
+		if _, err := w.Client.Renew(ctx, req); err != nil {
+			if errors.Is(err, ErrLeaseLost) {
+				w.logf("lease on %s lost; canceling in-flight run", hash)
+				lost()
+				return
+			}
+			// Transport trouble: keep trying — the lease TTL is the real
+			// deadline, and the client already retried below it.
+			w.logf("heartbeat for %s failed: %v", hash, err)
+		}
+	}
+}
+
+// report delivers the record, retrying beyond the client's built-in policy
+// until it lands or the worker stops: losing a computed result to a
+// transient network blip would waste a whole simulation.
+func (w *Worker) report(ctx context.Context, hash string, rec *runner.Record) {
+	for ctx.Err() == nil {
+		resp, err := w.Client.Report(ctx, w.Name, hash, rec)
+		if err == nil {
+			if resp.Duplicate {
+				w.logf("%s: duplicate completion (another worker got there first)", rec.ID)
+			}
+			return
+		}
+		w.logf("%s: report failed (%v); retrying", rec.ID, err)
+		sleepCtx(ctx, time.Second)
+	}
+}
+
+// sleepCtx sleeps for d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// WorkerID builds a default worker name from host identity.
+func WorkerID(host string, pid int) string {
+	return fmt.Sprintf("%s-%d", host, pid)
+}

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Chaos smoke test for the distributed sweep service: run a grid through
+# sweepd + two sweepworkers while SIGKILLing one worker mid-point and
+# SIGKILLing + restarting sweepd mid-sweep (same ledger, same port). The
+# client must ride out all of it and exit 0, the merged results must be
+# byte-identical to a serial local run of the same grid, the ledger must
+# record each point's terminal state exactly once, and a repeat submission
+# must be served entirely from the result cache. Used by CI; runnable
+# locally:
+#
+#   scripts/chaos_smoke.sh [workdir]
+#
+# Environment:
+#   FIGS   comma-separated experiment grid (default fig2a,fig3a,tbl-miss)
+#   PORT   sweepd port (default 8055)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work"
+figs="${FIGS:-fig2a,fig3a,tbl-miss}"
+port="${PORT:-8055}"
+addr="127.0.0.1:$port"
+ledger="$work/ledger.jsonl"
+npts="$(echo "$figs" | tr ',' '\n' | grep -c .)"
+
+go build -o "$work/sweep" ./cmd/sweep
+go build -o "$work/sweepd" ./cmd/sweepd
+go build -o "$work/sweepworker" ./cmd/sweepworker
+rm -f "$ledger"
+
+cleanup() {
+  kill "${sweepd_pid:-}" "${w1_pid:-}" "${w2_pid:-}" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== serial local baseline ($figs, quick scale) =="
+"$work/sweep" -fig "$figs" -scale quick -merged "$work/baseline.json" \
+  >"$work/baseline.out" 2>"$work/baseline.err"
+test -s "$work/baseline.json" || { echo "FAIL: no baseline merged output" >&2; exit 1; }
+
+start_sweepd() {
+  "$work/sweepd" -addr "$addr" -ledger "$ledger" -lease-ttl 10s -expire-every 1s \
+    >>"$work/sweepd.log" 2>&1 &
+  sweepd_pid=$!
+}
+
+start_sweepd
+"$work/sweepworker" -server "http://$addr" -name w1 -heartbeat 2s \
+  >>"$work/w1.log" 2>&1 &
+w1_pid=$!
+"$work/sweepworker" -server "http://$addr" -name w2 -heartbeat 2s \
+  >>"$work/w2.log" 2>&1 &
+w2_pid=$!
+
+echo "== chaos sweep: sweepd pid $sweepd_pid, workers $w1_pid/$w2_pid =="
+"$work/sweep" -remote "http://$addr" -job chaos -fig "$figs" -scale quick \
+  -merged "$work/remote.json" >"$work/client.out" 2>"$work/client.err" &
+client_pid=$!
+
+# Chaos 1: SIGKILL a worker while it holds a lease. Its point sits leased
+# until the TTL expires, then gets re-issued to the survivor.
+sleep 4
+kill -9 "$w1_pid" 2>/dev/null || true
+echo "killed worker w1 (pid $w1_pid) mid-point"
+
+# Chaos 2: SIGKILL sweepd once at least one point is done, then restart it
+# on the same ledger and port. Replay rebuilds the state machine; the
+# client and surviving worker retry through the outage.
+for _ in $(seq 1 120); do
+  if [[ -s "$ledger" ]] && grep -q '"type":"done"' "$ledger"; then break; fi
+  sleep 0.5
+done
+grep -q '"type":"done"' "$ledger" || { echo "FAIL: no point completed before restart window" >&2; exit 1; }
+kill -9 "$sweepd_pid" 2>/dev/null || true
+echo "killed sweepd (pid $sweepd_pid) mid-sweep; restarting on the same ledger"
+sleep 1
+start_sweepd
+echo "sweepd restarted (pid $sweepd_pid)"
+
+client=0
+wait "$client_pid" || client=$?
+echo "client exited $client"
+tail -n 3 "$work/client.err" || true
+if [[ "$client" != 0 ]]; then
+  echo "FAIL: chaos sweep client exited $client, want 0" >&2
+  exit 1
+fi
+
+echo "== merged results: chaos run vs serial baseline =="
+if ! cmp "$work/baseline.json" "$work/remote.json"; then
+  echo "FAIL: distributed merged results differ from the serial local run" >&2
+  exit 1
+fi
+echo "OK: merged results byte-identical"
+
+echo "== ledger: exactly one terminal record per point =="
+terminal="$(grep -c '"type":"done"\|"type":"failed"' "$ledger")"
+if [[ "$terminal" != "$npts" ]]; then
+  echo "FAIL: ledger has $terminal terminal records, want $npts" >&2
+  exit 1
+fi
+dups="$(grep -o '"type":"\(done\|failed\)","hash":"[0-9a-f]*"' "$ledger" | sort | uniq -d)"
+if [[ -n "$dups" ]]; then
+  echo "FAIL: duplicate terminal ledger records: $dups" >&2
+  exit 1
+fi
+echo "OK: $terminal points, each recorded exactly once"
+
+echo "== repeat submission served from cache =="
+"$work/sweep" -remote "http://$addr" -job chaos-again -fig "$figs" -scale quick \
+  -merged "$work/cached.json" >"$work/client2.out" 2>"$work/client2.err"
+if ! cmp -s "$work/baseline.json" "$work/cached.json"; then
+  echo "FAIL: cached merged results differ from baseline" >&2
+  exit 1
+fi
+cached="$(grep -c 'done (result cache)' "$work/client2.err" || true)"
+if [[ "$cached" != "$npts" ]]; then
+  echo "FAIL: $cached of $npts points served from cache on resubmission" >&2
+  tail -n 20 "$work/client2.err" >&2
+  exit 1
+fi
+echo "OK: all $npts points served from the result cache"
+echo "PASS: chaos smoke"
