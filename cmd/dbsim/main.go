@@ -59,6 +59,11 @@ func main() {
 		impl        = flag.String("impl", "plain", "consistency implementation: plain, prefetch or spec")
 		streambuf   = flag.Int("streambuf", 0, "instruction stream buffer entries (0 = none)")
 		hints       = flag.String("hints", "none", "software hints: none, flush or flush+prefetch")
+		latchPol    = flag.String("latch-policy", "plain", "lock-path strategy: plain, hints (latch prefetch+flush) or htm (latch elision)")
+		htmReadSet  = flag.Int("htm-read-set", 0, "HTM transactional read-set bound in lines (0 = derive from L1D geometry)")
+		htmWriteSet = flag.Int("htm-write-set", 0, "HTM transactional write-set bound in lines (0 = derive from L1D geometry)")
+		htmRetries  = flag.Int("htm-retries", config.Default().HTM.MaxRetries, "HTM speculative retries before latch fallback")
+		htmBackoff  = flag.Int("htm-backoff", config.Default().HTM.BackoffCycles, "HTM linear backoff unit between retries, in cycles")
 		tx          = flag.Int("tx", 3, "OLTP transactions per process")
 		rows        = flag.Int("rows", 24000, "DSS rows per process")
 		warmupTx    = flag.Int("warmup", 1, "OLTP warm-up transactions per process")
@@ -125,6 +130,15 @@ func main() {
 	default:
 		fatalUsage("unknown consistency implementation %q", *impl)
 	}
+	lp, ok := config.ParseLatchPolicy(*latchPol)
+	if !ok {
+		fatalUsage("unknown latch policy %q (plain, hints or htm)", *latchPol)
+	}
+	cfg.LatchPolicy = lp
+	cfg.HTM.ReadSetLines = *htmReadSet
+	cfg.HTM.WriteSetLines = *htmWriteSet
+	cfg.HTM.MaxRetries = *htmRetries
+	cfg.HTM.BackoffCycles = *htmBackoff
 	cfg.DebugChecks = *debugChecks
 	if *faultMesh > 0 || *faultNACK > 0 || *faultStall > 0 {
 		cfg.Faults = config.FaultConfig{
@@ -229,6 +243,11 @@ func main() {
 	writeTraceOutputs(trc, *traceEvents, *traceProfile, rep)
 	stopProfiles()
 	printReport(os.Stdout, cfg, rep)
+	if trc != nil && rep.HTMBegins > 0 {
+		a := trc.Analysis()
+		fmt.Println()
+		fmt.Print(tracing.FormatHTM(a.HTM, a.Totals()))
+	}
 }
 
 // startProfiles starts the pprof CPU profile and arranges the heap profile,
@@ -441,7 +460,12 @@ func printReport(w *os.File, cfg config.Config, r *stats.Report) {
 		n.Read(), n[stats.ReadL1], n[stats.ReadL2], n[stats.ReadLocal],
 		n[stats.ReadRemote], n[stats.ReadDirty], n[stats.ReadDTLB])
 	fmt.Fprintf(w, "  write             %.3f\n", n[stats.Write])
-	fmt.Fprintf(w, "  synchronization   %.3f\n\n", n[stats.Sync])
+	fmt.Fprintf(w, "  synchronization   %.3f\n", n[stats.Sync])
+	if h := n.HTM(); h > 0 {
+		fmt.Fprintf(w, "  htm resolution    %.3f  (conflict %.3f, capacity %.3f, explicit %.3f)\n",
+			h, n[stats.HTMConflict], n[stats.HTMCapacity], n[stats.HTMExplicit])
+	}
+	fmt.Fprintln(w)
 
 	fmt.Fprintf(w, "miss rates          L1I %.2f%%  L1D %.2f%%  L2 %.2f%%\n",
 		r.L1IMissRate*100, r.L1DMissRate*100, r.L2MissRate*100)
@@ -454,6 +478,15 @@ func printReport(w *os.File, cfg config.Config, r *stats.Report) {
 	if r.MigratoryLines > 0 {
 		fmt.Fprintf(w, "migratory           %.0f%% shared writes, %.0f%% dirty reads; %d lines, %d PCs\n",
 			r.SharedWriteMigratory*100, r.ReadDirtyMigratory*100, r.MigratoryLines, r.MigratoryPCs)
+	}
+	if r.LatchAcquires > 0 {
+		fmt.Fprintf(w, "lock table          %d acquires (%d contended, %d handoffs)\n",
+			r.LatchAcquires, r.LatchContended, r.LatchHandoffs)
+	}
+	if r.HTMBegins > 0 {
+		fmt.Fprintf(w, "htm elision         %d begins, %d commits, %d aborts (conflict %d, capacity %d, explicit %d), %d fallbacks\n",
+			r.HTMBegins, r.HTMCommits, r.HTMAborts(),
+			r.HTMConflictAborts, r.HTMCapacityAborts, r.HTMExplicitAborts, r.HTMFallbacks)
 	}
 	fmt.Fprintf(w, "network             %.0f cycles average message latency\n", r.AvgNetLatency)
 }

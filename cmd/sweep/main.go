@@ -99,6 +99,8 @@ func main() {
 		pointTimeout = flag.Duration("point-timeout", 0, "per-point wall-clock deadline (0 = derived from the scale's cycle budget)")
 		inject       = flag.String("inject", "", "comma-separated synthetic failure points for chaos testing: panic, livelock")
 
+		latchPolicy = flag.String("latch-policy", "", "overlay a latch policy on every experiment: plain, hints or htm (empty = each experiment's own)")
+
 		faultSeed  = flag.Uint64("fault-seed", 1, "fault injector seed")
 		faultMesh  = flag.Float64("fault-mesh", 0, "per-message mesh delay probability (0 disables)")
 		faultNACK  = flag.Float64("fault-nack", 0, "per-request directory NACK probability (0 disables)")
@@ -127,6 +129,13 @@ func main() {
 	}
 	if *serial {
 		sc.Parallel = 1
+	}
+	if *latchPolicy != "" {
+		lp, ok := config.ParseLatchPolicy(*latchPolicy)
+		if !ok {
+			fatalUsage("unknown latch policy %q (plain, hints or htm)", *latchPolicy)
+		}
+		sc.LatchPolicy = lp
 	}
 	if *faultMesh > 0 || *faultNACK > 0 || *faultStall > 0 {
 		sc.Faults = config.FaultConfig{

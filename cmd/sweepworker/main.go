@@ -64,7 +64,7 @@ func main() {
 		RetryBudget:    *retries,
 		Log:            log.Printf,
 	}
-	self := &telemetry.SelfCollector{Interval: *selfEvery, Points: w.PointsDone}
+	self := &telemetry.SelfCollector{Interval: *selfEvery, Points: w.PointsDone, SimCounters: w.SimCounters}
 	w.Self = self
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -66,6 +66,82 @@ func (i ConsistencyImpl) String() string {
 	return fmt.Sprintf("ConsistencyImpl(%d)", int(i))
 }
 
+// LatchPolicy selects how the db engine's latch (lock) instructions
+// execute — the pluggable concurrency-control entry point of the lock
+// path. The zero value is the plain test-and-set latch the paper models,
+// so existing configurations are unchanged.
+type LatchPolicy int
+
+const (
+	// LatchPlain spins on the lock table and performs the latch
+	// read-modify-write on acquire (the baseline migratory latch line).
+	LatchPlain LatchPolicy = iota
+	// LatchHints wraps the plain latch with the paper's software hints
+	// (Section 4.2): a non-binding exclusive prefetch of the latch line
+	// while spinning, and a flush pushing it home at release.
+	LatchHints
+	// LatchHTM elides the latch with a best-effort hardware transaction
+	// (internal/htm): the critical section runs speculatively, conflicts
+	// and capacity overflows abort, and a bounded retry policy falls back
+	// to the real latch so forward progress is never speculative.
+	LatchHTM
+)
+
+func (p LatchPolicy) String() string {
+	switch p {
+	case LatchPlain:
+		return "plain"
+	case LatchHints:
+		return "hints"
+	case LatchHTM:
+		return "htm"
+	}
+	return fmt.Sprintf("LatchPolicy(%d)", int(p))
+}
+
+// ParseLatchPolicy inverts String.
+func ParseLatchPolicy(s string) (LatchPolicy, bool) {
+	for _, p := range []LatchPolicy{LatchPlain, LatchHints, LatchHTM} {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return LatchPlain, false
+}
+
+// HTMConfig bounds the best-effort hardware-transaction model used by
+// LatchHTM. Zero set bounds are derived from the cache geometry at system
+// construction (see Config.HTMReadSetLines/HTMWriteSetLines).
+type HTMConfig struct {
+	// ReadSetLines / WriteSetLines bound the transactional read and write
+	// sets in cache lines. 0 = derive from the cache geometry: the read
+	// set tracks up to the L1D capacity, the write set a quarter of it
+	// (the POWER-style asymmetry: stores need speculative versioning
+	// space, loads only tracking).
+	ReadSetLines  int
+	WriteSetLines int
+	// MaxRetries is the number of speculative re-execution attempts after
+	// an abort before the fallback path takes the real latch.
+	MaxRetries int
+	// BackoffCycles is the linear backoff unit between retries: attempt k
+	// waits k*BackoffCycles before re-speculating.
+	BackoffCycles int
+}
+
+// Validate reports the first HTM parameter inconsistency found.
+func (h HTMConfig) Validate() error {
+	if h.ReadSetLines < 0 || h.WriteSetLines < 0 {
+		return fmt.Errorf("config: htm: set bounds must be non-negative")
+	}
+	if h.MaxRetries < 0 {
+		return fmt.Errorf("config: htm: MaxRetries must be non-negative")
+	}
+	if h.BackoffCycles < 0 {
+		return fmt.Errorf("config: htm: BackoffCycles must be non-negative")
+	}
+	return nil
+}
+
 // CacheConfig describes one cache level.
 type CacheConfig struct {
 	SizeBytes int // total capacity
@@ -207,6 +283,15 @@ type Config struct {
 	Consistency     ConsistencyModel
 	ConsistencyOpts ConsistencyImpl
 
+	// --- latch execution policy ---
+
+	// LatchPolicy selects the lock-path strategy: plain latch, the
+	// paper's prefetch+flush hints, or HTM elision. The zero value
+	// (LatchPlain) reproduces the baseline exactly.
+	LatchPolicy LatchPolicy
+	// HTM bounds the transactional model when LatchPolicy is LatchHTM.
+	HTM HTMConfig
+
 	// --- caches ---
 	L1I CacheConfig
 	L1D CacheConfig
@@ -297,6 +382,9 @@ func Default() Config {
 		Consistency:     RC,
 		ConsistencyOpts: ImplPlain,
 
+		LatchPolicy: LatchPlain,
+		HTM:         HTMConfig{MaxRetries: 4, BackoffCycles: 32},
+
 		L1I: CacheConfig{SizeBytes: 128 << 10, Assoc: 2, LineBytes: 64, HitCycles: 1, Ports: 1, MSHRs: 8},
 		L1D: CacheConfig{SizeBytes: 128 << 10, Assoc: 2, LineBytes: 64, HitCycles: 1, Ports: 2, MSHRs: 8},
 		L2:  CacheConfig{SizeBytes: 8 << 20, Assoc: 4, LineBytes: 64, HitCycles: 20, Ports: 1, MSHRs: 8},
@@ -379,6 +467,12 @@ func (c Config) Validate() error {
 	if c.FetchBufferEntries <= 0 {
 		return fmt.Errorf("config: fetch buffer entries must be positive, got %d", c.FetchBufferEntries)
 	}
+	if c.LatchPolicy != LatchPlain && c.LatchPolicy != LatchHints && c.LatchPolicy != LatchHTM {
+		return fmt.Errorf("config: unknown latch policy %d", c.LatchPolicy)
+	}
+	if err := c.HTM.Validate(); err != nil {
+		return err
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
@@ -387,3 +481,23 @@ func (c Config) Validate() error {
 
 // LineBytes returns the (common) cache line size.
 func (c Config) LineBytes() int { return c.L2.LineBytes }
+
+// HTMReadSetLines resolves the transactional read-set bound: the
+// configured value, or the L1D line capacity when unset — the tracking
+// structure rides the data cache, so its reach is the cache's.
+func (c Config) HTMReadSetLines() int {
+	if c.HTM.ReadSetLines > 0 {
+		return c.HTM.ReadSetLines
+	}
+	return c.L1D.SizeBytes / c.L1D.LineBytes
+}
+
+// HTMWriteSetLines resolves the transactional write-set bound: the
+// configured value, or a quarter of the L1D line capacity when unset
+// (speculative store versioning is the scarcer resource).
+func (c Config) HTMWriteSetLines() int {
+	if c.HTM.WriteSetLines > 0 {
+		return c.HTM.WriteSetLines
+	}
+	return c.L1D.SizeBytes / c.L1D.LineBytes / 4
+}

@@ -33,11 +33,27 @@ type LockTable struct {
 	owner  map[uint64]int
 	freeAt map[uint64]uint64
 	gen    uint64 // bumped on every release (cached-wake invalidation)
+
+	// Contention counters (telemetry): acquires counts ownership
+	// transitions (idempotent re-acquires by the holder excluded);
+	// contended counts acquires that had at least one failing attempt
+	// first; handoffs counts acquires whose previous owner was a
+	// different process (the lock-passing / migratory transfers).
+	acquires  uint64
+	contended uint64
+	handoffs  uint64
+	failed    map[uint64]bool // locks with a failed attempt since last acquire
+	lastOwner map[uint64]int
 }
 
 // NewLockTable returns an empty lock table.
 func NewLockTable() *LockTable {
-	return &LockTable{owner: make(map[uint64]int), freeAt: make(map[uint64]uint64)}
+	return &LockTable{
+		owner:     make(map[uint64]int),
+		freeAt:    make(map[uint64]uint64),
+		failed:    make(map[uint64]bool),
+		lastOwner: make(map[uint64]int),
+	}
 }
 
 // TryAcquire implements cpu.LockManager. Acquires are idempotent for the
@@ -45,13 +61,49 @@ func NewLockTable() *LockTable {
 // itself).
 func (t *LockTable) TryAcquire(addr uint64, proc int, now uint64) bool {
 	if o, held := t.owner[addr]; held {
-		return o == proc
+		if o == proc {
+			return true
+		}
+		t.failed[addr] = true
+		return false
 	}
 	if now < t.freeAt[addr] {
+		t.failed[addr] = true
 		return false
 	}
 	t.owner[addr] = proc
+	t.acquires++
+	if t.failed[addr] {
+		t.contended++
+		delete(t.failed, addr)
+	}
+	if prev, ok := t.lastOwner[addr]; ok && prev != proc {
+		t.handoffs++
+	}
+	t.lastOwner[addr] = proc
 	return true
+}
+
+// LockFree implements cpu.LockViewer: whether a TryAcquire by proc at now
+// would succeed, without mutating the table. The HTM elision path uses it
+// to gate speculation on latch availability.
+func (t *LockTable) LockFree(addr uint64, proc int, now uint64) bool {
+	if o, held := t.owner[addr]; held {
+		return o == proc
+	}
+	return now >= t.freeAt[addr]
+}
+
+// Counters returns the cumulative acquire / contended-acquire / handoff
+// counts (see the field comments).
+func (t *LockTable) Counters() (acquires, contended, handoffs uint64) {
+	return t.acquires, t.contended, t.handoffs
+}
+
+// resetCounters zeroes the contention counters (warm-up reset); ownership
+// state is untouched.
+func (t *LockTable) resetCounters() {
+	t.acquires, t.contended, t.handoffs = 0, 0, 0
 }
 
 // Release implements cpu.LockManager: the lock becomes acquirable once the
@@ -583,6 +635,7 @@ func (s *System) ResetStats() {
 	}
 	s.mem.ResetStats(s.cycle)
 	s.sch.ResetStats()
+	s.locks.resetCounters()
 	s.statsStart = s.cycle
 }
 
@@ -600,7 +653,14 @@ func (s *System) buildReport(label string) *stats.Report {
 		condMis += c.Predictor().CondMispred
 		lockTries += c.LockTries
 		lockWaits += c.LockWaits
+		r.HTMBegins += c.HTMBegins
+		r.HTMCommits += c.HTMCommits
+		r.HTMConflictAborts += c.HTMConflictAborts
+		r.HTMCapacityAborts += c.HTMCapacityAborts
+		r.HTMExplicitAborts += c.HTMExplicitAborts
+		r.HTMFallbacks += c.HTMFallbacks
 	}
+	r.LatchAcquires, r.LatchContended, r.LatchHandoffs = s.locks.Counters()
 	if condBr > 0 {
 		r.BranchMispred = float64(condMis) / float64(condBr)
 	}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// csStream builds iters critical sections on lockAddr, each loading and
+// storing nLines distinct cache lines starting at dataBase.
+func csStream(iters int, lockAddr, dataBase uint64, nLines int) *trace.SliceStream {
+	var ins []trace.Instr
+	pc := uint64(0x30000)
+	emit := func(in trace.Instr) {
+		in.PC = pc
+		pc += 4
+		ins = append(ins, in)
+	}
+	for i := 0; i < iters; i++ {
+		pc = 0x30000
+		emit(trace.Instr{Op: trace.OpLockAcquire, Addr: lockAddr})
+		for l := 0; l < nLines; l++ {
+			addr := dataBase + uint64(l)*64
+			emit(trace.Instr{Op: trace.OpLoad, Addr: addr, Dest: 1})
+			emit(trace.Instr{Op: trace.OpIntALU, Src1: 1, Dest: 2})
+			emit(trace.Instr{Op: trace.OpStore, Addr: addr, Src1: 2})
+		}
+		emit(trace.Instr{Op: trace.OpWriteBar})
+		emit(trace.Instr{Op: trace.OpLockRelease, Addr: lockAddr})
+	}
+	return trace.NewSliceStream(ins)
+}
+
+// TestHTMElisionCommits: four processors share one latch but touch
+// disjoint data, the textbook elision win — every critical section runs
+// concurrently and commits; the real lock table is never touched.
+func TestHTMElisionCommits(t *testing.T) {
+	cfg := config.Default()
+	cfg.LatchPolicy = config.LatchHTM
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lockAddr = 0xA00000
+	const iters = 200
+	for n := 0; n < cfg.Nodes; n++ {
+		sys.AddProcess(n, csStream(iters, lockAddr, lockAddr+0x10000*uint64(n+1), 2))
+	}
+	rep, err := sys.Run(RunOptions{Label: "htm-commit", MaxCycles: 80_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(cfg.Nodes * iters * (3 + 3*2))
+	if rep.Instructions != want {
+		t.Fatalf("retired %d instructions, want %d", rep.Instructions, want)
+	}
+	if rep.HTMBegins == 0 {
+		t.Fatal("no transactions began under LatchPolicy=htm")
+	}
+	if rep.HTMCommits == 0 {
+		t.Fatal("no transactions committed on disjoint data")
+	}
+	if rep.HTMCommits < rep.HTMBegins*9/10 {
+		t.Errorf("commit rate too low: %d commits / %d begins", rep.HTMCommits, rep.HTMBegins)
+	}
+	if sys.Locks().Held(lockAddr) {
+		t.Error("latch held at end of run")
+	}
+	t.Logf("begins=%d commits=%d conflict=%d capacity=%d fallbacks=%d latchAcquires=%d",
+		rep.HTMBegins, rep.HTMCommits, rep.HTMConflictAborts, rep.HTMCapacityAborts,
+		rep.HTMFallbacks, rep.LatchAcquires)
+}
+
+// TestHTMConflictAborts: every processor writes the same data line inside
+// the elided section, so speculation must detect conflicts; forward
+// progress still completes every critical section via retry or fallback.
+func TestHTMConflictAborts(t *testing.T) {
+	cfg := config.Default()
+	cfg.LatchPolicy = config.LatchHTM
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lockAddr = 0xB00000
+	const iters = 200
+	for n := 0; n < cfg.Nodes; n++ {
+		sys.AddProcess(n, csStream(iters, lockAddr, lockAddr+0x4000, 1))
+	}
+	rep, err := sys.Run(RunOptions{Label: "htm-conflict", MaxCycles: 120_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(cfg.Nodes * iters * (3 + 3*1))
+	if rep.Instructions != want {
+		t.Fatalf("retired %d instructions, want %d", rep.Instructions, want)
+	}
+	if rep.HTMConflictAborts == 0 {
+		t.Error("no conflict aborts despite a fully shared write line")
+	}
+	if rep.Breakdown.HTM() == 0 {
+		t.Error("no cycles charged to HTM abort-resolution categories")
+	}
+	if sys.Locks().Held(lockAddr) {
+		t.Error("latch held at end of run")
+	}
+	t.Logf("begins=%d commits=%d conflict=%d fallbacks=%d htmStall=%.0f",
+		rep.HTMBegins, rep.HTMCommits, rep.HTMConflictAborts, rep.HTMFallbacks,
+		rep.Breakdown.HTM())
+}
+
+// TestHTMCapacityBoundResponse: the capacity-abort rate must respond to
+// the configured write-set bound — a section touching more lines than the
+// bound aborts for capacity, and a roomy bound eliminates those aborts.
+func TestHTMCapacityBoundResponse(t *testing.T) {
+	run := func(writeSet int) *struct {
+		capacity, commits, begins uint64
+	} {
+		cfg := config.Default()
+		cfg.Nodes = 1
+		cfg.LatchPolicy = config.LatchHTM
+		cfg.HTM.ReadSetLines = 1024
+		cfg.HTM.WriteSetLines = writeSet
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const lockAddr = 0xC00000
+		const iters = 50
+		sys.AddProcess(0, csStream(iters, lockAddr, lockAddr+0x4000, 8))
+		rep, err := sys.Run(RunOptions{Label: "htm-capacity", MaxCycles: 80_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &struct{ capacity, commits, begins uint64 }{
+			rep.HTMCapacityAborts, rep.HTMCommits, rep.HTMBegins,
+		}
+	}
+	tight := run(4)  // 8-line sections overflow a 4-line write set
+	roomy := run(64) // and fit a 64-line one
+	if tight.capacity == 0 {
+		t.Errorf("no capacity aborts with write-set bound 4 (begins=%d commits=%d)",
+			tight.begins, tight.commits)
+	}
+	if roomy.capacity != 0 {
+		t.Errorf("capacity aborts (%d) with a roomy write-set bound", roomy.capacity)
+	}
+	if roomy.commits == 0 {
+		t.Error("no commits with a roomy write-set bound")
+	}
+	t.Logf("tight: capacity=%d commits=%d; roomy: capacity=%d commits=%d",
+		tight.capacity, tight.commits, roomy.capacity, roomy.commits)
+}
+
+// TestHTMDisabledCountersZero: under the default plain policy the HTM
+// counters stay zero and the real lock table sees the traffic.
+func TestHTMDisabledCountersZero(t *testing.T) {
+	cfg := config.Default()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lockAddr = 0xD00000
+	for n := 0; n < cfg.Nodes; n++ {
+		sys.AddProcess(n, csStream(100, lockAddr, lockAddr+0x4000, 1))
+	}
+	rep, err := sys.Run(RunOptions{Label: "plain", MaxCycles: 80_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.HTMBegins + rep.HTMCommits + rep.HTMAborts() + rep.HTMFallbacks; got != 0 {
+		t.Errorf("HTM counters non-zero (%d) under LatchPolicy=plain", got)
+	}
+	if rep.Breakdown.HTM() != 0 {
+		t.Error("HTM stall categories charged under LatchPolicy=plain")
+	}
+	if rep.LatchAcquires == 0 {
+		t.Error("lock-table acquire counter stayed zero")
+	}
+	if rep.LatchContended == 0 {
+		t.Error("lock-table contended counter stayed zero under 4-way contention")
+	}
+	if rep.LatchHandoffs == 0 {
+		t.Error("lock-table handoff counter stayed zero under 4-way contention")
+	}
+	t.Logf("acquires=%d contended=%d handoffs=%d", rep.LatchAcquires, rep.LatchContended, rep.LatchHandoffs)
+}
+
+// TestHTMFastForwardEquivalence: the event-driven fast-forward must be
+// bit-identical under the htm policy too (lock ops conservatively disable
+// spans, so the skipped cycles are provably steady).
+func TestHTMFastForwardEquivalence(t *testing.T) {
+	run := func(disable bool) *struct {
+		cycles, begins, commits, aborts, fallbacks uint64
+	} {
+		cfg := config.Default()
+		cfg.LatchPolicy = config.LatchHTM
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const lockAddr = 0xE00000
+		for n := 0; n < cfg.Nodes; n++ {
+			sys.AddProcess(n, csStream(80, lockAddr, lockAddr+0x4000, 1))
+		}
+		rep, err := sys.Run(RunOptions{Label: "ff", MaxCycles: 80_000_000, DisableFastForward: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &struct{ cycles, begins, commits, aborts, fallbacks uint64 }{
+			rep.Cycles, rep.HTMBegins, rep.HTMCommits, rep.HTMAborts(), rep.HTMFallbacks,
+		}
+	}
+	ff := run(false)
+	slow := run(true)
+	if *ff != *slow {
+		t.Errorf("fast-forward diverged under htm policy: ff=%+v slow=%+v", ff, slow)
+	}
+}

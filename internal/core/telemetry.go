@@ -32,7 +32,11 @@ type telemetrySnap struct {
 
 	idle uint64
 
-	lockTries, lockWaits, lockSpins uint64
+	lockTries, lockWaits, lockSpins       uint64
+	lockAcquires, lockContended, lockHand uint64
+
+	htmBegins, htmCommits, htmFallbacks   uint64
+	htmConflict, htmCapacity, htmExplicit uint64
 
 	instr                      uint64
 	l1iM, l1dM, l2M            uint64
@@ -103,6 +107,8 @@ func (s *System) telemetrySnapshot(buf *telemetrySnap) telemetrySnap {
 	snap.bk = snap.bk[:0]
 	snap.robOcc = snap.robOcc[:0]
 	snap.lockTries, snap.lockWaits, snap.lockSpins = 0, 0, 0
+	snap.htmBegins, snap.htmCommits, snap.htmFallbacks = 0, 0, 0
+	snap.htmConflict, snap.htmCapacity, snap.htmExplicit = 0, 0, 0
 	for _, c := range s.cores {
 		snap.retired = append(snap.retired, c.Retired)
 		snap.bk = append(snap.bk, c.Bk)
@@ -110,7 +116,14 @@ func (s *System) telemetrySnapshot(buf *telemetrySnap) telemetrySnap {
 		snap.lockTries += c.LockTries
 		snap.lockWaits += c.LockWaits
 		snap.lockSpins += c.LockSpins
+		snap.htmBegins += c.HTMBegins
+		snap.htmCommits += c.HTMCommits
+		snap.htmFallbacks += c.HTMFallbacks
+		snap.htmConflict += c.HTMConflictAborts
+		snap.htmCapacity += c.HTMCapacityAborts
+		snap.htmExplicit += c.HTMExplicitAborts
 	}
+	snap.lockAcquires, snap.lockContended, snap.lockHand = s.locks.Counters()
 
 	snap.idle = 0
 	for i := 0; i < s.cfg.Nodes; i++ {
@@ -223,6 +236,17 @@ func (ts *telemetryState) sample(s *System) {
 			Tries:      dsub(cur.lockTries, prev.lockTries),
 			Waits:      dsub(cur.lockWaits, prev.lockWaits),
 			SpinCycles: dsub(cur.lockSpins, prev.lockSpins),
+			Acquires:   dsub(cur.lockAcquires, prev.lockAcquires),
+			Contended:  dsub(cur.lockContended, prev.lockContended),
+			Handoffs:   dsub(cur.lockHand, prev.lockHand),
+		},
+		HTM: telemetry.HTMSample{
+			Begins:         dsub(cur.htmBegins, prev.htmBegins),
+			Commits:        dsub(cur.htmCommits, prev.htmCommits),
+			ConflictAborts: dsub(cur.htmConflict, prev.htmConflict),
+			CapacityAborts: dsub(cur.htmCapacity, prev.htmCapacity),
+			ExplicitAborts: dsub(cur.htmExplicit, prev.htmExplicit),
+			Fallbacks:      dsub(cur.htmFallbacks, prev.htmFallbacks),
 		},
 	}
 	if lat := dsub(cur.meshLatency, prev.meshLatency); sm.Mesh.Messages > 0 {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/config"
+	"repro/internal/htm"
 	"repro/internal/memsys"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -44,9 +45,10 @@ type Context struct {
 	Stream trace.Stream
 
 	Retired      uint64
-	BlockedUntil uint64 // cycle the blocking system call completes
-	Finished     bool   // trace exhausted and pipeline drained
-	csDepth      int    // lock-acquire nesting (critical-section tracking)
+	BlockedUntil uint64  // cycle the blocking system call completes
+	Finished     bool    // trace exhausted and pipeline drained
+	csDepth      int     // lock-acquire nesting (critical-section tracking)
+	tx           *htm.Tx // per-process elision transaction (LatchPolicy=htm)
 }
 
 // InCriticalSection reports whether the process currently holds a lock.
@@ -95,14 +97,15 @@ type fqEntry struct {
 }
 
 type wbufEntry struct {
-	addr    uint64
-	pc      uint64
-	done    uint64
-	isWMB   bool
-	isFlush bool // software flush hint: executes once prior stores perform
-	issued  bool
-	inCS    bool
-	release bool // lock-release store: frees the lock when performed
+	addr       uint64
+	pc         uint64
+	done       uint64
+	isWMB      bool
+	isFlush    bool // software flush hint: executes once prior stores perform
+	issued     bool
+	inCS       bool
+	release    bool // lock-release store: frees the lock when performed
+	flushAfter bool // hints policy: flush the latch line after the release
 }
 
 // Core is one simulated processor.
@@ -114,6 +117,12 @@ type Core struct {
 	locks  LockManager
 	prober LockProber // optional view of locks for NextEvent (nil = none)
 
+	latch         latchPolicy
+	latchMirrored bool       // lock ops have exact NextEvent mirrors (plain/hints)
+	viewer        LockViewer // optional non-mutating availability view (nil = none)
+	htmCfg        htm.Config
+	nowCycle      uint64 // current cycle, for async-hook event timestamps
+
 	ctx *Context
 	trc *tracing.Tracer // nil = tracing disabled (pure-observer event hooks)
 
@@ -123,7 +132,7 @@ type Core struct {
 	tailSeq    uint64 // next sequence number to allocate
 	rename     [trace.MaxReg + 1]uint64
 	memInROB   int
-	waiting    int // in-window entries not yet executing (issue-scan skip)
+	waiting    int    // in-window entries not yet executing (issue-scan skip)
 	fenceCount int    // unretired MB/lock-acquire entries in the window
 	scanFrom   uint64 // issue-scan fast-path start (RC, no fences)
 
@@ -160,6 +169,13 @@ type Core struct {
 	LockWaits  uint64 // acquires that found the lock held
 	SpecLoads  uint64
 	Violations uint64
+	// HTM elision lifecycle counters (LatchPolicy=htm; zero otherwise).
+	HTMBegins         uint64
+	HTMCommits        uint64
+	HTMConflictAborts uint64
+	HTMCapacityAborts uint64
+	HTMExplicitAborts uint64
+	HTMFallbacks      uint64
 	// ROBOcc is the instruction-window occupancy histogram, in cycles
 	// with a context scheduled: bucket 0 is an empty window, buckets 1-4
 	// the occupied quartiles. Telemetry samples interval deltas of it.
@@ -210,6 +226,19 @@ func New(cfg config.Config, id int, mem *memsys.Hierarchy, locks LockManager) *C
 	if p, ok := locks.(LockProber); ok {
 		c.prober = p
 	}
+	if v, ok := locks.(LockViewer); ok {
+		c.viewer = v
+	}
+	c.latch = newLatchPolicy(cfg)
+	c.latchMirrored = cfg.LatchPolicy != config.LatchHTM
+	if cfg.LatchPolicy == config.LatchHTM {
+		c.htmCfg = htm.Config{
+			ReadSetLines:  cfg.HTMReadSetLines(),
+			WriteSetLines: cfg.HTMWriteSetLines(),
+			MaxRetries:    cfg.HTM.MaxRetries,
+			BackoffCycles: cfg.HTM.BackoffCycles,
+		}
+	}
 	mem.SetInvalidationHook(c.onInvalidation)
 	return c
 }
@@ -251,6 +280,11 @@ func (c *Core) TakeContext(now uint64) *Context {
 		panic("cpu: context switch with non-empty pipeline")
 	}
 	ctx := c.ctx
+	// Descheduling a speculating process aborts its transaction (the
+	// context switch spills state the hardware cannot keep watching).
+	if ctx != nil && ctx.tx != nil && ctx.tx.AbortExplicit() {
+		c.htmAborted(ctx.tx, 0)
+	}
 	c.ctx = nil
 	if ctx != nil {
 		if c.pendingSys {
@@ -288,7 +322,10 @@ func (c *Core) SwitchTo(ctx *Context) {
 // onInvalidation is the coherence callback used to detect speculative-load
 // ordering violations: any outstanding speculative load whose line is
 // invalidated or replaced must be squashed and re-executed (Section 3.4).
-func (c *Core) onInvalidation(lineAddr uint64) {
+// Under LatchPolicy=htm it additionally feeds the running hardware
+// transaction's conflict detection: a coherence invalidation hitting the
+// read/write set is a conflict abort, a local eviction a capacity abort.
+func (c *Core) onInvalidation(lineAddr uint64, eviction bool) {
 	for seq := c.headSeq; seq < c.tailSeq; seq++ {
 		e := c.entry(seq)
 		if e.specLoad && e.state == stExec && e.lineAddr == lineAddr && !e.violated {
@@ -297,6 +334,10 @@ func (c *Core) onInvalidation(lineAddr uint64) {
 			// rollback (and everything after it) due earlier than predicted.
 			c.poked = true
 		}
+	}
+	if c.ctx != nil && c.ctx.tx != nil && c.ctx.tx.OnInvalidation(lineAddr, eviction) {
+		c.htmAborted(c.ctx.tx, lineAddr)
+		c.poked = true
 	}
 }
 
@@ -314,6 +355,7 @@ func (c *Core) Tick(now uint64) {
 	if c.ctx == nil {
 		return
 	}
+	c.nowCycle = now
 	if n := c.robLen(); n == 0 {
 		c.ROBOcc[0]++
 	} else if b := (4*n + c.cfg.WindowSize - 1) / c.cfg.WindowSize; b > 4 {

@@ -163,6 +163,11 @@ func (c *Core) retireNextEvent(now uint64) uint64 {
 		if e.fetchDone > now {
 			return e.fetchDone
 		}
+		if !c.latchMirrored {
+			// The HTM policy's per-cycle resolution has no mirror; a lock op
+			// at the head simply disables fast-forward (conservative bound).
+			return now + 1
+		}
 		if !e.issuedMem {
 			// Spinning. Steady only once the first failing TryAcquire has
 			// run (waited set: LockWaits and the tracer's contention window
@@ -180,6 +185,9 @@ func (c *Core) retireNextEvent(now uint64) uint64 {
 	case trace.OpLockRelease:
 		if e.fetchDone > now {
 			return e.fetchDone
+		}
+		if !c.latchMirrored {
+			return now + 1
 		}
 		if c.cfg.Consistency == config.SC {
 			if !e.issuedMem {
@@ -504,6 +512,7 @@ func (c *Core) FastForward(from, to uint64) {
 	if c.ctx == nil {
 		return
 	}
+	c.nowCycle = to
 	n := to - from + 1
 	if rl := c.robLen(); rl == 0 {
 		c.ROBOcc[0] += n

@@ -13,6 +13,12 @@ func (c *Core) ResetStats() {
 	c.LockWaits = 0
 	c.SpecLoads = 0
 	c.Violations = 0
+	c.HTMBegins = 0
+	c.HTMCommits = 0
+	c.HTMConflictAborts = 0
+	c.HTMCapacityAborts = 0
+	c.HTMExplicitAborts = 0
+	c.HTMFallbacks = 0
 	c.ROBOcc = [5]uint64{}
 	c.pred.CondBranches, c.pred.CondMispred = 0, 0
 	c.pred.TargetBranches, c.pred.TargetMispred = 0, 0

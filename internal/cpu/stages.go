@@ -31,7 +31,6 @@ func (c *Core) srcsReady(e *robEntry, now uint64) bool {
 	return c.prodReady(e.prod1, now) && c.prodReady(e.prod2, now)
 }
 
-
 // ---------------------------------------------------------------- fetch --
 
 func (c *Core) fetchStage(now uint64) {
@@ -508,6 +507,9 @@ func (c *Core) issueLoad(e *robEntry, now uint64, agFree, budget *int,
 	if spec {
 		c.SpecLoads++
 	}
+	if c.ctx.tx != nil {
+		c.trackRead(res.LineAddr)
+	}
 	return true
 }
 
@@ -636,6 +638,9 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 				if c.cfg.DebugChecks {
 					c.dbgCheckStorePerform(e.complete, e.in.PC)
 				}
+				if c.ctx.tx != nil {
+					c.trackWrite(res.LineAddr)
+				}
 			}
 			if e.complete > now {
 				return false, stats.Write
@@ -653,60 +658,13 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 		if e.fetchDone > now {
 			return false, stats.Instr
 		}
-		if !e.issuedMem {
-			c.LockTries++
-			if !c.locks.TryAcquire(e.in.Addr, c.ctx.ID, now) {
-				if !e.waited {
-					c.LockWaits++
-					e.waited = true
-				}
-				c.LockSpins++
-				if c.trc != nil {
-					c.trc.LockSpin(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now)
-				}
-				return false, stats.Sync
-			}
-			// The winning read-modify-write brings the lock line in
-			// exclusive; this is the lock-passing (migratory) transfer.
-			res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
-			e.issuedMem = true
-			e.complete = res.Done
-			if c.trc != nil {
-				c.trc.LockAcquired(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now, e.complete)
-			}
-		}
-		if e.complete > now {
-			return false, stats.Sync
-		}
-		c.ctx.csDepth++
-		return true, 0
+		return c.latch.acquire(c, e, now)
 
 	case trace.OpLockRelease:
 		if e.fetchDone > now {
 			return false, stats.Instr
 		}
-		if c.cfg.Consistency == config.SC {
-			if !e.issuedMem {
-				res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
-				e.issuedMem = true
-				e.complete = res.Done
-			}
-			if e.complete > now {
-				return false, stats.Sync
-			}
-			c.locks.Release(e.in.Addr, c.ctx.ID, e.complete)
-			if c.trc != nil {
-				c.trc.LockReleased(c.id, c.ctx.ID, e.in.Addr, e.complete)
-			}
-			c.ctx.csDepth--
-			return true, 0
-		}
-		if c.wbufLen() >= c.cfg.WriteBufEntries {
-			return false, stats.Write
-		}
-		c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, pc: e.in.PC, inCS: true, release: true})
-		c.ctx.csDepth--
-		return true, 0
+		return c.latch.release(c, e, now)
 
 	case trace.OpMemBar:
 		// Full barrier: all prior memory operations performed and the
@@ -826,6 +784,9 @@ func (c *Core) drainWbuf(now uint64) {
 				res := c.mem.DataWrite(w.addr, w.pc, now, w.inCS)
 				w.issued = true
 				w.done = res.Done
+				if c.ctx.tx != nil {
+					c.trackWrite(res.LineAddr)
+				}
 			}
 			if w.done > now {
 				allPriorDone = false
@@ -843,6 +804,9 @@ func (c *Core) drainWbuf(now uint64) {
 				w.done = res.Done
 				if c.cfg.DebugChecks {
 					c.dbgCheckStoreFIFO(now, w.done, w.pc)
+				}
+				if c.ctx.tx != nil {
+					c.trackWrite(res.LineAddr)
 				}
 			}
 			// Strict FIFO: the next store may not issue until this one
@@ -866,6 +830,10 @@ func (c *Core) drainWbuf(now uint64) {
 				c.locks.Release(w.addr, c.ctx.ID, w.done)
 				if c.trc != nil {
 					c.trc.LockReleased(c.id, c.ctx.ID, w.addr, w.done)
+				}
+				if w.flushAfter {
+					// Hints policy: push the released latch line home.
+					c.mem.Flush(w.addr, now)
 				}
 			}
 		default:

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/stats"
+	"repro/internal/tracing"
 	"repro/internal/workload/oltp"
 )
 
@@ -139,7 +140,149 @@ func init() {
 		Experiment{"ext-unisb", UniStreamBuffer, "extension: uniprocessor stream buffers (Sec 4.1)"},
 		Experiment{"ext-validate", Validation, "validation: scaling + locking characteristics (Sec 2.3)"},
 		Experiment{"ext-btbpf", BTBPrefetch, "extension: BTB-directed instruction prefetch (Sec 4.1)"},
+		Experiment{"ext-htm", LatchElision, "extension: HTM latch elision vs prefetch+flush hints"},
+		Experiment{"ext-htmcap", LatchCapacity, "extension: HTM write-set capacity cliff"},
 	)
+}
+
+// LatchElision is the elision-vs-hints study: the same OLTP and DSS runs
+// under the three strategies the LatchPolicy seam offers — the plain
+// latch baseline, the paper-style prefetch+flush latch hints (Sec 4.2's
+// remedy applied in hardware at the latch), and best-effort HTM latch
+// elision with latch-acquire fallback. The paper identified latch
+// ping-pong as the dominant migratory-sharing cost in OLTP; elision is
+// the modern answer the paper predates, so this figure is its natural
+// extension. The OLTP baseline and elision arms additionally run under
+// the event tracer so the figure attributes exactly which stall cycles
+// elision recovered (sync + dirty-read migratory time), reconciled
+// against the simulator's own breakdown.
+func LatchElision(sc Scale) (*Result, error) {
+	type arm struct {
+		label  string
+		policy config.LatchPolicy
+		isOLTP bool
+		traced bool
+	}
+	arms := []arm{
+		{"oltp-plain", config.LatchPlain, true, true},
+		{"oltp-hints", config.LatchHints, true, false},
+		{"oltp-htm", config.LatchHTM, true, true},
+		{"dss-plain", config.LatchPlain, false, false},
+		{"dss-hints", config.LatchHints, false, false},
+		{"dss-htm", config.LatchHTM, false, false},
+	}
+	tracers := make([]*tracing.Tracer, len(arms))
+	var pts []figPoint
+	for i, a := range arms {
+		i, a := i, a
+		cfg := config.Default()
+		cfg.LatchPolicy = a.policy
+		pts = append(pts, figPoint{a.label, func(psc Scale) (*stats.Report, error) {
+			if a.traced {
+				// Per-arm tracer (never the caller's shared one): each
+				// point owns its analysis, so parallel execution stays
+				// bit-identical.
+				tracers[i] = tracing.New(tracing.Options{})
+				psc.Tracer = tracers[i]
+			}
+			if a.isOLTP {
+				return RunOLTP(cfg, psc, a.label, oltp.HintNone)
+			}
+			return RunDSS(cfg, psc, a.label)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %10s | %9s %9s %9s %9s %9s %9s | %9s %9s\n",
+		"arm", "exec", "begins", "commits", "conflict", "capacity", "fallback", "elided%", "acquires", "contended")
+	for i, a := range arms {
+		r := reports[i]
+		base := reports[0]
+		if !a.isOLTP {
+			base = reports[3]
+		}
+		elided := 0.0
+		if r.HTMBegins > 0 {
+			elided = float64(r.HTMCommits) / float64(r.HTMBegins) * 100
+		}
+		fmt.Fprintf(&sb, "%-12s %10.3f | %9d %9d %9d %9d %9d %8.1f%% | %9d %9d\n",
+			a.label, r.ExecTime()/base.ExecTime(), r.HTMBegins, r.HTMCommits,
+			r.HTMConflictAborts, r.HTMCapacityAborts, r.HTMFallbacks, elided,
+			r.LatchAcquires, r.LatchContended)
+	}
+
+	var att strings.Builder
+	if tracers[0] != nil && tracers[2] != nil {
+		baseA, elA := tracers[0].Analysis(), tracers[2].Analysis()
+		bt, et := baseA.Totals(), elA.Totals()
+		att.WriteString(tracing.FormatHTM(elA.HTM, et))
+		recovered := (bt[stats.Sync] + bt[stats.ReadDirty]) -
+			(et[stats.Sync] + et[stats.ReadDirty] + et.HTM())
+		fmt.Fprintf(&att, "recovered latch stall (sync + dirty-read, baseline - elision): %.0f slot-cycles\n", recovered)
+		fmt.Fprintf(&att, "trace/simulator reconcile error: baseline %.3f%%, elision %.3f%%\n",
+			tracing.ReconcileError(bt, reports[0].Breakdown)*100,
+			tracing.ReconcileError(et, reports[2].Breakdown)*100)
+		mig, non, rows := elA.MigratorySummary(5)
+		att.WriteString("\nmigratory attribution under elision:\n")
+		att.WriteString(tracing.FormatMigratory(mig, non, rows))
+	}
+
+	return &Result{
+		ID: "ext-htm", Title: "HTM latch elision vs prefetch+flush hints (OLTP and DSS)",
+		Reports: reports,
+		Tables: []string{
+			stats.FormatBreakdownTable(reports[:3]),
+			stats.FormatBreakdownTable(reports[3:]),
+			sb.String(),
+			att.String(),
+		},
+	}, nil
+}
+
+// LatchCapacity sweeps the transactional write-set bound under HTM latch
+// elision on OLTP: a POWER8-style capacity cliff. Once the bound covers
+// the critical section's store footprint, capacity aborts vanish and the
+// commit rate saturates; below it every elision attempt dies on capacity
+// and the policy degenerates to latch acquisition via fallback.
+func LatchCapacity(sc Scale) (*Result, error) {
+	bounds := []int{1, 2, 4, 8, 16, 32}
+	var pts []figPoint
+	for _, b := range bounds {
+		b := b
+		cfg := config.Default()
+		cfg.LatchPolicy = config.LatchHTM
+		cfg.HTM.WriteSetLines = b
+		label := fmt.Sprintf("wset-%d", b)
+		pts = append(pts, figPoint{label, func(psc Scale) (*stats.Report, error) {
+			return RunOLTP(cfg, psc, label, oltp.HintNone)
+		}})
+	}
+	reports, err := runPoints(sc, pts)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %10s | %9s %9s %9s %9s %9s %9s\n",
+		"wset", "exec", "begins", "commits", "commit%", "capacity", "conflict", "fallback")
+	for i, b := range bounds {
+		r := reports[i]
+		rate := 0.0
+		if r.HTMBegins > 0 {
+			rate = float64(r.HTMCommits) / float64(r.HTMBegins) * 100
+		}
+		fmt.Fprintf(&sb, "%-8d %10.3f | %9d %9d %8.1f%% %9d %9d %9d\n",
+			b, r.ExecTime()/reports[len(bounds)-1].ExecTime(), r.HTMBegins, r.HTMCommits,
+			rate, r.HTMCapacityAborts, r.HTMConflictAborts, r.HTMFallbacks)
+	}
+	return &Result{
+		ID: "ext-htmcap", Title: "HTM write-set capacity cliff (OLTP, elision)",
+		Reports: reports,
+		Tables:  []string{stats.FormatBreakdownTable(reports), sb.String()},
+	}, nil
 }
 
 // BTBPrefetch reproduces the other Section 4.1 preliminary study: a

@@ -51,6 +51,7 @@ func PointFromSpec(raw json.RawMessage) (runner.Point, error) {
 		WatchdogWindow:   ps.WatchdogWindow,
 		DisableWatchdog:  ps.DisableWatchdog,
 		Faults:           ps.Faults,
+		LatchPolicy:      ps.LatchPolicy,
 	}
 	e := *exp
 	return runner.Point{

@@ -46,6 +46,14 @@ type Scale struct {
 	// with this profile cleared.
 	Faults config.FaultConfig
 
+	// LatchPolicy, when not LatchPlain, overlays the lock-path strategy
+	// (paper-style prefetch+flush latch hints, or HTM latch elision) onto
+	// every machine configuration the experiments build — the sweep axis
+	// for comparing synchronization treatments across the whole evaluation.
+	// The zero value leaves each experiment's own configuration untouched,
+	// so default sweeps are byte-identical to the pre-elision simulator.
+	LatchPolicy config.LatchPolicy
+
 	// Telemetry, when non-nil, is called once per run with the run's
 	// label and returns the interval-telemetry pipeline to attach (nil =
 	// no telemetry for that run). The runner registers workload probes
@@ -106,6 +114,9 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 	if sc.Faults.Enabled {
 		cfg.Faults = sc.Faults
 	}
+	if sc.LatchPolicy != config.LatchPlain {
+		cfg.LatchPolicy = sc.LatchPolicy
+	}
 	wcfg := oltp.DefaultConfig(cfg.Nodes)
 	wcfg.TransactionsPerProcess = sc.OLTPTransactions + sc.OLTPWarmupTx
 	wcfg.Hints = hints
@@ -155,6 +166,9 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
 	if sc.Faults.Enabled {
 		cfg.Faults = sc.Faults
+	}
+	if sc.LatchPolicy != config.LatchPlain {
+		cfg.LatchPolicy = sc.LatchPolicy
 	}
 	wcfg := dss.DefaultConfig(cfg.Nodes)
 	wcfg.RowsPerProcess = sc.DSSRows
@@ -228,6 +242,10 @@ type PointSpec struct {
 	DisableWatchdog  bool   `json:"disable_watchdog,omitempty"`
 
 	Faults config.FaultConfig `json:"faults"`
+
+	// LatchPolicy is omitted when LatchPlain (0), so every pre-elision
+	// spec keeps its original hash and journaled results stay valid.
+	LatchPolicy config.LatchPolicy `json:"latch_policy,omitempty"`
 }
 
 // Spec returns the hashed identity of experiment id under sc. Context,
@@ -243,6 +261,7 @@ func (sc Scale) Spec(id string) PointSpec {
 		WatchdogWindow:   sc.WatchdogWindow,
 		DisableWatchdog:  sc.DisableWatchdog,
 		Faults:           sc.Faults,
+		LatchPolicy:      sc.LatchPolicy,
 	}
 }
 

@@ -1,0 +1,382 @@
+// Package htm models best-effort hardware transactional memory for latch
+// elision, in the style of the bounded POWER/x86 implementations: a
+// transaction tracks a bounded read/write set of cache lines; a coherence
+// invalidation hitting the set is a conflict abort, losing a tracked line
+// to eviction (or overflowing the configured bound) is a capacity abort,
+// and non-speculable events (context switch, nested acquire of a latch a
+// fallback owner holds) are explicit aborts. A bounded retry policy
+// re-speculates conflict aborts with linear backoff and otherwise falls
+// back to acquiring the real latch, so forward progress is never
+// speculative.
+//
+// The package is pure bookkeeping: the processor model drives it with the
+// latch instructions, memory accesses and invalidation events it already
+// observes, and obeys the Decision it returns at the release point. It
+// has no dependency on the simulator, which keeps the abort taxonomy
+// independently testable.
+package htm
+
+import "fmt"
+
+// AbortCause classifies why a transaction aborted.
+type AbortCause int
+
+const (
+	// AbortConflict: a coherence invalidation from another node hit the
+	// read or write set (true data conflict, including the latch line
+	// written by a fallback acquirer).
+	AbortConflict AbortCause = iota
+	// AbortCapacity: the bounded read/write set overflowed, or a tracked
+	// line was evicted from this node's caches (associativity/capacity
+	// displacement — the hardware can no longer watch the line).
+	AbortCapacity
+	// AbortExplicit: a non-speculable event — a context switch while
+	// speculating, or a nested acquire of a latch currently held by a
+	// real (fallback) owner, which cannot be waited on transactionally.
+	AbortExplicit
+
+	NumAbortCauses = iota
+)
+
+func (c AbortCause) String() string {
+	switch c {
+	case AbortConflict:
+		return "conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortExplicit:
+		return "explicit"
+	}
+	return fmt.Sprintf("AbortCause(%d)", int(c))
+}
+
+// ParseAbortCause inverts String.
+func ParseAbortCause(s string) (AbortCause, bool) {
+	for c := AbortCause(0); c < NumAbortCauses; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Config bounds one core's transactional resources and retry policy.
+type Config struct {
+	ReadSetLines  int // distinct lines the read set can track
+	WriteSetLines int // distinct lines the write set can version
+	MaxRetries    int // speculative re-execution attempts after a conflict
+	BackoffCycles int // linear backoff unit: attempt k waits k*BackoffCycles
+}
+
+// Phase is the transaction lifecycle state.
+type Phase int
+
+const (
+	// PhaseIdle: no transaction.
+	PhaseIdle Phase = iota
+	// PhaseActive: speculating inside the elided critical section.
+	PhaseActive
+	// PhaseRetry: aborted; re-speculating the critical section at the
+	// release point (backoff + re-execution window, conflicts monitored).
+	PhaseRetry
+	// PhaseSpin: retries exhausted (or the abort was not retryable);
+	// spinning for the real latch. Non-speculative from here on.
+	PhaseSpin
+	// PhaseRedo: real latch held; re-executing the critical section
+	// under it.
+	PhaseRedo
+	// PhaseRMW: redo done; the latch read-modify-write is in flight.
+	PhaseRMW
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseActive:
+		return "active"
+	case PhaseRetry:
+		return "retry"
+	case PhaseSpin:
+		return "spin"
+	case PhaseRedo:
+		return "redo"
+	case PhaseRMW:
+		return "rmw"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Decision tells the lock path what to do with the stalled release
+// instruction this cycle.
+type Decision int
+
+const (
+	// DecideCommit: the transaction committed; retire the release
+	// without ever touching the real latch.
+	DecideCommit Decision = iota
+	// DecideWait: stall (backoff or re-execution window in progress).
+	DecideWait
+	// DecideSpin: try to acquire the real latch this cycle.
+	DecideSpin
+	// DecideRMW: redo finished under the latch; issue the latch
+	// read-modify-write and release when it completes.
+	DecideRMW
+)
+
+// Tx is one hardware-transaction context. It belongs to a process
+// context (a context switch aborts the running transaction, and the
+// switched-in process speculates with its own Tx).
+type Tx struct {
+	cfg Config
+
+	phase Phase
+	latch uint64 // address of the elided top-level latch
+	depth int    // flattened nesting depth
+	begin uint64 // cycle the speculation began
+
+	readSet  map[uint64]struct{}
+	writeSet map[uint64]struct{}
+
+	aborted      bool
+	cause        AbortCause
+	conflictLine uint64
+
+	attempts int
+	deadline uint64
+	csLen    uint64 // measured critical-section length, for redo costing
+}
+
+// New returns an idle transaction context with the given bounds.
+func New(cfg Config) *Tx {
+	return &Tx{
+		cfg:      cfg,
+		readSet:  make(map[uint64]struct{}),
+		writeSet: make(map[uint64]struct{}),
+	}
+}
+
+func (t *Tx) Phase() Phase { return t.phase }
+
+// Active reports whether the transaction is speculating (tracking
+// accesses and vulnerable to aborts).
+func (t *Tx) Active() bool { return t.phase == PhaseActive }
+
+// Watching reports whether invalidations can still abort the
+// transaction: while speculating, and during retry windows (the retained
+// sets stay subscribed to coherence).
+func (t *Tx) Watching() bool { return t.phase == PhaseActive || t.phase == PhaseRetry }
+
+func (t *Tx) Depth() int           { return t.depth }
+func (t *Tx) Latch() uint64        { return t.latch }
+func (t *Tx) BeginCycle() uint64   { return t.begin }
+func (t *Tx) Aborted() bool        { return t.aborted }
+func (t *Tx) Cause() AbortCause    { return t.cause }
+func (t *Tx) ConflictLine() uint64 { return t.conflictLine }
+func (t *Tx) Attempts() int        { return t.attempts }
+func (t *Tx) Deadline() uint64     { return t.deadline }
+func (t *Tx) ReadSetSize() int     { return len(t.readSet) }
+func (t *Tx) WriteSetSize() int    { return len(t.writeSet) }
+
+// Begin starts a top-level transaction eliding latch at cycle now.
+func (t *Tx) Begin(latch, now uint64) {
+	t.reset()
+	t.phase = PhaseActive
+	t.latch = latch
+	t.depth = 1
+	t.begin = now
+}
+
+// Enter flattens a nested acquire into the running transaction. A nested
+// latch a fallback owner currently holds cannot be waited on inside the
+// speculation, so available=false aborts with AbortExplicit; the depth
+// grows either way so releases pair up. Returns true when this call
+// newly aborted the transaction.
+func (t *Tx) Enter(available bool) bool {
+	t.depth++
+	if !available {
+		return t.abort(AbortExplicit, 0)
+	}
+	return false
+}
+
+// Exit unwinds one nested release (depth > 1). The outermost release
+// resolves through Resolve instead.
+func (t *Tx) Exit() { t.depth-- }
+
+// TrackRead adds a line to the read set; overflowing the bound aborts
+// with AbortCapacity. Returns true when this call newly aborted.
+func (t *Tx) TrackRead(line uint64) bool {
+	if t.phase != PhaseActive || t.aborted {
+		return false
+	}
+	if _, ok := t.readSet[line]; ok {
+		return false
+	}
+	if len(t.readSet) >= t.cfg.ReadSetLines {
+		return t.abort(AbortCapacity, line)
+	}
+	t.readSet[line] = struct{}{}
+	return false
+}
+
+// TrackWrite adds a line to the write set (and the read set: stores read
+// for ownership); overflow aborts with AbortCapacity.
+func (t *Tx) TrackWrite(line uint64) bool {
+	if t.phase != PhaseActive || t.aborted {
+		return false
+	}
+	if aborted := t.TrackRead(line); aborted {
+		return true
+	}
+	if _, ok := t.writeSet[line]; ok {
+		return false
+	}
+	if len(t.writeSet) >= t.cfg.WriteSetLines {
+		return t.abort(AbortCapacity, line)
+	}
+	t.writeSet[line] = struct{}{}
+	return false
+}
+
+// OnInvalidation tells the transaction a line left this core's caches.
+// A coherence invalidation hitting the set is a conflict; an eviction of
+// a tracked line is a capacity abort (the hardware lost its watch).
+// Returns true when this event newly aborted the transaction.
+func (t *Tx) OnInvalidation(line uint64, eviction bool) bool {
+	if !t.Watching() || t.aborted {
+		return false
+	}
+	_, inRead := t.readSet[line]
+	_, inWrite := t.writeSet[line]
+	if !inRead && !inWrite {
+		return false
+	}
+	if eviction {
+		return t.abort(AbortCapacity, line)
+	}
+	return t.abort(AbortConflict, line)
+}
+
+// AbortExplicit aborts for a non-speculable event (context switch,
+// syscall). Returns true when this call newly aborted.
+func (t *Tx) AbortExplicit() bool {
+	if !t.Watching() || t.aborted {
+		return false
+	}
+	return t.abort(AbortExplicit, 0)
+}
+
+func (t *Tx) abort(cause AbortCause, line uint64) bool {
+	t.aborted = true
+	t.cause = cause
+	t.conflictLine = line
+	return true
+}
+
+// Resolve advances the release-point state machine one cycle. It is
+// called while the outermost release instruction stalls; the caller
+// obeys the decision (and calls FallbackAcquired after winning the real
+// latch, Commit on DecideCommit, and Reset when the fallback RMW
+// completes).
+func (t *Tx) Resolve(now uint64) Decision {
+	switch t.phase {
+	case PhaseActive:
+		if !t.aborted {
+			return DecideCommit
+		}
+		// The speculation failed. Conflicts may succeed on re-execution;
+		// capacity and explicit aborts recur deterministically, so they
+		// go straight to the latch.
+		t.csLen = t.span(now)
+		if t.cause == AbortConflict && t.cfg.MaxRetries > 0 {
+			t.startRetry(now, 1)
+		} else {
+			t.toSpin()
+		}
+		return DecideWait
+	case PhaseRetry:
+		if t.aborted {
+			if t.cause == AbortConflict && t.attempts < t.cfg.MaxRetries {
+				t.startRetry(now, t.attempts+1)
+			} else {
+				t.toSpin()
+			}
+			return DecideWait
+		}
+		if now >= t.deadline {
+			return DecideCommit
+		}
+		return DecideWait
+	case PhaseSpin:
+		return DecideSpin
+	case PhaseRedo:
+		if now >= t.deadline {
+			t.phase = PhaseRMW
+			return DecideRMW
+		}
+		return DecideWait
+	case PhaseRMW:
+		return DecideRMW
+	}
+	return DecideCommit
+}
+
+// startRetry arms re-execution attempt n: linear backoff, then the
+// re-run of the measured critical section, with the retained sets still
+// watching for conflicts.
+func (t *Tx) startRetry(now uint64, n int) {
+	t.attempts = n
+	t.aborted = false
+	t.phase = PhaseRetry
+	t.deadline = now + uint64(n*t.cfg.BackoffCycles) + t.csLen
+}
+
+// toSpin abandons speculation: the sets are discarded (conflict
+// detection off) and the real latch will serialize the redo.
+func (t *Tx) toSpin() {
+	t.clearSets()
+	t.aborted = false
+	t.phase = PhaseSpin
+}
+
+// FallbackAcquired records that the caller won the real latch; the
+// critical section re-executes under it for the measured length.
+func (t *Tx) FallbackAcquired(now uint64) {
+	t.phase = PhaseRedo
+	t.deadline = now + t.csLen
+}
+
+// span returns the elapsed speculation length, at least one cycle so a
+// redo always costs something.
+func (t *Tx) span(now uint64) uint64 {
+	if now > t.begin {
+		return now - t.begin
+	}
+	return 1
+}
+
+// Commit ends a clean transaction (from PhaseActive directly, or after a
+// retry window passed without a conflict).
+func (t *Tx) Commit() { t.reset() }
+
+// Reset returns to idle (fallback completion, or discarding state).
+func (t *Tx) Reset() { t.reset() }
+
+func (t *Tx) reset() {
+	t.clearSets()
+	t.phase = PhaseIdle
+	t.latch = 0
+	t.depth = 0
+	t.begin = 0
+	t.aborted = false
+	t.conflictLine = 0
+	t.attempts = 0
+	t.deadline = 0
+	t.csLen = 0
+}
+
+func (t *Tx) clearSets() {
+	clear(t.readSet)
+	clear(t.writeSet)
+}

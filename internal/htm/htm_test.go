@@ -1,0 +1,317 @@
+package htm
+
+import "testing"
+
+func cfg() Config {
+	return Config{ReadSetLines: 4, WriteSetLines: 2, MaxRetries: 2, BackoffCycles: 10}
+}
+
+// TestAbortClassification drives the edge cases of the abort taxonomy
+// through the state machine table-style.
+func TestAbortClassification(t *testing.T) {
+	cases := []struct {
+		name     string
+		run      func(tx *Tx) bool // returns "newly aborted"
+		aborted  bool
+		cause    AbortCause
+		wantLine uint64
+		skipLine bool
+	}{
+		{
+			name: "capacity at exact read-set limit does not abort",
+			run: func(tx *Tx) bool {
+				aborted := false
+				for i := 0; i < 4; i++ { // bound is 4; latch line is NOT pre-tracked here
+					aborted = aborted || tx.TrackRead(uint64(0x100+i))
+				}
+				return aborted
+			},
+			aborted:  false,
+			skipLine: true,
+		},
+		{
+			name: "one line past the read-set limit aborts capacity",
+			run: func(tx *Tx) bool {
+				for i := 0; i < 4; i++ {
+					tx.TrackRead(uint64(0x100 + i))
+				}
+				return tx.TrackRead(0x200)
+			},
+			aborted:  true,
+			cause:    AbortCapacity,
+			wantLine: 0x200,
+		},
+		{
+			name: "re-reading a tracked line never overflows",
+			run: func(tx *Tx) bool {
+				aborted := false
+				for i := 0; i < 100; i++ {
+					aborted = aborted || tx.TrackRead(0x100)
+				}
+				return aborted
+			},
+			aborted:  false,
+			skipLine: true,
+		},
+		{
+			name: "write-set overflow aborts capacity even with read-set room",
+			run: func(tx *Tx) bool {
+				tx.TrackWrite(0x100)
+				tx.TrackWrite(0x140)
+				return tx.TrackWrite(0x180) // write bound is 2
+			},
+			aborted:  true,
+			cause:    AbortCapacity,
+			wantLine: 0x180,
+		},
+		{
+			name: "coherence invalidation of a tracked line aborts conflict",
+			run: func(tx *Tx) bool {
+				tx.TrackRead(0x100)
+				return tx.OnInvalidation(0x100, false)
+			},
+			aborted:  true,
+			cause:    AbortConflict,
+			wantLine: 0x100,
+		},
+		{
+			name: "eviction of a tracked line aborts capacity",
+			run: func(tx *Tx) bool {
+				tx.TrackWrite(0x100)
+				return tx.OnInvalidation(0x100, true)
+			},
+			aborted:  true,
+			cause:    AbortCapacity,
+			wantLine: 0x100,
+		},
+		{
+			name: "invalidation of an untracked line is ignored",
+			run: func(tx *Tx) bool {
+				tx.TrackRead(0x100)
+				return tx.OnInvalidation(0x900, false)
+			},
+			aborted:  false,
+			skipLine: true,
+		},
+		{
+			name: "nested acquire of the already-elided (free) latch flattens",
+			run: func(tx *Tx) bool {
+				return tx.Enter(true)
+			},
+			aborted:  false,
+			skipLine: true,
+		},
+		{
+			name: "nested acquire of a latch a fallback owner holds aborts explicit",
+			run: func(tx *Tx) bool {
+				return tx.Enter(false)
+			},
+			aborted:  true,
+			cause:    AbortExplicit,
+			skipLine: true,
+		},
+		{
+			name: "context switch aborts explicit",
+			run: func(tx *Tx) bool {
+				tx.TrackRead(0x100)
+				return tx.AbortExplicit()
+			},
+			aborted:  true,
+			cause:    AbortExplicit,
+			skipLine: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tx := New(cfg())
+			tx.Begin(0x40, 100)
+			newly := tc.run(tx)
+			if newly != tc.aborted {
+				t.Fatalf("newly-aborted = %v, want %v", newly, tc.aborted)
+			}
+			if tx.Aborted() != tc.aborted {
+				t.Fatalf("Aborted() = %v, want %v", tx.Aborted(), tc.aborted)
+			}
+			if tc.aborted && tx.Cause() != tc.cause {
+				t.Fatalf("cause = %v, want %v", tx.Cause(), tc.cause)
+			}
+			if tc.aborted && !tc.skipLine && tx.ConflictLine() != tc.wantLine {
+				t.Fatalf("conflict line = %#x, want %#x", tx.ConflictLine(), tc.wantLine)
+			}
+		})
+	}
+}
+
+// TestNestedDepthPairing: nested acquires/releases of the elided latch
+// flatten; only the outermost release resolves the transaction.
+func TestNestedDepthPairing(t *testing.T) {
+	tx := New(cfg())
+	tx.Begin(0x40, 100)
+	if tx.Depth() != 1 {
+		t.Fatalf("depth after begin = %d", tx.Depth())
+	}
+	tx.Enter(true)
+	tx.Enter(true)
+	if tx.Depth() != 3 {
+		t.Fatalf("depth after two nested acquires = %d", tx.Depth())
+	}
+	tx.Exit()
+	tx.Exit()
+	if tx.Depth() != 1 {
+		t.Fatalf("depth after two nested releases = %d", tx.Depth())
+	}
+	if d := tx.Resolve(500); d != DecideCommit {
+		t.Fatalf("clean outermost release: decision = %v, want commit", d)
+	}
+	tx.Commit()
+	if tx.Phase() != PhaseIdle || tx.ReadSetSize() != 0 {
+		t.Fatalf("commit left phase %v, read set %d", tx.Phase(), tx.ReadSetSize())
+	}
+}
+
+// TestConflictDuringRetryBackoff: a conflict that lands inside the retry
+// backoff window (the sets stay subscribed) consumes another attempt,
+// and exhausting attempts falls back to the latch.
+func TestConflictDuringRetryBackoff(t *testing.T) {
+	tx := New(cfg()) // MaxRetries = 2, Backoff = 10
+	tx.Begin(0x40, 100)
+	tx.TrackRead(0x100)
+	if !tx.OnInvalidation(0x100, false) {
+		t.Fatal("seed conflict did not abort")
+	}
+
+	// Outermost release reached at cycle 200: conflict → retry attempt 1.
+	if d := tx.Resolve(200); d != DecideWait {
+		t.Fatalf("resolution start: decision = %v, want wait", d)
+	}
+	if tx.Phase() != PhaseRetry || tx.Attempts() != 1 {
+		t.Fatalf("phase %v attempts %d, want retry/1", tx.Phase(), tx.Attempts())
+	}
+	// csLen = 200-100 = 100, backoff = 1*10 → deadline 310.
+	if tx.Deadline() != 310 {
+		t.Fatalf("retry deadline = %d, want 310", tx.Deadline())
+	}
+
+	// A conflict during the backoff window (set retained): attempt 2.
+	if !tx.OnInvalidation(0x100, false) {
+		t.Fatal("conflict during backoff did not abort")
+	}
+	if d := tx.Resolve(205); d != DecideWait {
+		t.Fatalf("retry re-arm: decision = %v, want wait", d)
+	}
+	if tx.Attempts() != 2 {
+		t.Fatalf("attempts = %d, want 2", tx.Attempts())
+	}
+	// backoff = 2*10, csLen still 100 → deadline 325.
+	if tx.Deadline() != 325 {
+		t.Fatalf("second retry deadline = %d, want 325", tx.Deadline())
+	}
+
+	// Third conflict exhausts MaxRetries=2: fall back to the latch.
+	tx.OnInvalidation(0x100, false)
+	if d := tx.Resolve(210); d != DecideWait {
+		t.Fatalf("exhaustion: decision = %v, want wait", d)
+	}
+	if tx.Phase() != PhaseSpin {
+		t.Fatalf("phase = %v, want spin", tx.Phase())
+	}
+	if d := tx.Resolve(211); d != DecideSpin {
+		t.Fatalf("spin: decision = %v, want spin", d)
+	}
+	// Sets were discarded: invalidations can no longer abort.
+	if tx.OnInvalidation(0x100, false) {
+		t.Fatal("invalidation aborted a non-speculative fallback")
+	}
+
+	tx.FallbackAcquired(400)
+	if tx.Phase() != PhaseRedo || tx.Deadline() != 500 { // 400 + csLen 100
+		t.Fatalf("redo: phase %v deadline %d, want redo/500", tx.Phase(), tx.Deadline())
+	}
+	if d := tx.Resolve(499); d != DecideWait {
+		t.Fatalf("mid-redo: decision = %v, want wait", d)
+	}
+	if d := tx.Resolve(500); d != DecideRMW {
+		t.Fatalf("redo done: decision = %v, want rmw", d)
+	}
+	tx.Reset()
+	if tx.Phase() != PhaseIdle {
+		t.Fatalf("reset left phase %v", tx.Phase())
+	}
+}
+
+// TestRetryWindowCommits: a retry window that passes without another
+// conflict commits without ever taking the latch.
+func TestRetryWindowCommits(t *testing.T) {
+	tx := New(cfg())
+	tx.Begin(0x40, 100)
+	tx.TrackRead(0x100)
+	tx.OnInvalidation(0x100, false)
+	tx.Resolve(150) // retry armed: csLen 50, backoff 10 → deadline 210
+	if d := tx.Resolve(209); d != DecideWait {
+		t.Fatalf("decision = %v, want wait", d)
+	}
+	if d := tx.Resolve(210); d != DecideCommit {
+		t.Fatalf("decision = %v, want commit", d)
+	}
+}
+
+// TestCapacitySkipsRetry: capacity aborts recur deterministically on
+// re-execution, so resolution goes straight to the latch.
+func TestCapacitySkipsRetry(t *testing.T) {
+	tx := New(cfg())
+	tx.Begin(0x40, 100)
+	for i := 0; i < 5; i++ {
+		tx.TrackRead(uint64(0x100 + i))
+	}
+	if tx.Cause() != AbortCapacity {
+		t.Fatalf("cause = %v, want capacity", tx.Cause())
+	}
+	tx.Resolve(200)
+	if tx.Phase() != PhaseSpin {
+		t.Fatalf("phase = %v, want spin (no retry for capacity)", tx.Phase())
+	}
+}
+
+// TestFallbackWhileAnotherSpeculates: core A falls back and takes the
+// real latch while core B is still speculating on the same latch. A's
+// latch write invalidates the latch line B subscribed at begin, so B
+// aborts with a conflict — the lock-subscription mechanism that makes
+// fallback and elision compose safely.
+func TestFallbackWhileAnotherSpeculates(t *testing.T) {
+	const latchLine = 0x40
+	owner := -1 // toy latch: -1 free, else core id
+
+	a, b := New(cfg()), New(cfg())
+
+	// Both cores elide: each subscribes the latch line.
+	a.Begin(latchLine, 100)
+	a.TrackRead(latchLine)
+	b.Begin(latchLine, 110)
+	b.TrackRead(latchLine)
+
+	// A overflows (capacity) and resolves to the fallback path.
+	for i := 0; i < 5; i++ {
+		a.TrackRead(uint64(0x1000 + i))
+	}
+	a.Resolve(300)
+	if got := a.Resolve(301); got != DecideSpin {
+		t.Fatalf("A decision = %v, want spin", got)
+	}
+	if owner != -1 {
+		t.Fatal("latch unexpectedly held")
+	}
+	owner = 0 // A wins the TryAcquire
+	a.FallbackAcquired(301)
+
+	// The fallback acquire writes the latch line: every sharer — B's
+	// still-speculating transaction included — sees the invalidation.
+	if !b.OnInvalidation(latchLine, false) {
+		t.Fatal("B did not abort on the fallback owner's latch write")
+	}
+	if b.Cause() != AbortConflict || b.ConflictLine() != latchLine {
+		t.Fatalf("B abort = %v on %#x, want conflict on %#x", b.Cause(), b.ConflictLine(), latchLine)
+	}
+	if a.Phase() != PhaseRedo {
+		t.Fatalf("A phase = %v, want redo", a.Phase())
+	}
+}

@@ -162,7 +162,7 @@ func (h *Hierarchy) handleL1DEviction(ev cache.Eviction) {
 		h.l2.SetState(ev.LineAddr<<h.l2.LineShift(), cache.Modified)
 	}
 	if h.invalHook != nil {
-		h.invalHook(ev.LineAddr)
+		h.invalHook(ev.LineAddr, true)
 	}
 }
 
@@ -239,7 +239,7 @@ func (h *Hierarchy) handleL2Eviction(ev cache.Eviction, now uint64) {
 	h.l1d.Invalidate(paddr)
 	h.l1i.Invalidate(paddr)
 	if h.invalHook != nil {
-		h.invalHook(ev.LineAddr)
+		h.invalHook(ev.LineAddr, true)
 	}
 	home, ok := s.pt.HomeOfPhys(paddr)
 	if !ok {

@@ -71,8 +71,11 @@ type Result struct {
 
 // InvalidationHook is called when a line is invalidated from or replaced in
 // a node's hierarchy; the processor uses it to detect speculative-load
-// ordering violations (Section 3.4).
-type InvalidationHook func(lineAddr uint64)
+// ordering violations (Section 3.4) and to abort hardware transactions
+// whose read/write set loses a line. eviction distinguishes a local
+// capacity/associativity replacement (the node displaced its own line)
+// from a coherence invalidation caused by another node's access.
+type InvalidationHook func(lineAddr uint64, eviction bool)
 
 // System is the machine-wide memory system.
 type System struct {
@@ -374,7 +377,7 @@ func (h *Hierarchy) applyInvalidation(lineAddr uint64) {
 	h.l1iMSHR.Remove(lineAddr)
 	h.l2MSHR.Remove(lineAddr)
 	if h.invalHook != nil {
-		h.invalHook(lineAddr)
+		h.invalHook(lineAddr, false)
 	}
 }
 

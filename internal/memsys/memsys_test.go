@@ -100,7 +100,7 @@ func TestInvalidationHookFiresOnRemoteWrite(t *testing.T) {
 	cfg.PerfectDTLB = true
 	s := MustNew(cfg)
 	var invalidated []uint64
-	s.Node(0).SetInvalidationHook(func(la uint64) { invalidated = append(invalidated, la) })
+	s.Node(0).SetInvalidationHook(func(la uint64, _ bool) { invalidated = append(invalidated, la) })
 	r0 := s.Node(0).DataRead(0x600000, 1, 100, false)
 	s.Node(1).DataWrite(0x600000, 1, 1000, false)
 	want := r0.LineAddr // physical line address

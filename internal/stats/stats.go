@@ -44,6 +44,13 @@ const (
 	Write
 	// Sync is synchronization stall (lock acquire/release, fences).
 	Sync
+	// HTMConflict, HTMCapacity and HTMExplicit are stall charged while an
+	// elided latch release resolves an aborted hardware transaction
+	// (retry backoff, re-execution, fallback spin), split by the abort
+	// cause that triggered the resolution. Zero unless LatchPolicy=htm.
+	HTMConflict
+	HTMCapacity
+	HTMExplicit
 
 	// NumCategories is the number of accounting buckets.
 	NumCategories
@@ -52,6 +59,7 @@ const (
 var categoryNames = [...]string{
 	"busy", "cpu_stall", "instr", "read_L1", "read_L2", "read_local",
 	"read_remote", "read_dirty", "read_dTLB", "write", "sync",
+	"htm_conflict", "htm_capacity", "htm_explicit",
 }
 
 func (c Category) String() string {
@@ -145,6 +153,9 @@ func (b *Breakdown) Read() float64 {
 // Data returns read + write stall time.
 func (b *Breakdown) Data() float64 { return b.Read() + b[Write] }
 
+// HTM returns total transactional-abort resolution stall time.
+func (b *Breakdown) HTM() float64 { return b[HTMConflict] + b[HTMCapacity] + b[HTMExplicit] }
+
 // Report is the result of one simulation run.
 type Report struct {
 	Label string
@@ -189,6 +200,24 @@ type Report struct {
 
 	// Network.
 	AvgNetLatency float64
+
+	// Lock-table contention (all latch policies).
+	LatchAcquires  uint64 // successful ownership transitions
+	LatchContended uint64 // acquires some processor had to retry for
+	LatchHandoffs  uint64 // acquires whose previous owner was a different processor
+
+	// HTM latch elision (zero unless LatchPolicy=htm).
+	HTMBegins         uint64
+	HTMCommits        uint64
+	HTMConflictAborts uint64
+	HTMCapacityAborts uint64
+	HTMExplicitAborts uint64
+	HTMFallbacks      uint64
+}
+
+// HTMAborts returns the total aborts across causes.
+func (r *Report) HTMAborts() uint64 {
+	return r.HTMConflictAborts + r.HTMCapacityAborts + r.HTMExplicitAborts
 }
 
 // IPC returns retired instructions per non-idle cycle per processor.
@@ -244,12 +273,12 @@ func FormatBreakdownTable(reports []*Report) string {
 	}
 	var sb strings.Builder
 	base := reports[0]
-	fmt.Fprintf(&sb, "%-28s %7s | %6s %6s %6s %6s %6s\n",
-		"configuration", "total", "CPU", "instr", "read", "write", "sync")
+	fmt.Fprintf(&sb, "%-28s %7s | %6s %6s %6s %6s %6s %6s\n",
+		"configuration", "total", "CPU", "instr", "read", "write", "sync", "htm")
 	for _, r := range reports {
 		n := r.Normalized(base)
-		fmt.Fprintf(&sb, "%-28s %7.3f | %6.3f %6.3f %6.3f %6.3f %6.3f\n",
-			r.Label, n.Total(), n.CPU(), n[Instr], n.Read(), n[Write], n[Sync])
+		fmt.Fprintf(&sb, "%-28s %7.3f | %6.3f %6.3f %6.3f %6.3f %6.3f %6.3f\n",
+			r.Label, n.Total(), n.CPU(), n[Instr], n.Read(), n[Write], n[Sync], n.HTM())
 	}
 	return sb.String()
 }

@@ -178,6 +178,41 @@ func TestCategoryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHTMCategories pins down the HTM abort/stall categories: traceview
+// and benchdiff parse category names from trace aggregates, so each new
+// name must round-trip through ParseCategory rather than fall into
+// "other", and the aggregate helpers must include them.
+func TestHTMCategories(t *testing.T) {
+	for name, want := range map[string]Category{
+		"htm_conflict": HTMConflict,
+		"htm_capacity": HTMCapacity,
+		"htm_explicit": HTMExplicit,
+	} {
+		got, ok := ParseCategory(name)
+		if !ok || got != want {
+			t.Errorf("ParseCategory(%q) = %v, %v; want %v, true", name, got, ok, want)
+		}
+	}
+	var b Breakdown
+	b[HTMConflict] = 3
+	b[HTMCapacity] = 2
+	b[HTMExplicit] = 1
+	if got := b.HTM(); got != 6 {
+		t.Errorf("HTM() = %f, want 6", got)
+	}
+	if b.Total() != 6 {
+		t.Errorf("Total() = %f, want 6 (HTM categories must count)", b.Total())
+	}
+	r := &Report{HTMConflictAborts: 5, HTMCapacityAborts: 4, HTMExplicitAborts: 3}
+	if r.HTMAborts() != 12 {
+		t.Errorf("HTMAborts() = %d, want 12", r.HTMAborts())
+	}
+	out := FormatBreakdownTable([]*Report{mkReport("a", 60, 40)})
+	if !strings.Contains(out, "htm") {
+		t.Errorf("breakdown table lacks htm column:\n%s", out)
+	}
+}
+
 func TestSpeedupTable(t *testing.T) {
 	out := SpeedupTable([]*Report{mkReport("base", 100, 0), mkReport("fast", 50, 0)})
 	if !strings.Contains(out, "2.000") {

@@ -2,8 +2,10 @@ package sweepsvc
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,11 +46,65 @@ type Worker struct {
 	Self *telemetry.SelfCollector
 
 	pointsDone atomic.Uint64
+
+	simMu     sync.Mutex
+	simTotals map[string]uint64
 }
 
 // PointsDone returns the cumulative completed-point counter (the self
 // collector's Points function).
 func (w *Worker) PointsDone() uint64 { return w.pointsDone.Load() }
+
+// SimCounters returns a copy of the cumulative simulation counters
+// (lock-table contention, HTM elision lifecycle) accumulated from this
+// worker's completed points — the self collector's SimCounters function,
+// so each heartbeat carries them to sweepd's /metrics page.
+func (w *Worker) SimCounters() map[string]uint64 {
+	w.simMu.Lock()
+	defer w.simMu.Unlock()
+	out := make(map[string]uint64, len(w.simTotals))
+	for k, v := range w.simTotals {
+		out[k] = v
+	}
+	return out
+}
+
+// accumulateSim folds a completed point's report counters into the
+// worker's cumulative simulation totals. Records whose result payload is
+// missing or unparsable are skipped silently — these metrics are
+// best-effort observability, never a reason to fail a point.
+func (w *Worker) accumulateSim(rec *runner.Record) {
+	if len(rec.Result) == 0 {
+		return
+	}
+	var res struct {
+		Reports []struct {
+			LatchAcquires, LatchContended, LatchHandoffs uint64
+			HTMBegins, HTMCommits, HTMFallbacks          uint64
+			HTMConflictAborts, HTMCapacityAborts         uint64
+			HTMExplicitAborts                            uint64
+		}
+	}
+	if err := json.Unmarshal(rec.Result, &res); err != nil {
+		return
+	}
+	w.simMu.Lock()
+	defer w.simMu.Unlock()
+	if w.simTotals == nil {
+		w.simTotals = make(map[string]uint64)
+	}
+	for _, r := range res.Reports {
+		w.simTotals["locktable_acquires_total"] += r.LatchAcquires
+		w.simTotals["locktable_contended_acquires_total"] += r.LatchContended
+		w.simTotals["locktable_handoffs_total"] += r.LatchHandoffs
+		w.simTotals["htm_begins_total"] += r.HTMBegins
+		w.simTotals["htm_commits_total"] += r.HTMCommits
+		w.simTotals["htm_fallbacks_total"] += r.HTMFallbacks
+		w.simTotals["htm_aborts_conflict_total"] += r.HTMConflictAborts
+		w.simTotals["htm_aborts_capacity_total"] += r.HTMCapacityAborts
+		w.simTotals["htm_aborts_explicit_total"] += r.HTMExplicitAborts
+	}
+}
 
 func (w *Worker) logf(format string, args ...any) {
 	if w.Log != nil {
@@ -138,6 +194,7 @@ func (w *Worker) runPoint(ctx context.Context, jp *JobPoint) {
 		return
 	}
 	w.pointsDone.Add(1)
+	w.accumulateSim(rec)
 	w.logf("%s: %s (%d attempts, %.1fs)", jp.ID, rec.Status, rec.Attempts, rec.Seconds)
 	w.report(ctx, hash, rec)
 }

@@ -84,6 +84,15 @@ func (s *PromSink) Write(sm *Sample) error {
 	add("dbsim_lock_tries_total", sm.Locks.Tries)
 	add("dbsim_lock_waits_total", sm.Locks.Waits)
 	add("dbsim_lock_spin_cycles_total", sm.Locks.SpinCycles)
+	add("dbsim_locktable_acquires_total", sm.Locks.Acquires)
+	add("dbsim_locktable_contended_acquires_total", sm.Locks.Contended)
+	add("dbsim_locktable_handoffs_total", sm.Locks.Handoffs)
+	add("dbsim_htm_begins_total", sm.HTM.Begins)
+	add("dbsim_htm_commits_total", sm.HTM.Commits)
+	add("dbsim_htm_fallbacks_total", sm.HTM.Fallbacks)
+	s.totals["dbsim_htm_aborts_total"+mergeLabels(sm.Tags, "cause", "conflict")] += sm.HTM.ConflictAborts
+	s.totals["dbsim_htm_aborts_total"+mergeLabels(sm.Tags, "cause", "capacity")] += sm.HTM.CapacityAborts
+	s.totals["dbsim_htm_aborts_total"+mergeLabels(sm.Tags, "cause", "explicit")] += sm.HTM.ExplicitAborts
 	for c := stats.Category(0); c < stats.NumCategories; c++ {
 		s.totals[fmt.Sprintf("dbsim_breakdown_cycles_total%s", mergeLabels(sm.Tags, "component", c.String()))] += uint64(sm.Breakdown[c])
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -34,6 +35,11 @@ type SelfSample struct {
 	// Work rate, supplied by the caller's counter.
 	PointsDone   uint64  `json:"points_done"`
 	PointsPerSec float64 `json:"points_per_sec"`
+
+	// Sim carries cumulative simulation counters the worker has
+	// accumulated from its completed points (e.g. lock-table contention
+	// and HTM elision totals), keyed by metric suffix.
+	Sim map[string]uint64 `json:"sim,omitempty"`
 }
 
 // CollectSelf takes one self-sample. pointsDone is the caller's cumulative
@@ -71,6 +77,9 @@ type SelfCollector struct {
 	Interval time.Duration
 	// Points returns the cumulative completed-work counter (nil = 0).
 	Points func() uint64
+	// SimCounters returns cumulative simulation counters to attach to
+	// each sample (nil = none).
+	SimCounters func() map[string]uint64
 	// OnSample observes each sample (nil = samples are only retained for
 	// Last).
 	OnSample func(*SelfSample)
@@ -87,6 +96,9 @@ func (c *SelfCollector) Sample() *SelfSample {
 		points = c.Points()
 	}
 	s := CollectSelf(points)
+	if c.SimCounters != nil {
+		s.Sim = c.SimCounters()
+	}
 	c.mu.Lock()
 	if prev := c.last; prev != nil && s.UnixMilli > prev.UnixMilli {
 		dt := float64(s.UnixMilli-prev.UnixMilli) / 1e3
@@ -150,4 +162,14 @@ func PromSelf(sb *strings.Builder, prefix string, s *SelfSample, tags map[string
 	g("self_points_done", float64(s.PointsDone))
 	g("self_points_per_sec", s.PointsPerSec)
 	g("self_sample_unix_ms", float64(s.UnixMilli))
+	if len(s.Sim) > 0 {
+		keys := make([]string, 0, len(s.Sim))
+		for k := range s.Sim {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g("sim_"+sanitizeLabelName(k), float64(s.Sim[k]))
+		}
+	}
 }

@@ -61,12 +61,27 @@ type MeshSample struct {
 	AvgLatency  float64 `json:"avg_latency"`  // cycles, this interval's messages
 }
 
-// LockSample is db lock-manager activity over one interval, summed across
-// processors.
+// LockSample is db lock-manager activity over one interval: spin counters
+// summed across processors plus the shared lock table's contention
+// counters.
 type LockSample struct {
 	Tries      uint64 `json:"tries"`       // acquire attempts
 	Waits      uint64 `json:"waits"`       // attempts that found the lock held
 	SpinCycles uint64 `json:"spin_cycles"` // cycles spent spinning
+	Acquires   uint64 `json:"acquires"`    // lock-table ownership transitions
+	Contended  uint64 `json:"contended"`   // acquires with a failed attempt first
+	Handoffs   uint64 `json:"handoffs"`    // acquires from a different previous owner
+}
+
+// HTMSample is latch-elision activity over one interval, summed across
+// processors (all zero unless LatchPolicy=htm).
+type HTMSample struct {
+	Begins         uint64 `json:"begins"`
+	Commits        uint64 `json:"commits"`
+	ConflictAborts uint64 `json:"conflict_aborts"`
+	CapacityAborts uint64 `json:"capacity_aborts"`
+	ExplicitAborts uint64 `json:"explicit_aborts"`
+	Fallbacks      uint64 `json:"fallbacks"`
 }
 
 // CoreSample is one processor's share of the interval.
@@ -106,6 +121,7 @@ type Sample struct {
 	Dir   DirSample  `json:"dir"`
 	Mesh  MeshSample `json:"mesh"`
 	Locks LockSample `json:"locks"`
+	HTM   HTMSample  `json:"htm"`
 
 	// Probes are workload-level gauges registered on the pipeline
 	// (e.g. txns_committed), also as interval deltas.

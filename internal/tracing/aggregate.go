@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/db"
+	"repro/internal/htm"
 	"repro/internal/stats"
 )
 
@@ -136,6 +137,43 @@ type Analysis struct {
 	Sites map[uint64]*Site        // pc -> stall/busy attribution
 	Lines map[uint64]*LineSharing // physical line addr -> sharing behaviour
 	Lat   [NumClasses]LatencyHist // miss latency by service class
+	HTM   HTMTotals               // latch-elision lifecycle totals
+}
+
+// HTMTotals aggregates the latch-elision lifecycle over the trace window.
+type HTMTotals struct {
+	Begins       uint64
+	Commits      uint64
+	Fallbacks    uint64
+	Aborts       [htm.NumAbortCauses]uint64
+	ElidedCycles uint64 // cycles inside committed (latch-free) critical sections
+}
+
+// TotalAborts sums the abort causes.
+func (h *HTMTotals) TotalAborts() uint64 {
+	var n uint64
+	for _, a := range h.Aborts {
+		n += a
+	}
+	return n
+}
+
+func (a *Analysis) addHTM(ev *Event) {
+	switch ev.HTMOp {
+	case HTMOpBegin:
+		a.HTM.Begins++
+	case HTMOpCommit:
+		a.HTM.Commits++
+		if ev.End > ev.Start {
+			a.HTM.ElidedCycles += ev.End - ev.Start
+		}
+	case HTMOpAbort:
+		if int(ev.Cause) < len(a.HTM.Aborts) {
+			a.HTM.Aborts[ev.Cause]++
+		}
+	case HTMOpFallback:
+		a.HTM.Fallbacks++
+	}
 }
 
 // NewAnalysis returns an empty analysis.
@@ -199,6 +237,8 @@ func RebuildFromEvents(events []Event) *Analysis {
 			a.site(ev.PC).ByCat[ev.Cat] += ev.Cycles
 		case KindMiss:
 			a.addMiss(ev)
+		case KindHTM:
+			a.addHTM(ev)
 		}
 		a.Recorded[ev.Kind]++
 		if ev.End > a.EndCycle {

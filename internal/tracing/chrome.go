@@ -18,8 +18,10 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/db"
+	"repro/internal/htm"
 	"repro/internal/stats"
 )
 
@@ -61,6 +63,17 @@ type AggregatesJSON struct {
 	Sites      []SiteJSON        `json:"stall_sites"`
 	Latency    []LatencyJSON     `json:"miss_latency"`
 	Lines      []LineJSON        `json:"line_sharing"`
+	HTM        *HTMJSON          `json:"htm_elision,omitempty"`
+}
+
+// HTMJSON is the serialized latch-elision lifecycle totals (present only
+// when the run elided at least one latch).
+type HTMJSON struct {
+	Begins       uint64            `json:"begins"`
+	Commits      uint64            `json:"commits"`
+	Fallbacks    uint64            `json:"fallbacks"`
+	ElidedCycles uint64            `json:"elided_cycles"`
+	Aborts       map[string]uint64 `json:"aborts"` // cause name -> count
 }
 
 // SiteJSON is one stall site; ByCat follows the Categories legend order.
@@ -195,6 +208,19 @@ func marshalAggregates(a *Analysis, resolve func(uint64) string) *AggregatesJSON
 		}
 		out.Lines = append(out.Lines, lj)
 	}
+	if a.HTM.Begins > 0 {
+		hj := &HTMJSON{
+			Begins: a.HTM.Begins, Commits: a.HTM.Commits,
+			Fallbacks: a.HTM.Fallbacks, ElidedCycles: a.HTM.ElidedCycles,
+			Aborts: make(map[string]uint64, int(htm.NumAbortCauses)),
+		}
+		for c := htm.AbortCause(0); c < htm.NumAbortCauses; c++ {
+			if a.HTM.Aborts[c] > 0 {
+				hj.Aborts[c.String()] = a.HTM.Aborts[c]
+			}
+		}
+		out.HTM = hj
+	}
 	return out
 }
 
@@ -246,6 +272,17 @@ func unmarshalAggregates(in *AggregatesJSON) (*Analysis, error) {
 			Misses: lj.Misses, WriteMisses: lj.WriteMisses,
 			DirtyMisses: lj.DirtyMisses, DirtyCycles: lj.DirtyCycles,
 			ProtocolMigratory: lj.ProtocolMigratory,
+		}
+	}
+	if in.HTM != nil {
+		a.HTM.Begins = in.HTM.Begins
+		a.HTM.Commits = in.HTM.Commits
+		a.HTM.Fallbacks = in.HTM.Fallbacks
+		a.HTM.ElidedCycles = in.HTM.ElidedCycles
+		for name, n := range in.HTM.Aborts {
+			if c, ok := htm.ParseAbortCause(name); ok {
+				a.HTM.Aborts[c] = n
+			}
 		}
 	}
 	return a, nil
@@ -407,6 +444,45 @@ func (t *Tracer) chromeEvents(ev *Event) []chromeEvent {
 			Ts: ev.Start, Pid: pidCPU, Tid: int(ev.CPU),
 			Args: map[string]any{"line": hexAddr(ev.Addr)},
 		}}
+	case KindHTM:
+		args := map[string]any{
+			"latch": hexAddr(ev.Addr), "region": db.Region(ev.Addr),
+			"proc": ev.Proc, "htm_op": ev.HTMOp.String(),
+		}
+		switch ev.HTMOp {
+		case HTMOpCommit:
+			// The committed elision is the one HTM span: the critical
+			// section that ran latch-free.
+			args["pc"] = hexAddr(ev.PC)
+			args["op"] = op
+			return []chromeEvent{{
+				Name: "htm:commit", Cat: "htm", Ph: "X",
+				Ts: ev.Start, Dur: dur(ev.Start, ev.End), Pid: pidCPU, Tid: int(ev.CPU),
+				Args: args,
+			}}
+		case HTMOpAbort:
+			args["cause"] = ev.Cause.String()
+			args["conflict"] = hexAddr(ev.Conflict)
+			return []chromeEvent{{
+				Name: "htm:abort:" + ev.Cause.String(), Cat: "htm", Ph: "i", S: "t",
+				Ts: ev.Start, Pid: pidCPU, Tid: int(ev.CPU), Args: args,
+			}}
+		case HTMOpFallback:
+			args["cause"] = ev.Cause.String()
+			args["pc"] = hexAddr(ev.PC)
+			args["op"] = op
+			return []chromeEvent{{
+				Name: "htm:fallback", Cat: "htm", Ph: "i", S: "t",
+				Ts: ev.Start, Pid: pidCPU, Tid: int(ev.CPU), Args: args,
+			}}
+		default: // HTMOpBegin
+			args["pc"] = hexAddr(ev.PC)
+			args["op"] = op
+			return []chromeEvent{{
+				Name: "htm:begin", Cat: "htm", Ph: "i", S: "t",
+				Ts: ev.Start, Pid: pidCPU, Tid: int(ev.CPU), Args: args,
+			}}
+		}
 	}
 	return nil
 }
@@ -547,6 +623,23 @@ func eventFromChrome(ce *chromeEvent) (Event, bool) {
 	case ce.Name == "writeback":
 		ev.Kind = KindWriteback
 		ev.Addr = argU64(ce.Args, "line")
+	case strings.HasPrefix(ce.Name, "htm:"):
+		opName, _ := ce.Args["htm_op"].(string)
+		hop, ok := ParseHTMOp(opName)
+		if !ok {
+			return ev, false
+		}
+		ev.Kind, ev.HTMOp = KindHTM, hop
+		ev.Addr = argU64(ce.Args, "latch")
+		ev.PC = argU64(ce.Args, "pc")
+		ev.Proc = int32(argU64(ce.Args, "proc"))
+		ev.InCS = hop == HTMOpCommit
+		if causeName, hasCause := ce.Args["cause"].(string); hasCause {
+			if c, okc := htm.ParseAbortCause(causeName); okc {
+				ev.Cause = c
+			}
+		}
+		ev.Conflict = argU64(ce.Args, "conflict")
 	default:
 		return ev, false
 	}

@@ -57,7 +57,7 @@ func ReconcileError(got, ref stats.Breakdown) float64 {
 	}
 	var worst float64
 	for i := range ref {
-		if d := math.Abs(got[i] - ref[i]) / t; d > worst {
+		if d := math.Abs(got[i]-ref[i]) / t; d > worst {
 			worst = d
 		}
 	}
@@ -97,6 +97,28 @@ func FormatMigratory(mig, non MigratoryTotals, rows []MigratoryRow) string {
 			r.Line, r.Region, blk, r.Tenures, r.Owning, r.DirtyMisses, r.DirtyCycles,
 			class, r.ProtocolAgree*100)
 	}
+	return sb.String()
+}
+
+// FormatHTM renders the latch-elision lifecycle: begins, commit rate,
+// the abort taxonomy, and — against the stall-attribution totals — how
+// the run's synchronization time splits between residual sync stall and
+// abort-resolution stall by cause. totals is Analysis.Totals(), which
+// reconciles with the simulator's own breakdown, so the recovered-stall
+// attribution carries the same ~0% error.
+func FormatHTM(h HTMTotals, totals stats.Breakdown) string {
+	var sb strings.Builder
+	commitPct := 0.0
+	if h.Begins > 0 {
+		commitPct = float64(h.Commits) / float64(h.Begins) * 100
+	}
+	fmt.Fprintf(&sb, "htm latch elision: begins %d  commits %d (%.1f%%)  fallbacks %d\n",
+		h.Begins, h.Commits, commitPct, h.Fallbacks)
+	fmt.Fprintf(&sb, "aborts: total %d  conflict %d  capacity %d  explicit %d\n",
+		h.TotalAborts(), h.Aborts[0], h.Aborts[1], h.Aborts[2])
+	fmt.Fprintf(&sb, "elided (latch-free) critical-section cycles: %d\n", h.ElidedCycles)
+	fmt.Fprintf(&sb, "stall attribution (slot-cycles): sync %.0f  htm_conflict %.0f  htm_capacity %.0f  htm_explicit %.0f\n",
+		totals[stats.Sync], totals[stats.HTMConflict], totals[stats.HTMCapacity], totals[stats.HTMExplicit])
 	return sb.String()
 }
 

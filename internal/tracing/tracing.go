@@ -25,6 +25,7 @@ package tracing
 import (
 	"fmt"
 
+	"repro/internal/htm"
 	"repro/internal/stats"
 )
 
@@ -46,11 +47,51 @@ const (
 	KindUnlock
 	// KindWriteback is a dirty L2 victim written back to its home.
 	KindWriteback
+	// KindHTM is a hardware-transactional latch-elision lifecycle event:
+	// begin/commit/abort/fallback, with abort-cause detail.
+	KindHTM
 
 	numKinds
 )
 
-var kindNames = [...]string{"stall", "miss", "lock", "unlock", "writeback"}
+var kindNames = [...]string{"stall", "miss", "lock", "unlock", "writeback", "htm"}
+
+// HTMOp is the elision lifecycle step a KindHTM event records.
+type HTMOp uint8
+
+const (
+	// HTMOpBegin: speculation on an elided latch started.
+	HTMOpBegin HTMOp = iota
+	// HTMOpCommit: the elided critical section committed (span from begin
+	// to commit — the cycles the latch was never taken).
+	HTMOpCommit
+	// HTMOpAbort: the transaction aborted; Cause and Conflict carry the
+	// classified cause and the line that triggered it.
+	HTMOpAbort
+	// HTMOpFallback: retries exhausted; the real latch was acquired.
+	HTMOpFallback
+
+	numHTMOps
+)
+
+var htmOpNames = [...]string{"begin", "commit", "abort", "fallback"}
+
+func (o HTMOp) String() string {
+	if int(o) < len(htmOpNames) {
+		return htmOpNames[o]
+	}
+	return fmt.Sprintf("HTMOp(%d)", int(o))
+}
+
+// ParseHTMOp inverts HTMOp.String.
+func ParseHTMOp(s string) (HTMOp, bool) {
+	for i, n := range htmOpNames {
+		if n == s {
+			return HTMOp(i), true
+		}
+	}
+	return 0, false
+}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -138,6 +179,11 @@ type Event struct {
 
 	// Locks.
 	Wait uint64 // cycles between the first attempt and the acquisition
+
+	// HTM elision (KindHTM); Addr is the elided latch address.
+	HTMOp    HTMOp
+	Cause    htm.AbortCause // abort cause (abort and fallback events)
+	Conflict uint64         // conflicting / evicted line (abort events)
 }
 
 // Options configures a Tracer.
@@ -433,6 +479,51 @@ func (t *Tracer) LockReleased(cpu, proc int, addr, now uint64) {
 		Start: now, End: now, Link: t.lastAcq[addr], InCS: true,
 	})
 	t.lastRel[addr] = t.nextID
+}
+
+// ------------------------------------------------------------- HTM hooks --
+
+// HTMBegin records the start of speculation on an elided latch (instant).
+func (t *Tracer) HTMBegin(cpu, proc int, pc, latch, now uint64) {
+	ev := Event{
+		Kind: KindHTM, HTMOp: HTMOpBegin, CPU: int16(cpu), Proc: int32(proc),
+		PC: pc, Addr: latch, Start: now, End: now,
+	}
+	t.an.addHTM(&ev)
+	t.commit(ev)
+}
+
+// HTMCommit records a committed elision as a span from begin to commit:
+// the critical section that executed without ever taking the latch.
+func (t *Tracer) HTMCommit(cpu, proc int, pc, latch, begin, now uint64) {
+	ev := Event{
+		Kind: KindHTM, HTMOp: HTMOpCommit, CPU: int16(cpu), Proc: int32(proc),
+		PC: pc, Addr: latch, Start: begin, End: now, InCS: true,
+	}
+	t.an.addHTM(&ev)
+	t.commit(ev)
+}
+
+// HTMAbort records an abort with its classified cause and the line whose
+// invalidation/eviction (or overflow) triggered it (instant).
+func (t *Tracer) HTMAbort(cpu, proc int, latch uint64, cause htm.AbortCause, conflict, now uint64) {
+	ev := Event{
+		Kind: KindHTM, HTMOp: HTMOpAbort, CPU: int16(cpu), Proc: int32(proc),
+		Addr: latch, Cause: cause, Conflict: conflict, Start: now, End: now,
+	}
+	t.an.addHTM(&ev)
+	t.commit(ev)
+}
+
+// HTMFallback records giving up on speculation: the real latch was
+// acquired (instant, tagged with the abort cause that forced it).
+func (t *Tracer) HTMFallback(cpu, proc int, pc, latch uint64, cause htm.AbortCause, now uint64) {
+	ev := Event{
+		Kind: KindHTM, HTMOp: HTMOpFallback, CPU: int16(cpu), Proc: int32(proc),
+		PC: pc, Addr: latch, Cause: cause, Start: now, End: now,
+	}
+	t.an.addHTM(&ev)
+	t.commit(ev)
 }
 
 // --------------------------------------------------- memory-system hooks --
