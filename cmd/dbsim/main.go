@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -81,6 +82,10 @@ func main() {
 		faultMesh   = flag.Float64("fault-mesh", 0, "per-message mesh delay probability (0 disables)")
 		faultNACK   = flag.Float64("fault-nack", 0, "per-request directory NACK probability (0 disables)")
 		faultStall  = flag.Float64("fault-stall", 0, "per-access transient memory stall probability (0 disables)")
+
+		ckFile     = flag.String("checkpoint", "", "write periodic mid-run checkpoints to this file (atomically replaced each capture)")
+		ckInterval = flag.Uint64("checkpoint-interval", 0, "checkpoint capture period in simulated cycles (0 = default, 1M)")
+		ckRestore  = flag.String("restore", "", "resume from this checkpoint file; an invalid or mismatched file falls back to a fresh run")
 
 		telJSONL    = flag.String("telemetry-jsonl", "", "write interval telemetry samples to this JSONL file")
 		telCSV      = flag.String("telemetry-csv", "", "write interval telemetry samples to this CSV file")
@@ -205,6 +210,45 @@ func main() {
 		fatalUsage("-trace-buf/-trace-sample need -trace-events or -trace-profile")
 	}
 
+	// -restore without -checkpoint keeps checkpointing onto the restored
+	// file, so a run can be preempted and resumed any number of times.
+	if *ckRestore != "" && *ckFile == "" {
+		*ckFile = *ckRestore
+	}
+	if *ckInterval != 0 && *ckFile == "" {
+		fatalUsage("-checkpoint-interval needs -checkpoint or -restore")
+	}
+	var lastCheckpoint uint64
+	if *ckFile != "" {
+		if *tracePrefix != "" {
+			fatalUsage("-checkpoint is not supported with trace replay")
+		}
+		// The spec hash binds a checkpoint to the exact machine and
+		// workload it was taken from; restoring under any other flag set
+		// is rejected and falls back to a fresh run.
+		spec := runner.SpecHash(struct {
+			Config   config.Config `json:"config"`
+			Workload string        `json:"workload"`
+			Tx       int           `json:"tx"`
+			WarmupTx int           `json:"warmup_tx"`
+			Rows     int           `json:"rows"`
+			Hints    string        `json:"hints"`
+			Max      uint64        `json:"max_cycles"`
+		}{cfg, *workload, *tx, *warmupTx, *rows, *hints, *maxCycles})
+		sc.Checkpoint = func(string) *core.CheckpointOptions {
+			return &core.CheckpointOptions{
+				Path:      *ckFile,
+				Interval:  *ckInterval,
+				SpecHash:  spec,
+				OnCapture: func(cycle uint64, _ string) { lastCheckpoint = cycle },
+			}
+		}
+		sc.Restore = *ckRestore
+		sc.RestoreFallback = func(label string, err error) {
+			log.Printf("warning: checkpoint %s unusable, starting from scratch: %v", *ckRestore, err)
+		}
+	}
+
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		log.Fatal(err)
@@ -231,6 +275,9 @@ func main() {
 		stopProfiles()
 		log.Print(err)
 		if errors.Is(err, context.Canceled) {
+			if lastCheckpoint > 0 {
+				log.Printf("checkpoint: state through cycle %d saved; resume with -restore %s", lastCheckpoint, *ckFile)
+			}
 			os.Exit(3) // interrupted, not failed: the run was draining fine
 		}
 		os.Exit(1)

@@ -95,6 +95,7 @@ func main() {
 		serial       = flag.Bool("serial", false, "run each figure's simulations serially (default: a per-figure pool of up to GOMAXPROCS workers)")
 		journalPath  = flag.String("journal", "", "durable JSONL run journal, appended as each point completes")
 		resume       = flag.Bool("resume", false, "skip points with a terminal record in -journal")
+		ckDir        = flag.String("checkpoint-dir", "", "checkpoint running points under this directory; interrupted or retried points resume from their last capture instead of restarting")
 		retries      = flag.Int("retries", 2, "sweep-wide retry budget for retryable failures")
 		pointTimeout = flag.Duration("point-timeout", 0, "per-point wall-clock deadline (0 = derived from the scale's cycle budget)")
 		inject       = flag.String("inject", "", "comma-separated synthetic failure points for chaos testing: panic, livelock")
@@ -295,13 +296,14 @@ func main() {
 		notes[e.ID] = e.Notes
 	}
 	sum, err := runner.Run(hardCtx, points, runner.Options{
-		Workers:      *parallel,
-		PointTimeout: *pointTimeout,
-		RetryBudget:  *retries,
-		Journal:      journal,
-		Completed:    completed,
-		Drain:        drainCtx,
-		OnEvent:      eventLogger(notes),
+		Workers:       *parallel,
+		PointTimeout:  *pointTimeout,
+		RetryBudget:   *retries,
+		CheckpointDir: *ckDir,
+		Journal:       journal,
+		Completed:     completed,
+		Drain:         drainCtx,
+		OnEvent:       eventLogger(notes),
 	})
 	if err != nil {
 		log.Fatal(err)

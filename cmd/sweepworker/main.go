@@ -44,6 +44,7 @@ func main() {
 		retries      = flag.Int("retries", 2, "worker-side retry budget per point")
 		selfEvery    = flag.Duration("self-interval", 5*time.Second, "self-monitoring sample interval")
 		metricsAddr  = flag.String("metrics-addr", "", "also serve this worker's self-metrics at this address (optional)")
+		ckDir        = flag.String("checkpoint-dir", "", "checkpoint running points under this directory and ship captures with heartbeats, making points preemptible and migratable (optional)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -62,6 +63,7 @@ func main() {
 		HeartbeatEvery: *heartbeat,
 		PointTimeout:   *pointTimeout,
 		RetryBudget:    *retries,
+		CheckpointDir:  *ckDir,
 		Log:            log.Printf,
 	}
 	self := &telemetry.SelfCollector{Interval: *selfEvery, Points: w.PointsDone, SimCounters: w.SimCounters}

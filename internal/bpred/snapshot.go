@@ -1,0 +1,76 @@
+package bpred
+
+import "fmt"
+
+// PredictorState is the dynamic state of a Predictor: history tables,
+// BTB contents, return-address stack, and counters. Geometry is rebuilt
+// from configuration by New.
+type PredictorState struct {
+	PABHT    []uint32
+	PAPHT    []uint8
+	GHist    uint32
+	GPHT     []uint8
+	Chooser  []uint8
+	BTBTags  []uint64
+	BTBTgt   []uint64
+	BTBStamp []uint64
+	Stamp    uint64
+	RAS      []uint64
+	RASTop   int
+
+	CondBranches   uint64
+	CondMispred    uint64
+	TargetBranches uint64
+	TargetMispred  uint64
+}
+
+// Snapshot captures the predictor.
+func (p *Predictor) Snapshot() PredictorState {
+	return PredictorState{
+		PABHT:          append([]uint32(nil), p.paBHT...),
+		PAPHT:          append([]uint8(nil), p.paPHT...),
+		GHist:          p.gHist,
+		GPHT:           append([]uint8(nil), p.gPHT...),
+		Chooser:        append([]uint8(nil), p.chooser...),
+		BTBTags:        append([]uint64(nil), p.btbTags...),
+		BTBTgt:         append([]uint64(nil), p.btbTgt...),
+		BTBStamp:       append([]uint64(nil), p.btbStamp...),
+		Stamp:          p.stamp,
+		RAS:            append([]uint64(nil), p.ras...),
+		RASTop:         p.rasTop,
+		CondBranches:   p.CondBranches,
+		CondMispred:    p.CondMispred,
+		TargetBranches: p.TargetBranches,
+		TargetMispred:  p.TargetMispred,
+	}
+}
+
+// Restore refills the predictor from a snapshot taken with the same
+// geometry.
+func (p *Predictor) Restore(s PredictorState) error {
+	if len(s.PABHT) != len(p.paBHT) || len(s.PAPHT) != len(p.paPHT) ||
+		len(s.GPHT) != len(p.gPHT) || len(s.Chooser) != len(p.chooser) ||
+		len(s.BTBTags) != len(p.btbTags) || len(s.BTBTgt) != len(p.btbTgt) ||
+		len(s.BTBStamp) != len(p.btbStamp) || len(s.RAS) != len(p.ras) {
+		return fmt.Errorf("bpred: snapshot geometry does not match configured predictor")
+	}
+	if s.RASTop < 0 || s.RASTop >= len(p.ras) {
+		return fmt.Errorf("bpred: snapshot RAS top %d out of range", s.RASTop)
+	}
+	copy(p.paBHT, s.PABHT)
+	copy(p.paPHT, s.PAPHT)
+	p.gHist = s.GHist
+	copy(p.gPHT, s.GPHT)
+	copy(p.chooser, s.Chooser)
+	copy(p.btbTags, s.BTBTags)
+	copy(p.btbTgt, s.BTBTgt)
+	copy(p.btbStamp, s.BTBStamp)
+	p.stamp = s.Stamp
+	copy(p.ras, s.RAS)
+	p.rasTop = s.RASTop
+	p.CondBranches = s.CondBranches
+	p.CondMispred = s.CondMispred
+	p.TargetBranches = s.TargetBranches
+	p.TargetMispred = s.TargetMispred
+	return nil
+}

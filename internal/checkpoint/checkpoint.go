@@ -1,0 +1,255 @@
+// Package checkpoint implements the on-disk container for deterministic
+// mid-run machine checkpoints: a versioned, integrity-hashed file format
+// with an atomic write-temp+fsync+rename protocol and torn/corrupt-file
+// detection on load.
+//
+// The package is a pure container. It knows nothing about the simulator:
+// callers (core.System.CheckpointState) gob-encode the machine state into
+// an opaque payload and attach a small metadata header (the spec hash of
+// the configuration the state belongs to, and the cycle it was captured
+// at). Keeping the container free of simulator imports lets every layer —
+// core, runner, sweep service, the fuzz tests — share it without cycles.
+//
+// File layout (all integers little-endian):
+//
+//	[ 8] magic "DBCKPT01"
+//	[ 4] format version
+//	[ 4] spec-hash length n
+//	[ n] spec hash (ASCII)
+//	[ 8] capture cycle
+//	[ 8] payload length m
+//	[32] SHA-256 over everything above plus the payload
+//	[ m] payload (opaque to this package)
+//
+// A torn write (crash mid-write, truncated copy) fails the length checks;
+// a corrupted write (bit flips, concatenated garbage) fails the digest.
+// Both are reported as errors wrapping ErrCorrupt so callers can fall
+// back to from-scratch execution, never silently wrong output. The
+// atomic protocol (write temp in the destination directory, fsync, rename
+// over the destination, fsync the directory) guarantees the destination
+// path only ever names either the previous complete checkpoint or the new
+// one.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+)
+
+// Magic identifies a checkpoint file; bump Version when the payload
+// encoding or header layout changes incompatibly.
+const (
+	Magic   = "DBCKPT01"
+	Version = 1
+)
+
+// maxHeader bounds the variable-length parts a loader will trust before
+// the digest is verified, so a corrupt length field cannot drive a huge
+// allocation.
+const (
+	maxSpecHash = 1 << 10
+	maxPayload  = 1 << 32 // 4 GiB; real checkpoints are a few MB
+)
+
+// ErrCorrupt is wrapped by every load error caused by a torn, truncated
+// or corrupted checkpoint file (as opposed to the file being absent).
+var ErrCorrupt = errors.New("corrupt checkpoint")
+
+// IsCorrupt reports whether err indicates a torn/corrupt checkpoint file.
+func IsCorrupt(err error) bool { return errors.Is(err, ErrCorrupt) }
+
+// Meta is the header a checkpoint is stored under.
+type Meta struct {
+	// SpecHash identifies the (config, workload, seed) the state belongs
+	// to; loads for a different spec are rejected by the caller.
+	SpecHash string
+	// Cycle is the simulation cycle the state was captured at.
+	Cycle uint64
+}
+
+// Cumulative process-wide activity counters, exported through the
+// telemetry self-sample (satellite: checkpoint count/bytes/duration on
+// existing metrics surfaces). Atomics: checkpoint writers may run on
+// worker goroutines.
+var (
+	totalCount atomic.Uint64
+	totalBytes atomic.Uint64
+	totalNanos atomic.Uint64
+)
+
+// Stats returns the cumulative number of checkpoints written by this
+// process, the total bytes written, and the total seconds spent writing.
+func Stats() (count, bytes uint64, seconds float64) {
+	return totalCount.Load(), totalBytes.Load(), float64(totalNanos.Load()) / 1e9
+}
+
+// encode renders the full file image for meta+payload.
+func encode(meta Meta, payload []byte) ([]byte, error) {
+	if len(meta.SpecHash) > maxSpecHash {
+		return nil, fmt.Errorf("checkpoint: spec hash too long (%d bytes)", len(meta.SpecHash))
+	}
+	if uint64(len(payload)) > maxPayload {
+		return nil, fmt.Errorf("checkpoint: payload too large (%d bytes)", len(payload))
+	}
+	var hdr bytes.Buffer
+	hdr.WriteString(Magic)
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], Version)
+	hdr.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(meta.SpecHash)))
+	hdr.Write(u32[:])
+	hdr.WriteString(meta.SpecHash)
+	binary.LittleEndian.PutUint64(u64[:], meta.Cycle)
+	hdr.Write(u64[:])
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(payload)))
+	hdr.Write(u64[:])
+
+	h := sha256.New()
+	h.Write(hdr.Bytes())
+	h.Write(payload)
+
+	out := make([]byte, 0, hdr.Len()+sha256.Size+len(payload))
+	out = append(out, hdr.Bytes()...)
+	out = h.Sum(out)
+	out = append(out, payload...)
+	return out, nil
+}
+
+// Write atomically writes a checkpoint to path: the image is written to a
+// temp file in the destination directory, fsynced, renamed over path, and
+// the directory is fsynced so the rename itself is durable. On any error
+// the destination is left untouched (still the previous checkpoint, or
+// absent).
+func Write(path string, meta Meta, payload []byte) error {
+	start := time.Now()
+	img, err := encode(meta, payload)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("checkpoint: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("checkpoint: fsync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: rename into place: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Directory fsync is advisory on some filesystems; the rename is
+		// already atomic, this only hardens durability of the new name.
+		d.Sync()
+		d.Close()
+	}
+	totalCount.Add(1)
+	totalBytes.Add(uint64(len(img)))
+	totalNanos.Add(uint64(time.Since(start)))
+	return nil
+}
+
+// Read loads and verifies a checkpoint file. Errors caused by the file
+// being torn, truncated, or corrupted wrap ErrCorrupt; an absent file
+// returns the underlying fs.ErrNotExist error unwrapped so callers can
+// distinguish "no checkpoint yet" from "checkpoint damaged".
+func Read(path string) (Meta, []byte, error) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	meta, payload, err := Decode(img)
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return meta, payload, nil
+}
+
+// Decode verifies and unpacks a checkpoint image. All failure modes wrap
+// ErrCorrupt. It is exported (and pure) so the fuzz tests can drive the
+// corruption detector directly.
+func Decode(img []byte) (Meta, []byte, error) {
+	r := bytes.NewReader(img)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != Magic {
+		return Meta{}, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(u32[:]); v != Version {
+		return Meta{}, nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, v, Version)
+	}
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	hashLen := binary.LittleEndian.Uint32(u32[:])
+	if uint64(hashLen) > maxSpecHash {
+		return Meta{}, nil, fmt.Errorf("%w: spec-hash length %d out of range", ErrCorrupt, hashLen)
+	}
+	specHash := make([]byte, hashLen)
+	if _, err := io.ReadFull(r, specHash); err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: truncated spec hash", ErrCorrupt)
+	}
+	var u64 [8]byte
+	if _, err := io.ReadFull(r, u64[:]); err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	cycle := binary.LittleEndian.Uint64(u64[:])
+	if _, err := io.ReadFull(r, u64[:]); err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	payloadLen := binary.LittleEndian.Uint64(u64[:])
+	if payloadLen > maxPayload {
+		return Meta{}, nil, fmt.Errorf("%w: payload length %d out of range", ErrCorrupt, payloadLen)
+	}
+	digest := make([]byte, sha256.Size)
+	if _, err := io.ReadFull(r, digest); err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: truncated digest", ErrCorrupt)
+	}
+	// Compare the claimed payload length against the bytes actually
+	// present BEFORE allocating: a forged length field must not drive a
+	// multi-gigabyte allocation for a file that is plainly torn.
+	if rest := uint64(r.Len()); payloadLen != rest {
+		if payloadLen > rest {
+			return Meta{}, nil, fmt.Errorf("%w: truncated payload (torn write?)", ErrCorrupt)
+		}
+		return Meta{}, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, rest-payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: truncated payload (torn write?)", ErrCorrupt)
+	}
+	headerLen := len(img) - int(payloadLen) - sha256.Size
+	h := sha256.New()
+	h.Write(img[:headerLen])
+	h.Write(payload)
+	if !bytes.Equal(h.Sum(nil), digest) {
+		return Meta{}, nil, fmt.Errorf("%w: integrity hash mismatch", ErrCorrupt)
+	}
+	return Meta{SpecHash: string(specHash), Cycle: cycle}, payload, nil
+}

@@ -1,0 +1,87 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzImage builds a valid checkpoint image for seeding.
+func fuzzImage(t interface{ Fatal(...any) }, spec string, cycle uint64, payload []byte) []byte {
+	img, err := encode(Meta{SpecHash: spec, Cycle: cycle}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// FuzzDecode drives the checkpoint corruption detector with arbitrary
+// images: valid files, truncations, bit flips, oversized length fields,
+// trailing garbage. The invariants:
+//
+//   - Decode never panics and never over-allocates off an unverified
+//     length field (the fuzzer's memory limit enforces this);
+//   - on success, the decoded (meta, payload) re-encode to exactly the
+//     input image — acceptance implies the image is the canonical
+//     encoding, so no corrupted variant of a file can decode to the same
+//     state as the original;
+//   - every failure wraps ErrCorrupt, the classification the restore
+//     fallback path switches on.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	valid := fuzzImage(f, "spec-abc", 123456, []byte("machine state bytes"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // torn write
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-3] ^= 0x40 // payload bit flip under the digest
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), valid...), "trailing garbage"...))
+	f.Add(fuzzImage(f, "", 0, nil)) // minimal valid image
+
+	f.Fuzz(func(t *testing.T, img []byte) {
+		meta, payload, err := Decode(img)
+		if err != nil {
+			if !IsCorrupt(err) {
+				t.Fatalf("Decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		re, err := encode(meta, payload)
+		if err != nil {
+			t.Fatalf("decoded state does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, img) {
+			t.Fatalf("accepted image is not canonical:\n in %x\nout %x", img, re)
+		}
+	})
+}
+
+// FuzzReadFile is the same detector through the file path: whatever bytes
+// land on disk (torn copies, concatenations, noise), Read either returns
+// the exact (meta, payload) a Write stored or an error classified as
+// corruption — never silently wrong state.
+func FuzzReadFile(f *testing.F) {
+	valid := fuzzImage(f, "s", 42, []byte{1, 2, 3})
+	f.Add(valid)
+	f.Add(valid[:17])
+	f.Add([]byte("not a checkpoint at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "f.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		meta, payload, err := Read(path)
+		if err != nil {
+			if !IsCorrupt(err) {
+				t.Fatalf("Read error on existing file does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		if re, _ := encode(meta, payload); !bytes.Equal(re, data) {
+			t.Fatal("Read accepted a non-canonical file")
+		}
+	})
+}

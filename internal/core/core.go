@@ -258,6 +258,11 @@ type RunOptions struct {
 	// construction (reports, telemetry, and traces match exactly); the
 	// escape hatch exists for the equivalence tests and for debugging.
 	DisableFastForward bool
+	// Checkpoint, when non-nil, arms periodic mid-run checkpointing (and
+	// a final capture when Context cancels the run): every Interval
+	// cycles the full dynamic machine state is written atomically to
+	// Path. See CheckpointOptions and RestoreAndRun.
+	Checkpoint *CheckpointOptions
 }
 
 // DefaultWatchdogWindow is the default forward-progress window in cycles.
@@ -326,7 +331,15 @@ func (e *CanceledError) Unwrap() error { return e.Cause }
 // the coherence checker, the memory-ordering checks) are recovered into a
 // *diag.PanicError carrying a machine snapshot, so a crashing run fails
 // with diagnostics instead of taking the process down.
-func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
+func (s *System) Run(opt RunOptions) (*stats.Report, error) {
+	return s.run(opt, nil)
+}
+
+// run is the shared body of Run and RestoreAndRun. resume, when
+// non-nil, is the checkpoint the machine was just restored from; it
+// seeds the run-loop bookkeeping (warm-up flag, watchdog cursor) and
+// the observer state so the resumed run continues bit-identically.
+func (s *System) run(opt RunOptions, resume *MachineState) (rep *stats.Report, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rep, err = nil, s.recoverPanic(r)
@@ -339,13 +352,29 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 	lastRetired := s.totalRetired()
 	lastProgress := s.cycle
 	warmed := opt.WarmupInstructions == 0
+	if resume != nil {
+		lastRetired = resume.LastRetired
+		lastProgress = resume.LastProgress
+		warmed = resume.Warmed
+	}
+	ck := opt.Checkpoint
+	ckInterval := ck.interval()
 	tel := s.newTelemetry(opt)
+	if tel != nil && resume != nil && resume.Telemetry != nil {
+		tel.restore(resume.Telemetry)
+	}
 	if opt.Tracer != nil {
 		for i, c := range s.cores {
 			c.SetTracer(opt.Tracer)
 			s.mem.Node(i).SetTracer(opt.Tracer)
 		}
-		opt.Tracer.Start(s.cycle)
+		if resume != nil && resume.Tracer != nil {
+			if terr := opt.Tracer.Restore(*resume.Tracer); terr != nil {
+				return nil, terr
+			}
+		} else {
+			opt.Tracer.Start(s.cycle)
+		}
 		// Close open spans on every exit path (including recovered panics
 		// and cycle-limit/watchdog/cancel errors) so partial traces are
 		// still well-formed.
@@ -439,11 +468,23 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 		}
 		if opt.Context != nil && s.cycle%ctxCheckEvery == 0 {
 			if cerr := opt.Context.Err(); cerr != nil {
+				// Final capture so the preempted run can resume from here
+				// instead of its last periodic boundary. Best-effort: the
+				// cancellation is reported either way, and a failed write
+				// leaves the previous (still valid) checkpoint in place.
+				if ck != nil {
+					_ = s.captureCheckpoint(ck, warmed, lastRetired, lastProgress, tel, opt.Tracer)
+				}
 				return s.buildReport(opt.Label), &CanceledError{
 					Cycle:    s.cycle,
 					Cause:    cerr,
 					Snapshot: s.Snapshot("canceled"),
 				}
+			}
+		}
+		if ck != nil && s.cycle%ckInterval == 0 {
+			if cerr := s.captureCheckpoint(ck, warmed, lastRetired, lastProgress, tel, opt.Tracer); cerr != nil {
+				return s.buildReport(opt.Label), fmt.Errorf("core: checkpoint at cycle %d: %w", s.cycle, cerr)
 			}
 		}
 		// A retire-free cycle is the fast-forward trigger: only then is it
@@ -460,7 +501,7 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 					wake[k] = 0
 				}
 			} else {
-				s.fastForward(&opt, window, lastProgress, tel, wake)
+				s.fastForward(&opt, window, lastProgress, tel, wake, ckInterval)
 			}
 		}
 		prevRet = ret
@@ -479,7 +520,7 @@ func (s *System) Run(opt RunOptions) (rep *stats.Report, err error) {
 // is also capped so that every externally timed check in Run — telemetry
 // sample boundaries, the watchdog trip, the MaxCycles trip, the context
 // poll cadence — still happens on exactly the cycle it would have.
-func (s *System) fastForward(opt *RunOptions, window, lastProgress uint64, tel *telemetryState, wake []uint64) {
+func (s *System) fastForward(opt *RunOptions, window, lastProgress uint64, tel *telemetryState, wake []uint64, ckInterval uint64) {
 	now := s.cycle
 	limit := uint64(cpu.EventNever)
 	// On a machine-wide retire-free cycle every core either skipped (its
@@ -527,6 +568,13 @@ func (s *System) fastForward(opt *RunOptions, window, lastProgress uint64, tel *
 	}
 	if opt.Context != nil {
 		if t := (now/ctxCheckEvery + 1) * ctxCheckEvery; t < limit {
+			limit = t
+		}
+	}
+	if opt.Checkpoint != nil && ckInterval > 0 {
+		// Capture boundaries must be ticked normally so the checkpoint
+		// cadence is a deterministic function of the cycle count alone.
+		if t := (now/ckInterval + 1) * ckInterval; t < limit {
 			limit = t
 		}
 	}

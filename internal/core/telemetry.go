@@ -18,6 +18,12 @@ type telemetryState struct {
 
 	prev    telemetrySnap
 	scratch telemetrySnap // recycled buffers for the next snapshot
+
+	// recording retains every published sample (checkpointing armed):
+	// a restored run re-publishes them into its fresh sinks so the
+	// final series is byte-identical to an uninterrupted run's.
+	recording bool
+	record    []telemetry.Sample
 }
 
 // telemetrySnap is the cumulative-counter snapshot taken at the previous
@@ -66,9 +72,10 @@ func (s *System) newTelemetry(opt RunOptions) *telemetryState {
 		interval = telemetry.DefaultInterval
 	}
 	ts := &telemetryState{
-		pipe:     opt.Telemetry,
-		interval: interval,
-		nextAt:   s.cycle + interval,
+		pipe:      opt.Telemetry,
+		interval:  interval,
+		nextAt:    s.cycle + interval,
+		recording: opt.Checkpoint != nil,
 	}
 	ts.prev = s.telemetrySnapshot(&ts.prev)
 	for _, p := range opt.Telemetry.Probes() {
@@ -317,9 +324,114 @@ func (ts *telemetryState) sample(s *System) {
 	}
 
 	ts.pipe.Publish(sm)
+	if ts.recording {
+		ts.record = append(ts.record, *sm)
+	}
 	ts.seq++
 	ts.scratch = ts.prev // recycle the old snapshot's buffers
 	ts.prev = cur
+}
+
+// checkpoint captures the collector's cursor and the published samples.
+func (ts *telemetryState) checkpoint() *TelemetryRunState {
+	rs := &TelemetryRunState{
+		Seq:     ts.seq,
+		NextAt:  ts.nextAt,
+		Prev:    snapState(&ts.prev),
+		Samples: append([]telemetry.Sample(nil), ts.record...),
+	}
+	return rs
+}
+
+// restore rewinds a fresh collector to a checkpoint: the recorded
+// samples are re-published into the (fresh) sinks, then the cursor
+// picks up where the interrupted run left off.
+func (ts *telemetryState) restore(rs *TelemetryRunState) {
+	for i := range rs.Samples {
+		sm := rs.Samples[i]
+		ts.pipe.Publish(&sm)
+	}
+	ts.record = append(ts.record[:0], rs.Samples...)
+	ts.recording = true
+	ts.seq = rs.Seq
+	ts.nextAt = rs.NextAt
+	ts.prev = snapFromState(&rs.Prev)
+}
+
+// snapState converts the internal snapshot to its checkpoint DTO.
+func snapState(sn *telemetrySnap) TelemetrySnapState {
+	return TelemetrySnapState{
+		Cycle:         sn.cycle,
+		Retired:       append([]uint64(nil), sn.retired...),
+		Bk:            append([]stats.Breakdown(nil), sn.bk...),
+		RobOcc:        append([][5]uint64(nil), sn.robOcc...),
+		Idle:          sn.idle,
+		LockTries:     sn.lockTries,
+		LockWaits:     sn.lockWaits,
+		LockSpins:     sn.lockSpins,
+		LockAcquires:  sn.lockAcquires,
+		LockContended: sn.lockContended,
+		LockHand:      sn.lockHand,
+		HTMBegins:     sn.htmBegins,
+		HTMCommits:    sn.htmCommits,
+		HTMFallbacks:  sn.htmFallbacks,
+		HTMConflict:   sn.htmConflict,
+		HTMCapacity:   sn.htmCapacity,
+		HTMExplicit:   sn.htmExplicit,
+		Instr:         sn.instr,
+		L1IM:          sn.l1iM,
+		L1DM:          sn.l1dM,
+		L2M:           sn.l2M,
+		SBHits:        sn.sbHits,
+		SBMiss:        sn.sbMisses,
+		L1DOcc:        append([]uint64(nil), sn.l1dOcc...),
+		L2Occ:         append([]uint64(nil), sn.l2Occ...),
+		DirReads:      sn.dirReads, DirReadsDirty: sn.dirReadsDirty,
+		DirWrites: sn.dirWrites, DirWritesShared: sn.dirWritesShared,
+		DirUpgrades: sn.dirUpgrades, DirWritebacks: sn.dirWritebacks,
+		DirFlushes: sn.dirFlushes, DirMigratory: sn.dirMigratory,
+		MeshMsgs: sn.meshMsgs, MeshFlits: sn.meshFlits,
+		MeshLatency: sn.meshLatency, MeshQueue: sn.meshQueue,
+		Probes: append([]uint64(nil), sn.probes...),
+	}
+}
+
+// snapFromState inverts snapState.
+func snapFromState(st *TelemetrySnapState) telemetrySnap {
+	return telemetrySnap{
+		cycle:         st.Cycle,
+		retired:       append([]uint64(nil), st.Retired...),
+		bk:            append([]stats.Breakdown(nil), st.Bk...),
+		robOcc:        append([][5]uint64(nil), st.RobOcc...),
+		idle:          st.Idle,
+		lockTries:     st.LockTries,
+		lockWaits:     st.LockWaits,
+		lockSpins:     st.LockSpins,
+		lockAcquires:  st.LockAcquires,
+		lockContended: st.LockContended,
+		lockHand:      st.LockHand,
+		htmBegins:     st.HTMBegins,
+		htmCommits:    st.HTMCommits,
+		htmFallbacks:  st.HTMFallbacks,
+		htmConflict:   st.HTMConflict,
+		htmCapacity:   st.HTMCapacity,
+		htmExplicit:   st.HTMExplicit,
+		instr:         st.Instr,
+		l1iM:          st.L1IM,
+		l1dM:          st.L1DM,
+		l2M:           st.L2M,
+		sbHits:        st.SBHits,
+		sbMisses:      st.SBMiss,
+		l1dOcc:        append([]uint64(nil), st.L1DOcc...),
+		l2Occ:         append([]uint64(nil), st.L2Occ...),
+		dirReads:      st.DirReads, dirReadsDirty: st.DirReadsDirty,
+		dirWrites: st.DirWrites, dirWritesShared: st.DirWritesShared,
+		dirUpgrades: st.DirUpgrades, dirWritebacks: st.DirWritebacks,
+		dirFlushes: st.DirFlushes, dirMigratory: st.DirMigratory,
+		meshMsgs: st.MeshMsgs, meshFlits: st.MeshFlits,
+		meshLatency: st.MeshLatency, meshQueue: st.MeshQueue,
+		probes: append([]uint64(nil), st.Probes...),
+	}
 }
 
 // histDelta returns the clamped elementwise delta of two raw occupancy

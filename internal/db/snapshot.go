@@ -1,0 +1,58 @@
+package db
+
+// Checkpoint DTOs for the engine's generation-time logical state. The
+// block layout is pure arithmetic from the configuration and needs no
+// serialization; only the running balances, the history insertion point,
+// and the redo allocation cursor are dynamic.
+
+// TPCBState is the dynamic state of a TPCB database.
+type TPCBState struct {
+	BranchBalance []int64
+	TellerBalance []int64
+	AcctDelta     map[int]int64
+	HistCount     uint64
+}
+
+// Snapshot captures the logical database state.
+func (t *TPCB) Snapshot() TPCBState {
+	s := TPCBState{
+		BranchBalance: append([]int64(nil), t.branchBalance...),
+		TellerBalance: append([]int64(nil), t.tellerBalance...),
+		AcctDelta:     make(map[int]int64, len(t.acctDelta)),
+		HistCount:     t.histCount,
+	}
+	for k, v := range t.acctDelta {
+		s.AcctDelta[k] = v
+	}
+	return s
+}
+
+// Restore refills the logical database state.
+func (t *TPCB) Restore(s TPCBState) {
+	copy(t.branchBalance, s.BranchBalance)
+	copy(t.tellerBalance, s.TellerBalance)
+	clear(t.acctDelta)
+	for k, v := range s.AcctDelta {
+		t.acctDelta[k] = v
+	}
+	t.histCount = s.HistCount
+}
+
+// RedoLogState is the dynamic state of a RedoLog.
+type RedoLogState struct {
+	Tail    uint64
+	Records uint64
+	Bytes   uint64
+}
+
+// Snapshot captures the redo log cursor and counters.
+func (r *RedoLog) Snapshot() RedoLogState {
+	return RedoLogState{Tail: r.tail, Records: r.Records, Bytes: r.Bytes}
+}
+
+// Restore refills the redo log cursor and counters.
+func (r *RedoLog) Restore(s RedoLogState) {
+	r.tail = s.Tail
+	r.Records = s.Records
+	r.Bytes = s.Bytes
+}

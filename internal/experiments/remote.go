@@ -65,6 +65,7 @@ func PointFromSpec(raw json.RawMessage) (runner.Point, error) {
 			if att.DisableFaults {
 				esc.Faults = config.FaultConfig{}
 			}
+			armCheckpoints(&esc, e.ID, att.CheckpointPath)
 			return e.Run(esc)
 		},
 	}, nil

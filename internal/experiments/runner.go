@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -62,6 +63,35 @@ type Scale struct {
 	// sweep gets one series file per run point.
 	Telemetry func(label string) *telemetry.Pipeline
 
+	// Checkpoint, when non-nil, is called once per run with the run's
+	// label and returns the mid-run checkpoint options to attach (nil =
+	// no checkpointing for that run). The runner arms the workload's
+	// record/replay layer, fills in the options' Workload hook, and
+	// threads them into core.Run. Checkpointing is a pure observer — the
+	// simulated outcome is bit-identical with or without it — so, like
+	// Telemetry, it does not participate in the spec hash.
+	Checkpoint func(label string) *core.CheckpointOptions
+
+	// Restore, when non-empty, is a checkpoint file to resume each run
+	// from: the run loads it, verifies integrity and spec identity,
+	// rewinds the freshly built machine and workload to the saved cycle,
+	// and continues to completion. A missing, truncated, corrupt, or
+	// spec-mismatched checkpoint falls back to running from scratch (the
+	// reason is reported through RestoreFallback when set). Requires a
+	// Checkpoint factory: resume needs the record/replay layer armed.
+	Restore string
+
+	// RestoreFallback, when non-nil, is told why a Restore checkpoint
+	// was not used and the run started from scratch instead.
+	RestoreFallback func(label string, err error)
+
+	// ResumeFromCheckpoints, when set (and Restore is empty), resumes
+	// each run from its own Checkpoint path when a valid checkpoint
+	// already exists there — the retry/takeover discipline: a previous
+	// attempt's partial progress is picked up instead of re-simulated.
+	// A missing or invalid file runs from scratch.
+	ResumeFromCheckpoints bool
+
 	// Tracer, when non-nil, records the run's cycle-resolved event stream
 	// (internal/tracing). Like Telemetry it is a pure observer and does not
 	// participate in the spec hash. The runner installs the workload's
@@ -91,6 +121,43 @@ func (sc *Scale) pipelineFor(label string) *telemetry.Pipeline {
 		return nil
 	}
 	return sc.Telemetry(label)
+}
+
+// checkpointFor resolves the per-run checkpoint options (nil when disabled).
+func (sc *Scale) checkpointFor(label string) *core.CheckpointOptions {
+	if sc.Checkpoint == nil {
+		return nil
+	}
+	return sc.Checkpoint(label)
+}
+
+// resumeState arms workload checkpointing and, when Scale.Restore names a
+// checkpoint file, loads and validates it. Load failures (missing,
+// truncated, corrupt, wrong spec) are reported through RestoreFallback and
+// return a nil state so the caller runs from scratch — a half-written
+// checkpoint must never poison a sweep point, only cost re-simulation.
+func (sc *Scale) resumeState(label string, ck *core.CheckpointOptions, w core.WorkloadCheckpointer) (*core.MachineState, error) {
+	if ck != nil {
+		ck.Workload = w
+	}
+	path := sc.Restore
+	if path == "" && sc.ResumeFromCheckpoints && ck != nil {
+		path = ck.Path
+	}
+	if path == "" {
+		return nil, nil
+	}
+	if ck == nil {
+		return nil, fmt.Errorf("experiments: %q: Scale.Restore requires a Checkpoint factory", label)
+	}
+	st, err := core.LoadCheckpoint(path, ck.SpecHash)
+	if err != nil {
+		if sc.RestoreFallback != nil {
+			sc.RestoreFallback(label, err)
+		}
+		return nil, nil
+	}
+	return st, nil
 }
 
 // DefaultScale is used by cmd/sweep and EXPERIMENTS.md.
@@ -138,8 +205,16 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 	if sc.Tracer != nil {
 		sc.Tracer.SetResolver(w.Resolve)
 	}
+	ck := sc.checkpointFor(label)
+	if ck != nil {
+		w.EnableCheckpointing()
+	}
+	resume, err := sc.resumeState(label, ck, w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: OLTP %q: %w", label, err)
+	}
 	warmup := uint64(sc.OLTPWarmupTx) * uint64(wcfg.Processes) * w.ApproxInstrPerTx()
-	rep, err := sys.Run(core.RunOptions{
+	opt := core.RunOptions{
 		Label:              label,
 		WarmupInstructions: warmup,
 		MaxCycles:          sc.MaxCycles,
@@ -149,7 +224,14 @@ func RunOLTP(cfg config.Config, sc Scale, label string, hints oltp.HintLevel) (*
 		Telemetry:          pipe,
 		Tracer:             sc.Tracer,
 		DisableFastForward: sc.DisableFastForward,
-	})
+		Checkpoint:         ck,
+	}
+	var rep *stats.Report
+	if resume != nil {
+		rep, err = sys.RestoreAndRun(opt, resume)
+	} else {
+		rep, err = sys.Run(opt)
+	}
 	if err != nil {
 		return rep, fmt.Errorf("experiments: OLTP %q: %w", label, err)
 	}
@@ -190,10 +272,18 @@ func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
 	if sc.Tracer != nil {
 		sc.Tracer.SetResolver(w.Resolve)
 	}
+	ck := sc.checkpointFor(label)
+	if ck != nil {
+		w.EnableCheckpointing()
+	}
+	resume, err := sc.resumeState(label, ck, w)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: DSS %q: %w", label, err)
+	}
 	// Warm up over the first ~30% of the scan (one pass of the per-process
 	// work area through the L2).
 	warmup := uint64(wcfg.Processes) * w.ApproxInstrPerProcess() * 3 / 10
-	rep, err := sys.Run(core.RunOptions{
+	opt := core.RunOptions{
 		Label:              label,
 		WarmupInstructions: warmup,
 		MaxCycles:          sc.MaxCycles,
@@ -203,7 +293,14 @@ func RunDSS(cfg config.Config, sc Scale, label string) (*stats.Report, error) {
 		Telemetry:          pipe,
 		Tracer:             sc.Tracer,
 		DisableFastForward: sc.DisableFastForward,
-	})
+		Checkpoint:         ck,
+	}
+	var rep *stats.Report
+	if resume != nil {
+		rep, err = sys.RestoreAndRun(opt, resume)
+	} else {
+		rep, err = sys.Run(opt)
+	}
 	if err != nil {
 		return rep, fmt.Errorf("experiments: DSS %q: %w", label, err)
 	}
@@ -265,6 +362,18 @@ func (sc Scale) Spec(id string) PointSpec {
 	}
 }
 
+// sanitizeLabel maps a run label onto a safe filename fragment.
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, label)
+}
+
 // maxRunsPerExperiment is the largest number of simulations a single
 // experiment performs (fig6: 2 workloads x 9 configurations). The derived
 // per-point wall-clock deadline budgets for the worst case.
@@ -295,9 +404,31 @@ func Points(exps []Experiment, sc Scale, perPoint func(id string, sc Scale) Scal
 				if att.DisableFaults {
 					esc.Faults = config.FaultConfig{}
 				}
+				armCheckpoints(&esc, e.ID, att.CheckpointPath)
 				return e.Run(esc)
 			},
 		})
 	}
 	return pts
+}
+
+// armCheckpoints wires the pool-supplied checkpoint path prefix into a
+// point's effective scale (shared by the local grid builder Points and
+// the remote worker's PointFromSpec). Every run of the experiment
+// checkpoints under the prefix (one file per run label) and later
+// attempts resume from those files. The spec hash is taken from the
+// *effective* scale, so a fault-disabled retry — a different simulation
+// — rejects the faulted attempt's checkpoints and restarts clean.
+func armCheckpoints(esc *Scale, id, prefix string) {
+	if prefix == "" || esc.Checkpoint != nil {
+		return
+	}
+	spec := runner.SpecHash(esc.Spec(id))
+	esc.Checkpoint = func(label string) *core.CheckpointOptions {
+		return &core.CheckpointOptions{
+			Path:     prefix + "." + sanitizeLabel(label) + ".ckpt",
+			SpecHash: spec + "/" + label,
+		}
+	}
+	esc.ResumeFromCheckpoints = true
 }

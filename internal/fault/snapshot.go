@@ -1,0 +1,60 @@
+package fault
+
+// StreamState is the splitmix64 stream position.
+type StreamState struct {
+	State uint64
+}
+
+// Snapshot captures the stream position.
+func (s *Stream) Snapshot() StreamState { return StreamState{State: s.state} }
+
+// Restore rewinds the stream to a captured position.
+func (s *Stream) Restore(st StreamState) { s.state = st.State }
+
+// InjectorState is the dynamic state of an Injector: the decision-stream
+// position plus the injection counters. The configuration is rebuilt by
+// New. A nil injector snapshots to the zero value and restores only from
+// one.
+type InjectorState struct {
+	Enabled         bool
+	RNG             StreamState
+	MeshDelays      uint64
+	MeshDelayCycles uint64
+	NACKs           uint64
+	Retries         uint64
+	MemStalls       uint64
+	MemStallCycles  uint64
+}
+
+// Snapshot captures the injector (zero value when disabled/nil).
+func (i *Injector) Snapshot() InjectorState {
+	if i == nil {
+		return InjectorState{}
+	}
+	return InjectorState{
+		Enabled:         true,
+		RNG:             i.rng.Snapshot(),
+		MeshDelays:      i.MeshDelays,
+		MeshDelayCycles: i.MeshDelayCycles,
+		NACKs:           i.NACKs,
+		Retries:         i.Retries,
+		MemStalls:       i.MemStalls,
+		MemStallCycles:  i.MemStallCycles,
+	}
+}
+
+// Restore refills the injector. Enabled-ness must match the configured
+// injector (nil accepts only a disabled snapshot); mismatches are the
+// caller's config-hash check failing, so this just no-ops safely for nil.
+func (i *Injector) Restore(s InjectorState) {
+	if i == nil {
+		return
+	}
+	i.rng.Restore(s.RNG)
+	i.MeshDelays = s.MeshDelays
+	i.MeshDelayCycles = s.MeshDelayCycles
+	i.NACKs = s.NACKs
+	i.Retries = s.Retries
+	i.MemStalls = s.MemStalls
+	i.MemStallCycles = s.MemStallCycles
+}

@@ -1,0 +1,63 @@
+package htm
+
+// TxState is the dynamic state of one transaction context. The bounds
+// (Config) are rebuilt from configuration when the core recreates its
+// contexts.
+type TxState struct {
+	Phase        int
+	Latch        uint64
+	Depth        int
+	Begin        uint64
+	ReadSet      []uint64
+	WriteSet     []uint64
+	Aborted      bool
+	Cause        int
+	ConflictLine uint64
+	Attempts     int
+	Deadline     uint64
+	CSLen        uint64
+}
+
+// Snapshot captures the transaction context.
+func (t *Tx) Snapshot() TxState {
+	s := TxState{
+		Phase:        int(t.phase),
+		Latch:        t.latch,
+		Depth:        t.depth,
+		Begin:        t.begin,
+		Aborted:      t.aborted,
+		Cause:        int(t.cause),
+		ConflictLine: t.conflictLine,
+		Attempts:     t.attempts,
+		Deadline:     t.deadline,
+		CSLen:        t.csLen,
+	}
+	for l := range t.readSet {
+		s.ReadSet = append(s.ReadSet, l)
+	}
+	for l := range t.writeSet {
+		s.WriteSet = append(s.WriteSet, l)
+	}
+	return s
+}
+
+// Restore refills the transaction context from a snapshot.
+func (t *Tx) Restore(s TxState) {
+	t.clearSets()
+	t.phase = Phase(s.Phase)
+	t.latch = s.Latch
+	t.depth = s.Depth
+	t.begin = s.Begin
+	for _, l := range s.ReadSet {
+		t.readSet[l] = struct{}{}
+	}
+	for _, l := range s.WriteSet {
+		t.writeSet[l] = struct{}{}
+	}
+	t.aborted = s.Aborted
+	t.cause = AbortCause(s.Cause)
+	t.conflictLine = s.ConflictLine
+	t.attempts = s.Attempts
+	t.deadline = s.Deadline
+	t.csLen = s.CSLen
+}

@@ -1,0 +1,53 @@
+package mesh
+
+import "fmt"
+
+// MeshState is the dynamic state of the interconnect: per-link virtual-
+// channel busy times plus the traffic counters. Geometry and link timing
+// are rebuilt from configuration.
+type MeshState struct {
+	Cols, Rows   int // captured geometry, verified on restore
+	BusyUntil    map[int][virtualChannels]uint64
+	Messages     uint64
+	FlitsCarried uint64
+	TotalLatency uint64
+	QueueCycles  uint64
+	LastQueued   uint64
+}
+
+// Snapshot captures the mesh's dynamic state.
+func (m *Mesh) Snapshot() MeshState {
+	s := MeshState{
+		Cols:         m.cols,
+		Rows:         m.rows,
+		BusyUntil:    make(map[int][virtualChannels]uint64, len(m.busyUntil)),
+		Messages:     m.Messages,
+		FlitsCarried: m.FlitsCarried,
+		TotalLatency: m.TotalLatency,
+		QueueCycles:  m.QueueCycles,
+		LastQueued:   m.lastQueued,
+	}
+	for l, vcs := range m.busyUntil {
+		s.BusyUntil[l] = *vcs
+	}
+	return s
+}
+
+// Restore refills the mesh from a snapshot taken on the same geometry.
+func (m *Mesh) Restore(s MeshState) error {
+	if s.Cols != m.cols || s.Rows != m.rows {
+		return fmt.Errorf("mesh: snapshot geometry %dx%d != configured %dx%d",
+			s.Cols, s.Rows, m.cols, m.rows)
+	}
+	clear(m.busyUntil)
+	for l, vcs := range s.BusyUntil {
+		v := vcs
+		m.busyUntil[l] = &v
+	}
+	m.Messages = s.Messages
+	m.FlitsCarried = s.FlitsCarried
+	m.TotalLatency = s.TotalLatency
+	m.QueueCycles = s.QueueCycles
+	m.lastQueued = s.LastQueued
+	return nil
+}

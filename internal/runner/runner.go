@@ -26,7 +26,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,9 +123,15 @@ func retryable(c Class, faulted bool) bool {
 
 // Attempt tells Point.Run which try this is and whether to disable the
 // point's fault profile (set on retries after fault-induced failures).
+// CheckpointPath, when non-empty (Options.CheckpointDir is set), is the
+// point's stable checkpoint path prefix: the run should checkpoint its
+// progress under it and resume from any valid checkpoint already there,
+// so a retried or re-dispatched point re-simulates only the cycles
+// since the last capture instead of restarting from cycle zero.
 type Attempt struct {
-	Number        int // 0 = first try
-	DisableFaults bool
+	Number         int // 0 = first try
+	DisableFaults  bool
+	CheckpointPath string
 }
 
 // Point is one schedulable unit of a sweep.
@@ -195,6 +205,12 @@ type Options struct {
 	// JitterSeed seeds the jitter stream (0 = derived from wall clock, so
 	// distinct worker processes draw distinct schedules).
 	JitterSeed uint64
+	// CheckpointDir, when non-empty, gives every point a stable
+	// checkpoint path prefix under this directory (created if missing),
+	// passed to Point.Run via Attempt.CheckpointPath. Retries — and
+	// resumed sweeps re-running a canceled point — pick up from the last
+	// capture; a point's checkpoints are deleted once it completes.
+	CheckpointDir string
 	// Journal, when non-nil, receives every started point's record as it
 	// completes. Journal write failures are counted, not fatal.
 	Journal *Journal
@@ -322,6 +338,11 @@ func newPool(points []Point, opt Options) (*pool, error) {
 		}
 		seen[pt.ID] = true
 	}
+	if opt.CheckpointDir != "" {
+		if err := os.MkdirAll(opt.CheckpointDir, 0o777); err != nil {
+			return nil, fmt.Errorf("runner: checkpoint dir: %w", err)
+		}
+	}
 	p := &pool{opt: opt}
 	p.timeout = func(pt Point) time.Duration {
 		if opt.PointTimeout > 0 {
@@ -434,11 +455,12 @@ func (p *pool) runPoint(ctx context.Context, pt Point) *Record {
 	rec := &Record{ID: pt.ID, SpecHash: SpecHash(pt.Spec), Series: pt.Series}
 	start := time.Now()
 	disableFaults := false
+	ckPrefix := p.checkpointPrefix(pt)
 	var result any
 	for attempt := 0; ; attempt++ {
 		rec.Attempts = attempt + 1
 		p.emit(Event{Kind: EventStart, Point: pt.ID, Attempt: attempt + 1})
-		res, err := p.attempt(ctx, pt, Attempt{Number: attempt, DisableFaults: disableFaults})
+		res, err := p.attempt(ctx, pt, Attempt{Number: attempt, DisableFaults: disableFaults, CheckpointPath: ckPrefix})
 		if err == nil {
 			rec.Status = StatusOK
 			if disableFaults {
@@ -486,6 +508,12 @@ func (p *pool) runPoint(ctx context.Context, pt Point) *Record {
 		}
 	}
 	rec.Seconds = time.Since(start).Seconds()
+	if ckPrefix != "" && rec.Status.Terminal() && rec.Status != StatusFailed {
+		// The point is done; its checkpoints are dead weight. (Failed
+		// points keep theirs for post-mortem restore; canceled points
+		// keep theirs so a resumed sweep continues mid-run.)
+		removeCheckpoints(ckPrefix)
+	}
 	if p.opt.Journal != nil {
 		if jerr := p.opt.Journal.Append(rec); jerr != nil {
 			p.jerrs.Add(1)
@@ -511,6 +539,49 @@ func (p *pool) attempt(ctx context.Context, pt Point, att Attempt) (res any, err
 	actx, cancel := context.WithTimeout(ctx, p.timeout(pt))
 	defer cancel()
 	return pt.Run(actx, att)
+}
+
+// checkpointPrefix returns the point's stable checkpoint path prefix
+// under Options.CheckpointDir ("" when checkpointing is off). The prefix
+// is derived from the point ID alone so a re-run of the same sweep finds
+// the previous process's checkpoints.
+func (p *pool) checkpointPrefix(pt Point) string {
+	return CheckpointPrefix(p.opt.CheckpointDir, pt.ID)
+}
+
+// CheckpointPrefix returns the stable checkpoint path prefix a pool with
+// Options.CheckpointDir set hands the point via Attempt.CheckpointPath
+// ("" when dir is empty). Exported so the sweep service can locate a
+// running point's checkpoint files (prefix + ".<label>.ckpt") and ship
+// them with lease renewals.
+func CheckpointPrefix(dir, id string) string {
+	if dir == "" {
+		return ""
+	}
+	return filepath.Join(dir, sanitizeID(id))
+}
+
+// sanitizeID maps a point ID onto a safe filename fragment.
+func sanitizeID(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, id)
+}
+
+// removeCheckpoints deletes every checkpoint file under the prefix.
+func removeCheckpoints(prefix string) {
+	matches, err := filepath.Glob(prefix + ".*.ckpt")
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		_ = os.Remove(m)
+	}
 }
 
 // takeRetry consumes one unit of the sweep-wide retry budget.

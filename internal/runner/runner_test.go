@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -352,4 +354,132 @@ func TestBackoffJitter(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestCheckpointPathLifecycle: with Options.CheckpointDir set, every
+// attempt of a point sees the same stable CheckpointPath prefix (so a
+// retry resumes the previous attempt's captures), the directory is
+// created, checkpoint files are deleted once the point succeeds, and
+// kept when it fails (post-mortem) or is canceled (resume later).
+func TestCheckpointPathLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "ckpts")
+
+	var mu sync.Mutex
+	paths := make(map[string][]string) // id -> CheckpointPath per attempt
+	record := func(id, path string) {
+		mu.Lock()
+		paths[id] = append(paths[id], path)
+		mu.Unlock()
+	}
+	writeCkpt := func(prefix string) {
+		if err := os.WriteFile(prefix+".main.ckpt", []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	attempts := 0
+	pts := []Point{
+		{
+			ID:   "ok after retry",
+			Spec: map[string]string{"id": "ok"},
+			Run: func(ctx context.Context, att Attempt) (any, error) {
+				record("ok", att.CheckpointPath)
+				writeCkpt(att.CheckpointPath)
+				attempts++
+				if attempts == 1 {
+					return nil, context.DeadlineExceeded // transient: retried
+				}
+				return "done", nil
+			},
+		},
+		{
+			ID:   "fails",
+			Spec: map[string]string{"id": "fails"},
+			Run: func(ctx context.Context, att Attempt) (any, error) {
+				record("fails", att.CheckpointPath)
+				writeCkpt(att.CheckpointPath)
+				return nil, errors.New("deterministic failure")
+			},
+		},
+	}
+	sum, err := Run(context.Background(), pts, Options{
+		Workers: 1, PointTimeout: 5 * time.Second, RetryBudget: 2,
+		BackoffBase: time.Millisecond, BackoffCap: time.Millisecond,
+		CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records[0].Status != StatusOK || sum.Records[1].Status != StatusFailed {
+		t.Fatalf("statuses: %s, %s", sum.Records[0].Status, sum.Records[1].Status)
+	}
+
+	okPaths := paths["ok"]
+	if len(okPaths) != 2 {
+		t.Fatalf("ok point ran %d attempts, want 2", len(okPaths))
+	}
+	want := CheckpointPrefix(dir, "ok after retry")
+	for i, p := range okPaths {
+		if p != want {
+			t.Errorf("attempt %d CheckpointPath = %q, want stable %q", i, p, want)
+		}
+	}
+	// Success: the point's checkpoints are gone.
+	if m, _ := filepath.Glob(want + ".*.ckpt"); len(m) != 0 {
+		t.Errorf("completed point left checkpoints behind: %v", m)
+	}
+	// Failure: kept for post-mortem restore.
+	failPrefix := CheckpointPrefix(dir, "fails")
+	if m, _ := filepath.Glob(failPrefix + ".*.ckpt"); len(m) != 1 {
+		t.Errorf("failed point's checkpoints missing (glob %s.*.ckpt)", failPrefix)
+	}
+}
+
+// TestCheckpointKeptOnCancel: a canceled point keeps its checkpoints so a
+// resumed sweep continues mid-run instead of restarting.
+func TestCheckpointKeptOnCancel(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	pts := []Point{{
+		ID:   "pt",
+		Spec: map[string]string{"id": "pt"},
+		Run: func(rctx context.Context, att Attempt) (any, error) {
+			if err := os.WriteFile(att.CheckpointPath+".main.ckpt", []byte("x"), 0o644); err != nil {
+				t.Error(err)
+			}
+			cancel()
+			<-rctx.Done()
+			return nil, rctx.Err()
+		},
+	}}
+	sum, err := Run(ctx, pts, Options{Workers: 1, PointTimeout: 5 * time.Second, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records[0].Status != StatusCanceled {
+		t.Fatalf("status %s, want canceled", sum.Records[0].Status)
+	}
+	if m, _ := filepath.Glob(CheckpointPrefix(dir, "pt") + ".*.ckpt"); len(m) != 1 {
+		t.Errorf("canceled point's checkpoints were deleted (found %v)", m)
+	}
+}
+
+// TestCheckpointPrefixSanitizes: point IDs with hostile characters map to
+// safe, distinct-enough filenames under the checkpoint dir.
+func TestCheckpointPrefixSanitizes(t *testing.T) {
+	p := CheckpointPrefix("/tmp/ck", "oltp/8cpu: warm=2 (a,b)")
+	if filepath.Dir(p) != "/tmp/ck" {
+		t.Fatalf("prefix %q escaped the checkpoint dir", p)
+	}
+	base := filepath.Base(p)
+	for _, r := range base {
+		ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '.' || r == '_' || r == '-'
+		if !ok {
+			t.Errorf("unsafe rune %q survived sanitization in %q", r, base)
+		}
+	}
+	if CheckpointPrefix("", "x") != "" {
+		t.Error("empty dir must disable checkpointing")
+	}
 }

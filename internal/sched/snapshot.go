@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// SchedulerState is the dynamic state of the Scheduler. Queue entries
+// are process (context) IDs: the contexts themselves are serialized by
+// the cores/core layer and re-linked by Restore through a lookup, so the
+// queues' FIFO order — which decides pick() — round-trips exactly.
+type SchedulerState struct {
+	Queues       [][]int // per-CPU run queues, as ordered context IDs
+	SwitchAt     []uint64
+	IdleCycles   []uint64
+	SwitchCycles []uint64
+	Switches     []uint64
+}
+
+// Snapshot captures the scheduler.
+func (s *Scheduler) Snapshot() SchedulerState {
+	st := SchedulerState{
+		Queues:       make([][]int, len(s.queues)),
+		SwitchAt:     append([]uint64(nil), s.switchAt...),
+		IdleCycles:   append([]uint64(nil), s.IdleCycles...),
+		SwitchCycles: append([]uint64(nil), s.SwitchCycles...),
+		Switches:     append([]uint64(nil), s.Switches...),
+	}
+	for i, q := range s.queues {
+		ids := make([]int, len(q))
+		for j, ctx := range q {
+			ids[j] = ctx.ID
+		}
+		st.Queues[i] = ids
+	}
+	return st
+}
+
+// Restore refills the scheduler from a snapshot taken on a machine with
+// the same CPU count, resolving queue entries through byID (context ID →
+// live context).
+func (s *Scheduler) Restore(st SchedulerState, byID map[int]*cpu.Context) error {
+	if len(st.Queues) != len(s.queues) || len(st.SwitchAt) != len(s.switchAt) ||
+		len(st.IdleCycles) != len(s.IdleCycles) || len(st.SwitchCycles) != len(s.SwitchCycles) ||
+		len(st.Switches) != len(s.Switches) {
+		return fmt.Errorf("sched: snapshot CPU count does not match configured scheduler")
+	}
+	for i, ids := range st.Queues {
+		q := make([]*cpu.Context, len(ids))
+		for j, id := range ids {
+			ctx, ok := byID[id]
+			if !ok {
+				return fmt.Errorf("sched: snapshot queue %d references unknown context %d", i, id)
+			}
+			q[j] = ctx
+		}
+		s.queues[i] = q
+	}
+	copy(s.switchAt, st.SwitchAt)
+	copy(s.IdleCycles, st.IdleCycles)
+	copy(s.SwitchCycles, st.SwitchCycles)
+	copy(s.Switches, st.Switches)
+	return nil
+}

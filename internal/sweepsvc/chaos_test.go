@@ -3,6 +3,7 @@ package sweepsvc
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/runner"
 )
 
@@ -166,6 +168,12 @@ func (cs *chaosServer) expireLoop(ctx context.Context, every time.Duration) {
 			cs.mu.Unlock()
 		}
 	}
+}
+
+func (cs *chaosServer) snapshotMetrics() Metrics {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.m.MetricsSnapshot()
 }
 
 func (cs *chaosServer) done(job string) int {
@@ -364,5 +372,274 @@ func TestChaosFaultTransportDeterminism(t *testing.T) {
 	}
 	if same == len(a) {
 		t.Fatal("different seeds drew identical fault sequences")
+	}
+}
+
+// --- Checkpoint takeover chaos: kill a worker mid-point, resume elsewhere ---
+
+// ckChaosSpec is a synthetic long-running "simulation": Cycles steps of a
+// deterministic accumulator, checkpointed every ckChaosInterval cycles
+// when the runner hands the point a checkpoint path. The final value
+// depends only on the cycle count, so a run resumed from any capture is
+// byte-identical to an uninterrupted one.
+type ckChaosSpec struct {
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	Cycles uint64 `json:"cycles"`
+}
+
+const ckChaosInterval = 80 // cycles between captures
+
+// ckChaosTracker observes each run attempt: the cycle it started at
+// (0 = from scratch, >0 = resumed from a capture) and the furthest cycle
+// any attempt reached before dying.
+type ckChaosTracker struct {
+	mu       sync.Mutex
+	starts   []uint64
+	maxCycle uint64
+}
+
+func (tr *ckChaosTracker) start(c uint64) {
+	tr.mu.Lock()
+	tr.starts = append(tr.starts, c)
+	tr.mu.Unlock()
+}
+
+func (tr *ckChaosTracker) reach(c uint64) {
+	tr.mu.Lock()
+	if c > tr.maxCycle {
+		tr.maxCycle = c
+	}
+	tr.mu.Unlock()
+}
+
+func (tr *ckChaosTracker) snapshot() ([]uint64, uint64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]uint64(nil), tr.starts...), tr.maxCycle
+}
+
+// ckChaosRun steps the accumulator, capturing a checkpoint every
+// ckChaosInterval cycles and resuming from one when present — the same
+// contract core.RestoreAndRun honors for real simulations, scaled down so
+// the takeover choreography runs in test time.
+func ckChaosRun(sp ckChaosSpec, stepDelay time.Duration, tr *ckChaosTracker) func(ctx context.Context, att runner.Attempt) (any, error) {
+	return func(ctx context.Context, att runner.Attempt) (any, error) {
+		var cycle, acc uint64
+		path := ""
+		if att.CheckpointPath != "" {
+			path = att.CheckpointPath + ".state.ckpt"
+			if meta, payload, err := checkpoint.Read(path); err == nil && meta.SpecHash == sp.Name && len(payload) == 8 {
+				cycle = meta.Cycle
+				acc = binary.LittleEndian.Uint64(payload)
+			}
+		}
+		if tr != nil {
+			tr.start(cycle)
+		}
+		for ; cycle < sp.Cycles; cycle++ {
+			acc = acc*6364136223846793005 + 1442695040888963407
+			if stepDelay > 0 {
+				time.Sleep(stepDelay)
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if tr != nil {
+				tr.reach(cycle + 1)
+			}
+			if path != "" && (cycle+1)%ckChaosInterval == 0 {
+				var payload [8]byte
+				binary.LittleEndian.PutUint64(payload[:], acc)
+				if err := checkpoint.Write(path, checkpoint.Meta{SpecHash: sp.Name, Cycle: cycle + 1}, payload[:]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &chaosResult{Name: sp.Name, Value: int(acc & 0x7fffffff)}, nil
+	}
+}
+
+func buildCkChaosPoint(stepDelay time.Duration, tr *ckChaosTracker) func(jp *JobPoint) (runner.Point, error) {
+	return func(jp *JobPoint) (runner.Point, error) {
+		var sp ckChaosSpec
+		if err := json.Unmarshal(jp.Spec, &sp); err != nil {
+			return runner.Point{}, err
+		}
+		return runner.Point{ID: jp.ID, Spec: json.RawMessage(jp.Spec), Run: ckChaosRun(sp, stepDelay, tr)}, nil
+	}
+}
+
+// TestChaosCheckpointTakeover is the kill-mid-point chaos case for the
+// preemptible-sweep tentpole: worker w0 runs a long point, shipping its
+// checkpoints with every heartbeat; w0 is killed (SIGKILL-equivalent: its
+// context dies, nothing is reported) mid-run; the lease expires and a
+// fresh worker w1 — with its own empty checkpoint directory — takes the
+// point over. The invariants:
+//
+//  1. w1 resumes from a shipped capture (start cycle > 0, on an interval
+//     boundary), not from scratch;
+//  2. the ledger records the takeover as a durable "resume" record whose
+//     FromCycle matches the observed resume point;
+//  3. the re-simulated cycles (kill point minus resume point) are bounded
+//     by the capture cadence, not the length of the run;
+//  4. the merged result is byte-identical to a serial local run that never
+//     checkpointed at all.
+func TestChaosCheckpointTakeover(t *testing.T) {
+	const (
+		cycles    = 1000
+		stepDelay = 2 * time.Millisecond
+		leaseTTL  = 600 * time.Millisecond
+		heartbeat = 100 * time.Millisecond
+	)
+	sp := ckChaosSpec{Kind: "ck-chaos", Name: "ck-pt", Cycles: cycles}
+	raw, _ := json.Marshal(sp)
+	grid := []JobPoint{{ID: sp.Name, Spec: raw}}
+
+	// Serial baseline: same spec, no checkpoint dir, no tracker.
+	basePt, err := buildCkChaosPoint(0, nil)(&grid[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSum, err := runner.Run(context.Background(), []runner.Point{basePt}, runner.Options{
+		Workers: 1, PointTimeout: 30 * time.Second, MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteMerged(&want, MergedFromRecords(baseSum.Records)); err != nil {
+		t.Fatal(err)
+	}
+
+	cs := &chaosServer{
+		t:      t,
+		ledger: filepath.Join(t.TempDir(), "ledger.jsonl"),
+		ttl:    leaseTTL,
+	}
+	cs.start()
+	defer cs.kill()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	go cs.expireLoop(ctx, 50*time.Millisecond)
+
+	httpClient := &http.Client{Transport: &rewriteTransport{addr: &cs.addr}}
+	newWorker := func(name string, tr *ckChaosTracker) *Worker {
+		return &Worker{
+			Client:         &Client{Base: "http://sweepd.chaos", HTTP: httpClient},
+			Name:           name,
+			Build:          buildCkChaosPoint(stepDelay, tr),
+			HeartbeatEvery: heartbeat,
+			PointTimeout:   30 * time.Second,
+			MaxAttempts:    1,
+			IdleSleep:      25 * time.Millisecond,
+			CheckpointDir:  filepath.Join(t.TempDir(), name+"-ckpts"),
+			Log:            func(f string, a ...any) { t.Logf(name+": "+f, a...) },
+		}
+	}
+
+	client := &Client{Base: "http://sweepd.chaos", HTTP: httpClient}
+	if _, err := client.Submit(ctx, &SubmitRequest{JobID: "ck-chaos", Points: grid}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Phase 1: w0 runs the point alone until at least one capture has been
+	// shipped to sweepd and the run is well past it, then dies.
+	tr0 := &ckChaosTracker{}
+	w0ctx, w0kill := context.WithCancel(ctx)
+	var wg0 sync.WaitGroup
+	wg0.Add(1)
+	go func() { defer wg0.Done(); newWorker("w0", tr0).Run(w0ctx) }()
+	for ctx.Err() == nil {
+		_, reached := tr0.snapshot()
+		shipped := cs.snapshotMetrics().CheckpointsStored
+		if shipped > 0 && reached > cycles/2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w0kill()
+	wg0.Wait()
+	_, killCycle := tr0.snapshot()
+	t.Logf("chaos: w0 killed at cycle %d with %d checkpoint files shipped",
+		killCycle, cs.snapshotMetrics().CheckpointsStored)
+	if killCycle >= cycles {
+		t.Fatalf("w0 finished the point (cycle %d) before the kill landed; slow the point down", killCycle)
+	}
+
+	// Phase 2: w1, with an empty checkpoint dir of its own, takes over.
+	tr1 := &ckChaosTracker{}
+	var wg1 sync.WaitGroup
+	wg1.Add(1)
+	w1ctx, w1stop := context.WithCancel(ctx)
+	go func() { defer wg1.Done(); newWorker("w1", tr1).Run(w1ctx) }()
+	st, err := client.WaitJob(ctx, "ck-chaos", nil)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	w1stop()
+	wg1.Wait()
+	if st.Done != 1 {
+		t.Fatalf("final status: %+v, want 1 done", st)
+	}
+
+	// Invariant 1: the takeover resumed mid-run on a capture boundary.
+	starts, _ := tr1.snapshot()
+	if len(starts) == 0 {
+		t.Fatal("w1 never ran the point")
+	}
+	resumeCycle := starts[0]
+	if resumeCycle == 0 {
+		t.Error("takeover restarted from cycle 0 — checkpoints were not migrated")
+	}
+	if resumeCycle%ckChaosInterval != 0 {
+		t.Errorf("resume cycle %d is not a capture boundary (interval %d)", resumeCycle, ckChaosInterval)
+	}
+
+	// Invariant 2: the ledger durably recorded resume-not-restart.
+	var resumes []LedgerRecord
+	if err := ReplayLedger(cs.ledger, nil, func(r *LedgerRecord) {
+		if r.Type == "resume" {
+			resumes = append(resumes, *r)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(resumes) == 0 {
+		t.Fatal("no resume record in the ledger")
+	}
+	last := resumes[len(resumes)-1]
+	if last.Hash != grid[0].Hash() || last.Worker != "w1" {
+		t.Errorf("resume record %+v, want hash %s worker w1", last, grid[0].Hash())
+	}
+	if last.FromCycle != resumeCycle {
+		t.Errorf("ledger resume FromCycle %d != observed resume cycle %d", last.FromCycle, resumeCycle)
+	}
+	if mt := cs.snapshotMetrics(); mt.Takeovers == 0 {
+		t.Error("manager Takeovers counter is zero after a takeover")
+	}
+
+	// Invariant 3: bounded rework. The freshest shippable capture trails
+	// the kill point by at most one interval plus however far the run got
+	// between the last heartbeat and the kill — generously, a few beats'
+	// worth of cycles. Never anywhere near re-running the whole point.
+	cyclesPerBeat := uint64(heartbeat/stepDelay) + 1
+	if bound := uint64(ckChaosInterval) + 3*cyclesPerBeat; killCycle-resumeCycle > bound {
+		t.Errorf("takeover re-simulated %d cycles (kill %d, resume %d), want <= %d",
+			killCycle-resumeCycle, killCycle, resumeCycle, bound)
+	}
+
+	// Invariant 4: byte-identity with the serial, never-checkpointed run.
+	res, err := client.Results(ctx, "ck-chaos")
+	if err != nil {
+		t.Fatalf("results: %v", err)
+	}
+	var got bytes.Buffer
+	if err := WriteMerged(&got, res.Points); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("merged results diverge from serial baseline:\n--- serial ---\n%s\n--- chaos ---\n%s", want.Bytes(), got.Bytes())
 	}
 }

@@ -19,13 +19,20 @@ import (
 //
 //   - "point":  a point was registered (Job, ID, Hash, Spec, MaxCycles, Faulty)
 //   - "lease":  a lease was issued or re-issued (Hash, Worker, DeadlineUnix)
+//   - "resume": a lease was issued WITH shipped mid-run checkpoints — the
+//     new worker resumes the point from FromCycle instead of restarting
+//     (Hash, Worker, FromCycle). Always paired with a "lease" record.
 //   - "done":   a point completed (Hash, Worker, Record)
 //   - "failed": a point failed terminally on its worker (Hash, Worker, Record)
 //
 // Lease renewals are deliberately NOT persisted: heartbeats would grow the
 // ledger without bound, and the worst a restart can do without them is
 // re-issue a still-running point — which the idempotent completion path
-// dedupes. Execution is at-least-once; recording is exactly-once.
+// dedupes. Execution is at-least-once; recording is exactly-once. The
+// checkpoint images themselves are likewise NOT persisted (they arrive on
+// every heartbeat and would grow the ledger without bound); only the
+// "resume" takeover fact is durable, so the chaos harness can assert
+// resume-not-restart from the ledger alone.
 type LedgerRecord struct {
 	Type   string `json:"type"`
 	Job    string `json:"job,omitempty"`
@@ -35,6 +42,9 @@ type LedgerRecord struct {
 
 	// Lease fields.
 	DeadlineUnix int64 `json:"deadline_unix_ms,omitempty"`
+
+	// Resume fields: the capture cycle the takeover resumes from.
+	FromCycle uint64 `json:"from_cycle,omitempty"`
 
 	// Point registration fields.
 	Spec      json.RawMessage `json:"spec,omitempty"`

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/runner"
 )
 
@@ -38,6 +39,24 @@ type pointState struct {
 	leases   int       // leases issued, re-issues included
 	cached   bool      // done was served from the result cache
 	record   *runner.Record
+
+	// Latest mid-run checkpoints shipped by heartbeats (basename → file
+	// bytes, per-file capture cycle). In-memory only — see the ledger
+	// docs for why images aren't persisted. Cleared on terminal state.
+	ckpts      map[string][]byte
+	ckptCycles map[string]uint64
+}
+
+// ckptCycle returns the newest capture cycle among the point's stored
+// checkpoints (0 when none).
+func (p *pointState) ckptCycle() uint64 {
+	var max uint64
+	for _, c := range p.ckptCycles {
+		if c > max {
+			max = c
+		}
+	}
+	return max
 }
 
 func (p *pointState) state() PointState {
@@ -102,6 +121,12 @@ type Metrics struct {
 	CacheEvictions   uint64
 	ReplayWarnings   uint64
 	LedgerErrors     uint64
+
+	// Checkpoint migration counters.
+	Takeovers         uint64 // leases granted with shipped checkpoints (resume, not restart)
+	CheckpointsStored uint64 // checkpoint files accepted from heartbeats
+	CheckpointBytes   uint64 // cumulative bytes of accepted checkpoint files
+	CheckpointRejects uint64 // shipped files rejected (corrupt, stale, or lease lost)
 }
 
 // Manager is the sweep service's brain: the pending → leased → done|failed
@@ -220,6 +245,11 @@ func (m *Manager) replay(r *LedgerRecord) {
 		p.worker = r.Worker
 		p.deadline = time.UnixMilli(r.DeadlineUnix)
 		p.leases++
+	case "resume":
+		// Informational: a takeover resumed from shipped checkpoints. The
+		// images themselves are not persisted, so replay only restores the
+		// counter the chaos harness and /metrics read.
+		m.metrics.Takeovers++
 	case "done", "failed":
 		p := m.points[r.Hash]
 		if p == nil || p.status.Terminal() {
@@ -230,6 +260,7 @@ func (m *Manager) replay(r *LedgerRecord) {
 		}
 		p.worker = r.Worker
 		p.record = r.Record
+		p.ckpts, p.ckptCycles = nil, nil
 		if r.Type == "done" {
 			p.status = PointDone
 			m.cache.Put(r.Hash, r.Record)
@@ -392,12 +423,19 @@ func (m *Manager) Lease(worker string) *LeaseResponse {
 	p.leases++
 	m.metrics.LeasesIssued++
 	m.append(&LedgerRecord{Type: "lease", Hash: hash, Worker: worker, DeadlineUnix: p.deadline.UnixMilli()})
+	if len(p.ckpts) > 0 {
+		// The previous holder shipped mid-run checkpoints before its lease
+		// lapsed: this grant is a takeover that resumes, not restarts.
+		m.metrics.Takeovers++
+		m.append(&LedgerRecord{Type: "resume", ID: p.id, Hash: hash, Worker: worker, FromCycle: p.ckptCycle()})
+		m.warn("lease on %s (%s) taken over by %s; resuming from cycle %d", p.id, hash, worker, p.ckptCycle())
+	}
 	m.emit(p, "")
 	return m.leaseResponse(p)
 }
 
 func (m *Manager) leaseResponse(p *pointState) *LeaseResponse {
-	return &LeaseResponse{
+	resp := &LeaseResponse{
 		Point: &JobPoint{
 			ID:        p.id,
 			Spec:      append([]byte(nil), p.spec...),
@@ -406,19 +444,58 @@ func (m *Manager) leaseResponse(p *pointState) *LeaseResponse {
 		},
 		DeadlineUnix: p.deadline.UnixMilli(),
 	}
+	if len(p.ckpts) > 0 {
+		resp.Checkpoints = make(map[string][]byte, len(p.ckpts))
+		for name, img := range p.ckpts {
+			resp.Checkpoints[name] = append([]byte(nil), img...)
+		}
+		resp.CheckpointCycle = p.ckptCycle()
+	}
+	return resp
 }
 
-// Renew extends the worker's lease on hash. Renewals are in-memory only
+// Renew extends the worker's lease on hash and retains any mid-run
+// checkpoint files the heartbeat shipped. Renewals are in-memory only
 // (heartbeats would grow the ledger without bound); after a sweepd restart
 // the replayed deadline is the one from lease issuance, which at worst
 // re-issues a still-running point — deduped at completion.
-func (m *Manager) Renew(worker, hash string) (*RenewResponse, error) {
+//
+// Shipped checkpoints are verified (integrity hash, monotone capture
+// cycle) before replacing the stored set; corrupt or stale files are
+// counted and dropped, never stored — a takeover must only ever see
+// checkpoints that will load.
+func (m *Manager) Renew(worker, hash string, ckpts map[string][]byte) (*RenewResponse, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.expireLocked(m.now())
 	p := m.points[hash]
 	if p == nil || p.status != PointLeased || p.worker != worker {
+		if len(ckpts) > 0 {
+			m.metrics.CheckpointRejects += uint64(len(ckpts))
+		}
 		return nil, ErrLeaseLost
+	}
+	for name, img := range ckpts {
+		meta, _, err := checkpoint.Decode(img)
+		if err != nil {
+			m.metrics.CheckpointRejects++
+			m.warn("checkpoint %s for %s from %s rejected: %v", name, p.id, worker, err)
+			continue
+		}
+		if p.ckptCycles[name] >= meta.Cycle && p.ckptCycles[name] != 0 {
+			// A zombie heartbeat replaying an older capture must not roll
+			// the stored state back.
+			m.metrics.CheckpointRejects++
+			continue
+		}
+		if p.ckpts == nil {
+			p.ckpts = make(map[string][]byte)
+			p.ckptCycles = make(map[string]uint64)
+		}
+		p.ckpts[name] = append([]byte(nil), img...)
+		p.ckptCycles[name] = meta.Cycle
+		m.metrics.CheckpointsStored++
+		m.metrics.CheckpointBytes += uint64(len(img))
 	}
 	p.deadline = m.now().Add(m.ttl)
 	m.metrics.LeasesRenewed++
@@ -456,6 +533,10 @@ func (m *Manager) Report(worker, hash string, rec *runner.Record) (*ReportRespon
 	}
 	p.worker = worker
 	p.record = rec
+	// Terminal state: retained checkpoints are dead weight (and a future
+	// resubmit of a failed spec must restart clean, not replay a capture
+	// from the failed run).
+	p.ckpts, p.ckptCycles = nil, nil
 	m.metrics.ReportsAccepted++
 	m.append(&LedgerRecord{Type: typ, Hash: hash, Worker: worker, Record: rec})
 	m.emit(p, rec.Error)

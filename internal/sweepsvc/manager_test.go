@@ -74,7 +74,7 @@ func TestLeaseLifecycle(t *testing.T) {
 			name: "renew-extends",
 			run: func(t *testing.T, m *Manager, clock *fakeClock, hash string) {
 				clock.Advance(8 * time.Second)
-				if _, err := m.Renew("w1", hash); err != nil {
+				if _, err := m.Renew("w1", hash, nil); err != nil {
 					t.Fatalf("renew: %v", err)
 				}
 				clock.Advance(8 * time.Second) // 16s > TTL, but renewed at 8s
@@ -103,7 +103,7 @@ func TestLeaseLifecycle(t *testing.T) {
 					t.Fatalf("leases = %d, want 2 (issue + re-issue)", st.Points[0].Leases)
 				}
 				// The original holder's renewals are now rejected.
-				if _, err := m.Renew("w1", hash); !errors.Is(err, ErrLeaseLost) {
+				if _, err := m.Renew("w1", hash, nil); !errors.Is(err, ErrLeaseLost) {
 					t.Fatalf("w1 renew after re-issue: err = %v, want ErrLeaseLost", err)
 				}
 			},
@@ -130,7 +130,7 @@ func TestLeaseLifecycle(t *testing.T) {
 				if _, err := m.Report("w2", hash, okRecord("p0", hash, map[string]int{"v": 1})); err != nil {
 					t.Fatal(err)
 				}
-				if _, err := m.Renew("w1", hash); !errors.Is(err, ErrLeaseLost) {
+				if _, err := m.Renew("w1", hash, nil); !errors.Is(err, ErrLeaseLost) {
 					t.Fatalf("renew on done point: err = %v, want ErrLeaseLost", err)
 				}
 			},
@@ -237,7 +237,7 @@ func TestLedgerReplayRestoresState(t *testing.T) {
 	}
 	// The in-flight lease survives with its original deadline: the holder
 	// can renew...
-	if _, err := m2.Renew("w1", lr.Point.Hash()); err != nil {
+	if _, err := m2.Renew("w1", lr.Point.Hash(), nil); err != nil {
 		t.Fatalf("renew after replay: %v", err)
 	}
 	// ...and resubmitting the done spec is a cache hit, not a re-run.

@@ -112,19 +112,35 @@ type LeaseRequest struct {
 
 // LeaseResponse carries the leased point, or no point plus a poll hint
 // when nothing is pending.
+//
+// Checkpoints, when present, are the point's latest mid-run checkpoint
+// files (basename → verbatim file bytes) shipped by the previous lease
+// holder's heartbeats before it died. The new worker installs them under
+// its own checkpoint directory so the run resumes from CheckpointCycle
+// instead of restarting at cycle zero — preempted points migrate between
+// workers mid-run.
 type LeaseResponse struct {
-	Point        *JobPoint `json:"point,omitempty"`
-	DeadlineUnix int64     `json:"deadline_unix_ms,omitempty"`
-	RetryAfterMS int64     `json:"retry_after_ms,omitempty"`
+	Point           *JobPoint         `json:"point,omitempty"`
+	DeadlineUnix    int64             `json:"deadline_unix_ms,omitempty"`
+	RetryAfterMS    int64             `json:"retry_after_ms,omitempty"`
+	Checkpoints     map[string][]byte `json:"checkpoints,omitempty"`
+	CheckpointCycle uint64            `json:"checkpoint_cycle,omitempty"`
 }
 
 // RenewRequest is a worker heartbeat: it extends the lease on hash and
 // piggybacks the worker's latest self-monitoring sample for the server's
 // /metrics page.
+//
+// Checkpoints carries the point's checkpoint files whose capture cycle
+// advanced since the last successful renewal (basename → verbatim file
+// bytes). sweepd validates and retains the newest set in memory; if this
+// worker's lease later expires, the next lease holder receives them and
+// resumes mid-run.
 type RenewRequest struct {
-	Worker string                `json:"worker"`
-	Hash   string                `json:"hash"`
-	Self   *telemetry.SelfSample `json:"self,omitempty"`
+	Worker      string                `json:"worker"`
+	Hash        string                `json:"hash"`
+	Self        *telemetry.SelfSample `json:"self,omitempty"`
+	Checkpoints map[string][]byte     `json:"checkpoints,omitempty"`
 }
 
 // RenewResponse returns the extended deadline.

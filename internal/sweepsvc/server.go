@@ -188,7 +188,7 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 		s.selves[req.Worker] = req.Self
 		s.selfMu.Unlock()
 	}
-	resp, err := s.m.Renew(req.Worker, req.Hash)
+	resp, err := s.m.Renew(req.Worker, req.Hash, req.Checkpoints)
 	if err != nil {
 		httpError(w, http.StatusGone, "%v", err)
 		return
@@ -230,6 +230,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	c("sweepd_cache_evictions_total", mt.CacheEvictions)
 	c("sweepd_replay_warnings_total", mt.ReplayWarnings)
 	c("sweepd_ledger_errors_total", mt.LedgerErrors)
+	c("sweepd_takeovers_total", mt.Takeovers)
+	c("sweepd_checkpoints_stored_total", mt.CheckpointsStored)
+	c("sweepd_checkpoint_bytes_total", mt.CheckpointBytes)
+	c("sweepd_checkpoint_rejects_total", mt.CheckpointRejects)
 
 	s.selfMu.Lock()
 	workers := make([]string, 0, len(s.selves))

@@ -5,10 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 )
@@ -37,6 +41,12 @@ type Worker struct {
 	// IdleSleep is the poll interval when no work is pending (0 = server's
 	// RetryAfter hint, then 500ms).
 	IdleSleep time.Duration
+	// CheckpointDir, when non-empty, makes points preemptible and
+	// migratable: runs checkpoint under it (runner.Options.CheckpointDir),
+	// heartbeats ship each new capture to sweepd, and a lease that arrives
+	// carrying another worker's checkpoints installs them here so the run
+	// resumes mid-flight instead of restarting at cycle zero.
+	CheckpointDir string
 	// Log observes worker progress (nil = silent).
 	Log func(format string, args ...any)
 
@@ -58,7 +68,8 @@ func (w *Worker) PointsDone() uint64 { return w.pointsDone.Load() }
 // SimCounters returns a copy of the cumulative simulation counters
 // (lock-table contention, HTM elision lifecycle) accumulated from this
 // worker's completed points — the self collector's SimCounters function,
-// so each heartbeat carries them to sweepd's /metrics page.
+// so each heartbeat carries them to sweepd's /metrics page. (Checkpoint
+// activity rides every SelfSample directly; see telemetry.CollectSelf.)
 func (w *Worker) SimCounters() map[string]uint64 {
 	w.simMu.Lock()
 	defer w.simMu.Unlock()
@@ -142,14 +153,15 @@ func (w *Worker) Run(ctx context.Context) error {
 			sleepCtx(ctx, d)
 			continue
 		}
-		w.runPoint(ctx, lease.Point)
+		w.runPoint(ctx, lease)
 	}
 	return ctx.Err()
 }
 
 // runPoint executes one leased point under supervision and reports its
 // terminal record.
-func (w *Worker) runPoint(ctx context.Context, jp *JobPoint) {
+func (w *Worker) runPoint(ctx context.Context, lease *LeaseResponse) {
+	jp := lease.Point
 	hash := jp.Hash()
 	pt, err := w.Build(jp)
 	if err != nil {
@@ -163,21 +175,27 @@ func (w *Worker) runPoint(ctx context.Context, jp *JobPoint) {
 		})
 		return
 	}
+	if len(lease.Checkpoints) > 0 {
+		// Taking over a preempted point: install the previous holder's
+		// shipped checkpoints so the run resumes from its last capture.
+		w.installCheckpoints(jp, lease.Checkpoints, lease.CheckpointCycle)
+	}
 
 	// Heartbeat while the point runs; a lost lease hard-cancels the run.
 	runCtx, cancel := context.WithCancel(ctx)
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
-		w.heartbeat(runCtx, hash, cancel)
+		w.heartbeat(runCtx, jp, hash, cancel)
 	}()
 
 	w.logf("%s: running (hash %s)", jp.ID, hash)
 	sum, err := runner.Run(runCtx, []runner.Point{pt}, runner.Options{
-		Workers:      1,
-		PointTimeout: w.PointTimeout,
-		MaxAttempts:  w.MaxAttempts,
-		RetryBudget:  w.RetryBudget,
+		Workers:       1,
+		PointTimeout:  w.PointTimeout,
+		MaxAttempts:   w.MaxAttempts,
+		RetryBudget:   w.RetryBudget,
+		CheckpointDir: w.CheckpointDir,
 	})
 	cancel()
 	<-hbDone
@@ -200,12 +218,16 @@ func (w *Worker) runPoint(ctx context.Context, jp *JobPoint) {
 }
 
 // heartbeat renews the lease until ctx ends, canceling the run when the
-// lease is lost.
-func (w *Worker) heartbeat(ctx context.Context, hash string, lost context.CancelFunc) {
+// lease is lost. Each renewal ships the point's checkpoint files whose
+// capture cycle advanced since the last successful renewal, so sweepd
+// always holds a near-current resume image should this worker die.
+func (w *Worker) heartbeat(ctx context.Context, jp *JobPoint, hash string, lost context.CancelFunc) {
 	every := w.HeartbeatEvery
 	if every <= 0 {
 		every = DefaultLeaseTTL / 4
 	}
+	prefix := runner.CheckpointPrefix(w.CheckpointDir, jp.ID)
+	shipped := make(map[string]uint64) // basename → last capture cycle delivered
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -218,6 +240,8 @@ func (w *Worker) heartbeat(ctx context.Context, hash string, lost context.Cancel
 		if w.Self != nil {
 			req.Self = w.Self.Sample()
 		}
+		var cycles map[string]uint64
+		req.Checkpoints, cycles = collectCheckpoints(prefix, shipped)
 		if _, err := w.Client.Renew(ctx, req); err != nil {
 			if errors.Is(err, ErrLeaseLost) {
 				w.logf("lease on %s lost; canceling in-flight run", hash)
@@ -225,9 +249,94 @@ func (w *Worker) heartbeat(ctx context.Context, hash string, lost context.Cancel
 				return
 			}
 			// Transport trouble: keep trying — the lease TTL is the real
-			// deadline, and the client already retried below it.
+			// deadline, and the client already retried below it. The
+			// un-acknowledged checkpoints re-ship on the next beat.
 			w.logf("heartbeat for %s failed: %v", hash, err)
+			continue
 		}
+		for name, cyc := range cycles {
+			shipped[name] = cyc
+		}
+	}
+}
+
+// collectCheckpoints gathers the point's checkpoint files under prefix
+// whose capture cycle advanced past the last shipped one. Returns nil
+// when checkpointing is off or nothing is new. Files are read whole and
+// validated — checkpoint.Write's atomic rename means a reader never sees
+// a half-written file, but a validation pass here keeps a surprise from
+// poisoning the server's stored set.
+func collectCheckpoints(prefix string, shipped map[string]uint64) (map[string][]byte, map[string]uint64) {
+	if prefix == "" {
+		return nil, nil
+	}
+	matches, err := filepath.Glob(prefix + ".*.ckpt")
+	if err != nil {
+		return nil, nil
+	}
+	var files map[string][]byte
+	var cycles map[string]uint64
+	for _, path := range matches {
+		img, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		meta, _, err := checkpoint.Decode(img)
+		if err != nil {
+			continue
+		}
+		name := filepath.Base(path)
+		if meta.Cycle <= shipped[name] && shipped[name] != 0 {
+			continue
+		}
+		if files == nil {
+			files = make(map[string][]byte)
+			cycles = make(map[string]uint64)
+		}
+		files[name] = img
+		cycles[name] = meta.Cycle
+	}
+	return files, cycles
+}
+
+// installCheckpoints writes lease-shipped checkpoint files into the
+// worker's checkpoint directory so the supervised run resumes from them.
+// Names are confined to plain basenames under the point's own prefix; a
+// newer valid local file (this worker crashed and re-leased its own
+// point) is never overwritten by an older shipped capture.
+func (w *Worker) installCheckpoints(jp *JobPoint, ckpts map[string][]byte, fromCycle uint64) {
+	if w.CheckpointDir == "" {
+		w.logf("%s: lease shipped %d checkpoints but no -checkpoint-dir; restarting from scratch", jp.ID, len(ckpts))
+		return
+	}
+	if err := os.MkdirAll(w.CheckpointDir, 0o777); err != nil {
+		w.logf("%s: checkpoint dir: %v", jp.ID, err)
+		return
+	}
+	base := filepath.Base(runner.CheckpointPrefix(w.CheckpointDir, jp.ID))
+	installed := 0
+	for name, img := range ckpts {
+		if name != filepath.Base(name) || !strings.HasPrefix(name, base+".") || !strings.HasSuffix(name, ".ckpt") {
+			w.logf("%s: ignoring shipped checkpoint with unexpected name %q", jp.ID, name)
+			continue
+		}
+		meta, payload, err := checkpoint.Decode(img)
+		if err != nil {
+			w.logf("%s: shipped checkpoint %s corrupt: %v", jp.ID, name, err)
+			continue
+		}
+		path := filepath.Join(w.CheckpointDir, name)
+		if local, _, err := checkpoint.Read(path); err == nil && local.Cycle >= meta.Cycle {
+			continue
+		}
+		if err := checkpoint.Write(path, meta, payload); err != nil {
+			w.logf("%s: installing checkpoint %s: %v", jp.ID, name, err)
+			continue
+		}
+		installed++
+	}
+	if installed > 0 {
+		w.logf("%s: taking over from cycle %d (%d checkpoint files installed)", jp.ID, fromCycle, installed)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/stats"
 )
 
@@ -110,13 +111,29 @@ func (s *PromSink) Handler() http.Handler {
 	})
 }
 
+// promCheckpoint renders the process-wide checkpoint activity counters.
+// They come straight from internal/checkpoint's cumulative counters at
+// scrape time — not from samples — so the page reflects captures taken
+// between telemetry intervals (and before the first sample lands).
+func promCheckpoint(sb *strings.Builder) {
+	n, b, secs := checkpoint.Stats()
+	c := func(name, help string, v string) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, v)
+	}
+	c("dbsim_checkpoint_captures_total", "Checkpoints written by this process.", fmt.Sprint(n))
+	c("dbsim_checkpoint_bytes_total", "Bytes of checkpoint images written.", fmt.Sprint(b))
+	c("dbsim_checkpoint_write_seconds_total", "Wall-clock seconds spent writing checkpoints.", fmt.Sprintf("%g", secs))
+}
+
 // Render returns the current exposition page.
 func (s *PromSink) Render() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var sb strings.Builder
 	if s.last == nil {
-		return "# no samples yet\n"
+		promCheckpoint(&sb)
+		sb.WriteString("# no samples yet\n")
+		return sb.String()
 	}
 	sm := s.last
 	lbl := labelString(sm.Tags)
@@ -148,6 +165,7 @@ func (s *PromSink) Render() string {
 		}
 		fmt.Fprintf(&sb, "%s %d\n", n, s.totals[n])
 	}
+	promCheckpoint(&sb)
 	return sb.String()
 }
 

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/checkpoint"
 )
 
 // SelfSample is one observation of a worker process's own health —
@@ -35,6 +37,14 @@ type SelfSample struct {
 	// Work rate, supplied by the caller's counter.
 	PointsDone   uint64  `json:"points_done"`
 	PointsPerSec float64 `json:"points_per_sec"`
+
+	// Checkpoint activity (process-wide cumulative, from
+	// internal/checkpoint): captures written, bytes written, and seconds
+	// spent writing. Rides every heartbeat so sweepd's /metrics page
+	// shows per-worker checkpoint roll-ups.
+	CheckpointCaptures     uint64  `json:"checkpoint_captures,omitempty"`
+	CheckpointBytes        uint64  `json:"checkpoint_bytes,omitempty"`
+	CheckpointWriteSeconds float64 `json:"checkpoint_write_seconds,omitempty"`
 
 	// Sim carries cumulative simulation counters the worker has
 	// accumulated from its completed points (e.g. lock-table contention
@@ -63,6 +73,7 @@ func CollectSelf(pointsDone uint64) *SelfSample {
 		s.SysCPUSeconds = tvSeconds(ru.Stime)
 		s.MaxRSSKB = int64(ru.Maxrss)
 	}
+	s.CheckpointCaptures, s.CheckpointBytes, s.CheckpointWriteSeconds = checkpoint.Stats()
 	return s
 }
 
@@ -161,6 +172,9 @@ func PromSelf(sb *strings.Builder, prefix string, s *SelfSample, tags map[string
 	g("self_max_rss_kb", float64(s.MaxRSSKB))
 	g("self_points_done", float64(s.PointsDone))
 	g("self_points_per_sec", s.PointsPerSec)
+	g("self_checkpoint_captures", float64(s.CheckpointCaptures))
+	g("self_checkpoint_bytes", float64(s.CheckpointBytes))
+	g("self_checkpoint_write_seconds", s.CheckpointWriteSeconds)
 	g("self_sample_unix_ms", float64(s.UnixMilli))
 	if len(s.Sim) > 0 {
 		keys := make([]string, 0, len(s.Sim))

@@ -1,0 +1,186 @@
+package tracing
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Checkpoint DTOs for the tracer. Options, the PC resolver, and meta
+// are configuration re-applied on rebuild; the dynamic state is the
+// retained ring, the id/sampling counters, the aggregators, and the
+// open stall/lock/miss scratch. The ring is serialized in chronological
+// order, so after restore Events() — the only order that reaches
+// exports — is unchanged, though the internal head position is not
+// preserved.
+
+// StallSpanState mirrors stallSpan.
+type StallSpanState struct {
+	Active bool
+	PC     uint64
+	Cat    stats.Category
+	Start  uint64
+	Last   uint64
+	Cycles float64
+	Proc   int32
+}
+
+// LockPendState mirrors lockPend.
+type LockPendState struct {
+	Active bool
+	Addr   uint64
+	PC     uint64
+	Start  uint64
+	Proc   int32
+}
+
+// LineSharingState is a LineSharing plus its open-tenure scratch.
+type LineSharingState struct {
+	LineSharing
+	Started  bool
+	CurNode  int16
+	CurWrite bool
+}
+
+// AnalysisState is the serialized aggregate view.
+type AnalysisState struct {
+	StartCycle uint64
+	EndCycle   uint64
+	Recorded   [numKinds]uint64
+	Sites      map[uint64]Site
+	Lines      map[uint64]LineSharingState
+	Lat        [NumClasses]LatencyHist
+	HTM        HTMTotals
+}
+
+// TracerState is the dynamic state of a Tracer.
+type TracerState struct {
+	Ring        []Event // chronological (oldest first)
+	NextID      uint64
+	Seen        [numKinds]uint64
+	Kept        uint64
+	SampledOut  uint64
+	Overwritten uint64
+
+	An AnalysisState
+
+	Stalls  []StallSpanState
+	Locks   []LockPendState
+	LastAcq map[uint64]uint64
+	LastRel map[uint64]uint64
+
+	Miss       Event
+	MissActive bool
+}
+
+// Snapshot captures the tracer's dynamic state.
+func (t *Tracer) Snapshot() TracerState {
+	s := TracerState{
+		Ring:        t.Events(),
+		NextID:      t.nextID,
+		Seen:        t.seen,
+		Kept:        t.kept,
+		SampledOut:  t.sampledOut,
+		Overwritten: t.overwritten,
+		An: AnalysisState{
+			StartCycle: t.an.StartCycle,
+			EndCycle:   t.an.EndCycle,
+			Recorded:   t.an.Recorded,
+			Sites:      make(map[uint64]Site, len(t.an.Sites)),
+			Lines:      make(map[uint64]LineSharingState, len(t.an.Lines)),
+			Lat:        t.an.Lat,
+			HTM:        t.an.HTM,
+		},
+		LastAcq:    make(map[uint64]uint64, len(t.lastAcq)),
+		LastRel:    make(map[uint64]uint64, len(t.lastRel)),
+		Miss:       t.miss,
+		MissActive: t.missActive,
+	}
+	for pc, site := range t.an.Sites {
+		s.An.Sites[pc] = *site
+	}
+	for addr, l := range t.an.Lines {
+		s.An.Lines[addr] = LineSharingState{
+			LineSharing: *l,
+			Started:     l.started,
+			CurNode:     l.curNode,
+			CurWrite:    l.curWrite,
+		}
+	}
+	for _, sp := range t.stalls {
+		s.Stalls = append(s.Stalls, StallSpanState{
+			Active: sp.active, PC: sp.pc, Cat: sp.cat,
+			Start: sp.start, Last: sp.last, Cycles: sp.cycles, Proc: sp.proc,
+		})
+	}
+	for _, lp := range t.locks {
+		s.Locks = append(s.Locks, LockPendState{
+			Active: lp.active, Addr: lp.addr, PC: lp.pc, Start: lp.start, Proc: lp.proc,
+		})
+	}
+	for k, v := range t.lastAcq {
+		s.LastAcq[k] = v
+	}
+	for k, v := range t.lastRel {
+		s.LastRel[k] = v
+	}
+	return s
+}
+
+// Restore refills a tracer built with the same Options.
+func (t *Tracer) Restore(s TracerState) error {
+	if len(s.Ring) > cap(t.ring) {
+		return fmt.Errorf("tracing: snapshot ring holds %d events, tracer capacity %d", len(s.Ring), cap(t.ring))
+	}
+	t.ring = append(t.ring[:0], s.Ring...)
+	t.head = 0
+	t.wrapped = s.Overwritten > 0
+	t.nextID = s.NextID
+	t.seen = s.Seen
+	t.kept = s.Kept
+	t.sampledOut = s.SampledOut
+	t.overwritten = s.Overwritten
+
+	t.an = NewAnalysis()
+	t.an.StartCycle = s.An.StartCycle
+	t.an.EndCycle = s.An.EndCycle
+	t.an.Recorded = s.An.Recorded
+	t.an.Lat = s.An.Lat
+	t.an.HTM = s.An.HTM
+	for pc, site := range s.An.Sites {
+		site := site
+		t.an.Sites[pc] = &site
+	}
+	for addr, ls := range s.An.Lines {
+		l := ls.LineSharing
+		l.started = ls.Started
+		l.curNode = ls.CurNode
+		l.curWrite = ls.CurWrite
+		t.an.Lines[addr] = &l
+	}
+
+	t.stalls = t.stalls[:0]
+	for _, sp := range s.Stalls {
+		t.stalls = append(t.stalls, stallSpan{
+			active: sp.Active, pc: sp.PC, cat: sp.Cat,
+			start: sp.Start, last: sp.Last, cycles: sp.Cycles, proc: sp.Proc,
+		})
+	}
+	t.locks = t.locks[:0]
+	for _, lp := range s.Locks {
+		t.locks = append(t.locks, lockPend{
+			active: lp.Active, addr: lp.Addr, pc: lp.PC, start: lp.Start, proc: lp.Proc,
+		})
+	}
+	t.lastAcq = make(map[uint64]uint64, len(s.LastAcq))
+	for k, v := range s.LastAcq {
+		t.lastAcq[k] = v
+	}
+	t.lastRel = make(map[uint64]uint64, len(s.LastRel))
+	for k, v := range s.LastRel {
+		t.lastRel[k] = v
+	}
+	t.miss = s.Miss
+	t.missActive = s.MissActive
+	return nil
+}

@@ -370,6 +370,12 @@ type Gen struct {
 	queue  []func(*Emitter)
 	refill func(*Gen) bool
 	done   bool
+
+	// Drawn counts successful Next calls. Checkpoint restore re-generates
+	// a stream by drawing Drawn instructions from a freshly built
+	// generator, which replays every RNG draw and engine interaction in
+	// the identical order (see the workloads' RestoreWorkload).
+	Drawn uint64
 }
 
 // NewGen wires an emitter to a refill function that enqueues the next batch
@@ -398,5 +404,6 @@ func (g *Gen) Next(in *trace.Instr) bool {
 		g.queue = g.queue[1:]
 		step(g.E)
 	}
+	g.Drawn++
 	return true
 }

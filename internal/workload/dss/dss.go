@@ -54,6 +54,10 @@ type Workload struct {
 	// summed over processes (telemetry probe; generation is lazy, so this
 	// tracks simulation progress to within one batch per process).
 	RowsScanned uint64
+
+	// procs tracks per-process generation state for checkpointing (see
+	// snapshot.go), indexed by process number.
+	procs []*procState
 }
 
 // New builds the workload.
@@ -103,6 +107,7 @@ type procState struct {
 	exprBase uint64 // interpreted expression tree (hot private state)
 	waCur    uint64 // work-area cursor
 	revenue  int64
+	gen      *workload.Gen
 }
 
 // Stream returns the instruction stream of query server proc.
@@ -120,7 +125,9 @@ func (w *Workload) Stream(proc int) trace.Stream {
 	e.BranchEvery = 14
 	e.PredictableSeasoning = true
 	e.Call(w.rScan)
-	return workload.NewGen(e, p.refillBatch)
+	p.gen = workload.NewGen(e, p.refillBatch)
+	w.register(p)
+	return p.gen
 }
 
 // Revenue returns the revenue accumulated by the generated stream so far

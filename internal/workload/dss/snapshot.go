@@ -1,0 +1,89 @@
+package dss
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Mid-run checkpoint support. DSS streams touch no order-dependent
+// shared state — every engine call (table addresses, predicates,
+// revenue) is a pure function of the process number and row, and the
+// one shared counter (RowsScanned) is a commutative sum — so restore is
+// a pure re-draw: rebuild each stream and draw the recorded number of
+// instructions, which replays the per-stream RNG and row cursors
+// bit-exactly.
+
+// workloadState is the serialized form of SnapshotWorkload.
+type workloadState struct {
+	Drawn       []uint64 // instructions drawn, per process
+	RowsScanned uint64
+}
+
+// register tracks a process's generation state for checkpointing.
+func (w *Workload) register(p *procState) {
+	for len(w.procs) <= p.proc {
+		w.procs = append(w.procs, nil)
+	}
+	w.procs[p.proc] = p
+}
+
+// EnableCheckpointing is a no-op: DSS generation needs no recording.
+// It exists so both workloads are armed the same way.
+func (w *Workload) EnableCheckpointing() {}
+
+// SnapshotWorkload serializes the generation-time state. It implements
+// core.WorkloadCheckpointer.
+func (w *Workload) SnapshotWorkload() ([]byte, error) {
+	st := workloadState{RowsScanned: w.RowsScanned}
+	if len(w.procs) != w.cfg.Processes {
+		return nil, fmt.Errorf("dss: %d of %d process streams created, cannot checkpoint", len(w.procs), w.cfg.Processes)
+	}
+	for proc, p := range w.procs {
+		if p == nil {
+			return nil, fmt.Errorf("dss: process %d has no stream, cannot checkpoint", proc)
+		}
+		st.Drawn = append(st.Drawn, p.gen.Drawn)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("dss: encoding workload state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreWorkload rewinds a freshly built workload (same Config, all
+// streams created, none drawn from) to a checkpoint by re-drawing each
+// stream's recorded instruction count. It implements
+// core.WorkloadCheckpointer.
+func (w *Workload) RestoreWorkload(data []byte) error {
+	var st workloadState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("dss: decoding workload state: %w", err)
+	}
+	if len(st.Drawn) != w.cfg.Processes {
+		return fmt.Errorf("dss: checkpoint has %d processes, configured %d", len(st.Drawn), w.cfg.Processes)
+	}
+	if len(w.procs) != w.cfg.Processes {
+		return fmt.Errorf("dss: %d of %d process streams created, cannot restore", len(w.procs), w.cfg.Processes)
+	}
+	var in trace.Instr
+	for proc, p := range w.procs {
+		if p == nil {
+			return fmt.Errorf("dss: process %d has no stream, cannot restore", proc)
+		}
+		if p.gen.Drawn != 0 {
+			return fmt.Errorf("dss: process %d stream already drawn from, cannot restore", proc)
+		}
+		for p.gen.Drawn < st.Drawn[proc] {
+			if !p.gen.Next(&in) {
+				return fmt.Errorf("dss: process %d stream ended at %d of %d instructions during replay",
+					proc, p.gen.Drawn, st.Drawn[proc])
+			}
+		}
+	}
+	w.RowsScanned = st.RowsScanned
+	return nil
+}

@@ -84,6 +84,12 @@ type Workload struct {
 
 	Transactions uint64
 	err          error // first database-model failure (see Err)
+
+	// Checkpoint support (see snapshot.go). procs holds the per-process
+	// generation state, indexed by process number; recording arms the
+	// shared-interaction logs that make mid-run restore possible.
+	procs     []*procState
+	recording bool
 }
 
 // fail records the first workload-model failure; generation stops cleanly
@@ -157,6 +163,18 @@ type procState struct {
 	privHot  uint64
 	privCold uint64
 	hotTop   uint64
+
+	gen *workload.Gen
+
+	// Shared-interaction log (see snapshot.go): the results of this
+	// process's order-dependent calls into the shared engine, in stream
+	// order. While histPos/allocPos trail the log lengths the stream is
+	// replaying a restored checkpoint; once they catch up, live calls
+	// resume and (when recording) extend the logs.
+	hist     []histEvent
+	histPos  int
+	allocs   [][]uint64
+	allocPos int
 }
 
 // Stream returns the instruction stream of server process proc.
@@ -172,7 +190,9 @@ func (w *Workload) Stream(proc int) trace.Stream {
 	// reads client requests and drives transactions.
 	stub := w.cs.NewRoutine("dispatch", 4096)
 	e.Call(stub)
-	return workload.NewGen(e, p.refillTx)
+	p.gen = workload.NewGen(e, p.refillTx)
+	w.register(p)
+	return p.gen
 }
 
 // hotAddr: ~32KB hot private working set (stack frames, cursors) -> hits.
@@ -291,7 +311,7 @@ func (p *procState) refillTx(g *workload.Gen) bool {
 	}
 
 	// Phase 4: history insert (globally shared insertion point).
-	hblock, hrow := w.tpcb.HistoryAppend()
+	hblock, hrow := p.historyAppend()
 	g.Enqueue(func(e *workload.Emitter) { p.bufferGet(e, hblock) })
 	g.Enqueue(func(e *workload.Emitter) { p.historyInsert(e, hblock, hrow) })
 
@@ -412,7 +432,7 @@ func (p *procState) applyUpdate(e *workload.Emitter, block int, rowAddr uint64) 
 	// Redo generation.
 	e.Call(w.rRedo)
 	e.ALU(4, false)
-	logAddrs := w.redo.Alloc(120)
+	logAddrs := p.redoAlloc(120)
 	if hints >= HintFlushPrefetch {
 		e.Prefetch(logAddrs[0], true)
 	}
@@ -481,7 +501,7 @@ func (p *procState) commit(e *workload.Emitter) {
 	w := p.w
 	e.Call(w.rCommit)
 	e.ALU(6, false)
-	logAddrs := w.redo.Alloc(32)
+	logAddrs := p.redoAlloc(32)
 	e.LockAcquire(w.redo.AllocLatchAddr())
 	e.Store(logAddrs[0])
 	e.Load(w.redo.WriterStateAddr(), false)

@@ -1,0 +1,173 @@
+package oltp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/trace"
+)
+
+// Mid-run checkpoint support. The generators are closures over live
+// engine state and cannot be serialized directly; instead, restore
+// re-generates each stream from scratch by drawing the same number of
+// instructions from a freshly built workload. That replays every
+// per-stream RNG draw bit-exactly, and every engine interaction except
+// the ones whose results depend on the global interleaving of the
+// streams: db.TPCB.HistoryAppend and db.RedoLog.Alloc hand out slots
+// from shared cursors, and their return values feed emitted addresses.
+// Those two calls are therefore routed through a per-stream log — the
+// recording run appends (block, addr) and address-slice results; replay
+// consumes the log instead of touching the shared engine. TPCB.Apply is
+// commutative (per-account/teller/branch sums) and simply re-runs; the
+// authoritative engine state is restored from its snapshot afterwards.
+
+// histEvent is one logged HistoryAppend result.
+type histEvent struct {
+	Block int
+	Addr  uint64
+}
+
+// workloadState is the serialized form of SnapshotWorkload.
+type workloadState struct {
+	Drawn        []uint64      // instructions drawn, per process
+	Hist         [][]histEvent // HistoryAppend results, per process
+	Allocs       [][][]uint64  // RedoLog.Alloc results, per process
+	TPCB         db.TPCBState
+	Redo         db.RedoLogState
+	Transactions uint64
+}
+
+// register tracks a process's generation state for checkpointing.
+func (w *Workload) register(p *procState) {
+	for len(w.procs) <= p.proc {
+		w.procs = append(w.procs, nil)
+	}
+	w.procs[p.proc] = p
+}
+
+// EnableCheckpointing arms the shared-interaction logs. It must be
+// called before any instructions are drawn; without it SnapshotWorkload
+// fails (the logs would be incomplete).
+func (w *Workload) EnableCheckpointing() { w.recording = true }
+
+// historyAppend returns the next history slot: the logged result during
+// replay, the live engine's (recorded when checkpointing is armed)
+// otherwise.
+func (p *procState) historyAppend() (int, uint64) {
+	if p.histPos < len(p.hist) {
+		ev := p.hist[p.histPos]
+		p.histPos++
+		return ev.Block, ev.Addr
+	}
+	block, addr := p.w.tpcb.HistoryAppend()
+	if p.w.recording {
+		p.hist = append(p.hist, histEvent{Block: block, Addr: addr})
+		p.histPos = len(p.hist)
+	}
+	return block, addr
+}
+
+// redoAlloc returns the next redo allocation: logged during replay,
+// live (and recorded) otherwise.
+func (p *procState) redoAlloc(n int) []uint64 {
+	if p.allocPos < len(p.allocs) {
+		addrs := p.allocs[p.allocPos]
+		p.allocPos++
+		return addrs
+	}
+	addrs := p.w.redo.Alloc(n)
+	if p.w.recording {
+		p.allocs = append(p.allocs, addrs)
+		p.allocPos = len(p.allocs)
+	}
+	return addrs
+}
+
+// SnapshotWorkload serializes the generation-time state: per-stream
+// draw counts and shared-interaction logs plus the logical engine
+// state. It implements core.WorkloadCheckpointer.
+func (w *Workload) SnapshotWorkload() ([]byte, error) {
+	if !w.recording {
+		return nil, fmt.Errorf("oltp: checkpointing was not enabled before generation started")
+	}
+	if err := w.err; err != nil {
+		return nil, fmt.Errorf("oltp: workload failed, refusing to checkpoint: %w", err)
+	}
+	st := workloadState{
+		TPCB:         w.tpcb.Snapshot(),
+		Redo:         w.redo.Snapshot(),
+		Transactions: w.Transactions,
+	}
+	if len(w.procs) != w.cfg.Processes {
+		return nil, fmt.Errorf("oltp: %d of %d process streams created, cannot checkpoint", len(w.procs), w.cfg.Processes)
+	}
+	for proc, p := range w.procs {
+		if p == nil {
+			return nil, fmt.Errorf("oltp: process %d has no stream, cannot checkpoint", proc)
+		}
+		st.Drawn = append(st.Drawn, p.gen.Drawn)
+		st.Hist = append(st.Hist, p.hist)
+		st.Allocs = append(st.Allocs, p.allocs)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("oltp: encoding workload state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreWorkload rewinds a freshly built workload (same Config, all
+// streams created, none drawn from) to a checkpoint: each stream
+// replays its recorded draw count against the logged shared
+// interactions, then the logical engine state is restored. It
+// implements core.WorkloadCheckpointer.
+func (w *Workload) RestoreWorkload(data []byte) error {
+	var st workloadState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("oltp: decoding workload state: %w", err)
+	}
+	if len(st.Drawn) != w.cfg.Processes || len(st.Hist) != w.cfg.Processes || len(st.Allocs) != w.cfg.Processes {
+		return fmt.Errorf("oltp: checkpoint has %d processes, configured %d", len(st.Drawn), w.cfg.Processes)
+	}
+	if len(w.procs) != w.cfg.Processes {
+		return fmt.Errorf("oltp: %d of %d process streams created, cannot restore", len(w.procs), w.cfg.Processes)
+	}
+	w.recording = true
+	var in trace.Instr
+	for proc, p := range w.procs {
+		if p == nil {
+			return fmt.Errorf("oltp: process %d has no stream, cannot restore", proc)
+		}
+		if p.gen.Drawn != 0 {
+			return fmt.Errorf("oltp: process %d stream already drawn from, cannot restore", proc)
+		}
+		p.hist = st.Hist[proc]
+		p.histPos = 0
+		p.allocs = st.Allocs[proc]
+		p.allocPos = 0
+		for p.gen.Drawn < st.Drawn[proc] {
+			if !p.gen.Next(&in) {
+				if w.err != nil {
+					return fmt.Errorf("oltp: replaying process %d: %w", proc, w.err)
+				}
+				return fmt.Errorf("oltp: process %d stream ended at %d of %d instructions during replay",
+					proc, p.gen.Drawn, st.Drawn[proc])
+			}
+		}
+		if p.histPos != len(p.hist) || p.allocPos != len(p.allocs) {
+			return fmt.Errorf("oltp: process %d replay consumed %d/%d history and %d/%d redo events",
+				proc, p.histPos, len(p.hist), p.allocPos, len(p.allocs))
+		}
+	}
+	if w.err != nil {
+		return fmt.Errorf("oltp: replay failed: %w", w.err)
+	}
+	// The replayed Apply calls re-derived the commutative balances; the
+	// snapshot is authoritative for the shared cursors it never touched.
+	w.tpcb.Restore(st.TPCB)
+	w.redo.Restore(st.Redo)
+	w.Transactions = st.Transactions
+	return nil
+}

@@ -5,8 +5,14 @@
 # client must ride out all of it and exit 0, the merged results must be
 # byte-identical to a serial local run of the same grid, the ledger must
 # record each point's terminal state exactly once, and a repeat submission
-# must be served entirely from the result cache. Used by CI; runnable
-# locally:
+# must be served entirely from the result cache.
+#
+# A second scenario exercises checkpointed preemption: a worker running
+# with -checkpoint-dir is SIGKILLed mid-point after its captures have
+# shipped to sweepd, and a fresh worker must take the point over FROM THE
+# CHECKPOINT (ledger records "resume") rather than restarting it — with
+# the merged result still byte-identical to the serial baseline. Used by
+# CI; runnable locally:
 #
 #   scripts/chaos_smoke.sh [workdir]
 #
@@ -30,10 +36,19 @@ go build -o "$work/sweepworker" ./cmd/sweepworker
 rm -f "$ledger"
 
 cleanup() {
-  kill "${sweepd_pid:-}" "${w1_pid:-}" "${w2_pid:-}" 2>/dev/null || true
+  kill "${sweepd_pid:-}" "${w1_pid:-}" "${w2_pid:-}" "${w3_pid:-}" "${w4_pid:-}" 2>/dev/null || true
   wait 2>/dev/null || true
 }
 trap cleanup EXIT
+
+# fetch_metrics URL — curl in CI, wget as a local fallback.
+fetch_metrics() {
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS "$1" 2>/dev/null
+  else
+    wget -qO- "$1" 2>/dev/null
+  fi
+}
 
 echo "== serial local baseline ($figs, quick scale) =="
 "$work/sweep" -fig "$figs" -scale quick -merged "$work/baseline.json" \
@@ -48,10 +63,10 @@ start_sweepd() {
 
 start_sweepd
 "$work/sweepworker" -server "http://$addr" -name w1 -heartbeat 2s \
-  >>"$work/w1.log" 2>&1 &
+  -checkpoint-dir "$work/w1-ckpts" >>"$work/w1.log" 2>&1 &
 w1_pid=$!
 "$work/sweepworker" -server "http://$addr" -name w2 -heartbeat 2s \
-  >>"$work/w2.log" 2>&1 &
+  -checkpoint-dir "$work/w2-ckpts" >>"$work/w2.log" 2>&1 &
 w2_pid=$!
 
 echo "== chaos sweep: sweepd pid $sweepd_pid, workers $w1_pid/$w2_pid =="
@@ -122,4 +137,92 @@ if [[ "$cached" != "$npts" ]]; then
   exit 1
 fi
 echo "OK: all $npts points served from the result cache"
+
+# ---------------------------------------------------------------------------
+# Checkpoint kill-mid-point: a checkpointing worker is SIGKILLed after its
+# captures have shipped; the replacement must RESUME the point from the
+# shipped checkpoint (ledger "resume" record), not restart it, and still
+# produce the byte-identical result.
+# ---------------------------------------------------------------------------
+ck_fig="${figs%%,*}"
+ledger2="$work/ledger-ck.jsonl"
+rm -f "$ledger2"
+
+echo "== checkpoint takeover: serial baseline ($ck_fig) =="
+"$work/sweep" -fig "$ck_fig" -scale quick -merged "$work/baseline-ck.json" \
+  >"$work/baseline-ck.out" 2>"$work/baseline-ck.err"
+test -s "$work/baseline-ck.json" || { echo "FAIL: no checkpoint-scenario baseline" >&2; exit 1; }
+
+# Fresh sweepd on a fresh ledger (the previous one has $ck_fig cached) and
+# a short TTL so the takeover happens quickly after the SIGKILL.
+kill -9 "${sweepd_pid:-}" "${w2_pid:-}" 2>/dev/null || true
+"$work/sweepd" -addr "$addr" -ledger "$ledger2" -lease-ttl 5s -expire-every 1s \
+  >>"$work/sweepd-ck.log" 2>&1 &
+sweepd_pid=$!
+sleep 1
+
+"$work/sweepworker" -server "http://$addr" -name w3 -heartbeat 500ms \
+  -checkpoint-dir "$work/w3-ckpts" >>"$work/w3.log" 2>&1 &
+w3_pid=$!
+echo "== checkpoint takeover: sweepd pid $sweepd_pid, checkpointing worker w3 ($w3_pid) =="
+"$work/sweep" -remote "http://$addr" -job ck -fig "$ck_fig" -scale quick \
+  -merged "$work/remote-ck.json" >"$work/client-ck.out" 2>"$work/client-ck.err" &
+client_pid=$!
+
+# Wait until at least one capture has shipped to sweepd — the point must
+# still be in flight, or the scenario is degenerate.
+shipped=0
+for _ in $(seq 1 240); do
+  if grep -q '"type":"done"' "$ledger2" 2>/dev/null; then break; fi
+  if fetch_metrics "http://$addr/metrics" | grep -Eq '^sweepd_checkpoints_stored_total [1-9]'; then
+    shipped=1
+    break
+  fi
+  sleep 0.5
+done
+if [[ "$shipped" != 1 ]]; then
+  echo "FAIL: point finished (or timed out) before any checkpoint shipped; scenario degenerate" >&2
+  exit 1
+fi
+kill -9 "$w3_pid" 2>/dev/null || true
+echo "killed checkpointing worker w3 (pid $w3_pid) mid-point, captures already shipped"
+
+# The replacement worker gets its own empty checkpoint dir: every byte of
+# resumed progress must come through sweepd's shipped copies.
+"$work/sweepworker" -server "http://$addr" -name w4 -heartbeat 500ms \
+  -checkpoint-dir "$work/w4-ckpts" >>"$work/w4.log" 2>&1 &
+w4_pid=$!
+
+client=0
+wait "$client_pid" || client=$?
+echo "checkpoint-takeover client exited $client"
+tail -n 3 "$work/client-ck.err" || true
+if [[ "$client" != 0 ]]; then
+  echo "FAIL: checkpoint-takeover client exited $client, want 0" >&2
+  exit 1
+fi
+
+echo "== checkpoint takeover: ledger must record a resume =="
+if ! grep -q '"type":"resume"' "$ledger2"; then
+  echo "FAIL: no resume record — takeover restarted from scratch instead of the checkpoint" >&2
+  grep -o '"type":"[a-z]*"' "$ledger2" | sort | uniq -c >&2 || true
+  exit 1
+fi
+resume_line="$(grep '"type":"resume"' "$ledger2" | head -n 1)"
+echo "$resume_line" | grep -q '"worker":"w4"' || {
+  echo "FAIL: resume record not attributed to the replacement worker: $resume_line" >&2
+  exit 1
+}
+echo "$resume_line" | grep -q '"from_cycle":[1-9]' || {
+  echo "FAIL: resume record has no positive from_cycle: $resume_line" >&2
+  exit 1
+}
+echo "OK: $resume_line"
+
+echo "== checkpoint takeover: merged result vs serial baseline =="
+if ! cmp "$work/baseline-ck.json" "$work/remote-ck.json"; then
+  echo "FAIL: resumed-run merged results differ from the serial local run" >&2
+  exit 1
+fi
+echo "OK: resumed run byte-identical to serial baseline"
 echo "PASS: chaos smoke"
