@@ -15,17 +15,19 @@
 //
 // Exit status: 0 on success, 1 when the simulation fails (the diagnostic
 // machine snapshot, if any, is printed to stderr), 2 on flag/usage errors,
-// 3 when the run is interrupted (Ctrl-C cancels the run cleanly: the
-// machine snapshot at the interrupt is printed to stderr instead of the
-// process dying mid-cycle).
+// 3 when the run is interrupted (Ctrl-C or an expired -timeout cancels the
+// run cleanly: the machine snapshot at the interrupt is printed to stderr
+// instead of the process dying mid-cycle, and the final structured log
+// record carries exit_code).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -45,9 +48,16 @@ import (
 	"repro/internal/workload/oltp"
 )
 
+// logger is the process-wide structured logger (stderr JSON; stdout stays
+// reserved for the rendered report).
+var logger *slog.Logger
+
+func warnf(format string, args ...any) {
+	logger.Warn(fmt.Sprintf(format, args...))
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("dbsim: ")
+	logger = obs.Init("dbsim")
 
 	var (
 		workload    = flag.String("workload", "oltp", "workload: oltp or dss")
@@ -94,6 +104,8 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+
+		reportJSON = flag.String("report-json", "", "write the machine-readable report (with run provenance) to this JSON file (\"-\" = stdout)")
 
 		traceEvents  = flag.String("trace-events", "", "write the cycle-resolved event trace to this Chrome trace-event JSON file (Perfetto-loadable)")
 		traceProfile = flag.String("trace-profile", "", "write the stall/migratory/latency aggregate tables to this file (.csv, else JSON)")
@@ -218,23 +230,28 @@ func main() {
 	if *ckInterval != 0 && *ckFile == "" {
 		fatalUsage("-checkpoint-interval needs -checkpoint or -restore")
 	}
+	// The spec hash binds a checkpoint to the exact machine and workload it
+	// was taken from (restoring under any other flag set is rejected and
+	// falls back to a fresh run) and content-addresses this run in the
+	// provenance record written by -report-json.
+	spec := runner.SpecHash(struct {
+		Config   config.Config `json:"config"`
+		Workload string        `json:"workload"`
+		Tx       int           `json:"tx"`
+		WarmupTx int           `json:"warmup_tx"`
+		Rows     int           `json:"rows"`
+		Hints    string        `json:"hints"`
+		Max      uint64        `json:"max_cycles"`
+	}{cfg, *workload, *tx, *warmupTx, *rows, *hints, *maxCycles})
+	prov := obs.Collect("dbsim", os.Args[1:])
+	prov.Seed = *faultSeed
+	prov.SpecHash = spec
+
 	var lastCheckpoint uint64
 	if *ckFile != "" {
 		if *tracePrefix != "" {
 			fatalUsage("-checkpoint is not supported with trace replay")
 		}
-		// The spec hash binds a checkpoint to the exact machine and
-		// workload it was taken from; restoring under any other flag set
-		// is rejected and falls back to a fresh run.
-		spec := runner.SpecHash(struct {
-			Config   config.Config `json:"config"`
-			Workload string        `json:"workload"`
-			Tx       int           `json:"tx"`
-			WarmupTx int           `json:"warmup_tx"`
-			Rows     int           `json:"rows"`
-			Hints    string        `json:"hints"`
-			Max      uint64        `json:"max_cycles"`
-		}{cfg, *workload, *tx, *warmupTx, *rows, *hints, *maxCycles})
 		sc.Checkpoint = func(string) *core.CheckpointOptions {
 			return &core.CheckpointOptions{
 				Path:      *ckFile,
@@ -245,13 +262,14 @@ func main() {
 		}
 		sc.Restore = *ckRestore
 		sc.RestoreFallback = func(label string, err error) {
-			log.Printf("warning: checkpoint %s unusable, starting from scratch: %v", *ckRestore, err)
+			warnf("checkpoint %s unusable, starting from scratch: %v", *ckRestore, err)
 		}
 	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("fatal", "error", err.Error())
+		os.Exit(1)
 	}
 
 	var rep *stats.Report
@@ -273,18 +291,23 @@ func main() {
 		// export whatever was recorded before exiting.
 		writeTraceOutputs(trc, *traceEvents, *traceProfile, rep)
 		stopProfiles()
-		log.Print(err)
-		if errors.Is(err, context.Canceled) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			if lastCheckpoint > 0 {
-				log.Printf("checkpoint: state through cycle %d saved; resume with -restore %s", lastCheckpoint, *ckFile)
+				logger.Info("checkpoint saved; resumable",
+					obs.KeyCycle, lastCheckpoint, "restore", *ckFile)
 			}
-			os.Exit(3) // interrupted, not failed: the run was draining fine
+			// Interrupted, not failed: the run was draining fine.
+			logger.Warn("run interrupted", "workload", *workload,
+				obs.KeySpecHash, spec, "error", err.Error(), obs.KeyExitCode, 3)
+			os.Exit(3)
 		}
+		logger.Error("run failed", "workload", *workload,
+			obs.KeySpecHash, spec, "error", err.Error(), obs.KeyExitCode, 1)
 		os.Exit(1)
 	}
 	if pipe != nil {
 		if terr := pipe.Err(); terr != nil {
-			log.Printf("warning: %v", terr)
+			warnf("%v", terr)
 		}
 	}
 	writeTraceOutputs(trc, *traceEvents, *traceProfile, rep)
@@ -295,6 +318,34 @@ func main() {
 		fmt.Println()
 		fmt.Print(tracing.FormatHTM(a.HTM, a.Totals()))
 	}
+	if *reportJSON != "" {
+		if werr := writeReportJSON(*reportJSON, prov, rep); werr != nil {
+			logger.Error("writing -report-json failed", "error", werr.Error(), obs.KeyExitCode, 1)
+			os.Exit(1)
+		}
+	}
+	logger.Info("run complete", "workload", *workload, obs.KeySpecHash, spec,
+		"instructions", rep.Instructions, "cycles", rep.Cycles, obs.KeyExitCode, 0)
+}
+
+// writeReportJSON writes the machine-readable run outcome: the provenance
+// record (who/what/where produced it) alongside the full report.
+func writeReportJSON(path string, prov *obs.Provenance, rep *stats.Report) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Provenance *obs.Provenance `json:"provenance"`
+		Report     *stats.Report   `json:"report"`
+	}{prov, rep})
 }
 
 // startProfiles starts the pprof CPU profile and arranges the heap profile,
@@ -316,7 +367,7 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 		stop = func() {
 			pprof.StopCPUProfile()
 			if err := f.Close(); err != nil {
-				log.Printf("warning: %v", err)
+				warnf("%v", err)
 			}
 		}
 	}
@@ -328,7 +379,7 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 		cpuStop()
 		f, err := os.Create(memPath)
 		if err != nil {
-			log.Printf("warning: %v", err)
+			warnf("%v", err)
 			return
 		}
 		runtime.GC() // materialize the live set before the snapshot
@@ -337,7 +388,7 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 			werr = cerr
 		}
 		if werr != nil {
-			log.Printf("warning: writing %s: %v", memPath, werr)
+			warnf("writing %s: %v", memPath, werr)
 		}
 	}, nil
 }
@@ -354,18 +405,18 @@ func writeTraceOutputs(trc *tracing.Tracer, eventsPath, profilePath string, rep 
 	}
 	if eventsPath != "" {
 		if f, err := telemetry.CreateFile(eventsPath); err != nil {
-			log.Printf("warning: %v", err)
+			warnf("%v", err)
 		} else {
 			werr := trc.WriteChrome(f)
 			if cerr := f.Close(); werr == nil {
 				werr = cerr
 			}
 			if werr != nil {
-				log.Printf("warning: writing %s: %v", eventsPath, werr)
+				warnf("writing %s: %v", eventsPath, werr)
 			} else {
 				kept, sampled, overwritten := trc.Stats()
-				log.Printf("trace: %d events -> %s (%d sampled out, %d overwritten)",
-					kept, eventsPath, sampled, overwritten)
+				logger.Info("trace events written", "path", eventsPath,
+					"events", kept, "sampled_out", sampled, "overwritten", overwritten)
 			}
 		}
 	}
@@ -378,9 +429,9 @@ func writeTraceOutputs(trc *tracing.Tracer, eventsPath, profilePath string, rep 
 			err = telemetry.WriteTablesJSON(profilePath, tables)
 		}
 		if err != nil {
-			log.Printf("warning: %v", err)
+			warnf("%v", err)
 		} else {
-			log.Printf("trace: aggregate profile -> %s", profilePath)
+			logger.Info("trace aggregate profile written", "path", profilePath)
 		}
 	}
 }
@@ -421,7 +472,7 @@ func buildPipeline(jsonlPath, csvPath, httpAddr string, interval uint64) (*telem
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("serving telemetry on http://%s/metrics", sink.Addr())
+		logger.Info("serving telemetry", "url", "http://"+sink.Addr()+"/metrics")
 		pipe.Attach(sink, nil)
 	}
 	return pipe, nil

@@ -40,7 +40,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -52,12 +52,26 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/sweepsvc"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// logger is the process-wide structured logger (stderr JSON; stdout stays
+// reserved for rendered results). logf bridges printf-style progress lines
+// into it at info level.
+var (
+	logger *slog.Logger
+	logf   func(format string, args ...any)
+)
+
+func fatal(err error) {
+	logger.Error("fatal", "error", err.Error())
+	os.Exit(1)
+}
 
 // pointJSON is the machine-readable form of one run point, written by
 // -json. Unlike the pre-orchestration format it carries per-point status,
@@ -75,8 +89,8 @@ type pointJSON struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sweep: ")
+	logger = obs.Init("sweep")
+	logf = obs.Printf(logger, slog.LevelInfo)
 	var (
 		fig          = flag.String("fig", "", "experiment id(s) to run, comma-separated (see -list)")
 		all          = flag.Bool("all", false, "run every experiment")
@@ -87,9 +101,10 @@ func main() {
 		telemetryDir = flag.String("telemetry-dir", "", "write one JSONL telemetry series per run point into this directory")
 		telInterval  = flag.Uint64("telemetry-interval", 0, "telemetry sampling interval in cycles (0 = config default, 100k)")
 
-		remote     = flag.String("remote", "", "submit the grid to this sweepd server instead of running locally (e.g. http://host:8044)")
-		jobID      = flag.String("job", "", "job id for -remote submissions (default: server-assigned)")
-		mergedPath = flag.String("merged", "", "write canonical merged results JSON to this file (local and -remote runs of the same grid produce identical bytes)")
+		remote      = flag.String("remote", "", "submit the grid to this sweepd server instead of running locally (e.g. http://host:8044)")
+		jobID       = flag.String("job", "", "job id for -remote submissions (default: server-assigned)")
+		mergedPath  = flag.String("merged", "", "write canonical merged results JSON to this file (local and -remote runs of the same grid produce identical bytes)")
+		spanLogPath = flag.String("span-log", "", "with -remote: append the client's job span to this JSONL span log (stitch with sweeptrace)")
 
 		parallel     = flag.Int("parallel", 1, "worker pool size (points run concurrently; outcomes stay deterministic)")
 		serial       = flag.Bool("serial", false, "run each figure's simulations serially (default: a per-figure pool of up to GOMAXPROCS workers)")
@@ -157,7 +172,7 @@ func main() {
 	if *telemetryDir != "" {
 		if err := os.MkdirAll(*telemetryDir, 0o777); err != nil {
 			// Not a usage error: the path was valid, creating it failed.
-			log.Fatalf("creating -telemetry-dir %s: %v", *telemetryDir, err)
+			fatal(fmt.Errorf("creating -telemetry-dir %s: %v", *telemetryDir, err))
 		}
 	} else if *telInterval != 0 {
 		fatalUsage("-telemetry-interval needs -telemetry-dir")
@@ -214,7 +229,10 @@ func main() {
 		if *inject != "" || *telemetryDir != "" || *journalPath != "" || *resume {
 			fatalUsage("-inject/-telemetry-dir/-journal/-resume are local-run knobs; not available with -remote")
 		}
-		os.Exit(runRemote(*remote, *jobID, selected, sc, *mergedPath, *timeout))
+		os.Exit(runRemote(*remote, *jobID, selected, sc, *mergedPath, *timeout, *spanLogPath, *faultSeed))
+	}
+	if *spanLogPath != "" {
+		fatalUsage("-span-log needs -remote (local sweeps have no cross-process trace)")
 	}
 
 	// Per-point telemetry: one JSONL series per run point, named with the
@@ -227,7 +245,7 @@ func main() {
 				path := filepath.Join(*telemetryDir, telemetry.SeriesFileName(id, label))
 				sink, err := telemetry.OpenJSONLSink(path)
 				if err != nil {
-					log.Printf("warning: %s: %v (series dropped)", id, err)
+					logger.Warn("telemetry series dropped", obs.KeyPoint, id, "error", err.Error())
 					return nil
 				}
 				pipe := telemetry.New(*telInterval)
@@ -258,16 +276,14 @@ func main() {
 		if *resume {
 			// Torn or corrupt journal lines (a crash mid-write) are skipped
 			// with a warning; their points simply re-run.
-			completed, err = runner.ReadJournalWarn(*journalPath, func(format string, args ...any) {
-				log.Printf("journal: "+format, args...)
-			})
+			completed, err = runner.ReadJournalWarn(*journalPath, obs.Printf(logger.With("subsystem", "journal"), slog.LevelWarn))
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		journal, err = runner.OpenJournal(*journalPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
@@ -284,10 +300,10 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigc
-		log.Print("interrupt: draining in-flight points; interrupt again to abort them")
+		logger.Warn("interrupt: draining in-flight points; interrupt again to abort them")
 		drainCancel()
 		<-sigc
-		log.Print("interrupt: aborting in-flight points")
+		logger.Warn("interrupt: aborting in-flight points")
 		hardCancel()
 	}()
 
@@ -304,22 +320,24 @@ func main() {
 		Completed:     completed,
 		Drain:         drainCtx,
 		OnEvent:       eventLogger(notes),
+		Logger:        logger,
+		Provenance:    sweepProvenance(*faultSeed),
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if journal != nil {
 		if cerr := journal.Close(); cerr != nil {
-			log.Printf("warning: %v", cerr)
+			logger.Warn("journal close failed", "error", cerr.Error())
 		}
 	}
 	if sum.JournalErrs > 0 {
-		log.Printf("warning: %d journal write(s) failed; -resume may re-run those points", sum.JournalErrs)
+		logger.Warn("journal writes failed; -resume may re-run those points", "failed_writes", sum.JournalErrs)
 	}
 
 	if *jsonPath != "" && len(sum.Records) > 0 {
 		if werr := writeJSON(*jsonPath, sum); werr != nil {
-			log.Print(werr)
+			logger.Error("writing -json output failed", "error", werr.Error())
 			if sum.Complete() {
 				os.Exit(1)
 			}
@@ -327,17 +345,35 @@ func main() {
 	}
 	if *mergedPath != "" {
 		if werr := writeMergedLocal(*mergedPath, sum); werr != nil {
-			log.Print(werr)
+			logger.Error("writing -merged output failed", "error", werr.Error())
 			if sum.Complete() {
 				os.Exit(1)
 			}
 		}
 	}
 
+	// Final summary: one structured line carrying the whole outcome and the
+	// exit code (3 = partial/interrupted; see README "Exit codes").
 	code := sum.ExitCode()
-	log.Printf("%d ok, %d recovered, %d failed, %d canceled, %d skipped (%d reused, %d retries) — exit %d",
-		sum.OK, sum.Recovered, sum.Failed, sum.Canceled, sum.Skipped, sum.Reused, sum.RetriesUsed, code)
+	lvl := slog.LevelInfo
+	if code != 0 {
+		lvl = slog.LevelWarn
+	}
+	logger.Log(context.Background(), lvl, "sweep finished",
+		"ok", sum.OK, "recovered", sum.Recovered, "failed", sum.Failed,
+		"canceled", sum.Canceled, "skipped", sum.Skipped,
+		"reused", sum.Reused, "retries", sum.RetriesUsed,
+		obs.KeyExitCode, code)
 	os.Exit(code)
+}
+
+// sweepProvenance is the provenance record stamped on every journaled
+// point of a local sweep (the remote path's records are stamped by the
+// worker that actually ran them).
+func sweepProvenance(seed uint64) *obs.Provenance {
+	p := obs.Collect("sweep", os.Args[1:])
+	p.Seed = seed
+	return p
 }
 
 // eventLogger renders pool progress: completed results stream to stdout in
@@ -346,12 +382,12 @@ func eventLogger(notes map[string]string) func(runner.Event) {
 	return func(ev runner.Event) {
 		switch ev.Kind {
 		case runner.EventRetry:
-			log.Printf("%s: attempt %d failed (%v); retrying in %v", ev.Point, ev.Attempt, ev.Err, ev.Delay)
+			logf("%s: attempt %d failed (%v); retrying in %v", ev.Point, ev.Attempt, ev.Err, ev.Delay)
 		case runner.EventSkip:
 			if ev.Record != nil && ev.Record.Reused {
-				log.Printf("%s: complete in journal (%s), skipping", ev.Point, ev.Record.Status)
+				logf("%s: complete in journal (%s), skipping", ev.Point, ev.Record.Status)
 			} else {
-				log.Printf("%s: skipped (sweep draining)", ev.Point)
+				logf("%s: skipped (sweep draining)", ev.Point)
 			}
 		case runner.EventDone:
 			if res, ok := ev.Result.(*experiments.Result); ok && res != nil {
@@ -360,10 +396,10 @@ func eventLogger(notes map[string]string) func(runner.Event) {
 			}
 			switch ev.Record.Status {
 			case runner.StatusRecovered:
-				log.Printf("%s: recovered after disabling the fault profile (%d attempts; original failure: %s)",
+				logf("%s: recovered after disabling the fault profile (%d attempts; original failure: %s)",
 					ev.Point, ev.Record.Attempts, ev.Record.Error)
 			case runner.StatusFailed, runner.StatusCanceled:
-				log.Printf("%s: %s (%s): %s", ev.Point, ev.Record.Status, ev.Record.Class, ev.Record.Error)
+				logf("%s: %s (%s): %s", ev.Point, ev.Record.Status, ev.Record.Class, ev.Record.Error)
 				if ev.Record.Diag != nil {
 					fmt.Fprint(os.Stderr, ev.Record.Diag.String())
 				}
@@ -447,7 +483,12 @@ func livelockError() error {
 // per-point progress, renders completed results, and optionally writes the
 // canonical merged-results file. Returns the process exit code using the
 // same convention as local runs (0 complete, 3 partial, 1 nothing).
-func runRemote(base, jobID string, selected []experiments.Experiment, sc experiments.Scale, mergedPath string, timeout time.Duration) int {
+//
+// The submission roots the job's distributed trace: a "job" span is minted
+// here (recorded to spanLogPath when set) and its context rides the
+// SubmitRequest, so sweepd's submit/lease/merge spans — and through the
+// lease responses every worker's run spans — all share one trace ID.
+func runRemote(base, jobID string, selected []experiments.Experiment, sc experiments.Scale, mergedPath string, timeout time.Duration, spanLogPath string, seed uint64) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if timeout > 0 {
@@ -456,11 +497,22 @@ func runRemote(base, jobID string, selected []experiments.Experiment, sc experim
 		defer cancel()
 	}
 
-	req := &sweepsvc.SubmitRequest{JobID: jobID}
+	var spans *obs.SpanLog
+	if spanLogPath != "" {
+		var err error
+		spans, err = obs.OpenSpanLog(spanLogPath, "sweep")
+		if err != nil {
+			logger.Error("span log", "error", err.Error())
+			return 1
+		}
+		defer spans.Close()
+	}
+
+	req := &sweepsvc.SubmitRequest{JobID: jobID, Provenance: sweepProvenance(seed)}
 	for _, e := range selected {
 		spec, err := sc.SpecJSON(e.ID)
 		if err != nil {
-			log.Print(err)
+			logger.Error("spec", "error", err.Error())
 			return 1
 		}
 		req.Points = append(req.Points, sweepsvc.JobPoint{
@@ -470,47 +522,54 @@ func runRemote(base, jobID string, selected []experiments.Experiment, sc experim
 			Faulty:    sc.Faults.Enabled,
 		})
 	}
+	// Root span for the whole job. Emit even with no span log (nil-safe):
+	// the minted context still propagates, so the server-side tree hangs
+	// together and only the client-side root record is absent.
+	jobStart := time.Now()
+	jobSC := spans.Emit(obs.SpanContext{}, "job", jobStart, jobStart, nil)
+	req.Trace = &jobSC
+	req.Provenance.Trace = jobSC.Trace
 
 	cl := &sweepsvc.Client{
 		Base: base,
 		OnRetry: func(op string, err error, delay time.Duration) {
-			log.Printf("%s failed (%v); retrying in %v", op, err, delay)
+			logf("%s failed (%v); retrying in %v", op, err, delay)
 		},
 	}
 	st, err := cl.Submit(ctx, req)
 	if err != nil {
-		log.Printf("submit: %v", err)
+		logger.Error("submit failed", "error", err.Error())
 		return 1
 	}
-	log.Printf("submitted job %s: %d points (%d already done, %d from cache)",
-		st.JobID, st.Total, st.Done, st.Cached)
+	logger.Info("job submitted", obs.KeyJob, st.JobID, "points", st.Total,
+		"done", st.Done, "cached", st.Cached, obs.KeyTrace, jobSC.Trace)
 
 	st, err = cl.WaitJob(ctx, st.JobID, func(ev sweepsvc.Event) {
 		switch ev.Status {
 		case sweepsvc.PointLeased:
-			log.Printf("%s: leased to %s", ev.ID, ev.Worker)
+			logf("%s: leased to %s", ev.ID, ev.Worker)
 		case sweepsvc.PointDone:
 			if ev.Cached {
-				log.Printf("%s: done (result cache)", ev.ID)
+				logf("%s: done (result cache)", ev.ID)
 			} else {
-				log.Printf("%s: done on %s", ev.ID, ev.Worker)
+				logf("%s: done on %s", ev.ID, ev.Worker)
 			}
 		case sweepsvc.PointFailed:
-			log.Printf("%s: failed on %s: %s", ev.ID, ev.Worker, ev.Error)
+			logf("%s: failed on %s: %s", ev.ID, ev.Worker, ev.Error)
 		case sweepsvc.PointPending:
 			if ev.Worker == "" && ev.Seq > 0 {
-				log.Printf("%s: lease expired; re-queued", ev.ID)
+				logf("%s: lease expired; re-queued", ev.ID)
 			}
 		}
 	})
 	if err != nil {
-		log.Printf("wait: %v", err)
+		logger.Error("wait failed", "error", err.Error())
 		return 1
 	}
 
 	res, err := cl.Results(ctx, st.JobID)
 	if err != nil {
-		log.Printf("results: %v", err)
+		logger.Error("results fetch failed", "error", err.Error())
 		return 1
 	}
 	for _, p := range res.Points {
@@ -525,7 +584,7 @@ func runRemote(base, jobID string, selected []experiments.Experiment, sc experim
 	}
 	if mergedPath != "" {
 		if werr := writeMergedFile(mergedPath, res.Points); werr != nil {
-			log.Print(werr)
+			logger.Error("writing -merged output failed", "error", werr.Error())
 			return 1
 		}
 	}
@@ -538,8 +597,22 @@ func runRemote(base, jobID string, selected []experiments.Experiment, sc experim
 	default:
 		code = 1
 	}
-	log.Printf("job %s: %d done (%d from cache), %d failed of %d — exit %d",
-		st.JobID, st.Done, st.Cached, st.Failed, st.Total, code)
+	// Re-record the job root with its true duration now the job is over
+	// (the stitcher keeps the later record; see obs.Stitch).
+	if jobSC.Valid() {
+		spans.Record(obs.Span{
+			Trace: jobSC.Trace, ID: jobSC.Span, Name: "job",
+			Start: jobStart.UnixNano(), End: time.Now().UnixNano(),
+			Attrs: map[string]string{obs.KeyJob: st.JobID, "exit": fmt.Sprint(code)},
+		})
+	}
+	lvl := slog.LevelInfo
+	if code != 0 {
+		lvl = slog.LevelWarn
+	}
+	logger.Log(context.Background(), lvl, "job finished", obs.KeyJob, st.JobID,
+		"done", st.Done, "cached", st.Cached, "failed", st.Failed,
+		"total", st.Total, obs.KeyExitCode, code)
 	return code
 }
 

@@ -23,14 +23,17 @@
 //	sweep -remote http://host:8044 -all -scale quick
 //
 // /metrics exposes service counters plus each worker's self-monitoring
-// sample (heap, goroutines, rusage, points/sec) as one Prometheus page.
+// sample (heap, goroutines, rusage, points/sec) as one Prometheus page;
+// /debug/pprof/ exposes live runtime profiles. Logs are structured JSON
+// lines on stderr (level via DBSIM_LOG_LEVEL); -span-log records the
+// server-side half of every job's span tree for cmd/sweeptrace.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -38,18 +41,19 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweepsvc"
 )
 
 func main() {
-	log.SetFlags(log.Ltime)
-	log.SetPrefix("sweepd: ")
+	logger := obs.Init("sweepd")
 	var (
 		addr        = flag.String("addr", ":8044", "listen address")
 		ledgerPath  = flag.String("ledger", "", "durable JSONL ledger (required; reopening replays it)")
 		leaseTTL    = flag.Duration("lease-ttl", sweepsvc.DefaultLeaseTTL, "lease deadline horizon; a worker silent this long loses its point")
 		cacheCap    = flag.Int("cache-cap", 0, "result cache capacity in records (0 = unbounded)")
 		expireEvery = flag.Duration("expire-every", time.Second, "expired-lease scan interval")
+		spanLogPath = flag.String("span-log", "", "append-only JSONL span log (server half of each job's trace; stitch with sweeptrace)")
 	)
 	flag.Parse()
 	if *ledgerPath == "" {
@@ -57,22 +61,38 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	fatal := func(err error) {
+		logger.Error("fatal", "error", err.Error())
+		os.Exit(1)
+	}
+
+	var spans *obs.SpanLog
+	if *spanLogPath != "" {
+		var err error
+		spans, err = obs.OpenSpanLog(*spanLogPath, "sweepd")
+		if err != nil {
+			fatal(err)
+		}
+		defer spans.Close()
+	}
 
 	m, err := sweepsvc.NewManager(sweepsvc.ManagerOptions{
 		LedgerPath:    *ledgerPath,
 		LeaseTTL:      *leaseTTL,
 		CacheCapacity: *cacheCap,
-		Warn:          log.Printf,
+		Warn:          obs.Printf(logger, slog.LevelWarn),
+		Logger:        logger,
+		Spans:         spans,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer m.Close()
 
 	srv := sweepsvc.NewServer(m)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 
@@ -81,14 +101,25 @@ func main() {
 	go srv.ExpireLoop(ctx, *expireEvery)
 	go func() {
 		<-ctx.Done()
-		log.Print("shutting down")
+		logger.Info("shutting down")
 		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(sctx)
 	}()
 
-	log.Printf("serving on %s (ledger %s, lease TTL %v)", ln.Addr(), *ledgerPath, *leaseTTL)
-	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+	logger.Info("serving", "addr", ln.Addr().String(), "ledger", *ledgerPath, "lease_ttl", leaseTTL.String())
+	err = hs.Serve(ln)
+	if err != nil && err != http.ErrServerClosed {
+		fatal(err)
 	}
+	// Interrupted rather than crashed: the ledger makes this resumable, so
+	// it is the partial-progress exit (3), with a final summary naming what
+	// a restart on the same ledger will pick up.
+	mt := m.MetricsSnapshot()
+	logger.Warn("interrupted; ledger is resumable",
+		"ledger", *ledgerPath, "jobs", mt.Jobs,
+		"points_registered", mt.PointsRegistered,
+		"reports_accepted", mt.ReportsAccepted,
+		obs.KeyExitCode, 3)
+	os.Exit(3)
 }

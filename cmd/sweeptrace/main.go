@@ -1,0 +1,86 @@
+// Command sweeptrace stitches the per-process span logs of a distributed
+// sweep (sweepd's -span-log, each sweepworker's -span-log, and optionally
+// the sweep client's) into one timeline. It prints the assembled span
+// trees as indented text and can export the whole thing as a Chrome
+// trace-event file that Perfetto (or chrome://tracing) loads directly, so
+// one picture shows submit → lease → run → heartbeats → report → merge
+// across every process — including expiry → re-lease → takeover chains
+// when a worker died mid-point.
+//
+// Examples:
+//
+//	sweeptrace sweepd.spans.jsonl w1.spans.jsonl w2.spans.jsonl
+//	sweeptrace -o stitched.trace.json sweepd.spans.jsonl w*.spans.jsonl
+//	sweeptrace -strict logs/*.spans.jsonl   # exit 1 on orphaned spans
+//
+// Exit status: 0 on success, 1 when reading or writing fails (or, with
+// -strict, when any span's parent is missing from the stitched set), 2 on
+// flag/usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+	"repro/internal/tracing"
+)
+
+func main() {
+	logger := obs.Init("sweeptrace")
+	var (
+		out    = flag.String("o", "", "also write the stitched timeline as Chrome trace-event JSON to this file (Perfetto-loadable)")
+		strict = flag.Bool("strict", false, "exit nonzero when any span is orphaned (its parent span appears in no input log)")
+		quiet  = flag.Bool("quiet", false, "suppress the text rendering; just stitch, validate and export")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "sweeptrace: at least one span-log file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fatal := func(err error) {
+		logger.Error("fatal", "error", err.Error())
+		os.Exit(1)
+	}
+
+	spans, err := obs.ReadSpanFiles(obs.Printf(logger, slog.LevelWarn), flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(spans) == 0 {
+		fatal(fmt.Errorf("no spans in %d input file(s)", flag.NArg()))
+	}
+	tree := obs.Stitch(spans)
+	if !*quiet {
+		tree.Format(os.Stdout)
+	}
+	logger.Info("stitched", "files", flag.NArg(), "spans", tree.Spans,
+		"traces", len(tree.Traces), "roots", len(tree.Roots), "orphans", len(tree.Orphans))
+
+	if *out != "" {
+		f, err := telemetry.CreateFile(*out)
+		if err != nil {
+			fatal(err)
+		}
+		werr := tracing.WriteChromeSpans(f, tree.AllSpans())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		logger.Info("chrome trace written", "path", *out)
+	}
+
+	if *strict && len(tree.Orphans) > 0 {
+		for _, o := range tree.Orphans {
+			logger.Error("orphaned span", obs.KeyTrace, o.Trace, obs.KeySpan, o.ID,
+				"name", o.Name, "missing_parent", o.Parent, "process", o.Process)
+		}
+		os.Exit(1)
+	}
+}

@@ -9,7 +9,10 @@
 // Each worker self-monitors (heap, goroutines, rusage, points/sec) in the
 // style of cc-metric-collector's `self` collector; samples ride the
 // heartbeats to sweepd's /metrics page and are optionally served locally
-// with -metrics-addr.
+// with -metrics-addr (which also mounts /debug/pprof/). Logs are
+// structured JSON on stderr; -span-log records the worker-side half of
+// each point's span tree (run, heartbeat, checkpoint-ship) for
+// cmd/sweeptrace to stitch against sweepd's.
 //
 // Example:
 //
@@ -20,7 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,13 +32,13 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sweepsvc"
 	"repro/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(log.Ltime)
 	var (
 		server       = flag.String("server", "http://127.0.0.1:8044", "sweepd base URL")
 		name         = flag.String("name", "", "worker name (default host-pid)")
@@ -43,8 +46,9 @@ func main() {
 		pointTimeout = flag.Duration("point-timeout", 0, "per-point wall-clock deadline (0 = derived from the point's cycle budget)")
 		retries      = flag.Int("retries", 2, "worker-side retry budget per point")
 		selfEvery    = flag.Duration("self-interval", 5*time.Second, "self-monitoring sample interval")
-		metricsAddr  = flag.String("metrics-addr", "", "also serve this worker's self-metrics at this address (optional)")
+		metricsAddr  = flag.String("metrics-addr", "", "also serve this worker's self-metrics (and /debug/pprof/) at this address (optional)")
 		ckDir        = flag.String("checkpoint-dir", "", "checkpoint running points under this directory and ship captures with heartbeats, making points preemptible and migratable (optional)")
+		spanLogPath  = flag.String("span-log", "", "append-only JSONL span log (worker half of each point's trace; stitch with sweeptrace)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -54,7 +58,18 @@ func main() {
 		}
 		*name = sweepsvc.WorkerID(host, os.Getpid())
 	}
-	log.SetPrefix("sweepworker[" + *name + "]: ")
+	logger := obs.Init("sweepworker").With(obs.KeyWorker, *name)
+
+	var spans *obs.SpanLog
+	if *spanLogPath != "" {
+		var err error
+		spans, err = obs.OpenSpanLog(*spanLogPath, "sweepworker/"+*name)
+		if err != nil {
+			logger.Error("fatal", "error", err.Error())
+			os.Exit(1)
+		}
+		defer spans.Close()
+	}
 
 	w := &sweepsvc.Worker{
 		Client:         &sweepsvc.Client{Base: strings.TrimRight(*server, "/")},
@@ -64,7 +79,10 @@ func main() {
 		PointTimeout:   *pointTimeout,
 		RetryBudget:    *retries,
 		CheckpointDir:  *ckDir,
-		Log:            log.Printf,
+		Log:            obs.Printf(logger, slog.LevelInfo),
+		Logger:         logger,
+		Spans:          spans,
+		Provenance:     obs.Collect("sweepworker", os.Args[1:]),
 	}
 	self := &telemetry.SelfCollector{Interval: *selfEvery, Points: w.PointsDone, SimCounters: w.SimCounters}
 	w.Self = self
@@ -77,20 +95,23 @@ func main() {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
 			var sb strings.Builder
+			telemetry.PromBuildInfo(&sb, "sweepworker_build_info")
 			telemetry.PromSelf(&sb, "sweepworker_", self.Last(), map[string]string{"worker": *name})
 			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			fmt.Fprint(rw, sb.String())
 		})
+		telemetry.MountPprof(mux)
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				log.Printf("metrics server: %v", err)
+				logger.Warn("metrics server failed", "error", err.Error())
 			}
 		}()
 	}
 
-	log.Printf("pulling from %s", *server)
+	logger.Info("pulling", "server", *server)
 	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
-		log.Fatal(err)
+		logger.Error("fatal", "error", err.Error())
+		os.Exit(1)
 	}
-	log.Print("stopped")
+	logger.Info("stopped", "points_done", w.PointsDone())
 }

@@ -15,17 +15,20 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload/dss"
 	"repro/internal/workload/oltp"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tracegen: ")
+	logger := obs.Init("tracegen")
+	fatal := func(err error) {
+		logger.Error("fatal", "error", err.Error())
+		os.Exit(1)
+	}
 	var (
 		workload  = flag.String("workload", "oltp", "workload: oltp or dss")
 		procs     = flag.Int("procs", 4, "number of server processes")
@@ -44,7 +47,7 @@ func main() {
 
 	if *summarize != "" {
 		if err := summary(*summarize); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}
@@ -83,18 +86,18 @@ func main() {
 		path := fmt.Sprintf("%s.p%d.trace", *out, p)
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		w, err := trace.NewWriter(f)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		n, err := trace.WriteAll(w, s)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		st, _ := os.Stat(path)
 		fmt.Printf("%s: %d instructions, %d bytes (%.2f B/instr)\n",
@@ -103,7 +106,7 @@ func main() {
 	// A workload-model failure truncates its streams; the traces written
 	// above would be silently short, so fail loudly instead.
 	if err := wErr(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 }
 

@@ -77,6 +77,7 @@ func runPoints(sc Scale, pts []figPoint) ([]*stats.Report, error) {
 	_, poolErr := runner.Run(parent, rpts, runner.Options{
 		Workers:     workers,
 		MaxAttempts: 1,
+		Logger:      sc.Logger,
 	})
 	for i := range pts {
 		if errs[i] != nil {

@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 
 	"repro/internal/config"
@@ -91,6 +92,13 @@ type Scale struct {
 	// attempt's partial progress is picked up instead of re-simulated.
 	// A missing or invalid file runs from scratch.
 	ResumeFromCheckpoints bool
+
+	// Logger, when non-nil, emits structured per-point lifecycle lines
+	// through the internal/runner pool (start/done with point, spec_hash,
+	// status). Like Telemetry and Tracer it is a pure observer on the
+	// orchestration path — never core.Run's per-cycle path — and does not
+	// participate in the spec hash.
+	Logger *slog.Logger
 
 	// Tracer, when non-nil, records the run's cycle-resolved event stream
 	// (internal/tracing). Like Telemetry it is a pure observer and does not

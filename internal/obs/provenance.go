@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Provenance identifies exactly which binary, host, configuration, and
+// worker produced a result, so any figure datapoint can be traced back
+// to its origin. It is embedded (always omitempty, always a pointer) in
+// dbsim JSON reports, runner journal records, sweepsvc ledger point
+// records, and the merged-results API — but stripped from the canonical
+// merged *bytes* (sweepsvc.WriteMerged), which must stay byte-identical
+// between a serial local run and a chaotic distributed one.
+//
+// Field order is the JSON byte order; append new fields at the end so
+// recorded provenance stays byte-stable across versions.
+type Provenance struct {
+	Cmd         string   `json:"cmd"`                    // binary name (dbsim, sweep, ...)
+	Module      string   `json:"module,omitempty"`       // main module path
+	Version     string   `json:"version,omitempty"`      // module version ("(devel)" for local builds)
+	VCSRevision string   `json:"vcs_revision,omitempty"` // commit hash when built from VCS
+	VCSTime     string   `json:"vcs_time,omitempty"`     // commit timestamp
+	VCSModified bool     `json:"vcs_modified,omitempty"` // dirty working tree at build time
+	GoVersion   string   `json:"go_version,omitempty"`
+	OS          string   `json:"goos,omitempty"`
+	Arch        string   `json:"goarch,omitempty"`
+	Host        string   `json:"host,omitempty"`
+	PID         int      `json:"pid,omitempty"`
+	GOMAXPROCS  int      `json:"gomaxprocs,omitempty"`
+	Args        []string `json:"args,omitempty"`      // full flag set as invoked
+	Seed        uint64   `json:"seed,omitempty"`      // fault/jitter seed when one applies
+	SpecHash    string   `json:"spec_hash,omitempty"` // content address of the point produced
+	Worker      string   `json:"worker,omitempty"`    // sweepworker identity, when remote
+	Trace       string   `json:"trace,omitempty"`     // parent trace ID of the producing job
+}
+
+type buildFacts struct {
+	module, version, revision, vcsTime, goVersion string
+	modified                                      bool
+}
+
+var buildOnce = sync.OnceValue(func() buildFacts {
+	f := buildFacts{version: "unknown", revision: "unknown", goVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return f
+	}
+	f.module = bi.Main.Path
+	if bi.Main.Version != "" {
+		f.version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		f.goVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			f.revision = s.Value
+		case "vcs.time":
+			f.vcsTime = s.Value
+		case "vcs.modified":
+			f.modified = s.Value == "true"
+		}
+	}
+	return f
+})
+
+// BuildInfo returns (version, vcs revision, go version) with "unknown"
+// placeholders when the binary carries no VCS stamps — the label values
+// for the *_build_info Prometheus gauges.
+func BuildInfo() (version, revision, goVersion string) {
+	f := buildOnce()
+	return f.version, f.revision, f.goVersion
+}
+
+// Collect assembles the provenance of the current process. Args is
+// os.Args[1:] — the full flag set as invoked. Per-point fields
+// (SpecHash, Worker, Trace, Seed) are stamped later by whoever owns
+// them; callers copy the record before specializing it.
+func Collect(cmd string, args []string) *Provenance {
+	f := buildOnce()
+	host, _ := os.Hostname()
+	return &Provenance{
+		Cmd:         cmd,
+		Module:      f.module,
+		Version:     f.version,
+		VCSRevision: f.revision,
+		VCSTime:     f.vcsTime,
+		VCSModified: f.modified,
+		GoVersion:   f.goVersion,
+		OS:          runtime.GOOS,
+		Arch:        runtime.GOARCH,
+		Host:        host,
+		PID:         os.Getpid(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Args:        args,
+	}
+}
+
+// WithSpec returns a copy specialized to one point's content address.
+func (p *Provenance) WithSpec(hash string) *Provenance {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	cp.SpecHash = hash
+	return &cp
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// Provenance must survive marshal/unmarshal cycles byte-stable: the
+// record stamped into a journal entry is re-marshaled into the ledger
+// and again into the merged-results API, and any drift would make
+// "which binary produced this point" untrustworthy.
+func TestProvenanceRoundTripByteStable(t *testing.T) {
+	p := Collect("dbsim", []string{"-workload", "oltp", "-scale", "0.1"})
+	p.Seed = 42
+	sp := p.WithSpec("deadbeef01020304")
+	sp.Worker = "w1"
+	sp.Trace = "abcd1234abcd1234"
+
+	first, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// journal -> ledger -> merged: three decode/encode hops.
+	b := first
+	for hop := 0; hop < 3; hop++ {
+		var back Provenance
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		b, err = json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		if string(b) != string(first) {
+			t.Fatalf("hop %d drifted:\n got %s\nwant %s", hop, b, first)
+		}
+	}
+}
+
+func TestCollectFillsProcessFacts(t *testing.T) {
+	p := Collect("sweep", nil)
+	if p.Cmd != "sweep" {
+		t.Errorf("cmd = %q", p.Cmd)
+	}
+	if p.PID != os.Getpid() {
+		t.Errorf("pid = %d, want %d", p.PID, os.Getpid())
+	}
+	if p.GoVersion == "" || p.GOMAXPROCS < 1 {
+		t.Errorf("missing runtime facts: %+v", p)
+	}
+	v, rev, gover := BuildInfo()
+	if v == "" || rev == "" || gover == "" {
+		t.Errorf("BuildInfo returned empty labels: %q %q %q", v, rev, gover)
+	}
+	if p.Version != v || p.GoVersion != gover {
+		t.Errorf("Collect and BuildInfo disagree: %q/%q vs %q/%q", p.Version, p.GoVersion, v, gover)
+	}
+}
+
+func TestWithSpecCopies(t *testing.T) {
+	base := Collect("sweep", nil)
+	a := base.WithSpec("aaaa")
+	b := base.WithSpec("bbbb")
+	if base.SpecHash != "" || a.SpecHash != "aaaa" || b.SpecHash != "bbbb" {
+		t.Fatalf("WithSpec mutated shared state: base=%q a=%q b=%q", base.SpecHash, a.SpecHash, b.SpecHash)
+	}
+	var nilP *Provenance
+	if nilP.WithSpec("x") != nil {
+		t.Fatal("nil WithSpec should stay nil")
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext is the trace-context propagated across process boundaries
+// (sweep client -> sweepd -> sweepworker -> sweepd). It names a trace
+// and the span a remote child should attach under. The zero value means
+// "no trace"; every carrier field is omitempty so old wire payloads and
+// ledgers are unchanged when tracing is off.
+type SpanContext struct {
+	Trace string `json:"trace"`
+	Span  string `json:"span"`
+}
+
+// Valid reports whether the context names a trace to attach to.
+func (c SpanContext) Valid() bool { return c.Trace != "" }
+
+// Span is one record in a process's append-only span log. Spans are
+// written completed (start and end known) except for long-running work,
+// which may be written twice under the same ID — once at start, once at
+// completion. Stitch dedupes by (trace, span) last-record-wins, the
+// same replay rule the journal and ledger use, so a SIGKILLed worker
+// leaves its "running" span in the tree instead of an orphan hole.
+type Span struct {
+	Trace   string            `json:"trace"`
+	ID      string            `json:"span"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Process string            `json:"process,omitempty"`
+	Start   int64             `json:"start_unix_ns"`
+	End     int64             `json:"end_unix_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Context returns the span's own context, for parenting children.
+func (s Span) Context() SpanContext { return SpanContext{Trace: s.Trace, Span: s.ID} }
+
+var idCounter atomic.Uint64
+
+// NewID returns a 16-hex-char random identifier for traces and spans.
+// Collision odds at sweep scale (thousands of spans) are negligible; if
+// the system entropy source fails we fall back to a process-local
+// counter, which still never collides within one process.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", idCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SpanLog is an append-only JSONL span sink. All methods are nil-safe:
+// a process with tracing disabled passes a nil *SpanLog and every Emit
+// still returns a usable child context, so trace propagation code needs
+// no conditionals. Writes are best-effort — a full disk must never fail
+// a sweep — but each record is written with a single Write call so
+// concurrent emitters cannot interleave lines.
+type SpanLog struct {
+	mu      sync.Mutex
+	f       *os.File
+	process string
+	err     error // first write error, for Close
+}
+
+// OpenSpanLog opens (appending) the span log at path. The process name
+// stamps every span so the stitcher can assign per-process tracks.
+func OpenSpanLog(path, process string) (*SpanLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open span log: %w", err)
+	}
+	return &SpanLog{f: f, process: process}, nil
+}
+
+// Process returns the configured process name ("" on a nil log).
+func (l *SpanLog) Process() string {
+	if l == nil {
+		return ""
+	}
+	return l.process
+}
+
+// Record appends one span, stamping the process name if unset.
+func (l *SpanLog) Record(sp Span) {
+	if l == nil {
+		return
+	}
+	if sp.Process == "" {
+		sp.Process = l.process
+	}
+	b, err := json.Marshal(sp)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(b); err != nil && l.err == nil {
+		l.err = err
+	}
+}
+
+// Emit records a completed span [start,end) under parent and returns
+// the new span's context for parenting children. On a nil log it still
+// mints an ID so downstream propagation stays consistent (children
+// recorded by *other* processes will reference a span that was never
+// written here; Stitch reports those as orphans, which is the truthful
+// picture of a partially-instrumented fleet).
+func (l *SpanLog) Emit(parent SpanContext, name string, start, end time.Time, attrs map[string]string) SpanContext {
+	sp := Span{
+		Trace:  parent.Trace,
+		ID:     NewID(),
+		Parent: parent.Span,
+		Name:   name,
+		Start:  start.UnixNano(),
+		End:    end.UnixNano(),
+		Attrs:  attrs,
+	}
+	if sp.Trace == "" {
+		sp.Trace = NewID() // orphaned emit starts its own trace
+		sp.Parent = ""
+	}
+	l.Record(sp)
+	return sp.Context()
+}
+
+// Instant records a zero-duration marker span at t.
+func (l *SpanLog) Instant(parent SpanContext, name string, t time.Time, attrs map[string]string) SpanContext {
+	return l.Emit(parent, name, t, t, attrs)
+}
+
+// Close flushes and closes the log, surfacing the first write error.
+func (l *SpanLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.f.Close()
+	if l.err != nil {
+		return l.err
+	}
+	return err
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func at(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+
+// The satellite stitching contract: spans recorded independently by
+// sweepd and a worker, each to its own log, must stitch into ONE
+// connected tree — every cross-process parent reference resolves, no
+// orphans — because the lease response carried the trace context over.
+func TestStitchTwoProcessLogsOneConnectedTree(t *testing.T) {
+	dir := t.TempDir()
+	dPath := filepath.Join(dir, "sweepd.spans")
+	wPath := filepath.Join(dir, "worker.spans")
+
+	dLog, err := OpenSpanLog(dPath, "sweepd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLog, err := OpenSpanLog(wPath, "sweepworker")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// sweepd side: submit -> lease (what the HTTP handlers record).
+	root := SpanContext{Trace: NewID()}
+	submit := dLog.Emit(root, "submit", at(1), at(1), map[string]string{"job": "job-1"})
+	lease := dLog.Emit(submit, "lease", at(2), at(2), map[string]string{"worker": "w1", "point": "fig6"})
+
+	// worker side: run under the propagated lease context, with a
+	// heartbeat child — recorded to a DIFFERENT file.
+	run := wLog.Emit(lease, "run", at(2), at(9), map[string]string{"point": "fig6"})
+	wLog.Instant(run, "heartbeat", at(5), nil)
+
+	// sweepd side again: the report references the worker's run span.
+	dLog.Emit(run, "report", at(9), at(9), map[string]string{"status": "ok"})
+
+	if err := dLog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wLog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := ReadSpanFiles(t.Logf, dPath, wPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := Stitch(spans)
+	if len(tree.Orphans) != 0 {
+		var b bytes.Buffer
+		tree.Format(&b)
+		t.Fatalf("got %d orphans, want 0:\n%s", len(tree.Orphans), b.String())
+	}
+	if len(tree.Roots) != 1 {
+		t.Fatalf("got %d roots, want 1 (single connected tree)", len(tree.Roots))
+	}
+	if len(tree.Traces) != 1 || tree.Traces[0] != root.Trace {
+		t.Fatalf("traces = %v, want [%s]", tree.Traces, root.Trace)
+	}
+	if tree.Spans != 5 {
+		t.Fatalf("spans = %d, want 5", tree.Spans)
+	}
+	// submit -> lease -> run -> {heartbeat} and submit -> ... report
+	// parented under run: walk the depth chain.
+	n := tree.Roots[0]
+	if n.Name != "submit" || len(n.Children) != 1 {
+		t.Fatalf("root = %s with %d children, want submit/1", n.Name, len(n.Children))
+	}
+	leaseN := n.Children[0]
+	if leaseN.Name != "lease" || len(leaseN.Children) != 1 {
+		t.Fatalf("child = %s/%d, want lease/1", leaseN.Name, len(leaseN.Children))
+	}
+	runN := leaseN.Children[0]
+	if runN.Name != "run" || runN.Process != "sweepworker" || len(runN.Children) != 2 {
+		t.Fatalf("grandchild = %s(%s)/%d, want run(sweepworker)/2", runN.Name, runN.Process, len(runN.Children))
+	}
+}
+
+// Long-running spans are logged twice under one ID (start marker, then
+// completion); Stitch must collapse them last-record-wins so a live
+// rewrite doesn't double-count, while a SIGKILLed worker's lone start
+// marker still connects to the tree.
+func TestStitchDedupesLastRecordWins(t *testing.T) {
+	trace := NewID()
+	runID := NewID()
+	spans := []Span{
+		{Trace: trace, ID: "lease1", Name: "lease", Start: 1, End: 1},
+		{Trace: trace, ID: runID, Parent: "lease1", Name: "run", Start: 2, End: 2,
+			Attrs: map[string]string{"status": "running"}},
+		{Trace: trace, ID: runID, Parent: "lease1", Name: "run", Start: 2, End: 9,
+			Attrs: map[string]string{"status": "ok"}},
+	}
+	tree := Stitch(spans)
+	if tree.Spans != 2 {
+		t.Fatalf("spans = %d, want 2 after dedup", tree.Spans)
+	}
+	run := tree.Roots[0].Children[0]
+	if run.Attrs["status"] != "ok" || run.End != 9 {
+		t.Fatalf("dedup kept %v end=%d, want completed record", run.Attrs, run.End)
+	}
+
+	// Reversed file order must not change the outcome (later End wins).
+	rev := []Span{spans[2], spans[1], spans[0]}
+	tree2 := Stitch(rev)
+	if got := tree2.Roots[0].Children[0]; got.Attrs["status"] != "ok" {
+		t.Fatalf("order-dependent dedup: kept %v", got.Attrs)
+	}
+}
+
+// A torn final line (process killed mid-write) must not lose the intact
+// records before it.
+func TestReadSpansToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.spans")
+	l, err := OpenSpanLog(path, "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Emit(SpanContext{Trace: "t1"}, "run", at(1), at(2), nil)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"trace":"t1","span":"xx","na`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var warned int
+	spans, err := ReadSpans(path, func(string, ...any) { warned++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "run" {
+		t.Fatalf("spans = %+v, want the one intact record", spans)
+	}
+	if warned == 0 {
+		t.Error("torn tail was not warned about")
+	}
+}
+
+func TestStitchReportsOrphans(t *testing.T) {
+	spans := []Span{
+		{Trace: "t", ID: "a", Name: "root", Start: 1, End: 2},
+		{Trace: "t", ID: "b", Parent: "missing", Name: "stray", Start: 1, End: 2},
+	}
+	tree := Stitch(spans)
+	if len(tree.Orphans) != 1 || tree.Orphans[0].ID != "b" {
+		t.Fatalf("orphans = %+v, want [b]", tree.Orphans)
+	}
+}
+
+// Nil span logs must be inert but still mint propagatable contexts.
+func TestNilSpanLogSafe(t *testing.T) {
+	var l *SpanLog
+	ctx := l.Emit(SpanContext{}, "run", at(1), at(2), nil)
+	if !ctx.Valid() || ctx.Span == "" {
+		t.Fatalf("nil Emit returned invalid context %+v", ctx)
+	}
+	l.Record(Span{})
+	l.Instant(ctx, "x", at(1), nil)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Process() != "" {
+		t.Fatal("nil Process should be empty")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/diag"
+	"repro/internal/obs"
 )
 
 // Status is the terminal state of one run point.
@@ -64,6 +65,12 @@ type Record struct {
 	// Result is the point's marshaled outcome (what Point.Run returned),
 	// kept so a resumed sweep can still emit complete merged output.
 	Result json.RawMessage `json:"result,omitempty"`
+
+	// Provenance identifies the binary/host/worker that produced this
+	// record (stamped from Options.Provenance, or by the sweep worker).
+	// Pure metadata: merged-output byte identity reads only Result, and
+	// resume keys only on SpecHash.
+	Provenance *obs.Provenance `json:"provenance,omitempty"`
 
 	// Reused marks a record replayed from a prior journal during -resume
 	// (in-memory only; never re-journaled).

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Class is a failure classification; it decides retryability.
@@ -224,6 +226,14 @@ type Options struct {
 	Drain context.Context
 	// OnEvent, when non-nil, observes pool progress. Called serially.
 	OnEvent func(Event)
+	// Logger, when non-nil, emits structured per-point lifecycle lines
+	// (start/retry/done with the stable obs keys). Orchestration-path
+	// only — never consulted inside a running simulation.
+	Logger *slog.Logger
+	// Provenance, when non-nil, is stamped (with the point's own spec
+	// hash) onto every record this pool produces, so journal entries and
+	// merged results identify the binary and host that ran them.
+	Provenance *obs.Provenance
 }
 
 // Timeout-derivation constants. MinCyclesPerSecond is a deliberately
@@ -453,6 +463,10 @@ func (p *pool) run(ctx context.Context, points []Point) *Summary {
 // journaling, and returns its terminal record.
 func (p *pool) runPoint(ctx context.Context, pt Point) *Record {
 	rec := &Record{ID: pt.ID, SpecHash: SpecHash(pt.Spec), Series: pt.Series}
+	rec.Provenance = p.opt.Provenance.WithSpec(rec.SpecHash)
+	if p.opt.Logger != nil {
+		p.opt.Logger.Debug("point start", obs.KeyPoint, pt.ID, obs.KeySpecHash, rec.SpecHash)
+	}
 	start := time.Now()
 	disableFaults := false
 	ckPrefix := p.checkpointPrefix(pt)
@@ -518,6 +532,16 @@ func (p *pool) runPoint(ctx context.Context, pt Point) *Record {
 		if jerr := p.opt.Journal.Append(rec); jerr != nil {
 			p.jerrs.Add(1)
 		}
+	}
+	if p.opt.Logger != nil {
+		lvl := slog.LevelInfo
+		if rec.Status == StatusFailed {
+			lvl = slog.LevelError
+		}
+		p.opt.Logger.Log(ctx, lvl, "point done",
+			obs.KeyPoint, pt.ID, obs.KeySpecHash, rec.SpecHash,
+			"status", string(rec.Status), "attempts", rec.Attempts,
+			"seconds", rec.Seconds, "error", rec.Error)
 	}
 	ev := Event{Kind: EventDone, Point: pt.ID, Attempt: rec.Attempts, Record: rec, Result: result}
 	if rec.Status == StatusFailed || rec.Status == StatusCanceled {

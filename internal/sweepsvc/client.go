@@ -12,8 +12,6 @@ import (
 	"sort"
 	"strings"
 	"time"
-
-	"repro/internal/runner"
 )
 
 // Client talks to sweepd. Every call retries transparently on transport
@@ -187,10 +185,12 @@ func (c *Client) Renew(ctx context.Context, req *RenewRequest) (*RenewResponse, 
 	return &resp, nil
 }
 
-// Report submits a terminal record (idempotent by hash).
-func (c *Client) Report(ctx context.Context, worker, hash string, rec *runner.Record) (*ReportResponse, error) {
+// Report submits a terminal record (idempotent by hash). The request may
+// carry the worker's run-span context so the server parents its "report"
+// span under the worker's run.
+func (c *Client) Report(ctx context.Context, req *ReportRequest) (*ReportResponse, error) {
 	var resp ReportResponse
-	if err := c.call(ctx, http.MethodPost, "/api/v1/report", &ReportRequest{Worker: worker, Hash: hash, Record: rec}, &resp); err != nil {
+	if err := c.call(ctx, http.MethodPost, "/api/v1/report", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -270,11 +270,16 @@ func (c *Client) streamEvents(ctx context.Context, id string, from int, onEvent 
 }
 
 // WriteMerged writes merged results in the canonical byte form both the
-// local and remote sweep paths share: JobID stripped, points sorted by ID,
-// indented JSON. Two sweeps over the same grid — serial local, chaotic
-// distributed — must produce byte-identical files.
+// local and remote sweep paths share: JobID and per-point Provenance
+// stripped, points sorted by ID, indented JSON. Two sweeps over the same
+// grid — serial local, chaotic distributed — must produce byte-identical
+// files; provenance (which worker ran what, on which host) is inherently
+// run-specific, so it rides the /results API but never the merged bytes.
 func WriteMerged(w io.Writer, points []MergedPoint) error {
 	pts := append([]MergedPoint(nil), points...)
+	for i := range pts {
+		pts[i].Provenance = nil
+	}
 	sort.Slice(pts, func(a, b int) bool { return pts[a].ID < pts[b].ID })
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -53,6 +54,14 @@ type LedgerRecord struct {
 
 	// Terminal fields.
 	Record *runner.Record `json:"record,omitempty"`
+
+	// Observability fields, on "point" records: the job's trace context
+	// (so a restarted sweepd keeps new leases linked to the original
+	// trace) and the submitting client's provenance. Appended last —
+	// tooling greps for adjacent `"type":...,"hash":...` on terminal
+	// records, so field order above must not shift.
+	Trace      *obs.SpanContext `json:"trace,omitempty"`
+	Provenance *obs.Provenance  `json:"provenance,omitempty"`
 }
 
 // Ledger is the append-only, fsync-per-record JSONL file behind the sweep

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -45,6 +47,14 @@ type pointState struct {
 	// docs for why images aren't persisted. Cleared on terminal state.
 	ckpts      map[string][]byte
 	ckptCycles map[string]uint64
+
+	// Trace linkage: the submit-span context this point's spans attach
+	// under (persisted on the ledger "point" record so a restarted sweepd
+	// keeps the linkage), and the current lease's span ID — the parent
+	// the lease response advertises to the worker and the anchor for
+	// expiry/takeover spans.
+	trace     obs.SpanContext
+	leaseSpan string
 }
 
 // ckptCycle returns the newest capture cycle among the point's stored
@@ -84,6 +94,7 @@ type jobState struct {
 	id     string
 	points []jobMember
 	events []Event
+	trace  obs.SpanContext // the job's submit-span context
 }
 
 type jobMember struct {
@@ -139,6 +150,8 @@ type Manager struct {
 	ledger *Ledger
 	cache  *Cache
 	warn   func(format string, args ...any)
+	log    *slog.Logger // nil = no structured logs
+	spans  *obs.SpanLog // nil-safe: tracing off still propagates contexts
 
 	points  map[string]*pointState // by hash
 	pending []string               // FIFO of pending hashes
@@ -163,6 +176,14 @@ type ManagerOptions struct {
 	// Warn observes replay warnings and ledger append failures (nil =
 	// dropped).
 	Warn func(format string, args ...any)
+	// Logger, when non-nil, emits structured state-transition lines with
+	// the stable obs keys (job, spec_hash, worker, lease).
+	Logger *slog.Logger
+	// Spans, when non-nil, records the server-side half of every job's
+	// span tree (submit, lease, expiry, takeover, report, merge) to an
+	// append-only span log. Timestamps come from the manager clock, so
+	// fake-clock tests produce deterministic span times.
+	Spans *obs.SpanLog
 }
 
 // NewManager opens (and replays) the ledger and returns a ready manager.
@@ -172,6 +193,8 @@ func NewManager(opt ManagerOptions) (*Manager, error) {
 		ttl:    opt.LeaseTTL,
 		cache:  NewCache(opt.CacheCapacity),
 		warn:   opt.Warn,
+		log:    opt.Logger,
+		spans:  opt.Spans,
 		points: make(map[string]*pointState),
 		jobs:   make(map[string]*jobState),
 		change: make(chan struct{}),
@@ -219,6 +242,11 @@ func (m *Manager) replay(r *LedgerRecord) {
 		p := m.points[r.Hash]
 		if p == nil {
 			p = &pointState{id: r.ID, hash: r.Hash, spec: r.Spec, maxCycles: r.MaxCycles, faulty: r.Faulty, status: PointPending}
+			if r.Trace != nil {
+				// Restore the trace linkage: leases issued after the
+				// restart still attach to the original job trace.
+				p.trace = *r.Trace
+			}
 			m.points[r.Hash] = p
 			m.pending = append(m.pending, r.Hash)
 			m.metrics.PointsRegistered++
@@ -227,6 +255,9 @@ func (m *Manager) replay(r *LedgerRecord) {
 			j := m.jobs[r.Job]
 			if j == nil {
 				j = &jobState{id: r.Job}
+				if r.Trace != nil {
+					j.trace = *r.Trace
+				}
 				m.jobs[r.Job] = j
 				m.jobSeq++
 				m.metrics.Jobs++
@@ -294,6 +325,14 @@ func (m *Manager) append(r *LedgerRecord) {
 	}
 }
 
+// span records an instant span at the manager clock's now under parent,
+// returning the new span's context. Nil-safe end to end: with no span
+// log configured it still mints IDs, so lease responses always carry a
+// usable context for workers that do trace.
+func (m *Manager) span(parent obs.SpanContext, name string, attrs map[string]string) obs.SpanContext {
+	return m.spans.Instant(parent, name, m.now(), attrs)
+}
+
 // broadcast wakes every watcher blocked on a change.
 func (m *Manager) broadcast() {
 	close(m.change)
@@ -348,16 +387,26 @@ func (m *Manager) Submit(req *SubmitRequest) (*JobStatus, error) {
 		return m.jobStatusLocked(j, false), nil
 	}
 	j := &jobState{id: id}
+	// Root the job's span tree: under the client's trace context when it
+	// sent one, else a fresh trace so server-side spans still correlate.
+	parent := obs.SpanContext{}
+	if req.Trace != nil {
+		parent = *req.Trace
+	}
+	j.trace = m.span(parent, "submit", map[string]string{obs.KeyJob: id})
 	m.jobs[id] = j
 	m.jobSeq++
 	m.metrics.Jobs++
+	if m.log != nil {
+		m.log.Info("job submitted", obs.KeyJob, id, "points", len(req.Points), obs.KeyTrace, j.trace.Trace)
+	}
 	for i := range req.Points {
 		jp := &req.Points[i]
 		hash := jp.Hash()
 		j.points = append(j.points, jobMember{id: jp.ID, hash: hash})
 		p := m.points[hash]
 		if p == nil {
-			p = &pointState{id: jp.ID, hash: hash, spec: jp.Spec, maxCycles: jp.MaxCycles, faulty: jp.Faulty, status: PointPending}
+			p = &pointState{id: jp.ID, hash: hash, spec: jp.Spec, maxCycles: jp.MaxCycles, faulty: jp.Faulty, status: PointPending, trace: j.trace}
 			m.points[hash] = p
 			m.metrics.PointsRegistered++
 			if rec := m.cache.Get(hash); rec != nil {
@@ -367,6 +416,7 @@ func (m *Manager) Submit(req *SubmitRequest) (*JobStatus, error) {
 				p.record = rec
 				p.cached = true
 				m.metrics.CacheHits++
+				m.span(j.trace, "cache-hit", map[string]string{obs.KeyPoint: jp.ID, obs.KeySpecHash: hash})
 			} else {
 				m.metrics.CacheMisses++
 				m.pending = append(m.pending, hash)
@@ -378,6 +428,7 @@ func (m *Manager) Submit(req *SubmitRequest) (*JobStatus, error) {
 				m.cache.Get(hash) // refresh recency
 				p.cached = true
 				m.metrics.CacheHits++
+				m.span(j.trace, "cache-hit", map[string]string{obs.KeyPoint: jp.ID, obs.KeySpecHash: hash})
 			case p.status == PointFailed:
 				// A new submission re-tries a previously failed spec.
 				m.metrics.CacheMisses++
@@ -391,7 +442,7 @@ func (m *Manager) Submit(req *SubmitRequest) (*JobStatus, error) {
 				// cache hit nor a miss — the work is shared, not repeated).
 			}
 		}
-		m.append(&LedgerRecord{Type: "point", Job: id, ID: jp.ID, Hash: hash, Spec: jp.Spec, MaxCycles: jp.MaxCycles, Faulty: jp.Faulty})
+		m.append(&LedgerRecord{Type: "point", Job: id, ID: jp.ID, Hash: hash, Spec: jp.Spec, MaxCycles: jp.MaxCycles, Faulty: jp.Faulty, Trace: &p.trace, Provenance: req.Provenance})
 		m.emit(p, "")
 	}
 	return m.jobStatusLocked(j, false), nil
@@ -422,12 +473,24 @@ func (m *Manager) Lease(worker string) *LeaseResponse {
 	p.deadline = now.Add(m.ttl)
 	p.leases++
 	m.metrics.LeasesIssued++
+	leaseSC := m.span(p.trace, "lease", map[string]string{
+		obs.KeyPoint: p.id, obs.KeySpecHash: hash, obs.KeyWorker: worker,
+	})
+	p.leaseSpan = leaseSC.Span
+	if m.log != nil {
+		m.log.Info("lease issued", obs.KeyPoint, p.id, obs.KeySpecHash, hash,
+			obs.KeyWorker, worker, obs.KeyLease, p.leaseSpan, "leases", p.leases)
+	}
 	m.append(&LedgerRecord{Type: "lease", Hash: hash, Worker: worker, DeadlineUnix: p.deadline.UnixMilli()})
 	if len(p.ckpts) > 0 {
 		// The previous holder shipped mid-run checkpoints before its lease
 		// lapsed: this grant is a takeover that resumes, not restarts.
 		m.metrics.Takeovers++
 		m.append(&LedgerRecord{Type: "resume", ID: p.id, Hash: hash, Worker: worker, FromCycle: p.ckptCycle()})
+		m.span(leaseSC, "takeover", map[string]string{
+			obs.KeyPoint: p.id, obs.KeyWorker: worker,
+			obs.KeyCycle: fmt.Sprintf("%d", p.ckptCycle()),
+		})
 		m.warn("lease on %s (%s) taken over by %s; resuming from cycle %d", p.id, hash, worker, p.ckptCycle())
 	}
 	m.emit(p, "")
@@ -450,6 +513,11 @@ func (m *Manager) leaseResponse(p *pointState) *LeaseResponse {
 			resp.Checkpoints[name] = append([]byte(nil), img...)
 		}
 		resp.CheckpointCycle = p.ckptCycle()
+	}
+	if p.trace.Valid() && p.leaseSpan != "" {
+		// The worker parents its run span here, connecting its span log
+		// to the job's tree.
+		resp.Trace = &obs.SpanContext{Trace: p.trace.Trace, Span: p.leaseSpan}
 	}
 	return resp
 }
@@ -508,6 +576,13 @@ func (m *Manager) Renew(worker, hash string, ckpts map[string][]byte) (*RenewRes
 // dropped. The report is accepted even from a worker whose lease expired —
 // the result of a deterministic simulation is the result.
 func (m *Manager) Report(worker, hash string, rec *runner.Record) (*ReportResponse, error) {
+	return m.ReportTraced(worker, hash, rec, nil)
+}
+
+// ReportTraced is Report carrying the worker's run-span context, so the
+// server-side report span lands under the run that produced the record
+// (the HTTP handler passes ReportRequest.Trace through here).
+func (m *Manager) ReportTraced(worker, hash string, rec *runner.Record, tr *obs.SpanContext) (*ReportResponse, error) {
 	if rec == nil {
 		return nil, errors.New("sweepsvc: report: no record")
 	}
@@ -539,6 +614,23 @@ func (m *Manager) Report(worker, hash string, rec *runner.Record) (*ReportRespon
 	p.ckpts, p.ckptCycles = nil, nil
 	m.metrics.ReportsAccepted++
 	m.append(&LedgerRecord{Type: typ, Hash: hash, Worker: worker, Record: rec})
+	parent := obs.SpanContext{Trace: p.trace.Trace, Span: p.leaseSpan}
+	if tr != nil && tr.Valid() {
+		parent = *tr
+	}
+	m.span(parent, "report", map[string]string{
+		obs.KeyPoint: p.id, obs.KeySpecHash: hash, obs.KeyWorker: worker,
+		"status": string(p.status),
+	})
+	if m.log != nil {
+		lvl := slog.LevelInfo
+		if p.status == PointFailed {
+			lvl = slog.LevelError
+		}
+		m.log.Log(context.Background(), lvl, "report accepted",
+			obs.KeyPoint, p.id, obs.KeySpecHash, hash, obs.KeyWorker, worker,
+			"status", string(p.status), "error", rec.Error)
+	}
 	m.emit(p, rec.Error)
 	return &ReportResponse{Accepted: true}, nil
 }
@@ -558,6 +650,12 @@ func (m *Manager) expireLocked(now time.Time) int {
 		if p.status == PointLeased && now.After(p.deadline) {
 			p.status = PointPending
 			m.warn("lease on %s (%s) held by %s expired; re-queueing", p.id, p.hash, p.worker)
+			if m.log != nil {
+				m.log.Warn("lease expired", obs.KeyPoint, p.id, obs.KeySpecHash, p.hash,
+					obs.KeyWorker, p.worker, obs.KeyLease, p.leaseSpan)
+			}
+			m.span(obs.SpanContext{Trace: p.trace.Trace, Span: p.leaseSpan}, "expiry",
+				map[string]string{obs.KeyPoint: p.id, obs.KeyWorker: p.worker})
 			p.worker = ""
 			m.pending = append(m.pending, p.hash)
 			m.metrics.LeasesExpired++
@@ -657,11 +755,15 @@ func (m *Manager) Merged(id string) (*MergedResults, error) {
 			mp.Status = p.status
 			if p.record != nil {
 				mp.Result = append(json.RawMessage(nil), p.record.Result...)
+				// Surface who produced the point on the API response;
+				// WriteMerged strips this from the canonical bytes.
+				mp.Provenance = p.record.Provenance
 			}
 		}
 		out.Points = append(out.Points, mp)
 	}
 	sort.Slice(out.Points, func(a, b int) bool { return out.Points[a].ID < out.Points[b].ID })
+	m.span(j.trace, "merge", map[string]string{obs.KeyJob: j.id})
 	return out, nil
 }
 

@@ -20,6 +20,7 @@ package sweepsvc
 import (
 	"encoding/json"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 )
@@ -73,6 +74,15 @@ type PointState struct {
 type SubmitRequest struct {
 	JobID  string     `json:"job_id,omitempty"`
 	Points []JobPoint `json:"points"`
+
+	// Trace is the submitting client's trace context: the job's spans on
+	// every process (sweepd lease/expiry/takeover, worker runs) attach
+	// under it, so one sweep stitches into one tree. Absent on old
+	// clients; sweepd then roots a fresh trace.
+	Trace *obs.SpanContext `json:"trace,omitempty"`
+	// Provenance identifies the submitting client (binary, host, flags);
+	// recorded on the ledger's point registrations.
+	Provenance *obs.Provenance `json:"provenance,omitempty"`
 }
 
 // JobStatus summarizes a job.
@@ -125,6 +135,11 @@ type LeaseResponse struct {
 	RetryAfterMS    int64             `json:"retry_after_ms,omitempty"`
 	Checkpoints     map[string][]byte `json:"checkpoints,omitempty"`
 	CheckpointCycle uint64            `json:"checkpoint_cycle,omitempty"`
+
+	// Trace is the lease span's context: the worker parents its run span
+	// (and the run's heartbeat/checkpoint-ship children) under it, which
+	// is what makes the job's span tree connect across processes.
+	Trace *obs.SpanContext `json:"trace,omitempty"`
 }
 
 // RenewRequest is a worker heartbeat: it extends the lease on hash and
@@ -155,6 +170,10 @@ type ReportRequest struct {
 	Worker string         `json:"worker"`
 	Hash   string         `json:"hash"`
 	Record *runner.Record `json:"record"`
+
+	// Trace is the worker's run-span context, so sweepd's report span
+	// attaches under the run that produced the record.
+	Trace *obs.SpanContext `json:"trace,omitempty"`
 }
 
 // ReportResponse acknowledges a report.
@@ -166,11 +185,18 @@ type ReportResponse struct {
 // MergedPoint is one point of a job's merged results: the canonical output
 // the chaos harness compares bit-for-bit against a serial local run. The
 // Result bytes are the runner.Record's marshaled result, verbatim.
+//
+// Provenance rides the /results API response (which binary/worker/trace
+// produced each point) but is stripped — like JobID — from the canonical
+// merged bytes WriteMerged emits, because those must stay byte-identical
+// between a serial local run and a chaotic distributed one.
 type MergedPoint struct {
 	ID     string          `json:"id"`
 	Hash   string          `json:"hash"`
 	Status PointStatus     `json:"status"`
 	Result json.RawMessage `json:"result,omitempty"`
+
+	Provenance *obs.Provenance `json:"provenance,omitempty"`
 }
 
 // MergedResults is a job's merged output, points sorted by ID.
@@ -193,6 +219,7 @@ func MergedFromRecords(recs []*runner.Record) []MergedPoint {
 			mp.Status = PointFailed
 		}
 		mp.Result = rec.Result
+		mp.Provenance = rec.Provenance
 		pts = append(pts, mp)
 	}
 	return pts

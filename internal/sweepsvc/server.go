@@ -51,6 +51,9 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Live profiling of a long-running sweepd: `go tool pprof
+	// http://host:8044/debug/pprof/profile` against the production daemon.
+	telemetry.MountPprof(mux)
 	return mux
 }
 
@@ -201,7 +204,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	resp, err := s.m.Report(req.Worker, req.Hash, req.Record)
+	resp, err := s.m.ReportTraced(req.Worker, req.Hash, req.Record, req.Trace)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -215,6 +218,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mt := s.m.MetricsSnapshot()
 	var sb strings.Builder
+	telemetry.PromBuildInfo(&sb, "sweepd_build_info")
 	c := func(name string, v uint64) {
 		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", name, name, v)
 	}

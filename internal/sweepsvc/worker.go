@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 )
@@ -49,6 +51,19 @@ type Worker struct {
 	CheckpointDir string
 	// Log observes worker progress (nil = silent).
 	Log func(format string, args ...any)
+	// Logger, when non-nil, emits structured lifecycle lines with the
+	// stable obs keys (point, spec_hash, worker, trace).
+	Logger *slog.Logger
+	// Spans, when non-nil, records the worker-side half of each point's
+	// span tree (run + heartbeat/checkpoint-ship children), parented
+	// under the lease span the server advertised — the cross-process
+	// stitch point. Run spans are written twice under one ID (start
+	// marker, then completion) so a SIGKILLed worker still leaves a
+	// connected tree.
+	Spans *obs.SpanLog
+	// Provenance, when non-nil, is specialized per point (spec hash,
+	// worker name, trace ID) and stamped on every reported record.
+	Provenance *obs.Provenance
 
 	// Self samples the worker's own health; each heartbeat carries the
 	// latest sample to sweepd's /metrics page. Points feeds its rate
@@ -163,16 +178,51 @@ func (w *Worker) Run(ctx context.Context) error {
 func (w *Worker) runPoint(ctx context.Context, lease *LeaseResponse) {
 	jp := lease.Point
 	hash := jp.Hash()
+	// Attach this run under the lease span sweepd advertised; with no
+	// propagated context the run roots its own trace (still stitchable
+	// among this worker's spans, orphaned from the job's — truthful for
+	// a partially instrumented fleet).
+	leaseSC := obs.SpanContext{}
+	if lease.Trace != nil {
+		leaseSC = *lease.Trace
+	}
+	if !leaseSC.Valid() {
+		leaseSC = obs.SpanContext{Trace: obs.NewID()}
+	}
+	runSC := obs.SpanContext{Trace: leaseSC.Trace, Span: obs.NewID()}
+	runSpan := func(at time.Time, status string) obs.Span {
+		return obs.Span{
+			Trace: runSC.Trace, ID: runSC.Span, Parent: leaseSC.Span, Name: "run",
+			Start: at.UnixNano(), End: at.UnixNano(),
+			Attrs: map[string]string{
+				obs.KeyPoint: jp.ID, obs.KeySpecHash: hash,
+				obs.KeyWorker: w.Name, "status": status,
+			},
+		}
+	}
+	prov := func() *obs.Provenance {
+		if w.Provenance == nil {
+			return nil
+		}
+		pv := *w.Provenance
+		pv.SpecHash = hash
+		pv.Worker = w.Name
+		pv.Trace = runSC.Trace
+		return &pv
+	}
 	pt, err := w.Build(jp)
 	if err != nil {
 		// A spec this worker cannot build (version skew, corrupt spec) is
 		// a terminal failure — report it so the point doesn't ping-pong
 		// between workers forever.
 		w.logf("%s: unbuildable spec: %v", jp.ID, err)
+		sp := runSpan(time.Now(), "unbuildable")
+		w.Spans.Record(sp)
 		w.report(ctx, hash, &runner.Record{
 			ID: jp.ID, SpecHash: hash, Status: runner.StatusFailed,
 			Attempts: 1, Class: runner.ClassError, Error: err.Error(),
-		})
+			Provenance: prov(),
+		}, runSC)
 		return
 	}
 	if len(lease.Checkpoints) > 0 {
@@ -186,16 +236,25 @@ func (w *Worker) runPoint(ctx context.Context, lease *LeaseResponse) {
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
-		w.heartbeat(runCtx, jp, hash, cancel)
+		w.heartbeat(runCtx, jp, hash, runSC, cancel)
 	}()
 
 	w.logf("%s: running (hash %s)", jp.ID, hash)
+	if w.Logger != nil {
+		w.Logger.Info("run start", obs.KeyPoint, jp.ID, obs.KeySpecHash, hash,
+			obs.KeyWorker, w.Name, obs.KeyTrace, runSC.Trace, obs.KeySpan, runSC.Span)
+	}
+	start := time.Now()
+	// Start marker: if this process is SIGKILLed mid-run, the marker
+	// keeps the (never-completed) run attached to the job's span tree.
+	w.Spans.Record(runSpan(start, "running"))
 	sum, err := runner.Run(runCtx, []runner.Point{pt}, runner.Options{
 		Workers:       1,
 		PointTimeout:  w.PointTimeout,
 		MaxAttempts:   w.MaxAttempts,
 		RetryBudget:   w.RetryBudget,
 		CheckpointDir: w.CheckpointDir,
+		Logger:        w.Logger,
 	})
 	cancel()
 	<-hbDone
@@ -204,6 +263,10 @@ func (w *Worker) runPoint(ctx context.Context, lease *LeaseResponse) {
 		return
 	}
 	rec := sum.Records[0]
+	rec.Provenance = prov()
+	done := runSpan(start, string(rec.Status))
+	done.End = time.Now().UnixNano()
+	w.Spans.Record(done)
 	if rec.Status == runner.StatusCanceled || rec.Status == runner.StatusSkipped {
 		// The worker is shutting down or lost its lease mid-run: the point
 		// is incomplete, not failed. Someone else (or this worker, later)
@@ -214,14 +277,19 @@ func (w *Worker) runPoint(ctx context.Context, lease *LeaseResponse) {
 	w.pointsDone.Add(1)
 	w.accumulateSim(rec)
 	w.logf("%s: %s (%d attempts, %.1fs)", jp.ID, rec.Status, rec.Attempts, rec.Seconds)
-	w.report(ctx, hash, rec)
+	if w.Logger != nil {
+		w.Logger.Info("run done", obs.KeyPoint, jp.ID, obs.KeySpecHash, hash,
+			obs.KeyWorker, w.Name, "status", string(rec.Status),
+			"attempts", rec.Attempts, "seconds", rec.Seconds)
+	}
+	w.report(ctx, hash, rec, runSC)
 }
 
 // heartbeat renews the lease until ctx ends, canceling the run when the
 // lease is lost. Each renewal ships the point's checkpoint files whose
 // capture cycle advanced since the last successful renewal, so sweepd
 // always holds a near-current resume image should this worker die.
-func (w *Worker) heartbeat(ctx context.Context, jp *JobPoint, hash string, lost context.CancelFunc) {
+func (w *Worker) heartbeat(ctx context.Context, jp *JobPoint, hash string, runSC obs.SpanContext, lost context.CancelFunc) {
 	every := w.HeartbeatEvery
 	if every <= 0 {
 		every = DefaultLeaseTTL / 4
@@ -245,6 +313,10 @@ func (w *Worker) heartbeat(ctx context.Context, jp *JobPoint, hash string, lost 
 		if _, err := w.Client.Renew(ctx, req); err != nil {
 			if errors.Is(err, ErrLeaseLost) {
 				w.logf("lease on %s lost; canceling in-flight run", hash)
+				if w.Logger != nil {
+					w.Logger.Warn("lease lost; canceling in-flight run",
+						obs.KeyPoint, jp.ID, obs.KeySpecHash, hash, obs.KeyWorker, w.Name)
+				}
 				lost()
 				return
 			}
@@ -254,8 +326,21 @@ func (w *Worker) heartbeat(ctx context.Context, jp *JobPoint, hash string, lost 
 			w.logf("heartbeat for %s failed: %v", hash, err)
 			continue
 		}
-		for name, cyc := range cycles {
-			shipped[name] = cyc
+		attrs := map[string]string{obs.KeyPoint: jp.ID, obs.KeyWorker: w.Name}
+		w.Spans.Instant(runSC, "heartbeat", time.Now(), attrs)
+		if len(cycles) > 0 {
+			maxCycle := uint64(0)
+			for name, cyc := range cycles {
+				shipped[name] = cyc
+				if cyc > maxCycle {
+					maxCycle = cyc
+				}
+			}
+			w.Spans.Instant(runSC, "checkpoint-ship", time.Now(), map[string]string{
+				obs.KeyPoint: jp.ID, obs.KeyWorker: w.Name,
+				obs.KeyCycle: fmt.Sprintf("%d", maxCycle),
+				"files":      fmt.Sprintf("%d", len(cycles)),
+			})
 		}
 	}
 }
@@ -343,9 +428,13 @@ func (w *Worker) installCheckpoints(jp *JobPoint, ckpts map[string][]byte, fromC
 // report delivers the record, retrying beyond the client's built-in policy
 // until it lands or the worker stops: losing a computed result to a
 // transient network blip would waste a whole simulation.
-func (w *Worker) report(ctx context.Context, hash string, rec *runner.Record) {
+func (w *Worker) report(ctx context.Context, hash string, rec *runner.Record, runSC obs.SpanContext) {
+	req := &ReportRequest{Worker: w.Name, Hash: hash, Record: rec}
+	if runSC.Valid() {
+		req.Trace = &runSC
+	}
 	for ctx.Err() == nil {
-		resp, err := w.Client.Report(ctx, w.Name, hash, rec)
+		resp, err := w.Client.Report(ctx, req)
 		if err == nil {
 			if resp.Duplicate {
 				w.logf("%s: duplicate completion (another worker got there first)", rec.ID)

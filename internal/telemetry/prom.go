@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -46,6 +48,10 @@ func ListenPromSink(addr string) (*PromSink, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())
+	// Profiling alongside metrics: the telemetry port doubles as the
+	// process's pprof surface, so a hung or slow simulation is inspectable
+	// without restarting it with extra flags.
+	MountPprof(mux)
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
 	go func() { _ = s.srv.Serve(ln) }()
@@ -125,11 +131,33 @@ func promCheckpoint(sb *strings.Builder) {
 	c("dbsim_checkpoint_write_seconds_total", "Wall-clock seconds spent writing checkpoints.", fmt.Sprintf("%g", secs))
 }
 
+// PromBuildInfo renders a `<name>{version=...,revision=...,go_version=...} 1`
+// identity gauge (the Prometheus *_build_info convention) from the binary's
+// embedded module/VCS metadata, so dashboards can correlate metric shifts
+// with deploys of a new binary.
+func PromBuildInfo(sb *strings.Builder, name string) {
+	version, revision, goVersion := obs.BuildInfo()
+	fmt.Fprintf(sb, "# HELP %s Build and version metadata of the serving binary.\n# TYPE %s gauge\n%s{version=%q,revision=%q,go_version=%q} 1\n",
+		name, name, name, version, revision, goVersion)
+}
+
+// MountPprof registers the runtime profiling endpoints under /debug/pprof/
+// on mux (explicitly — none of our binaries use http.DefaultServeMux, so
+// net/http/pprof's import side effect alone would register nothing useful).
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // Render returns the current exposition page.
 func (s *PromSink) Render() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var sb strings.Builder
+	PromBuildInfo(&sb, "dbsim_build_info")
 	if s.last == nil {
 		promCheckpoint(&sb)
 		sb.WriteString("# no samples yet\n")

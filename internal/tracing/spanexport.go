@@ -1,0 +1,159 @@
+// Chrome trace-event export for wall-clock observability spans
+// (internal/obs) — the sweep-orchestration counterpart of WriteChrome's
+// cycle-resolved simulator traces. It reuses the same event/file shapes
+// so cmd/sweeptrace output loads in Perfetto and passes
+// scripts/tracecheck exactly like a dbsim trace: one Perfetto process
+// per OS process (sweep client, sweepd, each worker), one thread per
+// sweep point (control-plane spans on a "control" track), X slices with
+// clamped durations, and flow links stitching cross-process parent
+// edges (lease -> run -> report).
+
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// spanTrack picks the thread a span renders on: per-point tracks keep a
+// sweep's timelines side by side; everything else is control-plane.
+func spanTrack(sp *obs.Span) string {
+	if p := sp.Attrs["point"]; p != "" {
+		return "point:" + p
+	}
+	return "control"
+}
+
+// WriteChromeSpans renders stitched observability spans as a
+// Perfetto-loadable trace-event file. Timestamps are normalized so the
+// earliest span starts at ts 0 and rendered in microseconds (wall
+// clock, not simulated cycles). Cross-process parent links become flow
+// events from the parent slice to the child slice.
+func WriteChromeSpans(w io.Writer, spans []obs.Span) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("tracing: no spans to export")
+	}
+	sorted := append([]obs.Span(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+
+	// Assign Perfetto pids per OS process and tids per track name.
+	procName := func(sp *obs.Span) string {
+		if sp.Process == "" {
+			return "unknown"
+		}
+		return sp.Process
+	}
+	pids := map[string]int{}
+	var procs []string
+	tids := map[string]map[string]int{} // process -> track -> tid
+	tracks := map[string][]string{}
+	for i := range sorted {
+		p := procName(&sorted[i])
+		if _, ok := pids[p]; !ok {
+			pids[p] = 0 // assigned after sort
+			procs = append(procs, p)
+			tids[p] = map[string]int{}
+		}
+		tr := spanTrack(&sorted[i])
+		if _, ok := tids[p][tr]; !ok {
+			tids[p][tr] = 0
+			tracks[p] = append(tracks[p], tr)
+		}
+	}
+	sort.Strings(procs)
+	for i, p := range procs {
+		pids[p] = i
+		sort.Strings(tracks[p])
+		for t, tr := range tracks[p] {
+			tids[p][tr] = t
+		}
+	}
+
+	t0 := sorted[0].Start
+	for i := range sorted {
+		if sorted[i].Start < t0 {
+			t0 = sorted[i].Start
+		}
+	}
+	us := func(ns int64) uint64 {
+		if ns < t0 {
+			return 0
+		}
+		return uint64(ns-t0) / 1000
+	}
+
+	f := chromeFile{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"generator":   "sweeptrace",
+			"span_count":  len(sorted),
+			"epoch_ns":    t0,
+			"time_domain": "wallclock",
+		},
+	}
+	for _, p := range procs {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pids[p],
+			Args: map[string]any{"name": p},
+		})
+		for _, tr := range tracks[p] {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pids[p], Tid: tids[p][tr],
+				Args: map[string]any{"name": tr},
+			})
+		}
+	}
+
+	type key struct{ trace, id string }
+	byID := make(map[key]*obs.Span, len(sorted))
+	for i := range sorted {
+		byID[key{sorted[i].Trace, sorted[i].ID}] = &sorted[i]
+	}
+	for i := range sorted {
+		sp := &sorted[i]
+		p := procName(sp)
+		pid, tid := pids[p], tids[p][spanTrack(sp)]
+		args := map[string]any{
+			"trace": sp.Trace, "span": sp.ID,
+		}
+		if sp.Parent != "" {
+			args["parent"] = sp.Parent
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: sp.Name, Cat: "span", Ph: "X",
+			Ts: us(sp.Start), Dur: dur(us(sp.Start), us(sp.End)),
+			Pid: pid, Tid: tid, Args: args,
+		})
+		// Flow link when the parent lives in another OS process — the
+		// causal edge the stitcher exists to recover (submit->lease is
+		// in-process; lease->run and run->report cross the wire).
+		if sp.Parent == "" {
+			continue
+		}
+		par, ok := byID[key{sp.Trace, sp.Parent}]
+		if !ok || procName(par) == p {
+			continue
+		}
+		pp := procName(par)
+		f.TraceEvents = append(f.TraceEvents,
+			chromeEvent{Name: "link", Cat: "spanflow", Ph: "s", Ts: us(par.Start),
+				Pid: pids[pp], Tid: tids[pp][spanTrack(par)], ID: sp.ID},
+			chromeEvent{Name: "link", Cat: "spanflow", Ph: "f", BP: "e", Ts: us(sp.Start),
+				Pid: pid, Tid: tid, ID: sp.ID},
+		)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}

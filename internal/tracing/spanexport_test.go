@@ -1,0 +1,145 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// WriteChromeSpans output must satisfy the same schema scripts/tracecheck
+// enforces on dbsim traces: only X/i/s/f/M phases, X slices with dur>=1,
+// paired flow ids, and process/thread metadata for every used track.
+func TestWriteChromeSpansSchema(t *testing.T) {
+	trace := "t1"
+	spans := []obs.Span{
+		{Trace: trace, ID: "a", Name: "submit", Process: "sweep", Start: 1000, End: 2000,
+			Attrs: map[string]string{"job": "job-1"}},
+		{Trace: trace, ID: "b", Parent: "a", Name: "lease", Process: "sweepd", Start: 2000, End: 2000,
+			Attrs: map[string]string{"worker": "w1", "point": "fig6"}},
+		{Trace: trace, ID: "c", Parent: "b", Name: "run", Process: "w1", Start: 3000, End: 9000,
+			Attrs: map[string]string{"point": "fig6", "status": "ok"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *uint64        `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			ID   string         `json:"id"`
+			BP   string         `json:"bp"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	type track struct{ pid, tid int }
+	procNamed := map[int]bool{}
+	threadNamed := map[track]bool{}
+	flowStarts := map[string]int{}
+	flowEnds := map[string]int{}
+	slices := 0
+	for i, ev := range f.TraceEvents {
+		if ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d missing pid/tid", i)
+		}
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				procNamed[*ev.Pid] = true
+			case "thread_name":
+				threadNamed[track{*ev.Pid, *ev.Tid}] = true
+			}
+		case "X":
+			slices++
+			if ev.Dur < 1 {
+				t.Errorf("event %d: X slice with dur %d", i, ev.Dur)
+			}
+		case "s":
+			if ev.ID == "" {
+				t.Errorf("event %d: flow start without id", i)
+			}
+			flowStarts[ev.ID]++
+		case "f":
+			if ev.ID == "" || ev.BP != "e" {
+				t.Errorf("event %d: flow end id=%q bp=%q", i, ev.ID, ev.BP)
+			}
+			flowEnds[ev.ID]++
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if slices != len(spans) {
+		t.Errorf("got %d X slices, want %d", slices, len(spans))
+	}
+	if len(flowStarts) != 2 {
+		// a->b and b->c are both cross-process edges.
+		t.Errorf("got %d flow ids, want 2: %v", len(flowStarts), flowStarts)
+	}
+	for id, n := range flowStarts {
+		if flowEnds[id] != n {
+			t.Errorf("flow %s: %d starts vs %d ends", id, n, flowEnds[id])
+		}
+	}
+	// Every used (pid,tid) must be named.
+	for i, ev := range f.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if !procNamed[*ev.Pid] {
+			t.Errorf("event %d: pid %d has no process_name", i, *ev.Pid)
+		}
+		if !threadNamed[track{*ev.Pid, *ev.Tid}] {
+			t.Errorf("event %d: (pid %d, tid %d) has no thread_name", i, *ev.Pid, *ev.Tid)
+		}
+	}
+}
+
+// Deterministic output: identical span sets must serialize identically
+// regardless of input order (the stitcher may read logs in any order).
+func TestWriteChromeSpansDeterministic(t *testing.T) {
+	var spans []obs.Span
+	for i := 0; i < 8; i++ {
+		spans = append(spans, obs.Span{
+			Trace: "t", ID: fmt.Sprintf("s%d", i), Name: "run",
+			Process: fmt.Sprintf("w%d", i%3), Start: int64(1000 * i), End: int64(1000*i + 500),
+			Attrs: map[string]string{"point": fmt.Sprintf("p%d", i%2)},
+		})
+	}
+	var a, b bytes.Buffer
+	if err := WriteChromeSpans(&a, spans); err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]obs.Span, len(spans))
+	for i := range spans {
+		rev[len(spans)-1-i] = spans[i]
+	}
+	if err := WriteChromeSpans(&b, rev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("output depends on input order")
+	}
+}
+
+func TestWriteChromeSpansEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, nil); err == nil {
+		t.Fatal("want error on empty span set")
+	}
+}

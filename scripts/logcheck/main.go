@@ -1,0 +1,122 @@
+// Command logcheck validates structured JSON log streams (the stderr of
+// dbsim, sweep, sweepd, sweepworker and sweeptrace) so CI catches schema
+// regressions — a stray fmt.Println, a component that slipped back to
+// ad-hoc prints — before a human greps a broken log. Checks, per file:
+//
+//   - every non-empty line is a single JSON object (no interleaved plain
+//     text, no torn writes);
+//   - every record carries the slog envelope: time (RFC3339-parseable),
+//     level (DEBUG|INFO|WARN|ERROR), msg, plus the conventional component
+//     and pid keys from internal/obs;
+//   - with -require k1,k2,... each listed key appears in at least one
+//     record across the inputs (e.g. -require spec_hash,worker to prove
+//     correlation keys made it into a sweep's logs);
+//   - with -component name every record's component matches.
+//
+// Exit status: 0 when all files pass, 1 with one line per violation on
+// stderr when they do not, 2 on usage errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+var levels = map[string]bool{"DEBUG": true, "INFO": true, "WARN": true, "ERROR": true}
+
+func main() {
+	var (
+		require   = flag.String("require", "", "comma-separated keys; each must appear in at least one record across all inputs")
+		component = flag.String("component", "", "when set, every record's component must equal this")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "logcheck: usage: logcheck [-require k1,k2] [-component name] log1 [log2 ...]")
+		os.Exit(2)
+	}
+
+	var violations []string
+	fail := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+	seenKeys := map[string]bool{}
+	records := 0
+
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("%v", err)
+			continue
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		lineno := 0
+		for sc.Scan() {
+			lineno++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			where := fmt.Sprintf("%s:%d", path, lineno)
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				fail("%s: not a JSON object: %.80s", where, line)
+				continue
+			}
+			records++
+			for k := range rec {
+				seenKeys[k] = true
+			}
+			ts, _ := rec["time"].(string)
+			if ts == "" {
+				fail("%s: missing time", where)
+			} else if _, err := time.Parse(time.RFC3339Nano, ts); err != nil {
+				fail("%s: unparseable time %q", where, ts)
+			}
+			if lv, _ := rec["level"].(string); !levels[lv] {
+				fail("%s: missing or unknown level %q", where, rec["level"])
+			}
+			if _, ok := rec["msg"].(string); !ok {
+				fail("%s: missing msg", where)
+			}
+			comp, _ := rec["component"].(string)
+			if comp == "" {
+				fail("%s: missing component", where)
+			} else if *component != "" && comp != *component {
+				fail("%s: component %q, want %q", where, comp, *component)
+			}
+			if _, ok := rec["pid"]; !ok {
+				fail("%s: missing pid", where)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fail("%s: %v", path, err)
+		}
+		f.Close()
+	}
+
+	if records == 0 {
+		fail("no log records in %d input file(s)", flag.NArg())
+	}
+	if *require != "" {
+		for _, k := range strings.Split(*require, ",") {
+			k = strings.TrimSpace(k)
+			if k != "" && !seenKeys[k] {
+				fail("required key %q appears in no record", k)
+			}
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "logcheck: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("logcheck: %d files, %d records OK\n", flag.NArg(), records)
+}
