@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+)
+
+// Epoch-parallel span application.
+//
+// The cycle loop in run() is serial by necessity: a core's Tick eagerly
+// mutates shared machine state (directory and cache lines on other nodes
+// via invalidations, the lock table, the shared page table), so active
+// cycles must execute in fixed core order to stay deterministic. The
+// parallelism the machine model does admit is the machine-wide quiet span
+// found by fastForward(): a span [from, to] is only entered after every
+// core's NextEvent bound (and the scheduler's, and every external cap —
+// telemetry samples, watchdog, MaxCycles, context polls, checkpoint
+// boundaries) proves that no core ticks inside it, and after the two
+// asynchronous cross-core channels (speculative-load pokes, lock-release
+// generations) have been re-checked at the span head. Inside such a span
+// each core's bulk accounting (cpu.FastForward, sched.FastForward for its
+// own queue) touches only that core's state, so the per-core applications
+// are independent and can run on worker goroutines. The barrier at the end
+// of the span restores the serial loop before any cycle that could couple
+// cores — epochs synchronize exactly at the cycles the serial simulator
+// would tick.
+//
+// Determinism: the jobs are disjoint (no two touch the same core or queue)
+// and the pool joins all of them before the loop continues, so the machine
+// state after the barrier is independent of worker scheduling and identical
+// to applying the spans in core order — reports, telemetry, traces, and
+// checkpoints are bit-identical to the serial engine. The fan-out is
+// disabled when a Tracer is attached: trace spans share one ring buffer and
+// their append order is part of the observable output.
+//
+// Worker goroutines are labeled with pprof labels ("core" = index) so CPU
+// profiles of a parallel run attribute span work to the simulated core it
+// belongs to rather than to an anonymous worker.
+
+// minParallelSpan is the minimum quiet-span length (in cycles) worth
+// handing to the worker pool; shorter spans are applied inline. Purely a
+// cost gate: either path produces identical state.
+const minParallelSpan = 256
+
+// ffPool is a pool of persistent worker goroutines that apply per-core
+// fast-forward spans. Created once per run when RunOptions.SimThreads > 1,
+// closed when the run returns.
+type ffPool struct {
+	sys      *System
+	jobs     chan int // core indices for the current span
+	wg       sync.WaitGroup
+	from, to uint64 // current span; written before dispatch, read by workers
+}
+
+// newFFPool starts threads workers (clamped to the core count and to
+// GOMAXPROCS; at least one). The pool holds no locks between spans — the
+// channel send/receive pairs order the span bounds with the jobs.
+func newFFPool(s *System, threads int) *ffPool {
+	if n := len(s.cores); threads > n {
+		threads = n
+	}
+	if p := runtime.GOMAXPROCS(0); threads > p {
+		threads = p
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	p := &ffPool{sys: s, jobs: make(chan int, len(s.cores))}
+	for w := 0; w < threads; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *ffPool) worker() {
+	for i := range p.jobs {
+		pprof.Do(context.Background(), pprof.Labels("core", strconv.Itoa(i)), func(context.Context) {
+			c := p.sys.cores[i]
+			p.sys.sch.FastForward(i, c, p.from, p.to)
+			c.FastForward(p.from, p.to)
+		})
+		p.wg.Done()
+	}
+}
+
+// span applies the quiet span [from, to] to every core on the pool's
+// workers and blocks until all applications have completed (the epoch
+// barrier).
+func (p *ffPool) span(from, to uint64) {
+	p.from, p.to = from, to
+	p.wg.Add(len(p.sys.cores))
+	for i := range p.sys.cores {
+		p.jobs <- i
+	}
+	p.wg.Wait()
+}
+
+// close stops the workers. Must not be called while a span is in flight.
+func (p *ffPool) close() { close(p.jobs) }

@@ -65,30 +65,18 @@ const noProd uint64 = 0
 
 const farFuture = ^uint64(0) >> 2
 
-type robEntry struct {
-	// Field order is scan locality, not taxonomy: the issue scan touches
-	// state, the producer seqs, and the timestamps of every waiting entry
-	// every cycle, so they lead the struct (first cache line); identity and
-	// retire-only bookkeeping trail.
-	fetchDone uint64
-	prod1     uint64 // producer sequence numbers (noProd = ready)
-	prod2     uint64
-	complete  uint64
-	addrDone  uint64 // address-generation completion (0 = not yet)
-	state     uint8
-	issuedMem bool
-	performed bool
-	specLoad  bool
-	violated  bool
-	prefetch  bool // consistency prefetch already issued
-	mispred   bool
-	waited    bool // lock acquire already counted as contended
-	in        trace.Instr
-	seq       uint64
-	lineAddr  uint64
-	class     memsys.Class
-	tlbMiss   bool
-}
+// Reorder-buffer entry flags, packed one byte per entry so the coherence
+// hook and the issue scan test them with a single load.
+const (
+	fIssuedMem uint8 = 1 << iota
+	fPerformed
+	fSpecLoad
+	fViolated
+	fPrefetch // consistency prefetch already issued
+	fMispred
+	fWaited // lock acquire already counted as contended
+	fTLBMiss
+)
 
 type fqEntry struct {
 	in        trace.Instr
@@ -126,8 +114,33 @@ type Core struct {
 	ctx *Context
 	trc *tracing.Tracer // nil = tracing disabled (pure-observer event hooks)
 
-	rob        []robEntry
-	robMask    uint64 // len(rob)-1; capacity rounded to a power of two
+	// The reorder buffer is a struct-of-arrays ring: the issue scan, the
+	// NextEvent mirror, and the coherence hook walk the window every cycle
+	// touching only a few fields per entry, so each field lives in its own
+	// dense array (the whole state array is one cache line at window 64)
+	// instead of strided across ~100-byte records. All arrays share the
+	// ring geometry: index = seq & robMask. An entry's sequence number is
+	// not stored — it is the loop variable everywhere one is needed.
+	rIn        []trace.Instr // decoded instruction (written once at dispatch)
+	rOp        []trace.Op    // rIn[i].Op, mirrored for scan locality
+	rState     []uint8
+	rFlags     []uint8
+	rFetchDone []uint64
+	rProd1     []uint64 // producer sequence numbers (noProd = ready)
+	rProd2     []uint64
+	rComplete  []uint64
+	rAddrDone  []uint64 // address-generation completion (0 = not yet)
+	rLineAddr  []uint64
+	rClass     []memsys.Class
+	// rNotBefore caches, per waiting entry, a proven lower bound on the
+	// cycle it could next make issue progress (0 = none; recheck). Bounds
+	// derive only from immutable inputs — the entry's fetchDone, and the
+	// completion times of producers that have already started executing —
+	// so they stay valid until the entry issues or is reused; rollback,
+	// which can legitimately re-time producers, clears the whole cache.
+	// Purely an issue-scan skip: hits and misses make identical decisions.
+	rNotBefore []uint64
+	robMask    uint64 // ring capacity - 1; capacity rounded to a power of two
 	headSeq    uint64 // oldest in-flight sequence number
 	tailSeq    uint64 // next sequence number to allocate
 	rename     [trace.MaxReg + 1]uint64
@@ -135,6 +148,14 @@ type Core struct {
 	waiting    int    // in-window entries not yet executing (issue-scan skip)
 	fenceCount int    // unretired MB/lock-acquire entries in the window
 	scanFrom   uint64 // issue-scan fast-path start (RC, no fences)
+	// issueQuiet is the whole-scan skip horizon: a cycle before which no
+	// in-window entry can issue, proven when an entire RC scan fails with
+	// every waiting entry carrying a sound not-before bound. While
+	// now < issueQuiet the issue stage is a no-op and is skipped entirely.
+	// Dispatch (new candidates), rollback, and restore clear it. Derived
+	// state: skipped scans would have made no decision, so timing and
+	// checkpoints are unchanged.
+	issueQuiet uint64
 
 	fetchQ       []fqEntry
 	fqHead       int
@@ -220,7 +241,18 @@ func New(cfg config.Config, id int, mem *memsys.Hierarchy, locks LockManager) *C
 	for robCap < cfg.WindowSize {
 		robCap <<= 1
 	}
-	c.rob = make([]robEntry, robCap)
+	c.rIn = make([]trace.Instr, robCap)
+	c.rOp = make([]trace.Op, robCap)
+	c.rState = make([]uint8, robCap)
+	c.rFlags = make([]uint8, robCap)
+	c.rFetchDone = make([]uint64, robCap)
+	c.rProd1 = make([]uint64, robCap)
+	c.rProd2 = make([]uint64, robCap)
+	c.rComplete = make([]uint64, robCap)
+	c.rAddrDone = make([]uint64, robCap)
+	c.rLineAddr = make([]uint64, robCap)
+	c.rClass = make([]memsys.Class, robCap)
+	c.rNotBefore = make([]uint64, robCap)
 	c.robMask = uint64(robCap - 1)
 	c.headSeq, c.tailSeq = 1, 1
 	if p, ok := locks.(LockProber); ok {
@@ -253,9 +285,8 @@ func (c *Core) Predictor() *bpred.Predictor { return c.pred }
 // Context returns the running process (nil when idle).
 func (c *Core) Context() *Context { return c.ctx }
 
-func (c *Core) entry(seq uint64) *robEntry {
-	return &c.rob[seq&c.robMask]
-}
+// ix maps a sequence number to its ring index.
+func (c *Core) ix(seq uint64) uint64 { return seq & c.robMask }
 
 func (c *Core) robLen() int { return int(c.tailSeq - c.headSeq) }
 
@@ -315,6 +346,7 @@ func (c *Core) SwitchTo(ctx *Context) {
 	c.resumeAt = 0
 	c.blockBranch = 0
 	c.unresolved = 0
+	c.issueQuiet = 0
 	c.rename = [trace.MaxReg + 1]uint64{}
 	c.mem.FlushTLBs()
 }
@@ -327,9 +359,10 @@ func (c *Core) SwitchTo(ctx *Context) {
 // read/write set is a conflict abort, a local eviction a capacity abort.
 func (c *Core) onInvalidation(lineAddr uint64, eviction bool) {
 	for seq := c.headSeq; seq < c.tailSeq; seq++ {
-		e := c.entry(seq)
-		if e.specLoad && e.state == stExec && e.lineAddr == lineAddr && !e.violated {
-			e.violated = true
+		i := seq & c.robMask
+		if c.rFlags[i]&(fSpecLoad|fViolated) == fSpecLoad &&
+			c.rState[i] == stExec && c.rLineAddr[i] == lineAddr {
+			c.rFlags[i] |= fViolated
 			// Invalidate any cached NextEvent bound: the violation makes the
 			// rollback (and everything after it) due earlier than predicted.
 			c.poked = true

@@ -253,8 +253,8 @@ func TestInOrderClampsWindow(t *testing.T) {
 	cfg.Nodes = 1
 	ms := memsys.MustNew(cfg)
 	c := New(cfg, 0, ms.Node(0), newTestLocks())
-	if len(c.rob) > 2*cfg.IssueWidth+8 {
-		t.Errorf("in-order window not clamped: %d", len(c.rob))
+	if len(c.rState) > 2*cfg.IssueWidth+8 {
+		t.Errorf("in-order window not clamped: %d", len(c.rState))
 	}
 }
 

@@ -123,35 +123,35 @@ func (c *Core) wbufNextEvent(now uint64) uint64 {
 // means head progress is gated purely on other mirrors (write-buffer
 // drain, an older producer's issue event).
 func (c *Core) retireNextEvent(now uint64) uint64 {
-	e := c.entry(c.headSeq)
-	switch e.in.Op {
+	i := c.headSeq & c.robMask
+	switch c.rOp[i] {
 	case trace.OpLoad:
-		if e.state != stExec {
-			if e.fetchDone > now {
-				return e.fetchDone // failure category flips Instr -> ReadL1
+		if c.rState[i] != stExec {
+			if c.rFetchDone[i] > now {
+				return c.rFetchDone[i] // failure category flips Instr -> ReadL1
 			}
 			return EventNever // steady ReadL1; progress via the issue mirror
 		}
-		if e.violated {
+		if c.rFlags[i]&fViolated != 0 {
 			return now + 1 // rollback fires on the next tick
 		}
-		if e.complete > now {
-			return e.complete
+		if c.rComplete[i] > now {
+			return c.rComplete[i]
 		}
 		return now + 1
 	case trace.OpStore:
-		if e.state != stExec {
-			if e.fetchDone > now {
-				return e.fetchDone
+		if c.rState[i] != stExec {
+			if c.rFetchDone[i] > now {
+				return c.rFetchDone[i]
 			}
 			return EventNever
 		}
 		if c.cfg.Consistency == config.SC {
-			if !e.issuedMem {
+			if c.rFlags[i]&fIssuedMem == 0 {
 				return now + 1 // would perform the store at the head
 			}
-			if e.complete > now {
-				return e.complete
+			if c.rComplete[i] > now {
+				return c.rComplete[i]
 			}
 			return now + 1
 		}
@@ -160,41 +160,41 @@ func (c *Core) retireNextEvent(now uint64) uint64 {
 		}
 		return now + 1
 	case trace.OpLockAcquire:
-		if e.fetchDone > now {
-			return e.fetchDone
+		if c.rFetchDone[i] > now {
+			return c.rFetchDone[i]
 		}
 		if !c.latchMirrored {
 			// The HTM policy's per-cycle resolution has no mirror; a lock op
 			// at the head simply disables fast-forward (conservative bound).
 			return now + 1
 		}
-		if !e.issuedMem {
+		if c.rFlags[i]&fIssuedMem == 0 {
 			// Spinning. Steady only once the first failing TryAcquire has
 			// run (waited set: LockWaits and the tracer's contention window
 			// are already open); after that every spin cycle repeats the
 			// same counter bumps, which FastForward applies in bulk.
-			if !e.waited || c.prober == nil {
+			if c.rFlags[i]&fWaited == 0 || c.prober == nil {
 				return now + 1
 			}
-			return c.prober.NextTry(e.in.Addr, c.ctx.ID, now)
+			return c.prober.NextTry(c.rIn[i].Addr, c.ctx.ID, now)
 		}
-		if e.complete > now {
-			return e.complete
+		if c.rComplete[i] > now {
+			return c.rComplete[i]
 		}
 		return now + 1
 	case trace.OpLockRelease:
-		if e.fetchDone > now {
-			return e.fetchDone
+		if c.rFetchDone[i] > now {
+			return c.rFetchDone[i]
 		}
 		if !c.latchMirrored {
 			return now + 1
 		}
 		if c.cfg.Consistency == config.SC {
-			if !e.issuedMem {
+			if c.rFlags[i]&fIssuedMem == 0 {
 				return now + 1
 			}
-			if e.complete > now {
-				return e.complete
+			if c.rComplete[i] > now {
+				return c.rComplete[i]
 			}
 			return now + 1
 		}
@@ -213,27 +213,27 @@ func (c *Core) retireNextEvent(now uint64) uint64 {
 		}
 		return now + 1
 	case trace.OpPrefetch, trace.OpPrefetchX:
-		if e.fetchDone > now {
-			return e.fetchDone
+		if c.rFetchDone[i] > now {
+			return c.rFetchDone[i]
 		}
 		return now + 1
 	case trace.OpFlush:
-		if e.fetchDone > now {
-			return e.fetchDone
+		if c.rFetchDone[i] > now {
+			return c.rFetchDone[i]
 		}
 		if c.cfg.Consistency != config.SC && c.wbufLen() >= c.cfg.WriteBufEntries {
 			return EventNever
 		}
 		return now + 1
 	default: // ALU and branches
-		if e.state != stExec {
-			if e.fetchDone > now {
-				return e.fetchDone
+		if c.rState[i] != stExec {
+			if c.rFetchDone[i] > now {
+				return c.rFetchDone[i]
 			}
 			return EventNever // steady CPUStall; progress via the issue mirror
 		}
-		if e.complete > now {
-			return e.complete
+		if c.rComplete[i] > now {
+			return c.rComplete[i]
 		}
 		return now + 1
 	}
@@ -249,14 +249,15 @@ func (c *Core) robNextEvent(now uint64) uint64 {
 	olderLoadUnperformed := false
 	olderMemUnperformed := false
 	olderFence := false
+	st, mask := c.rState, c.robMask
 	for seq := c.headSeq; seq < c.tailSeq; seq++ {
-		e := c.entry(seq)
-		if e.state == stExec {
-			if e.complete > now && e.complete < w {
-				w = e.complete
+		i := seq & mask
+		if st[i] == stExec {
+			if t := c.rComplete[i]; t > now && t < w {
+				w = t
 			}
 		} else {
-			if t := c.entryIssueEvent(e, now, olderLoadUnperformed, olderMemUnperformed, olderFence); t < w {
+			if t := c.entryIssueEvent(i, now, olderLoadUnperformed, olderMemUnperformed, olderFence); t < w {
 				w = t
 			}
 			if c.cfg.InOrder {
@@ -268,9 +269,9 @@ func (c *Core) robNextEvent(now uint64) uint64 {
 		if w <= now+1 {
 			return now + 1
 		}
-		switch e.in.Op {
+		switch c.rOp[i] {
 		case trace.OpLoad:
-			if !(e.issuedMem && e.complete <= now) {
+			if !(c.rFlags[i]&fIssuedMem != 0 && c.rComplete[i] <= now) {
 				olderLoadUnperformed = true
 				olderMemUnperformed = true
 			}
@@ -283,44 +284,45 @@ func (c *Core) robNextEvent(now uint64) uint64 {
 	return w
 }
 
-// entryIssueEvent bounds when a not-yet-executing entry could make issue
-// progress. EventNever means it is gated on another entry's event (a
-// non-executing producer, or ordering flags that only change when an older
-// instruction completes or retires — both already candidate events).
-func (c *Core) entryIssueEvent(e *robEntry, now uint64,
+// entryIssueEvent bounds when a not-yet-executing entry (ring index i)
+// could make issue progress. EventNever means it is gated on another
+// entry's event (a non-executing producer, or ordering flags that only
+// change when an older instruction completes or retires — both already
+// candidate events).
+func (c *Core) entryIssueEvent(i, now uint64,
 	olderLoadUnperformed, olderMemUnperformed, olderFence bool) uint64 {
 
 	ready := uint64(0) // cycle both source operands are available
-	if p := e.prod1; p != noProd && c.live(p) {
-		pe := c.entry(p)
-		if pe.state != stExec {
+	if p := c.rProd1[i]; p != noProd && c.live(p) {
+		j := p & c.robMask
+		if c.rState[j] != stExec {
 			return EventNever
 		}
-		if pe.complete > ready {
-			ready = pe.complete
+		if c.rComplete[j] > ready {
+			ready = c.rComplete[j]
 		}
 	}
-	if p := e.prod2; p != noProd && c.live(p) {
-		pe := c.entry(p)
-		if pe.state != stExec {
+	if p := c.rProd2[i]; p != noProd && c.live(p) {
+		j := p & c.robMask
+		if c.rState[j] != stExec {
 			return EventNever
 		}
-		if pe.complete > ready {
-			ready = pe.complete
+		if c.rComplete[j] > ready {
+			ready = c.rComplete[j]
 		}
 	}
 
-	switch e.in.Op {
+	switch c.rOp[i] {
 	case trace.OpLoad:
-		if e.issuedMem {
+		if c.rFlags[i]&fIssuedMem != 0 {
 			return EventNever // outstanding access; complete handled by caller
 		}
-		if e.addrDone == 0 {
-			t := maxU(e.fetchDone, ready)
+		if c.rAddrDone[i] == 0 {
+			t := maxU(c.rFetchDone[i], ready)
 			return maxU(t, now+1) // address generation
 		}
-		if e.addrDone > now {
-			return e.addrDone // cache access (or consistency decision)
+		if c.rAddrDone[i] > now {
+			return c.rAddrDone[i] // cache access (or consistency decision)
 		}
 		allowed := false
 		switch c.cfg.Consistency {
@@ -336,7 +338,7 @@ func (c *Core) entryIssueEvent(e *robEntry, now uint64,
 		}
 		switch c.cfg.ConsistencyOpts {
 		case config.ImplPrefetch:
-			if !e.prefetch {
+			if c.rFlags[i]&fPrefetch == 0 {
 				return now + 1 // would issue the consistency prefetch
 			}
 			return EventNever
@@ -345,18 +347,18 @@ func (c *Core) entryIssueEvent(e *robEntry, now uint64,
 		}
 		return EventNever // plain: unblocks only via older entries' events
 	case trace.OpStore:
-		if e.addrDone == 0 {
-			t := maxU(e.fetchDone, ready)
+		if c.rAddrDone[i] == 0 {
+			t := maxU(c.rFetchDone[i], ready)
 			return maxU(t, now+1)
 		}
-		if e.addrDone > now {
-			return e.addrDone // executes (and may consistency-prefetch)
+		if c.rAddrDone[i] > now {
+			return c.rAddrDone[i] // executes (and may consistency-prefetch)
 		}
 		return now + 1
 	default:
 		// ALU and branches; fences/hints are stExec from dispatch and
 		// never reach here.
-		t := maxU(e.fetchDone, ready)
+		t := maxU(c.rFetchDone[i], ready)
 		return maxU(t, now+1)
 	}
 }
@@ -387,12 +389,12 @@ func (c *Core) fetchNextEvent(now uint64) uint64 {
 		if !c.live(c.blockBranch) {
 			return now + 1 // cleared (and fetch resumes) next tick
 		}
-		e := c.entry(c.blockBranch)
-		if e.state != stExec {
+		i := c.blockBranch & c.robMask
+		if c.rState[i] != stExec {
 			return EventNever // gated on the branch's own issue event
 		}
-		if e.complete > now {
-			return e.complete // redirect computed when the branch resolves
+		if c.rComplete[i] > now {
+			return c.rComplete[i] // redirect computed when the branch resolves
 		}
 		return now + 1
 	}
@@ -424,32 +426,32 @@ func (c *Core) steadyStall(t uint64) (stats.Category, uint64, bool) {
 		}
 		return stats.CPUStall, 0, false
 	}
-	e := c.entry(c.headSeq)
-	pc := e.in.PC
-	switch e.in.Op {
+	i := c.headSeq & c.robMask
+	pc := c.rIn[i].PC
+	switch c.rOp[i] {
 	case trace.OpLoad:
-		if e.state != stExec {
-			if e.fetchDone > t {
+		if c.rState[i] != stExec {
+			if c.rFetchDone[i] > t {
 				return stats.Instr, pc, false
 			}
 			return stats.ReadL1, pc, false
 		}
-		return readCategory(e.class, e.tlbMiss), pc, false
+		return readCategory(c.rClass[i], c.rFlags[i]&fTLBMiss != 0), pc, false
 	case trace.OpStore:
-		if e.state != stExec {
-			if e.fetchDone > t {
+		if c.rState[i] != stExec {
+			if c.rFetchDone[i] > t {
 				return stats.Instr, pc, false
 			}
 			return stats.ReadL1, pc, false
 		}
 		return stats.Write, pc, false
 	case trace.OpLockAcquire:
-		if e.fetchDone > t {
+		if c.rFetchDone[i] > t {
 			return stats.Instr, pc, false
 		}
-		return stats.Sync, pc, !e.issuedMem
+		return stats.Sync, pc, c.rFlags[i]&fIssuedMem == 0
 	case trace.OpLockRelease:
-		if e.fetchDone > t {
+		if c.rFetchDone[i] > t {
 			return stats.Instr, pc, false
 		}
 		if c.cfg.Consistency == config.SC {
@@ -461,12 +463,12 @@ func (c *Core) steadyStall(t uint64) (stats.Category, uint64, bool) {
 	case trace.OpPrefetch, trace.OpPrefetchX:
 		return stats.Instr, pc, false
 	case trace.OpFlush:
-		if e.fetchDone > t {
+		if c.rFetchDone[i] > t {
 			return stats.Instr, pc, false
 		}
 		return stats.Write, pc, false // PC/RC flush behind a full buffer
 	default:
-		if e.state != stExec && e.fetchDone > t {
+		if c.rState[i] != stExec && c.rFetchDone[i] > t {
 			return stats.Instr, pc, false
 		}
 		return stats.CPUStall, pc, false
@@ -533,7 +535,7 @@ func (c *Core) FastForward(from, to uint64) {
 		if c.trc != nil {
 			// Re-opens the contention window if the warm-up reset cleared
 			// it (otherwise a no-op, exactly like the per-cycle calls).
-			c.trc.LockSpin(c.id, c.ctx.ID, pc, c.entry(c.headSeq).in.Addr, from)
+			c.trc.LockSpin(c.id, c.ctx.ID, pc, c.rIn[c.headSeq&c.robMask].Addr, from)
 		}
 	}
 	if wv, ok := c.fetchStallWrite(from); ok && wv != c.stallInstr {

@@ -13,10 +13,10 @@ import (
 // software prefetch+flush hints (Section 4.2) on it, and the htm policy
 // elides the latch with a best-effort hardware transaction
 // (internal/htm). Both hooks run with the entry at the window head and
-// e.fetchDone <= now already established by tryRetire.
+// its fetchDone <= now already established by tryRetire.
 type latchPolicy interface {
-	acquire(c *Core, e *robEntry, now uint64) (bool, stats.Category)
-	release(c *Core, e *robEntry, now uint64) (bool, stats.Category)
+	acquire(c *Core, i uint64, now uint64) (bool, stats.Category)
+	release(c *Core, i uint64, now uint64) (bool, stats.Category)
 }
 
 // LockViewer is optionally implemented by a LockManager to expose a
@@ -46,49 +46,49 @@ func newLatchPolicy(cfg config.Config) latchPolicy {
 // release is a store (direct under SC, via the write buffer under PC/RC).
 type plainLatch struct{}
 
-func (plainLatch) acquire(c *Core, e *robEntry, now uint64) (bool, stats.Category) {
-	if !e.issuedMem {
+func (plainLatch) acquire(c *Core, i uint64, now uint64) (bool, stats.Category) {
+	if c.rFlags[i]&fIssuedMem == 0 {
 		c.LockTries++
-		if !c.locks.TryAcquire(e.in.Addr, c.ctx.ID, now) {
-			if !e.waited {
+		if !c.locks.TryAcquire(c.rIn[i].Addr, c.ctx.ID, now) {
+			if c.rFlags[i]&fWaited == 0 {
 				c.LockWaits++
-				e.waited = true
+				c.rFlags[i] |= fWaited
 			}
 			c.LockSpins++
 			if c.trc != nil {
-				c.trc.LockSpin(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now)
+				c.trc.LockSpin(c.id, c.ctx.ID, c.rIn[i].PC, c.rIn[i].Addr, now)
 			}
 			return false, stats.Sync
 		}
 		// The winning read-modify-write brings the lock line in
 		// exclusive; this is the lock-passing (migratory) transfer.
-		res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
-		e.issuedMem = true
-		e.complete = res.Done
+		res := c.mem.DataWrite(c.rIn[i].Addr, c.rIn[i].PC, now, true)
+		c.rFlags[i] |= fIssuedMem
+		c.rComplete[i] = res.Done
 		if c.trc != nil {
-			c.trc.LockAcquired(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now, e.complete)
+			c.trc.LockAcquired(c.id, c.ctx.ID, c.rIn[i].PC, c.rIn[i].Addr, now, c.rComplete[i])
 		}
 	}
-	if e.complete > now {
+	if c.rComplete[i] > now {
 		return false, stats.Sync
 	}
 	c.ctx.csDepth++
 	return true, 0
 }
 
-func (plainLatch) release(c *Core, e *robEntry, now uint64) (bool, stats.Category) {
+func (plainLatch) release(c *Core, i uint64, now uint64) (bool, stats.Category) {
 	if c.cfg.Consistency == config.SC {
-		if !e.issuedMem {
-			res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
-			e.issuedMem = true
-			e.complete = res.Done
+		if c.rFlags[i]&fIssuedMem == 0 {
+			res := c.mem.DataWrite(c.rIn[i].Addr, c.rIn[i].PC, now, true)
+			c.rFlags[i] |= fIssuedMem
+			c.rComplete[i] = res.Done
 		}
-		if e.complete > now {
+		if c.rComplete[i] > now {
 			return false, stats.Sync
 		}
-		c.locks.Release(e.in.Addr, c.ctx.ID, e.complete)
+		c.locks.Release(c.rIn[i].Addr, c.ctx.ID, c.rComplete[i])
 		if c.trc != nil {
-			c.trc.LockReleased(c.id, c.ctx.ID, e.in.Addr, e.complete)
+			c.trc.LockReleased(c.id, c.ctx.ID, c.rIn[i].Addr, c.rComplete[i])
 		}
 		c.ctx.csDepth--
 		return true, 0
@@ -96,7 +96,7 @@ func (plainLatch) release(c *Core, e *robEntry, now uint64) (bool, stats.Categor
 	if c.wbufLen() >= c.cfg.WriteBufEntries {
 		return false, stats.Write
 	}
-	c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, pc: e.in.PC, inCS: true, release: true})
+	c.wbuf = append(c.wbuf, wbufEntry{addr: c.rIn[i].Addr, pc: c.rIn[i].PC, inCS: true, release: true})
 	c.ctx.csDepth--
 	return true, 0
 }
@@ -111,64 +111,64 @@ func (plainLatch) release(c *Core, e *robEntry, now uint64) (bool, stats.Categor
 // (3-hop cache-to-cache) miss into a memory service.
 type hintLatch struct{}
 
-func (hintLatch) acquire(c *Core, e *robEntry, now uint64) (bool, stats.Category) {
-	if !e.issuedMem {
+func (hintLatch) acquire(c *Core, i uint64, now uint64) (bool, stats.Category) {
+	if c.rFlags[i]&fIssuedMem == 0 {
 		c.LockTries++
-		if !c.locks.TryAcquire(e.in.Addr, c.ctx.ID, now) {
-			if !e.waited {
+		if !c.locks.TryAcquire(c.rIn[i].Addr, c.ctx.ID, now) {
+			if c.rFlags[i]&fWaited == 0 {
 				c.LockWaits++
-				e.waited = true
+				c.rFlags[i] |= fWaited
 			}
-			if !e.prefetch {
+			if c.rFlags[i]&fPrefetch == 0 {
 				// One prefetch per contended acquire: issued alongside the
 				// first failing attempt, like the hand-inserted hint.
-				c.mem.Prefetch(e.in.Addr, e.in.PC, now, true, true)
-				e.prefetch = true
+				c.mem.Prefetch(c.rIn[i].Addr, c.rIn[i].PC, now, true, true)
+				c.rFlags[i] |= fPrefetch
 			}
 			c.LockSpins++
 			if c.trc != nil {
-				c.trc.LockSpin(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now)
+				c.trc.LockSpin(c.id, c.ctx.ID, c.rIn[i].PC, c.rIn[i].Addr, now)
 			}
 			return false, stats.Sync
 		}
-		res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
-		e.issuedMem = true
-		e.complete = res.Done
+		res := c.mem.DataWrite(c.rIn[i].Addr, c.rIn[i].PC, now, true)
+		c.rFlags[i] |= fIssuedMem
+		c.rComplete[i] = res.Done
 		if c.trc != nil {
-			c.trc.LockAcquired(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now, e.complete)
+			c.trc.LockAcquired(c.id, c.ctx.ID, c.rIn[i].PC, c.rIn[i].Addr, now, c.rComplete[i])
 		}
 	}
-	if e.complete > now {
+	if c.rComplete[i] > now {
 		return false, stats.Sync
 	}
 	c.ctx.csDepth++
 	return true, 0
 }
 
-func (hintLatch) release(c *Core, e *robEntry, now uint64) (bool, stats.Category) {
+func (hintLatch) release(c *Core, i uint64, now uint64) (bool, stats.Category) {
 	if c.cfg.Consistency == config.SC {
-		if !e.issuedMem {
-			res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
-			e.issuedMem = true
-			e.complete = res.Done
+		if c.rFlags[i]&fIssuedMem == 0 {
+			res := c.mem.DataWrite(c.rIn[i].Addr, c.rIn[i].PC, now, true)
+			c.rFlags[i] |= fIssuedMem
+			c.rComplete[i] = res.Done
 		}
-		if e.complete > now {
+		if c.rComplete[i] > now {
 			return false, stats.Sync
 		}
-		c.locks.Release(e.in.Addr, c.ctx.ID, e.complete)
+		c.locks.Release(c.rIn[i].Addr, c.ctx.ID, c.rComplete[i])
 		if c.trc != nil {
-			c.trc.LockReleased(c.id, c.ctx.ID, e.in.Addr, e.complete)
+			c.trc.LockReleased(c.id, c.ctx.ID, c.rIn[i].Addr, c.rComplete[i])
 		}
 		// Release-side flush hint: push the dirty latch line home so the
 		// next acquirer reads it from memory, not cache-to-cache.
-		c.mem.Flush(e.in.Addr, now)
+		c.mem.Flush(c.rIn[i].Addr, now)
 		c.ctx.csDepth--
 		return true, 0
 	}
 	if c.wbufLen() >= c.cfg.WriteBufEntries {
 		return false, stats.Write
 	}
-	c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, pc: e.in.PC, inCS: true, release: true, flushAfter: true})
+	c.wbuf = append(c.wbuf, wbufEntry{addr: c.rIn[i].Addr, pc: c.rIn[i].PC, inCS: true, release: true, flushAfter: true})
 	c.ctx.csDepth--
 	return true, 0
 }
@@ -237,22 +237,22 @@ func (c *Core) tx() *htm.Tx {
 	return c.ctx.tx
 }
 
-func (htmLatch) acquire(c *Core, e *robEntry, now uint64) (bool, stats.Category) {
+func (htmLatch) acquire(c *Core, i uint64, now uint64) (bool, stats.Category) {
 	tx := c.tx()
-	if !e.issuedMem {
+	if c.rFlags[i]&fIssuedMem == 0 {
 		if tx.Phase() == htm.PhaseIdle {
 			// Top-level acquire: speculation can only start on a free
 			// latch (a real owner's critical section cannot be elided
 			// around); wait like a plain spinner until it frees.
-			if !c.lockFree(e.in.Addr, now) {
+			if !c.lockFree(c.rIn[i].Addr, now) {
 				c.LockTries++
-				if !e.waited {
+				if c.rFlags[i]&fWaited == 0 {
 					c.LockWaits++
-					e.waited = true
+					c.rFlags[i] |= fWaited
 				}
 				c.LockSpins++
 				if c.trc != nil {
-					c.trc.LockSpin(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now)
+					c.trc.LockSpin(c.id, c.ctx.ID, c.rIn[i].PC, c.rIn[i].Addr, now)
 				}
 				return false, stats.Sync
 			}
@@ -260,14 +260,14 @@ func (htmLatch) acquire(c *Core, e *robEntry, now uint64) (bool, stats.Category)
 			// no read-modify-write, no exclusive transfer. Every
 			// concurrent speculator holds the line shared; only a
 			// fallback acquirer's real write invalidates them.
-			res := c.mem.DataRead(e.in.Addr, e.in.PC, now, true)
-			e.issuedMem = true
-			e.complete = res.Done
-			e.lineAddr = res.LineAddr
+			res := c.mem.DataRead(c.rIn[i].Addr, c.rIn[i].PC, now, true)
+			c.rFlags[i] |= fIssuedMem
+			c.rComplete[i] = res.Done
+			c.rLineAddr[i] = res.LineAddr
 			c.HTMBegins++
-			tx.Begin(e.in.Addr, now)
+			tx.Begin(c.rIn[i].Addr, now)
 			if c.trc != nil {
-				c.trc.HTMBegin(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now)
+				c.trc.HTMBegin(c.id, c.ctx.ID, c.rIn[i].PC, c.rIn[i].Addr, now)
 			}
 			if tx.TrackRead(res.LineAddr) {
 				c.htmAborted(tx, res.LineAddr)
@@ -276,11 +276,11 @@ func (htmLatch) acquire(c *Core, e *robEntry, now uint64) (bool, stats.Category)
 			// Nested acquire flattens into the running transaction. A
 			// nested latch held by a real (fallback) owner cannot be
 			// waited on inside the speculation: explicit abort.
-			avail := c.lockFree(e.in.Addr, now)
-			res := c.mem.DataRead(e.in.Addr, e.in.PC, now, true)
-			e.issuedMem = true
-			e.complete = res.Done
-			e.lineAddr = res.LineAddr
+			avail := c.lockFree(c.rIn[i].Addr, now)
+			res := c.mem.DataRead(c.rIn[i].Addr, c.rIn[i].PC, now, true)
+			c.rFlags[i] |= fIssuedMem
+			c.rComplete[i] = res.Done
+			c.rLineAddr[i] = res.LineAddr
 			if tx.Enter(avail) {
 				c.htmAborted(tx, res.LineAddr)
 			} else if tx.TrackRead(res.LineAddr) {
@@ -288,19 +288,19 @@ func (htmLatch) acquire(c *Core, e *robEntry, now uint64) (bool, stats.Category)
 			}
 		}
 	}
-	if e.complete > now {
+	if c.rComplete[i] > now {
 		return false, stats.Sync
 	}
 	c.ctx.csDepth++
 	return true, 0
 }
 
-func (htmLatch) release(c *Core, e *robEntry, now uint64) (bool, stats.Category) {
+func (htmLatch) release(c *Core, i uint64, now uint64) (bool, stats.Category) {
 	tx := c.ctx.tx
 	if tx == nil || tx.Phase() == htm.PhaseIdle {
 		// No transaction pairs with this release (an acquire retired
 		// before the policy engaged); take the plain path.
-		return plainLatch{}.release(c, e, now)
+		return plainLatch{}.release(c, i, now)
 	}
 	if tx.Depth() > 1 {
 		tx.Exit()
@@ -318,7 +318,7 @@ func (htmLatch) release(c *Core, e *robEntry, now uint64) (bool, stats.Category)
 	case htm.DecideCommit:
 		c.HTMCommits++
 		if c.trc != nil {
-			c.trc.HTMCommit(c.id, c.ctx.ID, e.in.PC, tx.Latch(), tx.BeginCycle(), now)
+			c.trc.HTMCommit(c.id, c.ctx.ID, c.rIn[i].PC, tx.Latch(), tx.BeginCycle(), now)
 		}
 		tx.Commit()
 		c.ctx.csDepth--
@@ -331,14 +331,14 @@ func (htmLatch) release(c *Core, e *robEntry, now uint64) (bool, stats.Category)
 
 	case htm.DecideSpin:
 		c.LockTries++
-		if !c.locks.TryAcquire(e.in.Addr, c.ctx.ID, now) {
-			if !e.waited {
+		if !c.locks.TryAcquire(c.rIn[i].Addr, c.ctx.ID, now) {
+			if c.rFlags[i]&fWaited == 0 {
 				c.LockWaits++
-				e.waited = true
+				c.rFlags[i] |= fWaited
 			}
 			c.LockSpins++
 			if c.trc != nil {
-				c.trc.LockSpin(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now)
+				c.trc.LockSpin(c.id, c.ctx.ID, c.rIn[i].PC, c.rIn[i].Addr, now)
 			}
 			return false, htmStallCat(tx.Cause())
 		}
@@ -347,12 +347,12 @@ func (htmLatch) release(c *Core, e *robEntry, now uint64) (bool, stats.Category)
 		// speculating core subscribed, which is what keeps fallback and
 		// elision coherent.
 		c.HTMFallbacks++
-		res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
-		e.issuedMem = true
-		e.complete = res.Done
+		res := c.mem.DataWrite(c.rIn[i].Addr, c.rIn[i].PC, now, true)
+		c.rFlags[i] |= fIssuedMem
+		c.rComplete[i] = res.Done
 		if c.trc != nil {
-			c.trc.HTMFallback(c.id, c.ctx.ID, e.in.PC, e.in.Addr, tx.Cause(), now)
-			c.trc.LockAcquired(c.id, c.ctx.ID, e.in.PC, e.in.Addr, now, res.Done)
+			c.trc.HTMFallback(c.id, c.ctx.ID, c.rIn[i].PC, c.rIn[i].Addr, tx.Cause(), now)
+			c.trc.LockAcquired(c.id, c.ctx.ID, c.rIn[i].PC, c.rIn[i].Addr, now, res.Done)
 		}
 		tx.FallbackAcquired(res.Done)
 		return false, htmStallCat(tx.Cause())
@@ -360,17 +360,17 @@ func (htmLatch) release(c *Core, e *robEntry, now uint64) (bool, stats.Category)
 	case htm.DecideRMW:
 		// Redo finished under the latch; the releasing store performs
 		// and frees it.
-		if !e.prefetch {
-			res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, true)
-			e.prefetch = true
-			e.complete = res.Done
+		if c.rFlags[i]&fPrefetch == 0 {
+			res := c.mem.DataWrite(c.rIn[i].Addr, c.rIn[i].PC, now, true)
+			c.rFlags[i] |= fPrefetch
+			c.rComplete[i] = res.Done
 		}
-		if e.complete > now {
+		if c.rComplete[i] > now {
 			return false, htmStallCat(tx.Cause())
 		}
-		c.locks.Release(e.in.Addr, c.ctx.ID, e.complete)
+		c.locks.Release(c.rIn[i].Addr, c.ctx.ID, c.rComplete[i])
 		if c.trc != nil {
-			c.trc.LockReleased(c.id, c.ctx.ID, e.in.Addr, e.complete)
+			c.trc.LockReleased(c.id, c.ctx.ID, c.rIn[i].Addr, c.rComplete[i])
 		}
 		tx.Reset()
 		c.ctx.csDepth--

@@ -209,26 +209,27 @@ func (c *Core) Snapshot() CoreState {
 		s.CtxID = c.ctx.ID
 	}
 	for seq := c.headSeq; seq < c.tailSeq; seq++ {
-		e := c.entry(seq)
+		i := seq & c.robMask
+		f := c.rFlags[i]
 		s.ROB = append(s.ROB, ROBEntryState{
-			FetchDone: e.fetchDone,
-			Prod1:     e.prod1,
-			Prod2:     e.prod2,
-			Complete:  e.complete,
-			AddrDone:  e.addrDone,
-			State:     e.state,
-			IssuedMem: e.issuedMem,
-			Performed: e.performed,
-			SpecLoad:  e.specLoad,
-			Violated:  e.violated,
-			Prefetch:  e.prefetch,
-			Mispred:   e.mispred,
-			Waited:    e.waited,
-			In:        e.in,
-			Seq:       e.seq,
-			LineAddr:  e.lineAddr,
-			Class:     uint8(e.class),
-			TLBMiss:   e.tlbMiss,
+			FetchDone: c.rFetchDone[i],
+			Prod1:     c.rProd1[i],
+			Prod2:     c.rProd2[i],
+			Complete:  c.rComplete[i],
+			AddrDone:  c.rAddrDone[i],
+			State:     c.rState[i],
+			IssuedMem: f&fIssuedMem != 0,
+			Performed: f&fPerformed != 0,
+			SpecLoad:  f&fSpecLoad != 0,
+			Violated:  f&fViolated != 0,
+			Prefetch:  f&fPrefetch != 0,
+			Mispred:   f&fMispred != 0,
+			Waited:    f&fWaited != 0,
+			In:        c.rIn[i],
+			Seq:       seq,
+			LineAddr:  c.rLineAddr[i],
+			Class:     uint8(c.rClass[i]),
+			TLBMiss:   f&fTLBMiss != 0,
 		})
 	}
 	for i := c.fqHead; i < len(c.fetchQ); i++ {
@@ -251,9 +252,9 @@ func (c *Core) Snapshot() CoreState {
 // themselves must have been restored (and their streams re-attached)
 // first.
 func (c *Core) Restore(s CoreState, byID map[int]*Context) error {
-	if n := s.TailSeq - s.HeadSeq; n != uint64(len(s.ROB)) || n > uint64(len(c.rob)) {
+	if n := s.TailSeq - s.HeadSeq; n != uint64(len(s.ROB)) || n > uint64(len(c.rState)) {
 		return fmt.Errorf("cpu: core %d snapshot window [%d,%d) inconsistent with %d entries (cap %d)",
-			c.id, s.HeadSeq, s.TailSeq, len(s.ROB), len(c.rob))
+			c.id, s.HeadSeq, s.TailSeq, len(s.ROB), len(c.rState))
 	}
 	c.nowCycle = s.NowCycle
 	if s.CtxID >= 0 {
@@ -265,39 +266,67 @@ func (c *Core) Restore(s CoreState, byID map[int]*Context) error {
 	} else {
 		c.ctx = nil
 	}
-	for i := range c.rob {
-		c.rob[i] = robEntry{}
+	for i := range c.rState {
+		c.rIn[i] = trace.Instr{}
+		c.rOp[i] = 0
+		c.rState[i] = 0
+		c.rFlags[i] = 0
+		c.rFetchDone[i] = 0
+		c.rProd1[i] = 0
+		c.rProd2[i] = 0
+		c.rComplete[i] = 0
+		c.rAddrDone[i] = 0
+		c.rLineAddr[i] = 0
+		c.rClass[i] = 0
+		c.rNotBefore[i] = 0
 	}
 	c.headSeq = s.HeadSeq
 	c.tailSeq = s.TailSeq
-	for i, es := range s.ROB {
-		e := c.entry(s.HeadSeq + uint64(i))
-		*e = robEntry{
-			fetchDone: es.FetchDone,
-			prod1:     es.Prod1,
-			prod2:     es.Prod2,
-			complete:  es.Complete,
-			addrDone:  es.AddrDone,
-			state:     es.State,
-			issuedMem: es.IssuedMem,
-			performed: es.Performed,
-			specLoad:  es.SpecLoad,
-			violated:  es.Violated,
-			prefetch:  es.Prefetch,
-			mispred:   es.Mispred,
-			waited:    es.Waited,
-			in:        es.In,
-			seq:       es.Seq,
-			lineAddr:  es.LineAddr,
-			class:     memsys.Class(es.Class),
-			tlbMiss:   es.TLBMiss,
+	for k, es := range s.ROB {
+		i := (s.HeadSeq + uint64(k)) & c.robMask
+		c.rIn[i] = es.In
+		c.rOp[i] = es.In.Op
+		c.rState[i] = es.State
+		f := uint8(0)
+		if es.IssuedMem {
+			f |= fIssuedMem
 		}
+		if es.Performed {
+			f |= fPerformed
+		}
+		if es.SpecLoad {
+			f |= fSpecLoad
+		}
+		if es.Violated {
+			f |= fViolated
+		}
+		if es.Prefetch {
+			f |= fPrefetch
+		}
+		if es.Mispred {
+			f |= fMispred
+		}
+		if es.Waited {
+			f |= fWaited
+		}
+		if es.TLBMiss {
+			f |= fTLBMiss
+		}
+		c.rFlags[i] = f
+		c.rFetchDone[i] = es.FetchDone
+		c.rProd1[i] = es.Prod1
+		c.rProd2[i] = es.Prod2
+		c.rComplete[i] = es.Complete
+		c.rAddrDone[i] = es.AddrDone
+		c.rLineAddr[i] = es.LineAddr
+		c.rClass[i] = memsys.Class(es.Class)
 	}
 	c.rename = s.Rename
 	c.memInROB = s.MemInROB
 	c.waiting = s.Waiting
 	c.fenceCount = s.FenceCount
 	c.scanFrom = s.ScanFrom
+	c.issueQuiet = 0 // derived; recomputed by the next scan
 
 	c.fetchQ = c.fetchQ[:0]
 	for _, f := range s.FetchQ {

@@ -20,15 +20,57 @@ func (c *Core) live(seq uint64) bool { return seq >= c.headSeq && seq < c.tailSe
 // prodReady reports whether the producer identified by seq has its result
 // available at cycle now. Retired producers are always ready.
 func (c *Core) prodReady(seq, now uint64) bool {
-	if seq == noProd || !c.live(seq) {
+	if seq == noProd || seq < c.headSeq || seq >= c.tailSeq {
 		return true
 	}
-	e := c.entry(seq)
-	return e.state == stExec && e.complete <= now
+	j := seq & c.robMask
+	return c.rState[j] == stExec && c.rComplete[j] <= now
 }
 
-func (c *Core) srcsReady(e *robEntry, now uint64) bool {
-	return c.prodReady(e.prod1, now) && c.prodReady(e.prod2, now)
+func (c *Core) srcsReady(i, now uint64) bool {
+	return c.prodReady(c.rProd1[i], now) && c.prodReady(c.rProd2[i], now)
+}
+
+// readyBound returns the earliest cycle entry i's fetch and source
+// operands can all be available — a lower bound proven purely from
+// immutable inputs (the entry's fetchDone and the completion times of
+// producers already executing) — plus whether a producer has not yet
+// started executing, in which case the bound is incomplete and the entry
+// must be rechecked once it passes. A producer that has not issued still
+// contributes its own cached not-before bound: the consumer cannot issue
+// before the producer does (completion never precedes issue), so a
+// dependency chain behind one long-latency miss collapses into cached
+// bounds instead of a full recheck per link per cycle. b > now || blocked
+// is equivalent to rFetchDone[i] > now || !srcsReady(i, now): a producer
+// that has left the window completed at or before the cycle it retired,
+// so it never contributes a bound, and a cached producer bound > now
+// implies that producer is not executing now.
+func (c *Core) readyBound(i uint64) (b uint64, blocked bool) {
+	b = c.rFetchDone[i]
+	head, tail, mask := c.headSeq, c.tailSeq, c.robMask
+	if p := c.rProd1[i]; p != noProd && p >= head && p < tail {
+		j := p & mask
+		if c.rState[j] != stExec {
+			blocked = true
+			if t := c.rNotBefore[j]; t > b {
+				b = t
+			}
+		} else if t := c.rComplete[j]; t > b {
+			b = t
+		}
+	}
+	if p := c.rProd2[i]; p != noProd && p >= head && p < tail {
+		j := p & mask
+		if c.rState[j] != stExec {
+			blocked = true
+			if t := c.rNotBefore[j]; t > b {
+				b = t
+			}
+		} else if t := c.rComplete[j]; t > b {
+			b = t
+		}
+	}
+	return b, blocked
 }
 
 // ---------------------------------------------------------------- fetch --
@@ -41,9 +83,9 @@ func (c *Core) fetchStage(now uint64) {
 		// Fetch is halted behind a mispredicted branch; resolution is
 		// detected here or at the branch's retirement.
 		if c.live(c.blockBranch) {
-			e := c.entry(c.blockBranch)
-			if e.state == stExec && e.complete <= now {
-				c.resumeAt = e.complete + uint64(c.cfg.BranchRestart)
+			i := c.blockBranch & c.robMask
+			if c.rState[i] == stExec && c.rComplete[i] <= now {
+				c.resumeAt = c.rComplete[i] + uint64(c.cfg.BranchRestart)
 				c.blockBranch = 0
 			} else {
 				c.stallInstr = false
@@ -122,6 +164,7 @@ func (c *Core) fetchStage(now uint64) {
 // -------------------------------------------------------------- dispatch --
 
 func (c *Core) dispatchStage(now uint64) {
+	dispatchFrom := c.tailSeq
 	for n := 0; n < c.cfg.IssueWidth; n++ {
 		if c.fqHead >= len(c.fetchQ) {
 			break
@@ -138,13 +181,27 @@ func (c *Core) dispatchStage(now uint64) {
 			break
 		}
 		seq := c.tailSeq
-		e := c.entry(seq)
-		*e = robEntry{in: fe.in, seq: seq, fetchDone: fe.fetchDone, mispred: fe.mispred}
+		i := seq & c.robMask
+		c.rIn[i] = fe.in
+		c.rOp[i] = fe.in.Op
+		c.rState[i] = stWaiting
+		flags := uint8(0)
+		if fe.mispred {
+			flags = fMispred
+		}
+		c.rFlags[i] = flags
+		c.rFetchDone[i] = fe.fetchDone
+		c.rProd1[i], c.rProd2[i] = noProd, noProd
+		c.rComplete[i] = 0
+		c.rAddrDone[i] = 0
+		c.rLineAddr[i] = 0
+		c.rClass[i] = 0
+		c.rNotBefore[i] = 0
 		if s := fe.in.Src1; s != trace.NoReg {
-			e.prod1 = c.rename[s]
+			c.rProd1[i] = c.rename[s]
 		}
 		if s := fe.in.Src2; s != trace.NoReg {
-			e.prod2 = c.rename[s]
+			c.rProd2[i] = c.rename[s]
 		}
 		if d := fe.in.Dest; d != trace.NoReg {
 			c.rename[d] = seq
@@ -157,14 +214,14 @@ func (c *Core) dispatchStage(now uint64) {
 			trace.OpPrefetch, trace.OpPrefetchX, trace.OpFlush:
 			// These execute at retirement (fences, locks, hints); mark them
 			// executed so they do not block the in-order issue scan.
-			e.state = stExec
-			e.complete = fe.fetchDone
+			c.rState[i] = stExec
+			c.rComplete[i] = fe.fetchDone
 		}
 		switch fe.in.Op {
 		case trace.OpMemBar, trace.OpLockAcquire:
 			c.fenceCount++
 		}
-		if e.state != stExec {
+		if c.rState[i] != stExec {
 			c.waiting++
 		}
 		if fe.mispred {
@@ -176,6 +233,10 @@ func (c *Core) dispatchStage(now uint64) {
 	if c.fqHead >= len(c.fetchQ) {
 		c.fetchQ = c.fetchQ[:0]
 		c.fqHead = 0
+	}
+	if c.tailSeq != dispatchFrom {
+		// New issue candidates invalidate any whole-window quiet horizon.
+		c.issueQuiet = 0
 	}
 }
 
@@ -205,8 +266,13 @@ func (c *Core) issueStage(now uint64) {
 	// Fast path: under RC with no fence in flight the ordering flags are
 	// irrelevant (loads are never blocked by older accesses), so a
 	// specialized scan skips the already-executing prefix and already-
-	// executing entries without maintaining any flags.
+	// executing entries without maintaining any flags. If a previous scan
+	// proved the whole window quiet until issueQuiet, skip the scan: it
+	// would examine every waiting entry only to re-fail each one.
 	if c.cfg.Consistency == config.RC && c.fenceCount == 0 {
+		if now < c.issueQuiet {
+			return
+		}
 		c.issueStageRC(now, intFree, fpFree, agFree, budget, remaining)
 		return
 	}
@@ -218,26 +284,26 @@ func (c *Core) issueStage(now uint64) {
 	start := c.headSeq
 
 	for seq := start; seq < c.tailSeq && budget > 0; seq++ {
-		e := c.entry(seq)
-		if e.state != stExec {
+		i := seq & c.robMask
+		if c.rState[i] != stExec {
 			remaining--
 		}
 
 		// Ordering flags are updated after the entry is considered, below.
-		issuedSomething := false
-		switch e.in.Op {
+		op := c.rOp[i]
+		switch op {
 		case trace.OpIntALU, trace.OpFPALU:
-			if e.state == stExec {
+			if c.rState[i] == stExec {
 				break
 			}
-			if e.fetchDone > now || !c.srcsReady(e, now) {
+			if c.rFetchDone[i] > now || !c.srcsReady(i, now) {
 				if c.cfg.InOrder {
 					return
 				}
 				break
 			}
 			lat, free := c.cfg.IntLatency, &intFree
-			if e.in.Op == trace.OpFPALU {
+			if op == trace.OpFPALU {
 				lat, free = c.cfg.FPLatency, &fpFree
 			}
 			if *free == 0 {
@@ -248,16 +314,15 @@ func (c *Core) issueStage(now uint64) {
 			}
 			*free--
 			budget--
-			e.state = stExec
+			c.rState[i] = stExec
 			c.waiting--
-			e.complete = now + uint64(lat)
-			issuedSomething = true
+			c.rComplete[i] = now + uint64(lat)
 
 		case trace.OpBranch, trace.OpJump, trace.OpCall, trace.OpReturn:
-			if e.state == stExec {
+			if c.rState[i] == stExec {
 				break
 			}
-			if e.fetchDone > now || !c.srcsReady(e, now) || intFree == 0 {
+			if c.rFetchDone[i] > now || !c.srcsReady(i, now) || intFree == 0 {
 				if c.cfg.InOrder {
 					return
 				}
@@ -265,32 +330,30 @@ func (c *Core) issueStage(now uint64) {
 			}
 			intFree--
 			budget--
-			e.state = stExec
+			c.rState[i] = stExec
 			c.waiting--
-			e.complete = now + uint64(c.cfg.IntLatency)
-			issuedSomething = true
+			c.rComplete[i] = now + uint64(c.cfg.IntLatency)
 
 		case trace.OpLoad:
-			done := c.issueLoad(e, now, &agFree, &budget,
+			done := c.issueLoad(i, now, &agFree, &budget,
 				olderLoadUnperformed, olderMemUnperformed, olderFence)
 			if !done && c.cfg.InOrder {
 				return
 			}
-			issuedSomething = done
 
 		case trace.OpStore:
 			// Stores execute (address + data ready) here; the memory
 			// access happens at retirement per the consistency model.
-			if e.state == stExec {
+			if c.rState[i] == stExec {
 				break
 			}
-			if e.fetchDone > now || !c.srcsReady(e, now) {
+			if c.rFetchDone[i] > now || !c.srcsReady(i, now) {
 				if c.cfg.InOrder {
 					return
 				}
 				break
 			}
-			if e.addrDone == 0 {
+			if c.rAddrDone[i] == 0 {
 				if agFree == 0 {
 					if c.cfg.InOrder {
 						return
@@ -299,31 +362,29 @@ func (c *Core) issueStage(now uint64) {
 				}
 				agFree--
 				budget--
-				e.addrDone = now + 1
+				c.rAddrDone[i] = now + 1
 				break
 			}
-			if e.addrDone <= now {
-				e.state = stExec
+			if c.rAddrDone[i] <= now {
+				c.rState[i] = stExec
 				c.waiting--
-				e.complete = e.addrDone
-				issuedSomething = true
-				if c.cfg.ConsistencyOpts != config.ImplPlain && !e.prefetch {
+				c.rComplete[i] = c.rAddrDone[i]
+				if c.cfg.ConsistencyOpts != config.ImplPlain && c.rFlags[i]&fPrefetch == 0 {
 					// Hardware prefetch from the window: request ownership
 					// early for stores blocked by consistency/retirement.
-					c.mem.Prefetch(e.in.Addr, e.in.PC, now, true, c.inCS())
-					e.prefetch = true
+					c.mem.Prefetch(c.rIn[i].Addr, c.rIn[i].PC, now, true, c.inCS())
+					c.rFlags[i] |= fPrefetch
 				}
 			}
 
 		default:
 			// Fences, locks and hints were marked executed at dispatch.
 		}
-		_ = issuedSomething
 
 		// Update ordering flags for younger instructions.
-		switch e.in.Op {
+		switch op {
 		case trace.OpLoad:
-			if !(e.issuedMem && e.complete <= now) {
+			if !(c.rFlags[i]&fIssuedMem != 0 && c.rComplete[i] <= now) {
 				olderLoadUnperformed = true
 				olderMemUnperformed = true
 			}
@@ -343,7 +404,7 @@ func (c *Core) issueStage(now uint64) {
 	if c.scanFrom < c.headSeq {
 		c.scanFrom = c.headSeq
 	}
-	for c.scanFrom < c.tailSeq && c.entry(c.scanFrom).state == stExec {
+	for c.scanFrom < c.tailSeq && c.rState[c.scanFrom&c.robMask] == stExec {
 		c.scanFrom++
 	}
 }
@@ -351,33 +412,74 @@ func (c *Core) issueStage(now uint64) {
 // issueStageRC is the issue scan specialized for RC with no fence in
 // flight: ordering flags are irrelevant, so already-executing entries are
 // skipped with a single state check and loads issue with all ordering
-// restrictions clear. Decisions are identical to the generic scan — only
-// the per-entry bookkeeping is cheaper.
+// restrictions clear. Waiting entries carry a cached not-before bound
+// (rNotBefore) so an entry blocked on a long-latency producer costs one
+// compare per scan instead of a full readiness check. Decisions are
+// identical to the generic scan — only the per-entry bookkeeping is
+// cheaper.
+//
+// The scan additionally tracks whether every failure this cycle came with
+// a sound not-before bound (as opposed to a functional-unit or issue-width
+// limit, which any cycle can lift). If so, the minimum such bound is a
+// cycle before which the whole window provably cannot issue, and it is
+// published as c.issueQuiet so issueStage skips the scan outright until
+// then. In-order cores stop at the first non-issuing entry, so its bound
+// alone is the horizon. Dispatching a new entry clears the horizon.
 func (c *Core) issueStageRC(now uint64, intFree, fpFree, agFree, budget, remaining int) {
 	start := c.headSeq
 	if c.scanFrom > start {
 		start = c.scanFrom
 	}
 	inOrder := c.cfg.InOrder
+	st, nb, mask := c.rState, c.rNotBefore, c.robMask
+	minB := ^uint64(0) // min sound bound over all failed entries
+	bounded := true    // every failure so far carried a bound
 	for seq := start; seq < c.tailSeq && budget > 0 && remaining > 0; seq++ {
-		e := c.entry(seq)
-		if e.state == stExec {
+		i := seq & mask
+		if st[i] == stExec {
 			continue
 		}
 		remaining--
-		switch e.in.Op {
+		if nb[i] > now {
+			// Proven unable to make progress yet (operands, fetch, or a
+			// pending address still in flight). Cached bounds are only ever
+			// written where the full check's failure would have hit the
+			// same in-order stop below.
+			if nb[i] < minB {
+				minB = nb[i]
+			}
+			if inOrder {
+				c.issueQuiet = minB
+				return
+			}
+			continue
+		}
+		switch c.rOp[i] {
 		case trace.OpIntALU, trace.OpFPALU:
-			if e.fetchDone > now || !c.srcsReady(e, now) {
-				if inOrder {
-					return
+			if b, blocked := c.readyBound(i); b > now || blocked {
+				if b > now {
+					nb[i] = b
+					if b < minB {
+						minB = b
+					}
+					if inOrder {
+						c.issueQuiet = minB
+						return
+					}
+				} else {
+					bounded = false
+					if inOrder {
+						return
+					}
 				}
 				continue
 			}
 			lat, free := c.cfg.IntLatency, &intFree
-			if e.in.Op == trace.OpFPALU {
+			if c.rOp[i] == trace.OpFPALU {
 				lat, free = c.cfg.FPLatency, &fpFree
 			}
 			if *free == 0 {
+				bounded = false
 				if inOrder {
 					return
 				}
@@ -385,12 +487,31 @@ func (c *Core) issueStageRC(now uint64, intFree, fpFree, agFree, budget, remaini
 			}
 			*free--
 			budget--
-			e.state = stExec
+			st[i] = stExec
 			c.waiting--
-			e.complete = now + uint64(lat)
+			c.rComplete[i] = now + uint64(lat)
 
 		case trace.OpBranch, trace.OpJump, trace.OpCall, trace.OpReturn:
-			if e.fetchDone > now || !c.srcsReady(e, now) || intFree == 0 {
+			if b, blocked := c.readyBound(i); b > now || blocked {
+				if b > now {
+					nb[i] = b
+					if b < minB {
+						minB = b
+					}
+					if inOrder {
+						c.issueQuiet = minB
+						return
+					}
+				} else {
+					bounded = false
+					if inOrder {
+						return
+					}
+				}
+				continue
+			}
+			if intFree == 0 {
+				bounded = false
 				if inOrder {
 					return
 				}
@@ -398,24 +519,36 @@ func (c *Core) issueStageRC(now uint64, intFree, fpFree, agFree, budget, remaini
 			}
 			intFree--
 			budget--
-			e.state = stExec
+			st[i] = stExec
 			c.waiting--
-			e.complete = now + uint64(c.cfg.IntLatency)
+			c.rComplete[i] = now + uint64(c.cfg.IntLatency)
 
 		case trace.OpLoad:
-			if !c.issueLoad(e, now, &agFree, &budget, false, false, false) && inOrder {
-				return
-			}
-
-		case trace.OpStore:
-			if e.fetchDone > now || !c.srcsReady(e, now) {
-				if inOrder {
-					return
+			// Mirrors issueLoad under RC with no fence in flight: the
+			// consistency decision is always "allowed", and an issued load
+			// is stExec (skipped above).
+			if c.rAddrDone[i] == 0 {
+				b, blocked := c.readyBound(i)
+				if b > now || blocked {
+					if b > now {
+						nb[i] = b
+						if b < minB {
+							minB = b
+						}
+						if inOrder {
+							c.issueQuiet = minB
+							return
+						}
+					} else {
+						bounded = false
+						if inOrder {
+							return
+						}
+					}
+					continue
 				}
-				continue
-			}
-			if e.addrDone == 0 {
 				if agFree == 0 {
+					bounded = false
 					if inOrder {
 						return
 					}
@@ -423,48 +556,130 @@ func (c *Core) issueStageRC(now uint64, intFree, fpFree, agFree, budget, remaini
 				}
 				agFree--
 				budget--
-				e.addrDone = now + 1
+				c.rAddrDone[i] = now + 1
+				// Address generation is in flight; the entry becomes a
+				// memory-issue candidate next cycle, bounding the horizon.
+				if now+1 < minB {
+					minB = now + 1
+				}
 				continue
 			}
-			if e.addrDone <= now {
-				e.state = stExec
-				c.waiting--
-				e.complete = e.addrDone
-				if c.cfg.ConsistencyOpts != config.ImplPlain && !e.prefetch {
-					c.mem.Prefetch(e.in.Addr, e.in.PC, now, true, c.inCS())
-					e.prefetch = true
+			if c.rAddrDone[i] > now {
+				nb[i] = c.rAddrDone[i]
+				if c.rAddrDone[i] < minB {
+					minB = c.rAddrDone[i]
 				}
+				if inOrder {
+					c.issueQuiet = minB
+					return
+				}
+				continue
+			}
+			if c.cfg.DebugChecks {
+				c.dbgCheckLoadBind(now, c.rIn[i].PC)
+			}
+			res := c.mem.DataRead(c.rIn[i].Addr, c.rIn[i].PC, now, c.inCS())
+			c.rFlags[i] |= fIssuedMem
+			st[i] = stExec
+			c.waiting--
+			c.rComplete[i] = res.Done
+			c.rClass[i] = res.Class
+			if res.TLBMiss {
+				c.rFlags[i] |= fTLBMiss
+			}
+			c.rLineAddr[i] = res.LineAddr
+			if c.ctx.tx != nil {
+				c.trackRead(res.LineAddr)
+			}
+
+		case trace.OpStore:
+			if b, blocked := c.readyBound(i); b > now || blocked {
+				if b > now {
+					nb[i] = b
+					if b < minB {
+						minB = b
+					}
+					if inOrder {
+						c.issueQuiet = minB
+						return
+					}
+				} else {
+					bounded = false
+					if inOrder {
+						return
+					}
+				}
+				continue
+			}
+			if c.rAddrDone[i] == 0 {
+				if agFree == 0 {
+					bounded = false
+					if inOrder {
+						return
+					}
+					continue
+				}
+				agFree--
+				budget--
+				c.rAddrDone[i] = now + 1
+				if now+1 < minB {
+					minB = now + 1
+				}
+				continue
+			}
+			if c.rAddrDone[i] <= now {
+				st[i] = stExec
+				c.waiting--
+				c.rComplete[i] = c.rAddrDone[i]
+				if c.cfg.ConsistencyOpts != config.ImplPlain && c.rFlags[i]&fPrefetch == 0 {
+					c.mem.Prefetch(c.rIn[i].Addr, c.rIn[i].PC, now, true, c.inCS())
+					c.rFlags[i] |= fPrefetch
+				}
+			} else if c.rAddrDone[i] < minB {
+				// Pending store address: a sound bound for the horizon, but
+				// deliberately not cached in rNotBefore and no in-order stop
+				// (the generic scan lets younger entries proceed past it).
+				minB = c.rAddrDone[i]
 			}
 		}
+	}
+
+	// remaining > 0 means issue width ran out with waiting entries never
+	// examined — no claim about them is possible.
+	if bounded && remaining == 0 && minB > now && minB != ^uint64(0) {
+		c.issueQuiet = minB
 	}
 
 	if c.scanFrom < c.headSeq {
 		c.scanFrom = c.headSeq
 	}
-	for c.scanFrom < c.tailSeq && c.entry(c.scanFrom).state == stExec {
+	for c.scanFrom < c.tailSeq && st[c.scanFrom&mask] == stExec {
 		c.scanFrom++
 	}
 }
 
 // issueLoad handles the two-phase (address generation, then cache access)
 // execution of a load under the configured consistency model. It returns
-// true when the load made progress this cycle.
-func (c *Core) issueLoad(e *robEntry, now uint64, agFree, budget *int,
+// true when the load made progress this cycle. i is the load's ring index.
+func (c *Core) issueLoad(i, now uint64, agFree, budget *int,
 	olderLoadUnperformed, olderMemUnperformed, olderFence bool) bool {
 
-	if e.issuedMem || e.fetchDone > now {
-		return e.issuedMem
+	if c.rFlags[i]&fIssuedMem != 0 {
+		return true
 	}
-	if e.addrDone == 0 {
-		if !c.srcsReady(e, now) || *agFree == 0 {
+	if c.rFetchDone[i] > now {
+		return false
+	}
+	if c.rAddrDone[i] == 0 {
+		if !c.srcsReady(i, now) || *agFree == 0 {
 			return false
 		}
 		*agFree--
 		*budget--
-		e.addrDone = now + 1
+		c.rAddrDone[i] = now + 1
 		return true
 	}
-	if e.addrDone > now {
+	if c.rAddrDone[i] > now {
 		return false
 	}
 
@@ -483,9 +698,9 @@ func (c *Core) issueLoad(e *robEntry, now uint64, agFree, budget *int,
 		case config.ImplPlain:
 			return false
 		case config.ImplPrefetch:
-			if !e.prefetch {
-				c.mem.Prefetch(e.in.Addr, e.in.PC, now, false, c.inCS())
-				e.prefetch = true
+			if c.rFlags[i]&fPrefetch == 0 {
+				c.mem.Prefetch(c.rIn[i].Addr, c.rIn[i].PC, now, false, c.inCS())
+				c.rFlags[i] |= fPrefetch
 			}
 			return false
 		case config.ImplSpeculative:
@@ -493,18 +708,20 @@ func (c *Core) issueLoad(e *robEntry, now uint64, agFree, budget *int,
 		}
 	}
 	if c.cfg.DebugChecks && !spec {
-		c.dbgCheckLoadBind(now, e.in.PC)
+		c.dbgCheckLoadBind(now, c.rIn[i].PC)
 	}
-	res := c.mem.DataRead(e.in.Addr, e.in.PC, now, c.inCS())
-	e.issuedMem = true
-	e.state = stExec
+	res := c.mem.DataRead(c.rIn[i].Addr, c.rIn[i].PC, now, c.inCS())
+	c.rFlags[i] |= fIssuedMem
+	c.rState[i] = stExec
 	c.waiting--
-	e.complete = res.Done
-	e.class = res.Class
-	e.tlbMiss = res.TLBMiss
-	e.lineAddr = res.LineAddr // physical, as delivered by invalidation hooks
-	e.specLoad = spec
+	c.rComplete[i] = res.Done
+	c.rClass[i] = res.Class
+	if res.TLBMiss {
+		c.rFlags[i] |= fTLBMiss
+	}
+	c.rLineAddr[i] = res.LineAddr // physical, as delivered by invalidation hooks
 	if spec {
+		c.rFlags[i] |= fSpecLoad
 		c.SpecLoads++
 	}
 	if c.ctx.tx != nil {
@@ -523,30 +740,32 @@ func (c *Core) retireStage(now uint64) {
 	var stallCat stats.Category
 	stalled := false
 	for retired < width && c.robLen() > 0 {
-		e := c.entry(c.headSeq)
-		ok, cat := c.tryRetire(e, now)
+		seq := c.headSeq
+		i := seq & c.robMask
+		ok, cat := c.tryRetire(i, now)
 		if !ok {
 			stallCat, stalled = cat, true
 			break
 		}
-		if e.in.Op.IsMem() {
+		op := c.rOp[i]
+		if op.IsMem() {
 			c.memInROB--
 		}
-		switch e.in.Op {
+		switch op {
 		case trace.OpMemBar, trace.OpLockAcquire:
 			c.fenceCount--
 		}
-		if e.in.Op.IsBranch() {
+		if op.IsBranch() {
 			c.unresolved--
-			if e.seq == c.blockBranch {
-				c.resumeAt = e.complete + uint64(c.cfg.BranchRestart)
+			if seq == c.blockBranch {
+				c.resumeAt = c.rComplete[i] + uint64(c.cfg.BranchRestart)
 				c.blockBranch = 0
 			}
 		}
 		c.ctx.Retired++
 		c.Retired++
 		if c.trc != nil {
-			c.trc.RetireSlot(c.id, e.in.PC, 1/float64(width))
+			c.trc.RetireSlot(c.id, c.rIn[i].PC, 1/float64(width))
 		}
 		c.headSeq++
 		retired++
@@ -558,7 +777,7 @@ func (c *Core) retireStage(now uint64) {
 	frac := float64(width-retired) / float64(width)
 	stallPC := uint64(0)
 	if stalled {
-		stallPC = c.entry(c.headSeq).in.PC
+		stallPC = c.rIn[c.headSeq&c.robMask].PC
 	} else {
 		// Window empty: charge the fetch-side reason (PC 0 marks the
 		// frontend in the stall profile).
@@ -597,32 +816,32 @@ func readCategory(class memsys.Class, tlbMiss bool) stats.Category {
 	return stats.ReadL1
 }
 
-// tryRetire attempts to retire the head entry, returning the stall
-// category on failure.
-func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
-	switch e.in.Op {
+// tryRetire attempts to retire the head entry (ring index i), returning
+// the stall category on failure.
+func (c *Core) tryRetire(i, now uint64) (bool, stats.Category) {
+	switch c.rOp[i] {
 	case trace.OpLoad:
-		if e.state != stExec {
-			if e.fetchDone > now {
+		if c.rState[i] != stExec {
+			if c.rFetchDone[i] > now {
 				return false, stats.Instr
 			}
 			return false, stats.ReadL1 // address generation / dependence
 		}
-		if e.violated {
+		if c.rFlags[i]&fViolated != 0 {
 			// Speculative-load ordering violation: squash and re-execute
 			// from this load (recovery as for branch mispredictions).
-			c.rollback(e.seq, now)
+			c.rollback(c.headSeq, now)
 			c.Violations++
 			return false, stats.ReadL1
 		}
-		if e.complete > now {
-			return false, readCategory(e.class, e.tlbMiss)
+		if c.rComplete[i] > now {
+			return false, readCategory(c.rClass[i], c.rFlags[i]&fTLBMiss != 0)
 		}
 		return true, 0
 
 	case trace.OpStore:
-		if e.state != stExec {
-			if e.fetchDone > now {
+		if c.rState[i] != stExec {
+			if c.rFetchDone[i] > now {
 				return false, stats.Instr
 			}
 			return false, stats.ReadL1 // address generation / dependence
@@ -630,19 +849,19 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 		if c.cfg.Consistency == config.SC {
 			// SC: the store performs at the head of the window and blocks
 			// retirement until globally performed.
-			if !e.issuedMem {
-				res := c.mem.DataWrite(e.in.Addr, e.in.PC, now, c.inCS())
-				e.issuedMem = true
-				e.complete = res.Done
-				e.class = res.Class
+			if c.rFlags[i]&fIssuedMem == 0 {
+				res := c.mem.DataWrite(c.rIn[i].Addr, c.rIn[i].PC, now, c.inCS())
+				c.rFlags[i] |= fIssuedMem
+				c.rComplete[i] = res.Done
+				c.rClass[i] = res.Class
 				if c.cfg.DebugChecks {
-					c.dbgCheckStorePerform(e.complete, e.in.PC)
+					c.dbgCheckStorePerform(c.rComplete[i], c.rIn[i].PC)
 				}
 				if c.ctx.tx != nil {
 					c.trackWrite(res.LineAddr)
 				}
 			}
-			if e.complete > now {
+			if c.rComplete[i] > now {
 				return false, stats.Write
 			}
 			return true, 0
@@ -651,20 +870,20 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 		if c.wbufLen() >= c.cfg.WriteBufEntries {
 			return false, stats.Write
 		}
-		c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, pc: e.in.PC, inCS: c.inCS()})
+		c.wbuf = append(c.wbuf, wbufEntry{addr: c.rIn[i].Addr, pc: c.rIn[i].PC, inCS: c.inCS()})
 		return true, 0
 
 	case trace.OpLockAcquire:
-		if e.fetchDone > now {
+		if c.rFetchDone[i] > now {
 			return false, stats.Instr
 		}
-		return c.latch.acquire(c, e, now)
+		return c.latch.acquire(c, i, now)
 
 	case trace.OpLockRelease:
-		if e.fetchDone > now {
+		if c.rFetchDone[i] > now {
 			return false, stats.Instr
 		}
-		return c.latch.release(c, e, now)
+		return c.latch.release(c, i, now)
 
 	case trace.OpMemBar:
 		// Full barrier: all prior memory operations performed and the
@@ -682,23 +901,23 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 		return true, 0
 
 	case trace.OpPrefetch, trace.OpPrefetchX:
-		if e.fetchDone > now {
+		if c.rFetchDone[i] > now {
 			return false, stats.Instr
 		}
-		if !e.issuedMem {
-			c.mem.Prefetch(e.in.Addr, e.in.PC, now, e.in.Op == trace.OpPrefetchX, c.inCS())
-			e.issuedMem = true
+		if c.rFlags[i]&fIssuedMem == 0 {
+			c.mem.Prefetch(c.rIn[i].Addr, c.rIn[i].PC, now, c.rOp[i] == trace.OpPrefetchX, c.inCS())
+			c.rFlags[i] |= fIssuedMem
 		}
 		return true, 0
 
 	case trace.OpFlush:
-		if e.fetchDone > now {
+		if c.rFetchDone[i] > now {
 			return false, stats.Instr
 		}
 		if c.cfg.Consistency == config.SC {
 			// Under SC all prior stores have performed by the time the
 			// flush reaches the head; execute directly.
-			c.mem.Flush(e.in.Addr, now)
+			c.mem.Flush(c.rIn[i].Addr, now)
 			return true, 0
 		}
 		// PC/RC: queue behind the buffered stores so the flush executes
@@ -707,17 +926,17 @@ func (c *Core) tryRetire(e *robEntry, now uint64) (bool, stats.Category) {
 		if c.wbufLen() >= c.cfg.WriteBufEntries {
 			return false, stats.Write
 		}
-		c.wbuf = append(c.wbuf, wbufEntry{addr: e.in.Addr, isFlush: true})
+		c.wbuf = append(c.wbuf, wbufEntry{addr: c.rIn[i].Addr, isFlush: true})
 		return true, 0
 
 	default: // ALU and branches
-		if e.state != stExec {
-			if e.fetchDone > now {
+		if c.rState[i] != stExec {
+			if c.rFetchDone[i] > now {
 				return false, stats.Instr
 			}
 			return false, stats.CPUStall
 		}
-		if e.complete > now {
+		if c.rComplete[i] > now {
 			return false, stats.CPUStall
 		}
 		return true, 0
@@ -732,26 +951,31 @@ func (c *Core) rollback(fromSeq, now uint64) {
 	if c.scanFrom > fromSeq {
 		c.scanFrom = fromSeq
 	}
+	c.issueQuiet = 0
 	width := uint64(c.cfg.IssueWidth)
 	for seq := fromSeq; seq < c.tailSeq; seq++ {
-		e := c.entry(seq)
-		wasExec := e.state == stExec
+		i := seq & c.robMask
+		wasExec := c.rState[i] == stExec
 		refetch := now + uint64(c.cfg.BranchRestart) + (seq-fromSeq)/width
-		*e = robEntry{
-			in:        e.in,
-			seq:       e.seq,
-			fetchDone: maxU(e.fetchDone, refetch),
-			prod1:     e.prod1,
-			prod2:     e.prod2,
-			mispred:   e.mispred,
-		}
-		switch e.in.Op {
+		c.rFetchDone[i] = maxU(c.rFetchDone[i], refetch)
+		c.rState[i] = stWaiting
+		c.rFlags[i] &= fMispred
+		c.rComplete[i] = 0
+		c.rAddrDone[i] = 0
+		c.rLineAddr[i] = 0
+		c.rClass[i] = 0
+		// The squash re-times this entry, so its cached issue bound is
+		// stale. Unsquashed entries are unaffected: a consumer is never
+		// older than its producer, so none of them consumes a squashed
+		// entry's completion time.
+		c.rNotBefore[i] = 0
+		switch c.rOp[i] {
 		case trace.OpMemBar, trace.OpWriteBar, trace.OpLockAcquire, trace.OpLockRelease,
 			trace.OpPrefetch, trace.OpPrefetchX, trace.OpFlush:
-			e.state = stExec
-			e.complete = e.fetchDone
+			c.rState[i] = stExec
+			c.rComplete[i] = c.rFetchDone[i]
 		}
-		if wasExec && e.state != stExec {
+		if wasExec && c.rState[i] != stExec {
 			c.waiting++
 		}
 	}

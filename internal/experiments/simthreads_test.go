@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/tracing"
+)
+
+// The epoch-parallel engine's contract is the same as fast-forward's: a
+// run with SimThreads > 1 must be bit-identical to the serial engine —
+// the full report, the telemetry byte stream, the exported trace, and
+// (when checkpointing) the simulated outcome after mid-run captures.
+// These tests run both arms across workloads, latch policies, fault
+// injection, tracing, and checkpointing. The CI race-parallel job runs
+// this file under -race, which additionally proves the span fan-out is
+// free of data races.
+
+// stRun is one arm: run the workload with the given latch policy, fault
+// profile, observers, and SimThreads setting.
+func stRun(t *testing.T, oltpWorkload bool, lp config.LatchPolicy, faults config.FaultConfig,
+	traced, checkpointed bool, simThreads int) ffResult {
+	t.Helper()
+	sc := ffScale()
+	sc.Faults = faults
+	sc.LatchPolicy = lp
+	sc.SimThreads = simThreads
+
+	var jsonl bytes.Buffer
+	sc.Telemetry = func(label string) *telemetry.Pipeline {
+		pipe := telemetry.New(50_000)
+		pipe.Attach(telemetry.NewJSONLSink(nopWriteCloser{&jsonl}), nil)
+		return pipe
+	}
+	var trc *tracing.Tracer
+	if traced {
+		trc = tracing.New(tracing.Options{})
+		sc.Tracer = trc
+	}
+	if checkpointed {
+		dir := t.TempDir()
+		sc.Checkpoint = func(label string) *core.CheckpointOptions {
+			return &core.CheckpointOptions{
+				Path: filepath.Join(dir, "st.ckpt"),
+				// Several captures per run so the capture boundaries (which
+				// cap quiet spans) interleave with the parallel fan-out.
+				Interval: 200_000,
+			}
+		}
+	}
+
+	cfg := config.Default()
+	var rep ffResult
+	var err error
+	if oltpWorkload {
+		rep.rep, err = RunOLTP(cfg, sc, "simthreads-identity", 0)
+	} else {
+		rep.rep, err = RunDSS(cfg, sc, "simthreads-identity")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.jsonl = jsonl.Bytes()
+	if traced {
+		var buf bytes.Buffer
+		if err := trc.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rep.trace = buf.Bytes()
+		rep.analysis = trc.Analysis()
+	}
+	return rep
+}
+
+func testSimThreadsIdentity(t *testing.T, oltpWorkload bool, lp config.LatchPolicy,
+	faults config.FaultConfig, traced, checkpointed bool, simThreads int) {
+	t.Helper()
+	serial := stRun(t, oltpWorkload, lp, faults, traced, checkpointed, 1)
+	par := stRun(t, oltpWorkload, lp, faults, traced, checkpointed, simThreads)
+	assertIdentical(t, par, serial)
+	if serial.rep.Instructions == 0 {
+		t.Fatal("degenerate run: no instructions retired")
+	}
+}
+
+func TestSimThreadsIdentityOLTPPlain(t *testing.T) {
+	testSimThreadsIdentity(t, true, config.LatchPlain, config.FaultConfig{}, false, false, 2)
+}
+
+func TestSimThreadsIdentityOLTPHints(t *testing.T) {
+	testSimThreadsIdentity(t, true, config.LatchHints, config.FaultConfig{}, false, false, 4)
+}
+
+func TestSimThreadsIdentityOLTPHTM(t *testing.T) {
+	testSimThreadsIdentity(t, true, config.LatchHTM, config.FaultConfig{}, false, false, 2)
+}
+
+func TestSimThreadsIdentityDSSPlain(t *testing.T) {
+	testSimThreadsIdentity(t, false, config.LatchPlain, config.FaultConfig{}, false, false, 4)
+}
+
+func TestSimThreadsIdentityDSSHints(t *testing.T) {
+	testSimThreadsIdentity(t, false, config.LatchHints, config.FaultConfig{}, false, false, 2)
+}
+
+func TestSimThreadsIdentityDSSHTM(t *testing.T) {
+	testSimThreadsIdentity(t, false, config.LatchHTM, config.FaultConfig{}, false, false, 4)
+}
+
+// Fault injection reshapes exactly the quiet spans the pool fans out
+// (NACK storms, stretched latencies).
+func TestSimThreadsIdentityFaults(t *testing.T) {
+	f := config.FaultConfig{
+		Enabled:        true,
+		Seed:           42,
+		MeshDelayProb:  0.05,
+		MeshDelayMax:   40,
+		NACKProb:       0.02,
+		NACKMaxRetries: 4,
+		NACKBackoff:    20,
+		MemStallProb:   0.05,
+		MemStallCycles: 60,
+	}
+	testSimThreadsIdentity(t, true, config.LatchPlain, f, false, false, 4)
+}
+
+// With a tracer attached the engine must disable the fan-out (the event
+// ring is shared) and still match the serial run byte for byte.
+func TestSimThreadsIdentityTraced(t *testing.T) {
+	serial := stRun(t, true, config.LatchPlain, config.FaultConfig{}, true, false, 1)
+	par := stRun(t, true, config.LatchPlain, config.FaultConfig{}, true, false, 4)
+	assertIdentical(t, par, serial)
+	if pt, st := par.analysis.Totals(), serial.analysis.Totals(); pt != st {
+		t.Errorf("trace aggregate totals differ:\nthreads=4 %v\nserial    %v", pt, st)
+	}
+}
+
+// Mid-run checkpoint captures tick their boundary cycles serially in both
+// arms; the checkpointed parallel run must still match the serial one.
+func TestSimThreadsIdentityCheckpointed(t *testing.T) {
+	testSimThreadsIdentity(t, false, config.LatchPlain, config.FaultConfig{}, false, true, 4)
+}

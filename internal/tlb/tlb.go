@@ -26,6 +26,15 @@ type PageTable struct {
 	entries   map[uint64]PTE
 	homeByPPN map[uint64]int
 	nextPPN   uint64
+
+	// One-entry MRU translation cache. Every data and instruction access
+	// translates, page locality makes back-to-back same-page lookups the
+	// common case, and a mapping never changes once allocated — so the map
+	// probe shows up hot in profiles while the cached PTE can never go
+	// stale. (Derived state: deliberately absent from checkpoints.)
+	mruVPN   uint64
+	mruPTE   PTE
+	mruValid bool
 }
 
 // NewPageTable returns an empty page table for the given page size, which
@@ -55,6 +64,11 @@ func (pt *PageTable) VPN(vaddr uint64) uint64 { return vaddr >> pt.pageShift }
 // allocating (and first-touch homing at node) on the first reference.
 func (pt *PageTable) Translate(vaddr uint64, node int) (paddr uint64, home int) {
 	vpn := vaddr >> pt.pageShift
+	off := vaddr & ((1 << pt.pageShift) - 1)
+	if pt.mruValid && vpn == pt.mruVPN {
+		e := pt.mruPTE
+		return e.PPN<<pt.pageShift | off, e.Home
+	}
 	e, ok := pt.entries[vpn]
 	if !ok {
 		pt.nextPPN++
@@ -62,7 +76,7 @@ func (pt *PageTable) Translate(vaddr uint64, node int) (paddr uint64, home int) 
 		pt.entries[vpn] = e
 		pt.homeByPPN[e.PPN] = node
 	}
-	off := vaddr & ((1 << pt.pageShift) - 1)
+	pt.mruVPN, pt.mruPTE, pt.mruValid = vpn, e, true
 	return e.PPN<<pt.pageShift | off, e.Home
 }
 
